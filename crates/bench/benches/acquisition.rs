@@ -1,0 +1,63 @@
+//! Acquisition-optimization cost: scoring a candidate batch against a
+//! fitted GP posterior (the per-iteration overhead of the BO loop).
+
+use cets_core::{BoConfig, BoSearch, Objective};
+use cets_gp::{Gp, Kernel, KernelKind};
+use cets_space::Subspace;
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn bench_posterior_scoring(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let d = 10;
+    let x: Vec<Vec<f64>> = (0..100)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum()).collect();
+    let gp = Gp::fit(&x, &y, Kernel::new(KernelKind::Matern52, d), 1e-6).unwrap();
+    let candidates: Vec<Vec<f64>> = (0..256)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    c.bench_function("score_256_candidates_n100_d10", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|u| gp.predict(u).0)
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+}
+
+fn bench_bo_iteration(c: &mut Criterion) {
+    // One full 10-eval BO search on a 5-dim subspace: the unit of work a
+    // split strategy runs per group.
+    let f = SyntheticFunction::new(SyntheticCase::Case1).with_noise(0.0);
+    let sub = Subspace::new(
+        f.space(),
+        &["x0", "x1", "x2", "x3", "x4"],
+        f.default_config(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("bo_search_10evals_5dim");
+    group.sample_size(10);
+    group.bench_function("run", |b| {
+        b.iter(|| {
+            BoSearch::new(BoConfig {
+                n_init: 5,
+                max_evals: 10,
+                n_candidates: 64,
+                n_local: 8,
+                seed: 7,
+                ..Default::default()
+            })
+            .run(&sub, |cfg| f.evaluate(cfg).total)
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_posterior_scoring, bench_bo_iteration);
+criterion_main!(benches);

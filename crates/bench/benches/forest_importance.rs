@@ -1,0 +1,41 @@
+//! Random-forest training + importance cost (the insights phase).
+
+use cets_stats::{RandomForest, RandomForestConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + r[1] * r[1]).collect();
+    (x, y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_fit_d20");
+    group.sample_size(20);
+    for n in [100usize, 200] {
+        let (x, y) = data(n, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| RandomForest::fit(&x, &y, &RandomForestConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_permutation_importance(c: &mut Criterion) {
+    let (x, y) = data(150, 20);
+    let forest = RandomForest::fit(&x, &y, &RandomForestConfig::default()).unwrap();
+    let mut group = c.benchmark_group("forest_permutation_importance");
+    group.sample_size(10);
+    group.bench_function("n150_d20", |b| {
+        b.iter(|| forest.permutation_importance(&x, &y, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_permutation_importance);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The O(N³) Gaussian-process fitting cost the paper's search-time
+//! analysis rests on: fit time vs number of observations at fixed
+//! dimensionality (10, the methodology's cap).
+
+use cets_gp::{Gp, Kernel, KernelKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>().sin()).collect();
+    (x, y)
+}
+
+fn bench_gp_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit_fixed_hyperparams");
+    for n in [25usize, 50, 100, 200] {
+        let (x, y) = data(n, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let k = Kernel::new(KernelKind::Matern52, 10);
+                Gp::fit(&x, &y, k, 1e-6).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_predict");
+    for n in [50usize, 200] {
+        let (x, y) = data(n, 10);
+        let gp = Gp::fit(&x, &y, Kernel::new(KernelKind::Matern52, 10), 1e-6).unwrap();
+        let probe = vec![0.5; 10];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| gp.predict(&probe))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp_fit, bench_gp_predict);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Wall-time shape of the Table III strategies (reduced budgets): random
+//! search is cheap and parallel, the joint high-dimensional BO search pays
+//! the O(N³)-driven premium, splits sit in between.
+
+use cets_core::{run_strategy, BoConfig, Strategy};
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bo(seed: u64) -> BoConfig {
+    BoConfig {
+        n_init: 5,
+        n_candidates: 64,
+        n_local: 8,
+        retrain_every: 10,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let owners = SyntheticFunction::owners();
+    let evals_per_dim = 2;
+    let mut group = c.benchmark_group("table3_strategies_case3");
+    group.sample_size(10);
+    let cases: Vec<(&str, Strategy)> = vec![
+        ("random", Strategy::RandomSearch { n_evals: 40 }),
+        ("joint_20dim", Strategy::FullyJoint),
+        (
+            "split_g3g4",
+            Strategy::Groups(vec![
+                vec!["G1".into()],
+                vec!["G2".into()],
+                vec!["G3".into(), "G4".into()],
+            ]),
+        ),
+        ("independent", Strategy::FullyIndependent),
+    ];
+    for (label, strategy) in cases {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let f = SyntheticFunction::new(SyntheticCase::Case3);
+                let pairs = SyntheticFunction::owner_pairs(&owners);
+                run_strategy(&f, &pairs, &strategy, &bo(1), evals_per_dim).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Cost of the paper's cheap interdependence analysis: a full per-routine
+//! sensitivity pass is `1 + D×V` objective evaluations. Benchmarked on
+//! the TDDFT simulator (the expensive-evaluation regime the methodology
+//! targets) and on the synthetic functions.
+
+use cets_core::{routine_sensitivity, Objective, VariationPolicy};
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+use cets_tddft::{CaseStudy, TddftSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tddft_sensitivity(c: &mut Criterion) {
+    let sim = TddftSimulator::new(CaseStudy::case1()).with_noise(0.0);
+    let baseline = sim.default_config();
+    let mut group = c.benchmark_group("tddft_sensitivity");
+    for v in [2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("variations", v), &v, |b, &v| {
+            b.iter(|| {
+                routine_sensitivity(&sim, &baseline, &VariationPolicy::Spread { count: v }).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic_sensitivity(c: &mut Criterion) {
+    let f = SyntheticFunction::new(SyntheticCase::Case3)
+        .with_noise(0.0)
+        .as_raw();
+    let baseline = f.space().decode(&[0.6; 20]).unwrap();
+    c.bench_function("synthetic_sensitivity_v20", |b| {
+        b.iter(|| {
+            routine_sensitivity(
+                &f,
+                &baseline,
+                &VariationPolicy::Multiplicative {
+                    count: 20,
+                    factor: 0.1,
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tddft_sensitivity,
+    bench_synthetic_sensitivity
+);
+criterion_main!(benches);

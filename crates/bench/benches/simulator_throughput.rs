@@ -1,0 +1,26 @@
+//! Throughput of the RT-TDDFT performance simulator: evaluations per
+//! second bound the scale of every experiment in the harness.
+
+use cets_core::Objective;
+use cets_tddft::{CaseStudy, TddftSimulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulate(c: &mut Criterion) {
+    for (label, case) in [("cs1", CaseStudy::case1()), ("cs2", CaseStudy::case2())] {
+        let sim = TddftSimulator::new(case);
+        let cfg = sim.default_config();
+        c.bench_function(&format!("tddft_evaluate_{label}"), |b| {
+            b.iter(|| sim.evaluate(&cfg))
+        });
+    }
+}
+
+fn bench_synthetic_eval(c: &mut Criterion) {
+    use cets_synthetic::{SyntheticCase, SyntheticFunction};
+    let f = SyntheticFunction::new(SyntheticCase::Case5);
+    let cfg = f.default_config();
+    c.bench_function("synthetic_evaluate_case5", |b| b.iter(|| f.evaluate(&cfg)));
+}
+
+criterion_group!(benches, bench_simulate, bench_synthetic_eval);
+criterion_main!(benches);

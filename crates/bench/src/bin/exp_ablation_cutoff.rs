@@ -1,0 +1,78 @@
+//! A1 — Ablation: the influence cut-off. Sweep the cut-off from 5% to 50%
+//! on all five synthetic cases and report (a) the search plan it induces
+//! and (b) the final minimum at a fixed total budget.
+//!
+//! The paper argues there is "no one-size-fits-all cut-off"; this ablation
+//! makes the trade-off concrete: a cut-off too low merges weakly coupled
+//! groups (higher dimensionality, worse BO navigation at fixed budget),
+//! too high misses real interdependence (Cases 4-5 suffer).
+//!
+//! Flags: `--reps N` (default 3), `--quick`.
+
+use cets_bench::{banner, mean_std, paper_bo, ExpArgs};
+use cets_core::{Methodology, MethodologyConfig, Objective, VariationPolicy};
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+
+fn main() {
+    let args = ExpArgs::parse(3);
+    let evals_per_dim = if args.quick { 3 } else { 10 };
+    banner("A1", "Ablation: influence cut-off sweep (5% - 300%)");
+    println!("reps = {}, evals/dim = {evals_per_dim}\n", args.reps);
+
+    // Raw-scale cross-influences reach >200% in Cases 4-5, so the sweep
+    // extends past 100% to show where too-high cut-offs lose the merge.
+    let cutoffs = [0.05, 0.25, 1.0, 3.0];
+    println!(
+        "{:<8} {:>8} {:>10} {:>16} {:>14}",
+        "Case", "cut-off", "#searches", "plan (dims)", "minimum"
+    );
+    for case in SyntheticCase::all() {
+        for &cutoff in &cutoffs {
+            let mut minima = Vec::new();
+            let mut plan_desc = String::new();
+            for rep in 0..args.reps {
+                let analysis = SyntheticFunction::new(case).with_seed(rep as u64).as_raw();
+                let exec_f = SyntheticFunction::new(case).with_seed(rep as u64);
+                let owners = SyntheticFunction::owners();
+                let pairs = SyntheticFunction::owner_pairs(&owners);
+                let baseline = analysis.space().decode(&[0.6; 20]).unwrap();
+                let m = Methodology::new(MethodologyConfig {
+                    cutoff,
+                    max_dims: 10,
+                    variation_policy: VariationPolicy::Multiplicative {
+                        count: 20,
+                        factor: 0.1,
+                    },
+                    bo: paper_bo(500 + rep as u64),
+                    evals_per_dim,
+                    ..Default::default()
+                });
+                let report = m.analyze(&analysis, &pairs, &baseline).expect("analysis");
+                if rep == 0 {
+                    let dims: Vec<String> = report
+                        .plan
+                        .searches()
+                        .map(|s| format!("{}", s.dim()))
+                        .collect();
+                    plan_desc = dims.join("+");
+                }
+                let exec = m.execute(&exec_f, &report).expect("execution");
+                minima.push(exec.final_value);
+            }
+            let (mm, _) = mean_std(&minima);
+            let n_searches = plan_desc.matches('+').count() + 1;
+            println!(
+                "{:<8} {:>7.0}% {:>10} {:>16} {:>14.2}",
+                case.name(),
+                cutoff * 100.0,
+                n_searches,
+                plan_desc,
+                mm
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: for Cases 1-2 the cut-off barely matters (no real");
+    println!("coupling); for Cases 3-5 very high cut-offs miss the G3-G4 merge and");
+    println!("give worse minima; very low cut-offs over-merge and dilute the budget.");
+}

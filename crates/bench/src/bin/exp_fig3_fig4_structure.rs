@@ -1,0 +1,55 @@
+//! F3/F4 — Figures 3 & 4: the wavefunction→MPI-grid mapping (CPU vs GPU
+//! versions) and the dominant computational pattern of the QBox-based
+//! RT-TDDFT, rendered textually from the simulator's own structures.
+
+use cets_bench::banner;
+use cets_tddft::{CaseStudy, KernelId};
+
+fn main() {
+    banner(
+        "F3/F4",
+        "Wavefunction mapping and dominant computational pattern (paper Figures 3-4)",
+    );
+
+    for case in [CaseStudy::case1(), CaseStudy::case2()] {
+        println!("--- {} ---", case.name);
+        println!(
+            "wavefunction: spin={} x kpoints={} x bands={} x G-vectors={}",
+            case.nspin, case.nkpoints, case.nbands, case.fft_size
+        );
+        println!("CPU MPI grid:  nspb x nkpb x nstb x ngb   (4D; ngb ranks split each FFT)");
+        println!("GPU MPI grid:  nspb x nkpb x nstb x 1     (ngb = 1: whole FFT on one GPU)\n");
+    }
+
+    println!("Dominant pattern (paper Figure 4 pseudo-code):");
+    println!("  for all rtiterations:");
+    println!("    while !SCF_converged:");
+    println!("      for spins_loc / kpoints_loc / bands_loc (batched by nbatches):");
+    println!("        # Group 1:");
+    println!("        memcpy(HtoD)");
+    println!("        cuVec2Zvec -> cuFFT-3D (bwd) -> cuZcopy -> cuFFT-3D (bwd)");
+    println!("        # Group 2:");
+    println!("        cuPairwise");
+    println!("        # Group 3:");
+    println!("        cuFFT-3D (fwd) + cuDscal -> cuZcopy -> cuFFT-3D (fwd) -> cuZvec2Vec");
+    println!("        memcpy(DtoH)");
+    println!("      ... accumulations and MPI reductions ...\n");
+
+    println!("Per-kernel tuning parameters (paper Table IV) and model constants:");
+    println!(
+        "{:<12} {:>8} {:>12} {:>14}",
+        "kernel", "u_opt", "bytes/elem", "params"
+    );
+    for k in KernelId::all() {
+        println!(
+            "{:<12} {:>8} {:>12.1} {:>14}",
+            format!("cu{}", k.short()),
+            k.optimal_unroll(),
+            k.bytes_per_element(),
+            format!("u,tb,tb_sm")
+        );
+    }
+    println!("\nGPU compute-share targets at defaults (paper: cuFFT 61.4%, cuZcopy 14.2%,");
+    println!("cuVec2Zvec 12.4%, cuPairwise 4.9%, cuDscal 4.2%, cuZvec2Vec 2.9%) are what");
+    println!("the bytes/elem weights above are calibrated to; see cets-tddft::kernels.");
+}

@@ -1,0 +1,66 @@
+//! X0 — In-text claims of Section IV-B on the synthetic functions:
+//! "Pearson correlation aligns with expectations, revealing the absence of
+//! linear dependence between variables. Concurrently, a feature importance
+//! analysis, leveraging Random Forest trees, was also conducted, which
+//! showed a uniform distribution of modeling importance across variables."
+
+use cets_bench::{banner, ExpArgs};
+use cets_core::{gather_insights, InsightsConfig};
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+
+fn main() {
+    let args = ExpArgs::parse(1);
+    banner(
+        "X0",
+        "Synthetic insights: Pearson + RF importance (paper Section IV-B in-text)",
+    );
+    let n_samples = args.budget(200);
+
+    println!(
+        "{:<8} {:>14} {:>18} {:>22} {:>14}",
+        "Case", "max |pearson|", "importance range", "uniform share = 5%", "max share"
+    );
+    for case in SyntheticCase::all() {
+        let f = SyntheticFunction::new(case);
+        let ins = gather_insights(
+            &f,
+            &InsightsConfig {
+                n_samples,
+                seed: 12,
+                correlation_threshold: 0.0,
+                ..Default::default()
+            },
+        )
+        .expect("insights");
+
+        // Largest absolute pairwise correlation (paper: no linear deps —
+        // the inputs are sampled independently, so this is a calibration
+        // check on the analysis, not on the function).
+        let max_r = ins
+            .correlated
+            .iter()
+            .map(|(_, _, r)| r.abs())
+            .fold(0.0_f64, f64::max);
+
+        // Feature-importance uniformity: paper says roughly uniform.
+        let (min_i, max_i) = ins
+            .importance
+            .iter()
+            .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        println!(
+            "{:<8} {:>14.3} {:>10.3}-{:<7.3} {:>22} {:>13.1}%",
+            case.name(),
+            max_r,
+            min_i,
+            max_i,
+            "(20 vars)",
+            max_i * 100.0
+        );
+    }
+    println!("\nExpected: max |pearson| stays small (independent uniform sampling);");
+    println!("importance is spread across many variables rather than concentrated —");
+    println!("for the high-coupling cases (4-5) the Group 3/4 variables carry more");
+    println!("weight, which is the interdependence signal showing through the model.");
+}

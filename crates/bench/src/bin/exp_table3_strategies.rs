@@ -1,0 +1,102 @@
+//! T3 — Table III: minima found and search time for the four strategies
+//! on the five synthetic cases, averaged over repetitions.
+//!
+//! Strategies (paper Section IV-D):
+//! * Random Search — `10 × 20` uniform draws, embarrassingly parallel;
+//! * `G1+G2+G3+G4` — one joint 20-dim BO search, N = 200;
+//! * `G1,G2,G3+G4` — the methodology's suggestion for Cases 3-5: three
+//!   parallel searches, N = {50, 50, 100};
+//! * `G1,G2,G3,G4` — four parallel independent 5-dim searches, N = 50.
+//!
+//! The highlighted (methodology-suggested) strategy per case follows the
+//! 25% cut-off decision: independent for Cases 1-2, split for Cases 3-5.
+//!
+//! Flags: `--reps N` (default 5), `--quick`.
+
+use cets_bench::{banner, mean_std, paper_bo, ExpArgs};
+use cets_core::{run_strategy, Strategy};
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+
+fn main() {
+    let args = ExpArgs::parse(5);
+    let evals_per_dim = if args.quick { 3 } else { 10 };
+    banner(
+        "T3",
+        "Strategy comparison on the synthetic cases (paper Table III)",
+    );
+    println!(
+        "reps = {}, evals/dim = {evals_per_dim} (budgets: random {}, joint {}, split {}+{}+{}, indep 4×{})\n",
+        args.reps,
+        20 * evals_per_dim,
+        20 * evals_per_dim,
+        5 * evals_per_dim,
+        5 * evals_per_dim,
+        10 * evals_per_dim,
+        5 * evals_per_dim,
+    );
+
+    let strategies: Vec<(&str, Strategy)> = vec![
+        (
+            "Random Search",
+            Strategy::RandomSearch {
+                n_evals: 20 * evals_per_dim,
+            },
+        ),
+        ("G1+G2+G3+G4 BO", Strategy::FullyJoint),
+        (
+            "G1,G2,G3+G4 BO",
+            Strategy::Groups(vec![
+                vec!["G1".into()],
+                vec!["G2".into()],
+                vec!["G3".into(), "G4".into()],
+            ]),
+        ),
+        ("G1,G2,G3,G4 BO", Strategy::FullyIndependent),
+    ];
+
+    println!(
+        "{:<8} {:<18} {:>14} {:>12} {:>10} {:>12}",
+        "Case", "Strategy", "Minima Found", "±std", "Time (s)", "suggested?"
+    );
+    for case in SyntheticCase::all() {
+        let owners = SyntheticFunction::owners();
+        let pairs = SyntheticFunction::owner_pairs(&owners);
+        for (name, strategy) in &strategies {
+            let mut minima = Vec::with_capacity(args.reps);
+            let mut times = Vec::with_capacity(args.reps);
+            for rep in 0..args.reps {
+                let f = SyntheticFunction::new(case).with_seed(rep as u64);
+                let r = run_strategy(
+                    &f,
+                    &pairs,
+                    strategy,
+                    &paper_bo(1000 * (case.index() as u64 + 1) + rep as u64),
+                    evals_per_dim,
+                )
+                .expect("strategy");
+                minima.push(r.final_value);
+                times.push(r.time_s);
+            }
+            let (m, s) = mean_std(&minima);
+            let (t, _) = mean_std(&times);
+            let suggested = match (case.expect_merge(), *name) {
+                (true, "G1,G2,G3+G4 BO") | (false, "G1,G2,G3,G4 BO") => "  <== ",
+                _ => "",
+            };
+            println!(
+                "{:<8} {:<18} {:>14.2} {:>12.2} {:>10.2} {:>12}",
+                case.name(),
+                name,
+                m,
+                s,
+                t,
+                suggested
+            );
+        }
+        println!();
+    }
+    println!("Paper shape to verify: BO beats Random Search on minima everywhere;");
+    println!("the 20-dim joint search is by far the slowest and barely beats random;");
+    println!("the split/independent strategies find the best minima, with the");
+    println!("G3+G4 merge paying off in the interdependent cases (3-5).");
+}

@@ -1,0 +1,587 @@
+//! The Bayesian-optimization search loop (the role GPTune plays in the
+//! paper).
+//!
+//! A [`BoSearch`] minimizes a scalar objective over a [`Subspace`]: start
+//! from a small Latin-hypercube design (the paper uses 5 random initial
+//! configurations), then repeatedly (a) fit a Gaussian process to all
+//! observations, (b) optimize an acquisition function over valid candidates,
+//! (c) evaluate the suggested configuration. The incumbent trace (best value
+//! after each evaluation) is recorded — it is exactly what the paper's
+//! Figure 6 plots.
+
+use crate::checkpoint::BoCheckpoint;
+use crate::normal;
+use crate::{CoreError, Result};
+use cets_gp::{Gp, GpConfig};
+use cets_space::{Config, Sampler, SpaceError, Subspace};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::path::PathBuf;
+
+/// A prior-mean function over the active unit cube (difference-GP
+/// transfer learning).
+pub type PriorMean<'a> = &'a (dyn Fn(&[f64]) -> f64 + Sync);
+use std::time::{Duration, Instant};
+
+/// Acquisition functions for minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Expected improvement over the incumbent (with exploration margin
+    /// `xi`); the BO default.
+    ExpectedImprovement {
+        /// Exploration margin added to the incumbent.
+        xi: f64,
+    },
+    /// Lower confidence bound `mean − beta·sigma` (minimized).
+    LowerConfidenceBound {
+        /// Exploration weight on the predictive standard deviation.
+        beta: f64,
+    },
+    /// Probability of improving on the incumbent by at least `xi`.
+    ProbabilityOfImprovement {
+        /// Required improvement margin.
+        xi: f64,
+    },
+}
+
+impl Default for Acquisition {
+    fn default() -> Self {
+        Acquisition::ExpectedImprovement { xi: 0.01 }
+    }
+}
+
+impl Acquisition {
+    /// Score a candidate (higher is better) given the GP posterior mean,
+    /// variance and the incumbent value. Public so alternative search
+    /// loops (the related-work baselines in [`crate::highdim`]) can reuse
+    /// the exact same acquisition arithmetic.
+    pub fn score_public(&self, mean: f64, var: f64, best: f64) -> f64 {
+        self.score(mean, var, best)
+    }
+
+    /// Score a candidate (higher is better) given the GP posterior and the
+    /// incumbent value.
+    fn score(&self, mean: f64, var: f64, best: f64) -> f64 {
+        let sigma = var.max(0.0).sqrt();
+        match *self {
+            Acquisition::ExpectedImprovement { xi } => {
+                if sigma < 1e-12 {
+                    return (best - mean - xi).max(0.0);
+                }
+                let z = (best - mean - xi) / sigma;
+                (best - mean - xi) * normal::cdf(z) + sigma * normal::pdf(z)
+            }
+            Acquisition::LowerConfidenceBound { beta } => -(mean - beta * sigma),
+            Acquisition::ProbabilityOfImprovement { xi } => {
+                if sigma < 1e-12 {
+                    return if mean < best - xi { 1.0 } else { 0.0 };
+                }
+                normal::cdf((best - mean - xi) / sigma)
+            }
+        }
+    }
+}
+
+/// Configuration of one BO search.
+#[derive(Debug, Clone)]
+pub struct BoConfig {
+    /// Initial (Latin-hypercube) design size. Paper: 5.
+    pub n_init: usize,
+    /// Total evaluation budget including the initial design. Paper:
+    /// `10 × num_parameters`.
+    pub max_evals: usize,
+    /// Acquisition function.
+    pub acquisition: Acquisition,
+    /// GP training configuration.
+    pub gp: GpConfig,
+    /// Random candidates scored per iteration.
+    pub n_candidates: usize,
+    /// Local-refinement proposals around the best candidate.
+    pub n_local: usize,
+    /// Re-optimize GP hyperparameters every this many evaluations (between
+    /// re-trainings the previous kernel is refit, which is `O(N³)` but
+    /// avoids the inner Nelder–Mead).
+    pub retrain_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Write a crash-recovery checkpoint after every evaluation.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            n_init: 5,
+            max_evals: 50,
+            acquisition: Acquisition::default(),
+            gp: GpConfig::default(),
+            n_candidates: 256,
+            n_local: 32,
+            retrain_every: 5,
+            seed: 0,
+            checkpoint_path: None,
+        }
+    }
+}
+
+impl BoConfig {
+    /// The paper's budget rule: `10 × dims` evaluations.
+    pub fn budget_for_dims(mut self, dims: usize) -> Self {
+        self.max_evals = 10 * dims.max(1);
+        self
+    }
+}
+
+/// Result of a completed search (BO or baseline).
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best configuration found (full-space, with frozen defaults applied).
+    pub best_config: Config,
+    /// Best objective value found.
+    pub best_value: f64,
+    /// All evaluated (active-space unit point, value) pairs, in order.
+    pub history: Vec<(Vec<f64>, f64)>,
+    /// Best-so-far after each evaluation (paper Figure 6's y-axis).
+    pub incumbent_trace: Vec<f64>,
+    /// Number of objective evaluations.
+    pub n_evals: usize,
+    /// Wall-clock duration of the search.
+    pub wall_time: Duration,
+}
+
+impl SearchOutcome {
+    fn from_history(
+        subspace: &Subspace,
+        history: Vec<(Vec<f64>, f64)>,
+        wall_time: Duration,
+    ) -> Result<Self> {
+        let mut best_idx = 0;
+        let mut trace = Vec::with_capacity(history.len());
+        let mut best = f64::INFINITY;
+        for (i, (_, y)) in history.iter().enumerate() {
+            if *y < best {
+                best = *y;
+                best_idx = i;
+            }
+            trace.push(best);
+        }
+        if history.is_empty() {
+            return Err(CoreError::SearchStalled("empty history".into()));
+        }
+        let best_config = subspace.lift(&history[best_idx].0)?;
+        Ok(SearchOutcome {
+            best_config,
+            best_value: best,
+            n_evals: history.len(),
+            history,
+            incumbent_trace: trace,
+            wall_time,
+        })
+    }
+}
+
+/// A Bayesian-optimization runner.
+#[derive(Debug, Clone, Default)]
+pub struct BoSearch {
+    /// Search configuration.
+    pub config: BoConfig,
+}
+
+impl BoSearch {
+    /// Create a runner.
+    pub fn new(config: BoConfig) -> Self {
+        BoSearch { config }
+    }
+
+    /// Minimize `f` over `subspace`.
+    pub fn run(&self, subspace: &Subspace, f: impl Fn(&Config) -> f64) -> Result<SearchOutcome> {
+        self.run_with_history(subspace, f, Vec::new())
+    }
+
+    /// Minimize starting from pre-evaluated `(unit point, value)` pairs —
+    /// used by checkpoint resume and by transfer-learning seeding. Seeded
+    /// points count against the evaluation budget only if `counted` pairs
+    /// were actually evaluated on *this* task (resume); transfer seeds from
+    /// a *different* task should be passed through
+    /// [`crate::transfer::TransferSeed`] instead, which re-evaluates them
+    /// here.
+    pub fn run_with_history(
+        &self,
+        subspace: &Subspace,
+        f: impl Fn(&Config) -> f64,
+        history: Vec<(Vec<f64>, f64)>,
+    ) -> Result<SearchOutcome> {
+        self.run_inner(subspace, f, history, None)
+    }
+
+    /// Minimize with a **prior mean function** over the active unit cube —
+    /// difference-GP transfer learning. The GP models the residual
+    /// `y − prior(u)`; predictions add the prior back before the
+    /// acquisition is scored. With a prior fitted on a related task
+    /// (e.g. [`crate::TransferSeed::prior_gp`] from Case Study 1), the new
+    /// search starts with an informed landscape instead of a flat one,
+    /// which is GPTune's multi-task intent at single-output cost.
+    pub fn run_with_prior(
+        &self,
+        subspace: &Subspace,
+        f: impl Fn(&Config) -> f64,
+        history: Vec<(Vec<f64>, f64)>,
+        prior: PriorMean<'_>,
+    ) -> Result<SearchOutcome> {
+        self.run_inner(subspace, f, history, Some(prior))
+    }
+
+    fn run_inner(
+        &self,
+        subspace: &Subspace,
+        f: impl Fn(&Config) -> f64,
+        mut history: Vec<(Vec<f64>, f64)>,
+        prior: Option<PriorMean<'_>>,
+    ) -> Result<SearchOutcome> {
+        let cfg = &self.config;
+        if cfg.max_evals == 0 {
+            return Err(CoreError::BadConfig("max_evals must be > 0".into()));
+        }
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(history.len() as u64));
+        let sampler = Sampler::new(subspace.space());
+
+        let evaluate = |u: &[f64], history: &mut Vec<(Vec<f64>, f64)>| -> Result<f64> {
+            let cfg_full = subspace.lift(u)?;
+            let y = f(&cfg_full);
+            history.push((u.to_vec(), y));
+            if let Some(path) = &self.config.checkpoint_path {
+                BoCheckpoint::from_history(self.config.seed, history).save(path)?;
+            }
+            Ok(y)
+        };
+
+        // Initial design (top up to n_init points): Latin hypercube over
+        // the active unit cube, with per-point uniform-rejection fallback
+        // when a stratified point violates constraints.
+        let needed = cfg.n_init.saturating_sub(history.len());
+        if needed > 0 {
+            let d = subspace.dim();
+            let mut perms: Vec<Vec<usize>> = Vec::with_capacity(d);
+            for _ in 0..d {
+                let mut p: Vec<usize> = (0..needed).collect();
+                for k in (1..p.len()).rev() {
+                    p.swap(k, rng.random_range(0..=k));
+                }
+                perms.push(p);
+            }
+            #[allow(clippy::needless_range_loop)] // i indexes permutation columns
+            for i in 0..needed {
+                if history.len() >= cfg.max_evals {
+                    break;
+                }
+                let u: Vec<f64> = (0..d)
+                    .map(|j| (perms[j][i] as f64 + rng.random::<f64>()) / needed as f64)
+                    .collect();
+                let u = if subspace.is_valid_active(&u) {
+                    u
+                } else {
+                    self.sample_valid_unit(subspace, &sampler, &mut rng)?
+                };
+                evaluate(&u, &mut history)?;
+            }
+        }
+
+        // BO loop. Between full hyperparameter retrainings the cached GP
+        // absorbs new observations via the O(n²) bordered-Cholesky update;
+        // every `retrain_every` evaluations the hyperparameters are
+        // re-optimized from scratch (the O(N³)-per-LML-evaluation cost the
+        // paper's search-time analysis describes).
+        let mut gp_cache: Option<Gp> = None;
+        while history.len() < cfg.max_evals {
+            let best = history
+                .iter()
+                .map(|(_, y)| *y)
+                .fold(f64::INFINITY, f64::min);
+
+            let can_append = gp_cache
+                .as_ref()
+                .is_some_and(|g| g.n_train() + 1 == history.len());
+            // With a prior mean, the GP models the residual y − prior(u).
+            let target = |u: &[f64], y: f64| -> f64 {
+                match prior {
+                    Some(m0) => y - m0(u),
+                    None => y,
+                }
+            };
+            let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1)) || !can_append;
+            let gp = if retrain {
+                let xs: Vec<Vec<f64>> = history.iter().map(|(u, _)| u.clone()).collect();
+                let ys: Vec<f64> = history.iter().map(|(u, y)| target(u, *y)).collect();
+                let mut gp_cfg = cfg.gp.clone();
+                gp_cfg.seed = cfg.seed.wrapping_add(history.len() as u64);
+                gp_cache = Some(Gp::train(&xs, &ys, &gp_cfg)?);
+                gp_cache.as_ref().unwrap()
+            } else {
+                // Incremental path: the cache holds all but the newest
+                // observation; append it, falling back to a full refit if
+                // the bordered update loses definiteness.
+                let (u_last, y_last) = history.last().expect("non-empty history").clone();
+                let r_last = target(&u_last, y_last);
+                let cache = gp_cache.as_mut().unwrap();
+                if cache.append(u_last, r_last).is_err() {
+                    let xs: Vec<Vec<f64>> = history.iter().map(|(u, _)| u.clone()).collect();
+                    let ys: Vec<f64> = history.iter().map(|(u, y)| target(u, *y)).collect();
+                    let kernel = cache.kernel().clone();
+                    let noise = cache.noise();
+                    *cache = Gp::fit(&xs, &ys, kernel, noise)?;
+                }
+                gp_cache.as_ref().unwrap()
+            };
+
+            let u_next = self.propose(subspace, &sampler, gp, best, prior, &mut rng)?;
+            evaluate(&u_next, &mut history)?;
+        }
+
+        SearchOutcome::from_history(subspace, history, start.elapsed())
+    }
+
+    /// Resume from a crash-recovery checkpoint.
+    pub fn resume(
+        &self,
+        subspace: &Subspace,
+        f: impl Fn(&Config) -> f64,
+        checkpoint: &BoCheckpoint,
+    ) -> Result<SearchOutcome> {
+        self.run_with_history(subspace, f, checkpoint.history())
+    }
+
+    fn sample_valid_unit(
+        &self,
+        subspace: &Subspace,
+        _sampler: &Sampler<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f64>> {
+        // Rejection sampling directly in the active unit cube so frozen
+        // dimensions stay at their defaults.
+        for _ in 0..10_000 {
+            let u: Vec<f64> = (0..subspace.dim()).map(|_| rng.random::<f64>()).collect();
+            if subspace.is_valid_active(&u) {
+                return Ok(u);
+            }
+        }
+        Err(CoreError::Space(SpaceError::SamplingExhausted {
+            attempts: 10_000,
+        }))
+    }
+
+    /// Acquisition optimization: random candidates + local refinement.
+    fn propose(
+        &self,
+        subspace: &Subspace,
+        sampler: &Sampler<'_>,
+        gp: &Gp,
+        best: f64,
+        prior: Option<PriorMean<'_>>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f64>> {
+        let cfg = &self.config;
+        let score_of = |u: &[f64]| {
+            let (m, v) = gp.predict(u);
+            let m = match prior {
+                Some(m0) => m + m0(u),
+                None => m,
+            };
+            cfg.acquisition.score(m, v, best)
+        };
+
+        let mut best_u: Option<(Vec<f64>, f64)> = None;
+        for _ in 0..cfg.n_candidates {
+            let u = self.sample_valid_unit(subspace, sampler, rng)?;
+            let s = score_of(&u);
+            if best_u.as_ref().is_none_or(|(_, bs)| s > *bs) {
+                best_u = Some((u, s));
+            }
+        }
+        let (mut u_best, mut s_best) =
+            best_u.ok_or_else(|| CoreError::SearchStalled("no candidates".into()))?;
+
+        // Local refinement: shrinking Gaussian steps around the champion.
+        for k in 0..cfg.n_local {
+            let scale = 0.1 * (1.0 - k as f64 / cfg.n_local.max(1) as f64) + 0.01;
+            let u_try: Vec<f64> = u_best
+                .iter()
+                .map(|&v| (v + normal::sample(rng, 0.0, scale)).clamp(0.0, 1.0))
+                .collect();
+            if !subspace.is_valid_active(&u_try) {
+                continue;
+            }
+            let s = score_of(&u_try);
+            if s > s_best {
+                s_best = s;
+                u_best = u_try;
+            }
+        }
+        Ok(u_best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::test_objectives::SplitSphere;
+    use crate::objective::Objective;
+    use cets_space::Subspace;
+
+    fn quick_config(max_evals: usize, seed: u64) -> BoConfig {
+        BoConfig {
+            n_init: 5,
+            max_evals,
+            n_candidates: 64,
+            n_local: 8,
+            retrain_every: 5,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn acquisition_scores_sensible() {
+        let ei = Acquisition::ExpectedImprovement { xi: 0.0 };
+        // Candidate clearly better than incumbent: positive EI.
+        assert!(ei.score(0.0, 0.01, 1.0) > 0.9);
+        // Candidate clearly worse with tiny variance: ~0 EI.
+        assert!(ei.score(2.0, 1e-6, 1.0) < 1e-6);
+        // Zero variance, better mean: deterministic improvement.
+        assert!(ei.score(0.5, 0.0, 1.0) > 0.49);
+
+        let lcb = Acquisition::LowerConfidenceBound { beta: 2.0 };
+        // Lower mean scores higher.
+        assert!(lcb.score(0.0, 1.0, 0.0) > lcb.score(1.0, 1.0, 0.0));
+        // More variance scores higher (exploration).
+        assert!(lcb.score(1.0, 4.0, 0.0) > lcb.score(1.0, 1.0, 0.0));
+
+        let pi = Acquisition::ProbabilityOfImprovement { xi: 0.0 };
+        let p = pi.score(0.0, 1.0, 1.0);
+        assert!((0.5..=1.0).contains(&p));
+        assert_eq!(pi.score(2.0, 0.0, 1.0), 0.0);
+        assert_eq!(pi.score(0.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn bo_finds_sphere_minimum() {
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let search = BoSearch::new(quick_config(40, 7));
+        let out = search.run(&sub, |cfg| obj.evaluate(cfg).total).unwrap();
+        assert_eq!(out.n_evals, 40);
+        assert!(
+            out.best_value < 1.5,
+            "BO best {} worse than expected",
+            out.best_value
+        );
+        // Incumbent trace is monotone non-increasing.
+        for w in out.incumbent_trace.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn bo_beats_its_own_initial_design() {
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let out = BoSearch::new(quick_config(50, 3))
+            .run(&sub, |cfg| obj.evaluate(cfg).total)
+            .unwrap();
+        let init_best = out.history[..5]
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min);
+        assert!(out.best_value <= init_best);
+    }
+
+    #[test]
+    fn bo_respects_subspace_freezing() {
+        let obj = SplitSphere::new();
+        // Only x2 free; x0 = x1 = 1 frozen => best total = 2 + x2² ≈ 2.
+        let sub = Subspace::new(obj.space(), &["x2"], obj.default_config()).unwrap();
+        let out = BoSearch::new(quick_config(25, 1))
+            .run(&sub, |cfg| obj.evaluate(cfg).total)
+            .unwrap();
+        assert!(out.best_value >= 2.0);
+        assert!(out.best_value < 2.3, "got {}", out.best_value);
+        // x0 must still be the default in the reported config.
+        assert_eq!(obj.space().get_f64(&out.best_config, "x0").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn initial_design_is_stratified() {
+        // With max_evals == n_init the whole run is the LHS design: on an
+        // unconstrained 1-dim space each of the n strata gets one point.
+        let obj = SplitSphere::new();
+        let sub = Subspace::new(obj.space(), &["x0"], obj.default_config()).unwrap();
+        let n = 8;
+        let out = BoSearch::new(BoConfig {
+            n_init: n,
+            max_evals: n,
+            seed: 13,
+            ..Default::default()
+        })
+        .run(&sub, |cfg| obj.evaluate(cfg).total)
+        .unwrap();
+        let mut strata = vec![0usize; n];
+        for (u, _) in &out.history {
+            let k = ((u[0] * n as f64) as usize).min(n - 1);
+            strata[k] += 1;
+        }
+        assert!(strata.iter().all(|&c| c == 1), "not stratified: {strata:?}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let a = BoSearch::new(quick_config(20, 99))
+            .run(&sub, |cfg| obj.evaluate(cfg).total)
+            .unwrap();
+        let b = BoSearch::new(quick_config(20, 99))
+            .run(&sub, |cfg| obj.evaluate(cfg).total)
+            .unwrap();
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.history.len(), b.history.len());
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ha, hb);
+        }
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let mut cfg = quick_config(10, 0);
+        cfg.max_evals = 0;
+        assert!(matches!(
+            BoSearch::new(cfg).run(&sub, |c| obj.evaluate(c).total),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn budget_rule() {
+        let cfg = BoConfig::default().budget_for_dims(7);
+        assert_eq!(cfg.max_evals, 70);
+        assert_eq!(BoConfig::default().budget_for_dims(0).max_evals, 10);
+    }
+
+    #[test]
+    fn seeded_history_counts_toward_budget() {
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        // Pre-seed with 10 evaluated points, ask for 15 total.
+        let mut seeds = Vec::new();
+        for i in 0..10 {
+            let u = vec![i as f64 / 10.0; 3];
+            let y = obj.evaluate(&sub.lift(&u).unwrap()).total;
+            seeds.push((u, y));
+        }
+        let out = BoSearch::new(quick_config(15, 5))
+            .run_with_history(&sub, |c| obj.evaluate(c).total, seeds)
+            .unwrap();
+        assert_eq!(out.n_evals, 15);
+    }
+}

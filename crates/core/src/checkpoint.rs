@@ -1,0 +1,144 @@
+//! Crash-recovery checkpoints for BO searches.
+//!
+//! HPC tuning runs die: node failures, queue time limits, application
+//! crashes on pathological configurations. The paper chose GPTune partly
+//! for its crash recovery; CETS provides the same property by writing the
+//! full evaluation history to JSON after every objective evaluation —
+//! the most expensive state by far — so a restarted search continues where
+//! it stopped ([`crate::BoSearch::resume`]).
+
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Persisted state of a (possibly interrupted) BO search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoCheckpoint {
+    /// Seed the search was started with (resume derives its RNG stream from
+    /// `seed + evaluations`, so continued runs stay deterministic without
+    /// persisting raw RNG state).
+    pub seed: u64,
+    /// Evaluated active-space unit points.
+    pub x_unit: Vec<Vec<f64>>,
+    /// Corresponding objective values.
+    pub y: Vec<f64>,
+}
+
+impl BoCheckpoint {
+    /// Snapshot a history.
+    pub fn from_history(seed: u64, history: &[(Vec<f64>, f64)]) -> Self {
+        BoCheckpoint {
+            seed,
+            x_unit: history.iter().map(|(u, _)| u.clone()).collect(),
+            y: history.iter().map(|(_, y)| *y).collect(),
+        }
+    }
+
+    /// Rebuild the `(point, value)` history.
+    pub fn history(&self) -> Vec<(Vec<f64>, f64)> {
+        self.x_unit
+            .iter()
+            .cloned()
+            .zip(self.y.iter().cloned())
+            .collect()
+    }
+
+    /// Number of completed evaluations.
+    pub fn n_evals(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Write atomically (write to `<path>.tmp`, then rename) so a crash
+    /// mid-write never corrupts the previous checkpoint.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)
+            .map_err(|e| CoreError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| CoreError::Checkpoint(format!("rename to {}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    /// Load a checkpoint written by [`BoCheckpoint::save`].
+    pub fn load(path: &Path) -> Result<Self> {
+        let data = std::fs::read_to_string(path)
+            .map_err(|e| CoreError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        let cp: BoCheckpoint = serde_json::from_str(&data)
+            .map_err(|e| CoreError::Checkpoint(format!("parse {}: {e}", path.display())))?;
+        if cp.x_unit.len() != cp.y.len() {
+            return Err(CoreError::Checkpoint(format!(
+                "corrupt checkpoint: {} points vs {} values",
+                cp.x_unit.len(),
+                cp.y.len()
+            )));
+        }
+        Ok(cp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cets_ckpt_{}_{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let hist = vec![(vec![0.1, 0.2], 3.0), (vec![0.5, 0.6], 1.5)];
+        let cp = BoCheckpoint::from_history(42, &hist);
+        assert_eq!(cp.n_evals(), 2);
+        let path = tmp_path("roundtrip");
+        cp.save(&path).unwrap();
+        let loaded = BoCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded, cp);
+        assert_eq!(loaded.history(), hist);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let path = tmp_path("missing_never_written");
+        assert!(matches!(
+            BoCheckpoint::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_lengths_rejected() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, r#"{"seed":1,"x_unit":[[0.1]],"y":[1.0,2.0]}"#).unwrap();
+        assert!(matches!(
+            BoCheckpoint::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(BoCheckpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overwrite_is_atomic_style() {
+        let path = tmp_path("atomic");
+        let cp1 = BoCheckpoint::from_history(1, &[(vec![0.0], 1.0)]);
+        cp1.save(&path).unwrap();
+        let cp2 = BoCheckpoint::from_history(1, &[(vec![0.0], 1.0), (vec![1.0], 0.5)]);
+        cp2.save(&path).unwrap();
+        assert_eq!(BoCheckpoint::load(&path).unwrap().n_evals(), 2);
+        // No stray tmp file.
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,763 @@
+//! The five-step CETS methodology (paper Section IV) end to end:
+//! sensitivity → influence DAG → partition → capped search plan → staged,
+//! parallel BO execution.
+
+use crate::bo::{BoConfig, BoSearch, SearchOutcome};
+use crate::db::Database;
+use crate::objective::Objective;
+use crate::sensitivity::{routine_sensitivity, VariationPolicy};
+use crate::{CoreError, Result};
+use cets_graph::{InfluenceGraph, Partition};
+use cets_space::{Config, Subspace};
+use cets_stats::SensitivityScores;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// What a planned search minimizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchTarget {
+    /// The application's total objective (used for upstream/precedence
+    /// searches like the paper's batch-size tuning against the whole
+    /// Slater-determinant region).
+    Total,
+    /// The sum of the named routines' runtimes (merged groups minimize
+    /// their joint runtime; singleton groups their own).
+    Routines(Vec<String>),
+}
+
+/// One search in the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedSearch {
+    /// Human-readable name (e.g. `"G3+G4"`).
+    pub name: String,
+    /// Parameters this search tunes.
+    pub params: Vec<String>,
+    /// Parameters excluded by the 10-dim cap (kept at defaults).
+    pub dropped: Vec<String>,
+    /// Objective of the search.
+    pub target: SearchTarget,
+    /// Evaluation budget (paper: `10 × dims`).
+    pub budget: usize,
+}
+
+impl PlannedSearch {
+    /// Search dimensionality.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// The ordered plan: stage `k+1` starts only after stage `k` finished and
+/// its best values were frozen into the defaults. Searches *within* a stage
+/// are independent and run in parallel (the paper runs its split searches
+/// concurrently and reports the slowest as the search time).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchPlan {
+    /// Stages, each a set of mutually independent searches.
+    pub stages: Vec<Vec<PlannedSearch>>,
+}
+
+impl SearchPlan {
+    /// Sum of all searches' budgets (total observations).
+    pub fn total_budget(&self) -> usize {
+        self.stages
+            .iter()
+            .flat_map(|st| st.iter().map(|s| s.budget))
+            .sum()
+    }
+
+    /// All searches flattened in execution order.
+    pub fn searches(&self) -> impl Iterator<Item = &PlannedSearch> {
+        self.stages.iter().flatten()
+    }
+
+    /// A table like the paper's Table VII.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "{:<16} {:>5} {:>7}  Parameters",
+            "Search", "Dims", "Budget"
+        )
+        .unwrap();
+        for (k, stage) in self.stages.iter().enumerate() {
+            for p in stage {
+                writeln!(
+                    s,
+                    "{:<16} {:>5} {:>7}  {}{}",
+                    format!("[stage {k}] {}", p.name),
+                    p.dim(),
+                    p.budget,
+                    p.params.join(", "),
+                    if p.dropped.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  (dropped: {})", p.dropped.join(", "))
+                    }
+                )
+                .unwrap();
+            }
+        }
+        s
+    }
+}
+
+/// Everything the analysis phase produced.
+#[derive(Debug, Clone)]
+pub struct MethodologyReport {
+    /// Raw per-routine sensitivity scores (+ `"total"` pseudo-routine).
+    pub scores: SensitivityScores,
+    /// The influence DAG built from the scores.
+    pub graph: InfluenceGraph,
+    /// Its partition at the configured cut-off.
+    pub partition: Partition,
+    /// The final staged search plan.
+    pub plan: SearchPlan,
+}
+
+/// Result of executing a [`SearchPlan`].
+#[derive(Debug, Clone)]
+pub struct PlanExecution {
+    /// Each search's outcome, in execution order, tagged by name.
+    pub searches: Vec<(String, SearchOutcome)>,
+    /// All searches' best values folded into one configuration.
+    pub final_config: Config,
+    /// Total objective at [`PlanExecution::final_config`].
+    pub final_value: f64,
+    /// Total objective evaluations spent by all searches.
+    pub total_evals: usize,
+    /// Wall-clock time of the whole execution (stages sequential, searches
+    /// within a stage parallel).
+    pub wall_time: Duration,
+    /// Every evaluation performed, tagged by search name — the task's
+    /// configuration database (persist with [`Database::save`], reuse for
+    /// transfer learning via [`Database::to_transfer_seed`]). Record order
+    /// within a parallel stage is nondeterministic; contents are not.
+    pub database: Database,
+}
+
+/// Configuration of the methodology pipeline.
+#[derive(Debug, Clone)]
+pub struct MethodologyConfig {
+    /// Influence cut-off for DAG pruning (paper: 25% synthetic, 10% TDDFT).
+    pub cutoff: f64,
+    /// Per-search dimensionality cap (paper: 10).
+    pub max_dims: usize,
+    /// How sensitivity variations are generated.
+    pub variation_policy: VariationPolicy,
+    /// Routine names tuned *first* (order preserved), then frozen — e.g.
+    /// the paper's Iterations (nbatches/nstreams) and MPI-grid routines.
+    pub precedence: Vec<String>,
+    /// Groups of parameters that must keep one value application-wide
+    /// (typically all parameters of one kernel that is called from several
+    /// routines — the paper's cuZcopy). Each group is reassigned **as a
+    /// unit** to the routine it influences most (methodology step 5:
+    /// "prioritize the kernel with highest impact").
+    pub shared_params: Vec<Vec<String>>,
+    /// Template BO configuration (budget and seed are overridden per
+    /// search).
+    pub bo: BoConfig,
+    /// Budget rule: `evals_per_dim × dims` per search (paper: 10).
+    pub evals_per_dim: usize,
+    /// Run independent searches of one stage in parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for MethodologyConfig {
+    fn default() -> Self {
+        MethodologyConfig {
+            cutoff: 0.25,
+            max_dims: 10,
+            variation_policy: VariationPolicy::Spread { count: 5 },
+            precedence: vec![],
+            shared_params: vec![],
+            bo: BoConfig::default(),
+            evals_per_dim: 10,
+            parallel: true,
+        }
+    }
+}
+
+/// The methodology driver. See the crate docs for the phase structure.
+#[derive(Debug, Clone, Default)]
+pub struct Methodology {
+    /// Pipeline configuration.
+    pub config: MethodologyConfig,
+}
+
+impl Methodology {
+    /// Create a driver.
+    pub fn new(config: MethodologyConfig) -> Self {
+        Methodology { config }
+    }
+
+    /// Phase 1+2 analysis: sensitivity scores → influence DAG → partition →
+    /// capped plan.
+    ///
+    /// `owners` assigns each parameter to its owning routine (`(param,
+    /// routine)` pairs); unlisted parameters are global (ownerless) and are
+    /// only tuned through precedence searches.
+    pub fn analyze<O: Objective + ?Sized>(
+        &self,
+        objective: &O,
+        owners: &[(&str, &str)],
+        baseline: &Config,
+    ) -> Result<MethodologyReport> {
+        let cfg = &self.config;
+        let scores = routine_sensitivity(objective, baseline, &cfg.variation_policy)?;
+        let graph = build_graph(objective, owners, &scores)?;
+
+        let precedence: Vec<&str> = cfg.precedence.iter().map(|s| s.as_str()).collect();
+        let shared_flat: Vec<&str> = cfg
+            .shared_params
+            .iter()
+            .flatten()
+            .map(|s| s.as_str())
+            .collect();
+        let mut partition = graph.partition_with(cfg.cutoff, &precedence, &shared_flat)?;
+
+        // Step 5: each shared kernel's parameters move as a unit to the
+        // routine the kernel impacts most (argmax of the group's summed
+        // influence).
+        for group in &cfg.shared_params {
+            if group.is_empty() {
+                continue;
+            }
+            let n_routines = graph.routines().len();
+            let mut sums = vec![0.0; n_routines];
+            for name in group {
+                let p = graph.param_index(name)?;
+                for (r, s) in sums.iter_mut().enumerate() {
+                    *s += graph.score_at(p, r);
+                }
+            }
+            let routine = sums
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(r, _)| r)
+                .expect("at least one routine");
+            for name in group {
+                let p = graph.param_index(name)?;
+                partition.assign_param_to(p, routine);
+            }
+        }
+
+        // Importance = influence on the total runtime (the paper picks the
+        // "ten most influential variables based on the data insights").
+        let space = objective.space();
+        let total_col = scores.routine_names().len() - 1;
+        let importance: Vec<f64> = (0..space.dim())
+            .map(|p| scores.score(p, total_col))
+            .collect();
+        partition.cap_dimensions(cfg.max_dims, &importance);
+
+        let plan = self.build_plan(&graph, &partition)?;
+        Ok(MethodologyReport {
+            scores,
+            graph,
+            partition,
+            plan,
+        })
+    }
+
+    fn build_plan(&self, graph: &InfluenceGraph, partition: &Partition) -> Result<SearchPlan> {
+        let cfg = &self.config;
+        let mut stages: Vec<Vec<PlannedSearch>> = Vec::new();
+
+        // Stage 0..k: precedence routines in the configured order, each a
+        // sequential stage (later precedence searches see earlier results).
+        for routine in &cfg.precedence {
+            let r = graph.routine_index(routine)?;
+            let params: Vec<String> = graph
+                .params_of(r)
+                .into_iter()
+                .map(|p| graph.params()[p].clone())
+                .collect();
+            if params.is_empty() {
+                continue;
+            }
+            let budget = cfg.evals_per_dim * params.len();
+            stages.push(vec![PlannedSearch {
+                name: routine.clone(),
+                params,
+                dropped: vec![],
+                target: SearchTarget::Total,
+                budget,
+            }]);
+        }
+
+        // Final stage: the partitioned groups, in parallel.
+        let mut group_stage = Vec::new();
+        for grp in partition.groups() {
+            let params: Vec<String> = grp
+                .params
+                .iter()
+                .map(|&p| graph.params()[p].clone())
+                .collect();
+            if params.is_empty() {
+                continue;
+            }
+            let routines: Vec<String> = grp
+                .routines
+                .iter()
+                .map(|&r| graph.routines()[r].clone())
+                .collect();
+            let dropped: Vec<String> = grp
+                .dropped
+                .iter()
+                .map(|&p| graph.params()[p].clone())
+                .collect();
+            group_stage.push(PlannedSearch {
+                name: routines.join("+"),
+                budget: cfg.evals_per_dim * params.len(),
+                target: SearchTarget::Routines(routines),
+                params,
+                dropped,
+            });
+        }
+        if !group_stage.is_empty() {
+            stages.push(group_stage);
+        }
+        Ok(SearchPlan { stages })
+    }
+
+    /// Execute a previously computed report's plan.
+    pub fn execute<O: Objective + ?Sized>(
+        &self,
+        objective: &O,
+        report: &MethodologyReport,
+    ) -> Result<PlanExecution> {
+        execute_plan(
+            objective,
+            &report.plan,
+            &self.config.bo,
+            self.config.parallel,
+        )
+    }
+
+    /// Full pipeline: analyze then execute.
+    pub fn run<O: Objective + ?Sized>(
+        &self,
+        objective: &O,
+        owners: &[(&str, &str)],
+        baseline: &Config,
+    ) -> Result<(MethodologyReport, PlanExecution)> {
+        let report = self.analyze(objective, owners, baseline)?;
+        let exec = self.execute(objective, &report)?;
+        Ok((report, exec))
+    }
+}
+
+/// Build the influence graph from sensitivity scores (the `"total"`
+/// pseudo-routine column is excluded — it feeds importance, not edges).
+pub fn build_graph<O: Objective + ?Sized>(
+    objective: &O,
+    owners: &[(&str, &str)],
+    scores: &SensitivityScores,
+) -> Result<InfluenceGraph> {
+    let routines = objective.routine_names();
+    let params = objective.space().names().to_vec();
+    let mut graph = InfluenceGraph::new(routines.clone(), params.clone());
+    for (p, r) in owners {
+        graph.set_owner(p, r)?;
+    }
+    for (p, pname) in params.iter().enumerate() {
+        for (r, rname) in routines.iter().enumerate() {
+            debug_assert_eq!(scores.routine_names()[r], *rname);
+            graph.set_score(pname, rname, scores.score(p, r))?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Execute an arbitrary [`SearchPlan`] against an objective: stages
+/// sequentially; within a stage, one thread per search when `parallel`.
+/// After each stage, every search's best values are frozen into the shared
+/// defaults used by later stages, and all searches' best values are folded
+/// into the final configuration.
+pub fn execute_plan<O: Objective + ?Sized>(
+    objective: &O,
+    plan: &SearchPlan,
+    bo_template: &BoConfig,
+    parallel: bool,
+) -> Result<PlanExecution> {
+    let start = Instant::now();
+    let space = objective.space();
+    let routine_names = objective.routine_names();
+    let mut current = objective.default_config();
+    let mut all: Vec<(String, SearchOutcome)> = Vec::new();
+    let db = Mutex::new(Database::for_objective("plan-execution", objective));
+
+    for (stage_idx, stage) in plan.stages.iter().enumerate() {
+        // Resolve targets to routine indices once.
+        let prepared: Vec<(usize, &PlannedSearch, Vec<usize>)> = stage
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let idxs = match &s.target {
+                    SearchTarget::Total => vec![],
+                    SearchTarget::Routines(names) => names
+                        .iter()
+                        .map(|n| {
+                            routine_names.iter().position(|r| r == n).ok_or_else(|| {
+                                CoreError::BadConfig(format!("unknown routine {n} in plan"))
+                            })
+                        })
+                        .collect::<Result<Vec<usize>>>()?,
+                };
+                Ok((i, s, idxs))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let run_one =
+            |(i, s, idxs): &(usize, &PlannedSearch, Vec<usize>)| -> Result<SearchOutcome> {
+                let names: Vec<&str> = s.params.iter().map(|p| p.as_str()).collect();
+                let subspace = Subspace::new(space, &names, current.clone())?;
+                let mut bo_cfg = bo_template.clone();
+                bo_cfg.max_evals = s.budget;
+                bo_cfg.seed = bo_template
+                    .seed
+                    .wrapping_add((stage_idx as u64) << 32)
+                    .wrapping_add(*i as u64 + 1);
+                let f = |cfg: &Config| -> f64 {
+                    let obs = objective.evaluate(cfg);
+                    db.lock().push(cfg.clone(), &obs, s.name.clone());
+                    if idxs.is_empty() {
+                        obs.total
+                    } else {
+                        idxs.iter().map(|&r| obs.routines[r]).sum()
+                    }
+                };
+                // Seed with the incumbent defaults: the tuner always knows the
+                // current configuration's cost, so the search can never report
+                // a best worse than what it started from (costs 1 evaluation
+                // of the budget, like any other observation).
+                let u0 = subspace.project(&current)?;
+                let y0 = f(&subspace.lift(&u0)?);
+                BoSearch::new(bo_cfg).run_with_history(&subspace, f, vec![(u0, y0)])
+            };
+
+        let outcomes: Vec<Result<SearchOutcome>> = if parallel && prepared.len() > 1 {
+            let mut slots: Vec<Option<Result<SearchOutcome>>> =
+                (0..prepared.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, item) in slots.iter_mut().zip(&prepared) {
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        *slot = Some(run_one(item));
+                    });
+                }
+            });
+            slots.into_iter().map(|s| s.expect("search ran")).collect()
+        } else {
+            prepared.iter().map(run_one).collect()
+        };
+
+        for ((_, s, _), outcome) in prepared.iter().zip(outcomes) {
+            let outcome = outcome?;
+            // Freeze this search's best values into the running defaults.
+            for p in &s.params {
+                let idx = space.index_of(p)?;
+                current[idx] = outcome.best_config[idx].clone();
+            }
+            all.push((s.name.clone(), outcome));
+        }
+        space.check_valid(&current).map_err(|e| {
+            CoreError::SearchStalled(format!(
+                "folded configuration invalid after stage {stage_idx}: {e}"
+            ))
+        })?;
+    }
+
+    let final_obs = objective.evaluate(&current);
+    let final_value = final_obs.total;
+    let mut database = db.into_inner();
+    database.push(current.clone(), &final_obs, "final");
+    Ok(PlanExecution {
+        total_evals: all.iter().map(|(_, o)| o.n_evals).sum(),
+        searches: all,
+        final_config: current,
+        final_value,
+        wall_time: start.elapsed(),
+        database,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::test_objectives::{CoupledSphere, SplitSphere};
+
+    fn quick_bo() -> BoConfig {
+        BoConfig {
+            n_init: 4,
+            n_candidates: 48,
+            n_local: 8,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    fn owners3() -> Vec<(&'static str, &'static str)> {
+        vec![("x0", "r0"), ("x1", "r0"), ("x2", "r1")]
+    }
+
+    #[test]
+    fn analyze_split_sphere_keeps_routines_independent() {
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            evals_per_dim: 5,
+            ..Default::default()
+        });
+        let report = m.analyze(&obj, &owners3(), &obj.default_config()).unwrap();
+        // No cross-influence: two independent searches.
+        assert_eq!(report.partition.groups().len(), 2);
+        assert_eq!(report.plan.stages.len(), 1);
+        assert_eq!(report.plan.stages[0].len(), 2);
+        let names: Vec<&str> = report.plan.stages[0]
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["r0", "r1"]);
+        // Budgets follow 10×dims (here 5×dims).
+        assert_eq!(report.plan.stages[0][0].budget, 10);
+        assert_eq!(report.plan.stages[0][1].budget, 5);
+    }
+
+    #[test]
+    fn analyze_coupled_sphere_merges_routines() {
+        let obj = CoupledSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            cutoff: 0.10,
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        let report = m.analyze(&obj, &owners3(), &obj.default_config()).unwrap();
+        // x1 (owned by r0) cross-influences r1 -> merged search.
+        assert_eq!(report.partition.groups().len(), 1);
+        let s = &report.plan.stages[0][0];
+        assert_eq!(s.name, "r0+r1");
+        assert_eq!(s.params, vec!["x0", "x1", "x2"]);
+        assert_eq!(
+            s.target,
+            SearchTarget::Routines(vec!["r0".into(), "r1".into()])
+        );
+    }
+
+    #[test]
+    fn high_cutoff_splits_coupled_sphere() {
+        let obj = CoupledSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            cutoff: 10.0, // absurdly high: nothing merges
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        let report = m.analyze(&obj, &owners3(), &obj.default_config()).unwrap();
+        assert_eq!(report.partition.groups().len(), 2);
+    }
+
+    #[test]
+    fn dimension_cap_drops_params() {
+        let obj = CoupledSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            cutoff: 0.10,
+            max_dims: 2,
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        let report = m.analyze(&obj, &owners3(), &obj.default_config()).unwrap();
+        let s = &report.plan.stages[0][0];
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.dropped.len(), 1);
+    }
+
+    #[test]
+    fn full_run_improves_on_defaults() {
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            evals_per_dim: 10,
+            ..Default::default()
+        });
+        let (report, exec) = m.run(&obj, &owners3(), &obj.default_config()).unwrap();
+        let default_value = obj.evaluate(&obj.default_config()).total;
+        assert!(
+            exec.final_value < default_value,
+            "final {} !< default {default_value}",
+            exec.final_value
+        );
+        assert_eq!(exec.total_evals, report.plan.total_budget());
+        assert_eq!(exec.searches.len(), 2);
+        // Final config must be valid.
+        assert!(obj.space().is_valid(&exec.final_config));
+    }
+
+    #[test]
+    fn precedence_routine_tuned_first_on_total() {
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            precedence: vec!["r1".into()],
+            bo: quick_bo(),
+            evals_per_dim: 8,
+            ..Default::default()
+        });
+        let report = m.analyze(&obj, &owners3(), &obj.default_config()).unwrap();
+        assert_eq!(report.plan.stages.len(), 2);
+        let first = &report.plan.stages[0][0];
+        assert_eq!(first.name, "r1");
+        assert_eq!(first.target, SearchTarget::Total);
+        assert_eq!(first.params, vec!["x2"]);
+        // r1 is excluded from the group stage.
+        assert_eq!(report.plan.stages[1].len(), 1);
+        assert_eq!(report.plan.stages[1][0].name, "r0");
+        let exec = m.execute(&obj, &report).unwrap();
+        assert!(exec.final_value < 3.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let obj = SplitSphere::new();
+        let mk = |parallel| {
+            let m = Methodology::new(MethodologyConfig {
+                bo: quick_bo(),
+                evals_per_dim: 6,
+                parallel,
+                ..Default::default()
+            });
+            m.run(&obj, &owners3(), &obj.default_config()).unwrap().1
+        };
+        let seq = mk(false);
+        let par = mk(true);
+        assert_eq!(seq.final_value, par.final_value);
+        assert_eq!(seq.final_config, par.final_config);
+    }
+
+    #[test]
+    fn execution_database_records_everything() {
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            evals_per_dim: 5,
+            ..Default::default()
+        });
+        let (report, exec) = m.run(&obj, &owners3(), &obj.default_config()).unwrap();
+        // One record per search evaluation plus the final verification.
+        assert_eq!(exec.database.len(), exec.total_evals + 1);
+        // Tags cover every search name plus "final".
+        for s in report.plan.searches() {
+            assert!(
+                exec.database.with_tag(&s.name).count() > 0,
+                "no records tagged {}",
+                s.name
+            );
+        }
+        assert_eq!(exec.database.with_tag("final").count(), 1);
+        // The database's best total is <= the final value (the final fold
+        // can combine searches but each search's best was recorded).
+        assert!(exec.database.best().unwrap().total <= exec.final_value + 1e-9);
+    }
+
+    #[test]
+    fn plan_describe_is_table_like() {
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        let report = m.analyze(&obj, &owners3(), &obj.default_config()).unwrap();
+        let txt = report.plan.describe();
+        assert!(txt.contains("r0"));
+        assert!(txt.contains("x2"));
+        assert!(txt.contains("Budget"));
+    }
+
+    /// Known limitation, made explicit: folding independently-optimal
+    /// values can violate a *cross-search* constraint; execute_plan
+    /// detects this and reports SearchStalled instead of silently
+    /// returning an invalid configuration. (The methodology avoids this in
+    /// practice by merging routines whose parameters interact — a shared
+    /// constraint is exactly such an interaction.)
+    #[test]
+    fn fold_violating_cross_constraint_is_reported() {
+        use cets_space::{Constraint, SearchSpace};
+        struct Greedy(SearchSpace);
+        impl Objective for Greedy {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["rA".into(), "rB".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> crate::Observation {
+                let a = cfg[0].as_f64();
+                let b = cfg[1].as_f64();
+                // Each routine wants its own parameter as large as possible.
+                crate::Observation {
+                    total: (10.0 - a) + (10.0 - b),
+                    routines: vec![10.0 - a + 0.1, 10.0 - b + 0.1],
+                }
+            }
+            fn default_config(&self) -> Config {
+                self.0.config_from_pairs(&[("a", 0.0), ("b", 0.0)]).unwrap()
+            }
+        }
+        let space = SearchSpace::builder()
+            .real("a", 0.0, 10.0)
+            .real("b", 0.0, 10.0)
+            .constraint(Constraint::new("budget", "a + b <= 10", |s, c| {
+                s.get_f64(c, "a").unwrap() + s.get_f64(c, "b").unwrap() <= 10.0 + 1e-9
+            }))
+            .build();
+        let obj = Greedy(space);
+        let plan = SearchPlan {
+            stages: vec![vec![
+                PlannedSearch {
+                    name: "rA".into(),
+                    params: vec!["a".into()],
+                    dropped: vec![],
+                    target: SearchTarget::Routines(vec!["rA".into()]),
+                    budget: 15,
+                },
+                PlannedSearch {
+                    name: "rB".into(),
+                    params: vec!["b".into()],
+                    dropped: vec![],
+                    target: SearchTarget::Routines(vec!["rB".into()]),
+                    budget: 15,
+                },
+            ]],
+        };
+        let err = execute_plan(&obj, &plan, &quick_bo(), true).unwrap_err();
+        assert!(
+            matches!(err, CoreError::SearchStalled(_)),
+            "expected SearchStalled, got {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_owner_routine_rejected() {
+        let obj = SplitSphere::new();
+        let m = Methodology::default();
+        assert!(m
+            .analyze(&obj, &[("x0", "nope")], &obj.default_config())
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_routine_in_plan_rejected() {
+        let obj = SplitSphere::new();
+        let plan = SearchPlan {
+            stages: vec![vec![PlannedSearch {
+                name: "bad".into(),
+                params: vec!["x0".into()],
+                dropped: vec![],
+                target: SearchTarget::Routines(vec!["missing".into()]),
+                budget: 5,
+            }]],
+        };
+        assert!(execute_plan(&obj, &plan, &quick_bo(), false).is_err());
+    }
+}

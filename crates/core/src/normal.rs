@@ -1,0 +1,85 @@
+//! Standard-normal helpers for acquisition functions and noise generation.
+
+use rand::Rng;
+use rand::RngExt;
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (absolute error < 1.5e-7 — far below what acquisition ranking needs).
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal probability density.
+pub fn pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution.
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// One standard-normal draw via Box–Muller (implemented here to avoid a
+/// `rand_distr` dependency; see DESIGN.md §5).
+pub fn sample_standard<R: Rng>(rng: &mut R) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A Gaussian draw with the given mean and standard deviation.
+pub fn sample<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * sample_standard(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-12);
+        assert!(erf(1e-12).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((cdf(-1.96) - 0.025).abs() < 1e-3);
+        // Symmetry.
+        assert!((cdf(0.7) + cdf(-0.7) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((pdf(1.3) - pdf(-1.3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn samples_match_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample(&mut rng, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Human-readable tuning reports.
+//!
+//! A tuning campaign produces a lot of structured evidence — sensitivity
+//! scores, the influence DAG, the search plan, per-search traces, the
+//! final configuration. [`render_markdown`] assembles it into one markdown
+//! document a performance engineer can attach to a PR or ticket, which is
+//! how tuning results actually circulate in practice.
+
+use crate::methodology::{MethodologyReport, PlanExecution};
+use crate::objective::Objective;
+use std::fmt::Write as _;
+
+/// Render a full campaign report (analysis + execution) as markdown.
+pub fn render_markdown<O: Objective + ?Sized>(
+    objective: &O,
+    title: &str,
+    report: &MethodologyReport,
+    exec: Option<&PlanExecution>,
+) -> String {
+    let mut md = String::new();
+    let space = objective.space();
+    writeln!(md, "# Tuning report: {title}\n").unwrap();
+    writeln!(
+        md,
+        "- **Search space**: {} parameters, {} constraints",
+        space.dim(),
+        space.constraints().len()
+    )
+    .unwrap();
+    writeln!(
+        md,
+        "- **Routines**: {}",
+        objective.routine_names().join(", ")
+    )
+    .unwrap();
+    writeln!(
+        md,
+        "- **Sensitivity cost**: {} evaluations ({} variations/parameter)",
+        report.scores.observation_cost(),
+        report.scores.variations()
+    )
+    .unwrap();
+    writeln!(
+        md,
+        "- **Cut-off**: {:.0}%\n",
+        report.partition.cutoff() * 100.0
+    )
+    .unwrap();
+
+    writeln!(md, "## Search space\n").unwrap();
+    writeln!(md, "{}", space.describe_markdown()).unwrap();
+
+    // Top sensitivities per routine.
+    writeln!(md, "## Sensitivity analysis\n").unwrap();
+    for routine in objective.routine_names() {
+        if let Some(table) = report.scores.top_k(&routine, 5) {
+            writeln!(md, "**{routine}** (top 5):\n").unwrap();
+            writeln!(md, "| Parameter | Variability |").unwrap();
+            writeln!(md, "|---|---|").unwrap();
+            for (name, v) in &table.rows {
+                writeln!(md, "| {name} | {:.1}% |", v * 100.0).unwrap();
+            }
+            writeln!(md).unwrap();
+        }
+    }
+
+    // Interdependencies that survived the cut-off.
+    writeln!(md, "## Detected interdependencies\n").unwrap();
+    let cross = report
+        .graph
+        .cross_edges(report.partition.cutoff())
+        .unwrap_or_default();
+    if cross.is_empty() {
+        writeln!(
+            md,
+            "None above the cut-off — all routines tune independently.\n"
+        )
+        .unwrap();
+    } else {
+        writeln!(md, "| Parameter | From | Influences | Score |").unwrap();
+        writeln!(md, "|---|---|---|---|").unwrap();
+        for e in &cross {
+            writeln!(
+                md,
+                "| {} | {} | {} | {:.0}% |",
+                report.graph.params()[e.param],
+                e.from
+                    .map(|r| report.graph.routines()[r].as_str())
+                    .unwrap_or("-"),
+                report.graph.routines()[e.to],
+                e.score * 100.0
+            )
+            .unwrap();
+        }
+        writeln!(md).unwrap();
+    }
+
+    // The plan.
+    writeln!(md, "## Search plan\n").unwrap();
+    writeln!(md, "```text\n{}```\n", report.plan.describe()).unwrap();
+    writeln!(
+        md,
+        "Total budget: **{} evaluations** across {} searches.\n",
+        report.plan.total_budget(),
+        report.plan.searches().count()
+    )
+    .unwrap();
+
+    // Execution results.
+    if let Some(exec) = exec {
+        writeln!(md, "## Results\n").unwrap();
+        writeln!(md, "| Search | Evals | Best value | Wall time |").unwrap();
+        writeln!(md, "|---|---|---|---|").unwrap();
+        for (name, o) in &exec.searches {
+            writeln!(
+                md,
+                "| {name} | {} | {:.6} | {:.2?} |",
+                o.n_evals, o.best_value, o.wall_time
+            )
+            .unwrap();
+        }
+        writeln!(md).unwrap();
+        writeln!(
+            md,
+            "**Final objective: {:.6}** after {} evaluations ({:.2?}).\n",
+            exec.final_value, exec.total_evals, exec.wall_time
+        )
+        .unwrap();
+        writeln!(md, "### Final configuration\n").unwrap();
+        writeln!(md, "```text").unwrap();
+        for part in space.format_config(&exec.final_config).split(", ") {
+            writeln!(md, "{part}").unwrap();
+        }
+        writeln!(md, "```").unwrap();
+    }
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bo::BoConfig;
+    use crate::methodology::{Methodology, MethodologyConfig};
+    use crate::objective::test_objectives::CoupledSphere;
+    use crate::sensitivity::VariationPolicy;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let obj = CoupledSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            cutoff: 0.10,
+            variation_policy: VariationPolicy::Spread { count: 4 },
+            bo: BoConfig {
+                n_init: 4,
+                n_candidates: 32,
+                n_local: 4,
+                seed: 1,
+                ..Default::default()
+            },
+            evals_per_dim: 4,
+            ..Default::default()
+        });
+        let owners = [("x0", "r0"), ("x1", "r0"), ("x2", "r1")];
+        let (report, exec) = m.run(&obj, &owners, &obj.default_config()).unwrap();
+        let md = render_markdown(&obj, "coupled sphere", &report, Some(&exec));
+        for needle in [
+            "# Tuning report: coupled sphere",
+            "## Search space",
+            "## Sensitivity analysis",
+            "## Detected interdependencies",
+            "## Search plan",
+            "## Results",
+            "Final configuration",
+            "| x1 |", // the cross-influencing parameter appears
+        ] {
+            assert!(md.contains(needle), "missing section: {needle}\n{md}");
+        }
+    }
+
+    #[test]
+    fn report_without_execution_omits_results() {
+        let obj = CoupledSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            variation_policy: VariationPolicy::Spread { count: 3 },
+            ..Default::default()
+        });
+        let owners = [("x0", "r0"), ("x1", "r0"), ("x2", "r1")];
+        let report = m.analyze(&obj, &owners, &obj.default_config()).unwrap();
+        let md = render_markdown(&obj, "analysis only", &report, None);
+        assert!(md.contains("## Search plan"));
+        assert!(!md.contains("## Results"));
+    }
+
+    #[test]
+    fn independent_case_reports_no_interdependencies() {
+        use crate::objective::test_objectives::SplitSphere;
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            variation_policy: VariationPolicy::Spread { count: 3 },
+            ..Default::default()
+        });
+        let owners = [("x0", "r0"), ("x1", "r0"), ("x2", "r1")];
+        let report = m.analyze(&obj, &owners, &obj.default_config()).unwrap();
+        let md = render_markdown(&obj, "split", &report, None);
+        assert!(md.contains("None above the cut-off"));
+    }
+}

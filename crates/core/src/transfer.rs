@@ -1,0 +1,260 @@
+//! Transfer learning between related tuning tasks.
+//!
+//! The paper seeds Case Study 2's search with Case Study 1's configuration
+//! database ("to benefit from Case Study 1's configuration database and
+//! increase the accuracy of the optimization search exploring space regions
+//! that led to good minima in Case Study 1"). CETS implements the same
+//! idea: the top-k configurations of a completed search are re-evaluated on
+//! the *new* task as its initial design, replacing the cold Latin-hypercube
+//! start. Re-evaluating (instead of importing prior objective values) keeps
+//! the GP's data honest when the two tasks' runtime scales differ — e.g.
+//! different FFT sizes between the paper's material systems.
+
+use crate::bo::SearchOutcome;
+use crate::Result;
+use cets_gp::{Gp, GpConfig};
+use cets_space::{Config, Subspace};
+
+/// A pool of prior-task evaluations usable to warm-start a new search.
+#[derive(Debug, Clone, Default)]
+pub struct TransferSeed {
+    /// `(full-space config, prior objective value)`, any order.
+    pub points: Vec<(Config, f64)>,
+}
+
+impl TransferSeed {
+    /// Collect a seed pool from a finished search on the prior task.
+    pub fn from_outcome(subspace: &Subspace, outcome: &SearchOutcome) -> Result<Self> {
+        let mut points = Vec::with_capacity(outcome.history.len());
+        for (u, y) in &outcome.history {
+            points.push((subspace.lift(u)?, *y));
+        }
+        Ok(TransferSeed { points })
+    }
+
+    /// Merge another pool (e.g. several prior searches).
+    pub fn extend(&mut self, other: TransferSeed) {
+        self.points.extend(other.points);
+    }
+
+    /// The `k` best prior configurations (by prior value, ascending).
+    pub fn top_k(&self, k: usize) -> Vec<Config> {
+        let mut sorted: Vec<&(Config, f64)> = self.points.iter().collect();
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.into_iter().take(k).map(|(c, _)| c.clone()).collect()
+    }
+
+    /// Fit a Gaussian process to the prior task's data, projected into
+    /// `new_subspace`'s unit cube — usable as the **prior mean** of a
+    /// difference-GP search on the new task
+    /// ([`crate::BoSearch::run_with_prior`]). Points that don't project
+    /// (domain drift between tasks) are skipped; fitting needs at least
+    /// two surviving points.
+    pub fn prior_gp(&self, new_subspace: &Subspace, cfg: &GpConfig) -> Result<Gp> {
+        let mut xs = Vec::with_capacity(self.points.len());
+        let mut ys = Vec::with_capacity(self.points.len());
+        for (config, y) in &self.points {
+            if let Ok(u) = new_subspace.project(config) {
+                xs.push(u);
+                ys.push(*y);
+            }
+        }
+        Ok(Gp::train(&xs, &ys, cfg)?)
+    }
+
+    /// Re-evaluate the top-`k` prior configurations on the **new** task,
+    /// producing a history ready for
+    /// [`crate::BoSearch::run_with_history`]. Configurations that don't
+    /// project into the new subspace (domain changes between tasks) are
+    /// skipped.
+    pub fn seed_history(
+        &self,
+        new_subspace: &Subspace,
+        f: impl Fn(&Config) -> f64,
+        k: usize,
+    ) -> Vec<(Vec<f64>, f64)> {
+        let mut out = Vec::with_capacity(k);
+        for cfg in self.top_k(k) {
+            let Ok(u) = new_subspace.project(&cfg) else {
+                continue;
+            };
+            // Re-lift so frozen defaults of the new task apply, then check
+            // validity under the new task's constraints.
+            let Ok(lifted) = new_subspace.lift(&u) else {
+                continue;
+            };
+            if !new_subspace.space().is_valid(&lifted) {
+                continue;
+            }
+            let y = f(&lifted);
+            out.push((u, y));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bo::{BoConfig, BoSearch};
+    use crate::objective::test_objectives::SplitSphere;
+    use crate::objective::Objective;
+
+    fn quick(seed: u64, max_evals: usize) -> BoConfig {
+        BoConfig {
+            n_init: 5,
+            max_evals,
+            n_candidates: 48,
+            n_local: 8,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn top_k_orders_by_value() {
+        let obj = SplitSphere::new();
+        let d = obj.default_config();
+        let seed = TransferSeed {
+            points: vec![(d.clone(), 3.0), (d.clone(), 1.0), (d.clone(), 2.0)],
+        };
+        let top = seed.top_k(2);
+        assert_eq!(top.len(), 2);
+        // Values 1.0 and 2.0 picked; we can't see values, but length and
+        // determinism are the contract here.
+        assert_eq!(seed.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn warm_start_transfers_good_regions() {
+        // Prior task: sphere. New task: shifted sphere (minimum at 0.5).
+        // Seeding with prior optimum regions should give the warm search a
+        // better start than a cold one at equal budget.
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+
+        let prior = BoSearch::new(quick(1, 40))
+            .run(&sub, |c| obj.evaluate(c).total)
+            .unwrap();
+        let seed = TransferSeed::from_outcome(&sub, &prior).unwrap();
+        assert_eq!(seed.points.len(), 40);
+
+        // New task is the same function here (the strongest transfer case).
+        let new_f = |c: &Config| obj.evaluate(c).total;
+        let history = seed.seed_history(&sub, new_f, 5);
+        assert_eq!(history.len(), 5);
+        let warm_first = history
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min);
+
+        // Cold initial design of the same size, same seed machinery.
+        let cold = BoSearch::new(quick(2, 5))
+            .run(&sub, new_f)
+            .unwrap()
+            .best_value;
+        assert!(
+            warm_first <= cold,
+            "warm start {warm_first} worse than cold {cold}"
+        );
+
+        // And a full warm search is at least as good as the prior best.
+        let warm = BoSearch::new(quick(2, 20))
+            .run_with_history(&sub, new_f, history)
+            .unwrap();
+        assert!(warm.best_value <= prior.best_value + 1e-12);
+    }
+
+    #[test]
+    fn invalid_prior_configs_skipped() {
+        // New subspace freezes x0; prior configs still project fine (their
+        // x0 is ignored), so all seeds survive — this asserts projection
+        // tolerance rather than rejection.
+        let obj = SplitSphere::new();
+        let full = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let prior = BoSearch::new(quick(4, 10))
+            .run(&full, |c| obj.evaluate(c).total)
+            .unwrap();
+        let seed = TransferSeed::from_outcome(&full, &prior).unwrap();
+        let narrow = Subspace::new(obj.space(), &["x2"], obj.default_config()).unwrap();
+        let hist = seed.seed_history(&narrow, |c| obj.evaluate(c).total, 3);
+        assert_eq!(hist.len(), 3);
+        for (u, _) in &hist {
+            assert_eq!(u.len(), 1);
+        }
+    }
+
+    #[test]
+    fn prior_gp_transfer_beats_cold_on_shifted_task() {
+        use crate::objective::Observation;
+        use cets_space::SearchSpace;
+
+        // Prior task: 1-D quartic valley at x = 2. New task: same valley
+        // shifted slightly to x = 2.4 — a classic "related task".
+        struct Valley {
+            space: SearchSpace,
+            center: f64,
+        }
+        impl Objective for Valley {
+            fn space(&self) -> &SearchSpace {
+                &self.space
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> Observation {
+                let x = cfg[0].as_f64();
+                Observation::scalar((x - self.center).powi(2) + 0.05 * (8.0 * x).sin())
+            }
+            fn default_config(&self) -> Config {
+                self.space.decode(&[0.1]).unwrap()
+            }
+        }
+        let mk = |center: f64| Valley {
+            space: SearchSpace::builder().real("x", -5.0, 5.0).build(),
+            center,
+        };
+        let prior_task = mk(2.0);
+        let new_task = mk(2.4);
+        let sub = Subspace::full(prior_task.space(), prior_task.default_config()).unwrap();
+
+        // Collect prior data.
+        let prior_run = BoSearch::new(quick(10, 30))
+            .run(&sub, |c| prior_task.evaluate(c).total)
+            .unwrap();
+        let pool = TransferSeed::from_outcome(&sub, &prior_run).unwrap();
+        let prior_gp = pool.prior_gp(&sub, &cets_gp::GpConfig::default()).unwrap();
+
+        // Short searches on the new task: difference-GP vs cold.
+        let f_new = |c: &Config| new_task.evaluate(c).total;
+        let prior_mean = |u: &[f64]| prior_gp.predict_mean(u);
+        let warm = BoSearch::new(quick(11, 12))
+            .run_with_prior(&sub, f_new, Vec::new(), &prior_mean)
+            .unwrap();
+        let cold = BoSearch::new(quick(11, 12)).run(&sub, f_new).unwrap();
+        // The informed search should be at least as good (allow a tiny
+        // slack for acquisition randomness).
+        assert!(
+            warm.best_value <= cold.best_value + 0.05,
+            "prior-mean search {} much worse than cold {}",
+            warm.best_value,
+            cold.best_value
+        );
+        // And it should land near the true optimum.
+        let x_best = warm.best_config[0].as_f64();
+        assert!((x_best - 2.4).abs() < 0.5, "x* = {x_best}");
+    }
+
+    #[test]
+    fn extend_merges_pools() {
+        let obj = SplitSphere::new();
+        let d = obj.default_config();
+        let mut a = TransferSeed {
+            points: vec![(d.clone(), 1.0)],
+        };
+        a.extend(TransferSeed {
+            points: vec![(d, 2.0)],
+        });
+        assert_eq!(a.points.len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the tuning engine: normal helpers,
+//! checkpoints, acquisition behaviour and sensitivity-driver invariants.
+
+use cets_core::normal;
+use cets_core::{routine_sensitivity, BoCheckpoint, Objective, Observation, VariationPolicy};
+use cets_space::{Config, SearchSpace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn erf_odd_and_bounded(x in -6.0..6.0f64) {
+        prop_assert!((normal::erf(x) + normal::erf(-x)).abs() < 1e-12);
+        prop_assert!(normal::erf(x).abs() <= 1.0);
+    }
+
+    #[test]
+    fn cdf_monotone(a in -5.0..5.0f64, d in 0.0..5.0f64) {
+        prop_assert!(normal::cdf(a + d) >= normal::cdf(a) - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&normal::cdf(a)));
+    }
+
+    #[test]
+    fn cdf_complement(x in -5.0..5.0f64) {
+        prop_assert!((normal::cdf(x) + normal::cdf(-x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_positive_and_symmetric(x in -6.0..6.0f64) {
+        prop_assert!(normal::pdf(x) > 0.0);
+        prop_assert!((normal::pdf(x) - normal::pdf(-x)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip(
+        seed in 0u64..u64::MAX,
+        points in proptest::collection::vec(
+            (proptest::collection::vec(0.0..1.0f64, 3), -1e6..1e6f64),
+            0..20,
+        ),
+    ) {
+        let cp = BoCheckpoint::from_history(seed, &points);
+        let path = std::env::temp_dir().join(format!(
+            "cets_prop_ckpt_{}_{}.json",
+            std::process::id(),
+            seed % 1000 // avoid collisions across cases without huge names
+        ));
+        cp.save(&path).unwrap();
+        let loaded = BoCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded.history(), points);
+        prop_assert_eq!(loaded.seed, seed);
+    }
+}
+
+/// A linear objective whose per-routine structure is fully known, for
+/// sensitivity-driver invariants.
+struct Linear {
+    space: SearchSpace,
+    w: Vec<f64>,
+}
+
+impl Linear {
+    fn new(w: Vec<f64>) -> Self {
+        let mut b = SearchSpace::builder();
+        for i in 0..w.len() {
+            b = b.real(format!("x{i}"), 1.0, 10.0);
+        }
+        Linear {
+            space: b.build(),
+            w,
+        }
+    }
+}
+
+impl Objective for Linear {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+    fn routine_names(&self) -> Vec<String> {
+        vec!["r".into()]
+    }
+    fn evaluate(&self, cfg: &Config) -> Observation {
+        let v: f64 = cfg
+            .iter()
+            .zip(&self.w)
+            .map(|(x, &wi)| wi * x.as_f64())
+            .sum::<f64>()
+            + 100.0;
+        Observation::scalar(v)
+    }
+    fn default_config(&self) -> Config {
+        self.space.decode(&vec![0.5; self.w.len()]).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn zero_weight_parameters_have_zero_score(
+        w0 in 0.5..5.0f64,
+    ) {
+        // Two params: one carries weight, one is dead.
+        let obj = Linear::new(vec![w0, 0.0]);
+        let s = routine_sensitivity(
+            &obj,
+            &obj.default_config(),
+            &VariationPolicy::Spread { count: 5 },
+        )
+        .unwrap();
+        prop_assert!(s.score_by_name("x0", "r").unwrap() > 0.0);
+        prop_assert_eq!(s.score_by_name("x1", "r").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn heavier_weight_scores_higher(
+        light in 0.1..1.0f64,
+        ratio in 2.0..10.0f64,
+    ) {
+        let obj = Linear::new(vec![light * ratio, light]);
+        let s = routine_sensitivity(
+            &obj,
+            &obj.default_config(),
+            &VariationPolicy::Spread { count: 5 },
+        )
+        .unwrap();
+        let heavy_score = s.score_by_name("x0", "r").unwrap();
+        let light_score = s.score_by_name("x1", "r").unwrap();
+        prop_assert!(heavy_score > light_score, "{heavy_score} !> {light_score}");
+    }
+
+    #[test]
+    fn observation_cost_formula(v in 1usize..8, d in 1usize..5) {
+        let obj = Linear::new(vec![1.0; d]);
+        let counted = cets_core::CountingObjective::new(&obj);
+        let s = routine_sensitivity(
+            &counted,
+            &obj.default_config(),
+            &VariationPolicy::Spread { count: v },
+        )
+        .unwrap();
+        prop_assert_eq!(counted.count(), 1 + d * v);
+        prop_assert_eq!(s.observation_cost(), 1 + d * v);
+    }
+}

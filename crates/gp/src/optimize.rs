@@ -1,0 +1,212 @@
+//! Derivative-free Nelder–Mead simplex minimization.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 400,
+            f_tol: 1e-8,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Minimize `f` from `x0` with the Nelder–Mead simplex method
+/// (standard coefficients: reflection 1, expansion 2, contraction ½,
+/// shrink ½). Returns `(argmin, min)`.
+///
+/// Non-finite objective values are treated as `+∞`, so `f` may freely
+/// signal infeasible hyperparameters (e.g. a kernel matrix that fails to
+/// factorize) by returning `f64::INFINITY` or NaN.
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> (Vec<f64>, f64) {
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead: empty start point");
+    let safe = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
+    let evals = std::cell::Cell::new(0usize);
+    let eval = |x: &[f64]| {
+        evals.set(evals.get() + 1);
+        safe(f(x))
+    };
+
+    // Initial simplex: x0 plus one step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        xi[i] += opts.initial_step;
+        let fi = eval(&xi);
+        simplex.push((xi, fi));
+    }
+
+    while evals.get() < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (worst - best).abs() < opts.f_tol && worst.is_finite() {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, &xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+
+        let worst_x = simplex[n].0.clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst_x)
+            .map(|(&c, &w)| c + (c - w))
+            .collect();
+        let f_r = eval(&reflect);
+
+        if f_r < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(&c, &w)| c + 2.0 * (c - w))
+                .collect();
+            let f_e = eval(&expand);
+            simplex[n] = if f_e < f_r {
+                (expand, f_e)
+            } else {
+                (reflect, f_r)
+            };
+        } else if f_r < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_r);
+        } else {
+            // Contraction (outside if reflection improved on worst, else inside).
+            let towards: &[f64] = if f_r < simplex[n].1 {
+                &reflect
+            } else {
+                &worst_x
+            };
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(towards)
+                .map(|(&c, &t)| c + 0.5 * (t - c))
+                .collect();
+            let f_c = eval(&contract);
+            if f_c < simplex[n].1.min(f_r) {
+                simplex[n] = (contract, f_c);
+            } else {
+                // Shrink everything towards the best vertex.
+                let best_x = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = best_x
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(&b, &x)| b + 0.5 * (x - b))
+                        .collect();
+                    let fs = eval(&shrunk);
+                    *entry = (shrunk, fs);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (x, fx) = simplex.swap_remove(0);
+    (x, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let (x, fx) = nelder_mead(
+            |v| (v[0] - 3.0).powi(2) + (v[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((x[0] - 3.0).abs() < 1e-3, "{x:?}");
+        assert!((x[1] + 1.0).abs() < 1e-3, "{x:?}");
+        assert!(fx < 1e-5);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |v: &[f64]| {
+            let (a, b) = (v[0], v[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let opts = NelderMeadOptions {
+            max_evals: 4000,
+            ..Default::default()
+        };
+        let (x, _) = nelder_mead(rosen, &[-1.2, 1.0], &opts);
+        assert!((x[0] - 1.0).abs() < 0.02, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 0.04, "{x:?}");
+    }
+
+    #[test]
+    fn handles_infinite_regions() {
+        // Objective is +inf for x < 0; minimum at x = 1.
+        let f = |v: &[f64]| {
+            if v[0] < 0.0 {
+                f64::INFINITY
+            } else {
+                (v[0] - 1.0).powi(2)
+            }
+        };
+        let (x, fx) = nelder_mead(f, &[2.0], &NelderMeadOptions::default());
+        assert!((x[0] - 1.0).abs() < 1e-3);
+        assert!(fx.is_finite());
+    }
+
+    #[test]
+    fn handles_nan_as_infinite() {
+        let f = |v: &[f64]| {
+            if v[0] > 5.0 {
+                f64::NAN
+            } else {
+                (v[0] - 4.0).powi(2)
+            }
+        };
+        let (x, _) = nelder_mead(f, &[0.0], &NelderMeadOptions::default());
+        assert!((x[0] - 4.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        use std::cell::Cell;
+        let count = Cell::new(0usize);
+        let f = |v: &[f64]| {
+            count.set(count.get() + 1);
+            v[0] * v[0]
+        };
+        let opts = NelderMeadOptions {
+            max_evals: 30,
+            f_tol: 0.0,
+            ..Default::default()
+        };
+        let _ = nelder_mead(f, &[10.0], &opts);
+        // Budget may be exceeded by at most one in-flight iteration's evals.
+        assert!(count.get() <= 35, "used {} evals", count.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_start_panics() {
+        let _ = nelder_mead(|_| 0.0, &[], &NelderMeadOptions::default());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for kernels, GP regression and Nelder–Mead.
+
+use cets_gp::{nelder_mead, Gp, Kernel, KernelKind, NelderMeadOptions};
+use proptest::prelude::*;
+
+fn kinds() -> impl Strategy<Value = KernelKind> {
+    prop_oneof![
+        Just(KernelKind::SquaredExp),
+        Just(KernelKind::Matern32),
+        Just(KernelKind::Matern52),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_symmetric_and_bounded(
+        kind in kinds(),
+        a in proptest::collection::vec(0.0..1.0f64, 3),
+        b in proptest::collection::vec(0.0..1.0f64, 3),
+        var in 0.1..5.0f64,
+        ls in 0.05..2.0f64,
+    ) {
+        let k = Kernel::with_params(kind, var, vec![ls; 3]);
+        let kab = k.eval(&a, &b);
+        let kba = k.eval(&b, &a);
+        prop_assert!((kab - kba).abs() < 1e-12);
+        // 0 < k(a,b) <= k(x,x) = var for stationary kernels.
+        prop_assert!(kab > 0.0);
+        prop_assert!(kab <= var + 1e-12);
+        prop_assert!((k.eval(&a, &a) - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_decreases_with_distance(
+        kind in kinds(),
+        x in 0.0..0.4f64,
+        d1 in 0.01..0.3f64,
+        d2 in 0.31..0.6f64,
+    ) {
+        let k = Kernel::new(kind, 1);
+        prop_assert!(k.eval(&[x], &[x + d1]) > k.eval(&[x], &[x + d2]));
+    }
+
+    #[test]
+    fn log_params_roundtrip(
+        kind in kinds(),
+        var in 0.1..10.0f64,
+        ls in proptest::collection::vec(0.05..5.0f64, 1..4),
+    ) {
+        let k = Kernel::with_params(kind, var, ls.clone());
+        let k2 = Kernel::from_log_params(kind, &k.to_log_params());
+        prop_assert!((k2.variance() - var).abs() < 1e-9);
+        for (a, b) in k2.lengthscales().iter().zip(&ls) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gp_variance_nonnegative_everywhere(
+        probe in proptest::collection::vec(0.0..1.0f64, 2),
+        seed in 0u64..100,
+    ) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..15)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] + v[1]).collect();
+        let gp = Gp::fit(&x, &y, Kernel::new(KernelKind::Matern52, 2), 1e-6).unwrap();
+        let (_, var) = gp.predict(&probe);
+        prop_assert!(var >= 0.0);
+    }
+
+    #[test]
+    fn gp_interpolates_with_tiny_noise(seed in 0u64..100) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Well-separated points so the kernel matrix is far from singular.
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0 + 0.01 * rng.random::<f64>()]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (2.0 * v[0]).sin()).collect();
+        let gp = Gp::fit(&x, &y, Kernel::new(KernelKind::SquaredExp, 1), 1e-9).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            let m = gp.predict_mean(xi);
+            prop_assert!((m - yi).abs() < 1e-2, "at {xi:?}: {m} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn gp_prediction_scales_with_targets(scale in 0.5..5.0f64, shift in -3.0..3.0f64) {
+        // GP is equivariant under affine target transforms (thanks to
+        // internal standardization): predict(a*y+b) == a*predict(y)+b.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (3.0 * v[0]).cos()).collect();
+        let y2: Vec<f64> = y.iter().map(|&v| scale * v + shift).collect();
+        let k = Kernel::new(KernelKind::Matern52, 1);
+        let gp1 = Gp::fit(&x, &y, k.clone(), 1e-6).unwrap();
+        let gp2 = Gp::fit(&x, &y2, k, 1e-6).unwrap();
+        let p = [0.37];
+        let (m1, v1) = gp1.predict(&p);
+        let (m2, v2) = gp2.predict(&p);
+        prop_assert!((m2 - (scale * m1 + shift)).abs() < 1e-6, "{m2} vs {}", scale * m1 + shift);
+        prop_assert!((v2 - scale * scale * v1).abs() < 1e-6 * (1.0 + v2));
+    }
+
+    #[test]
+    fn nelder_mead_never_worse_than_start(
+        x0 in proptest::collection::vec(-5.0..5.0f64, 1..4),
+        c in proptest::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        let f = move |v: &[f64]| -> f64 {
+            v.iter()
+                .enumerate()
+                .map(|(i, &x)| (x - c[i % c.len()]).powi(2))
+                .sum()
+        };
+        let f0 = f(&x0);
+        let (_, fx) = nelder_mead(&f, &x0, &NelderMeadOptions::default());
+        prop_assert!(fx <= f0 + 1e-12);
+    }
+
+    #[test]
+    fn nelder_mead_finds_shifted_quadratic(c in proptest::collection::vec(-3.0..3.0f64, 2)) {
+        let cc = c.clone();
+        let f = move |v: &[f64]| (v[0] - cc[0]).powi(2) + (v[1] - cc[1]).powi(2);
+        let (x, _) = nelder_mead(&f, &[0.0, 0.0], &NelderMeadOptions {
+            max_evals: 2000,
+            ..Default::default()
+        });
+        prop_assert!((x[0] - c[0]).abs() < 1e-2);
+        prop_assert!((x[1] - c[1]).abs() < 1e-2);
+    }
+}

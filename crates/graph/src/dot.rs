@@ -1,0 +1,154 @@
+//! Graphviz DOT export for influence graphs and partitions (paper Figures
+//! 2 and 5 are DAG diagrams of exactly this kind).
+
+use crate::{InfluenceGraph, Partition, Result};
+use std::fmt::Write as _;
+
+impl InfluenceGraph {
+    /// Render the pruned graph as Graphviz DOT: routines as boxes,
+    /// parameters as ellipses, one edge per surviving influence, labelled
+    /// with the score as a percentage. Cross-edges (interdependence) are
+    /// drawn bold red; own-edges gray.
+    pub fn to_dot(&self, cutoff: f64) -> Result<String> {
+        let mut s = String::new();
+        writeln!(s, "digraph influence {{").unwrap();
+        writeln!(s, "  rankdir=LR;").unwrap();
+        writeln!(s, "  label=\"cut-off = {:.0}%\";", cutoff * 100.0).unwrap();
+        for (r, name) in self.routines().iter().enumerate() {
+            writeln!(
+                s,
+                "  r{r} [shape=box, style=filled, fillcolor=lightblue, label=\"{name}\"];"
+            )
+            .unwrap();
+        }
+        let edges = self.edges(cutoff)?;
+        let mut used_params: Vec<usize> = edges.iter().map(|e| e.param).collect();
+        used_params.sort_unstable();
+        used_params.dedup();
+        for p in used_params {
+            writeln!(s, "  p{p} [shape=ellipse, label=\"{}\"];", self.params()[p]).unwrap();
+        }
+        for e in &edges {
+            let cross = e.from.is_some_and(|f| f != e.to);
+            let style = if cross {
+                "color=red, penwidth=2.0"
+            } else {
+                "color=gray"
+            };
+            writeln!(
+                s,
+                "  p{} -> r{} [label=\"{:.0}%\", {style}];",
+                e.param,
+                e.to,
+                e.score * 100.0
+            )
+            .unwrap();
+        }
+        writeln!(s, "}}").unwrap();
+        Ok(s)
+    }
+}
+
+impl Partition {
+    /// Render the partition as DOT clusters: one subgraph per merged search,
+    /// plus a `precedence` cluster for upstream routines.
+    pub fn to_dot(&self, graph: &InfluenceGraph) -> String {
+        let mut s = String::new();
+        writeln!(s, "digraph searches {{").unwrap();
+        writeln!(s, "  compound=true;").unwrap();
+        for (gi, grp) in self.groups().iter().enumerate() {
+            writeln!(s, "  subgraph cluster_{gi} {{").unwrap();
+            let names: Vec<&str> = grp
+                .routines
+                .iter()
+                .map(|&r| graph.routines()[r].as_str())
+                .collect();
+            writeln!(
+                s,
+                "    label=\"search {gi}: {} ({} dims)\";",
+                names.join("+"),
+                grp.dim()
+            )
+            .unwrap();
+            for &r in &grp.routines {
+                writeln!(
+                    s,
+                    "    r{r} [shape=box, label=\"{}\"];",
+                    graph.routines()[r]
+                )
+                .unwrap();
+            }
+            for &p in &grp.params {
+                writeln!(
+                    s,
+                    "    gp{gi}_{p} [shape=ellipse, label=\"{}\"];",
+                    graph.params()[p]
+                )
+                .unwrap();
+            }
+            writeln!(s, "  }}").unwrap();
+        }
+        if !self.precedence().is_empty() {
+            writeln!(s, "  subgraph cluster_prec {{").unwrap();
+            writeln!(s, "    label=\"tuned first (precedence)\";").unwrap();
+            for &r in self.precedence() {
+                writeln!(
+                    s,
+                    "    r{r} [shape=box, style=dashed, label=\"{}\"];",
+                    graph.routines()[r]
+                )
+                .unwrap();
+            }
+            writeln!(s, "  }}").unwrap();
+        }
+        writeln!(s, "}}").unwrap();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::InfluenceGraph;
+
+    fn graph() -> InfluenceGraph {
+        let mut g = InfluenceGraph::new(
+            vec!["G3".into(), "G4".into()],
+            vec!["x10".into(), "x15".into()],
+        );
+        g.set_owner("x10", "G3").unwrap();
+        g.set_owner("x15", "G4").unwrap();
+        g.set_score("x10", "G3", 0.67).unwrap();
+        g.set_score("x15", "G3", 0.46).unwrap();
+        g.set_score("x15", "G4", 0.75).unwrap();
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_cross_edge() {
+        let dot = graph().to_dot(0.25).unwrap();
+        assert!(dot.contains("digraph influence"));
+        assert!(dot.contains("label=\"G3\""));
+        assert!(dot.contains("label=\"x15\""));
+        assert!(dot.contains("color=red"), "cross-edge should be red");
+        assert!(dot.contains("46%"));
+    }
+
+    #[test]
+    fn dot_omits_pruned_params() {
+        let g = graph();
+        let dot = g.to_dot(0.7).unwrap();
+        // x15->G3 at 46% pruned; only 75% own edge remains for x15.
+        assert!(!dot.contains("46%"));
+        assert!(dot.contains("75%"));
+    }
+
+    #[test]
+    fn partition_dot_renders_clusters() {
+        let g = graph();
+        let part = g.partition(0.25, &[]).unwrap();
+        let dot = part.to_dot(&g);
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("G3+G4"));
+        assert!(dot.contains("2 dims"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # cets-graph
+//!
+//! Influence-graph machinery for the CETS methodology: build a directed
+//! graph whose vertices are *routines* and whose edges record how strongly a
+//! *parameter* owned by one routine influences the runtime of another
+//! routine (the sensitivity scores of `cets-stats`); prune weak edges with a
+//! cut-off; partition the survivors into merged tuning searches.
+//!
+//! The paper (Section IV-C) frames this as "a partitioning problem on
+//! Directed Acyclic Graphs, where vertices represent routines, and their
+//! edges denote how their parameters affect the runtime variability of
+//! routines". Routines connected by surviving cross-edges **must be explored
+//! together** (merged into one joint search); everything else stays
+//! independent. Two refinements from Section IV-D are implemented here:
+//!
+//! * **precedence routines** — a routine (e.g. the paper's *Iterations*
+//!   pseudo-routine owning `nbatches`/`nstreams`, or the MPI grid) can be
+//!   declared upstream: it is tuned *first* against its own objective and
+//!   frozen, so its outgoing influence edges impose an ordering instead of a
+//!   merge;
+//! * **shared parameters** — a parameter used by several routines that must
+//!   keep one value application-wide (the paper's `cuZcopy` kernel appearing
+//!   in both Group 1 and Group 3) is assigned to the routine it influences
+//!   most, and excluded from the others' searches.
+//!
+//! Finally [`Partition::cap_dimensions`] enforces the methodology's ≤10
+//! dimensions per search, dropping the least-influential parameters.
+//!
+//! ```
+//! use cets_graph::InfluenceGraph;
+//!
+//! let mut g = InfluenceGraph::new(
+//!     vec!["G3".into(), "G4".into()],
+//!     vec!["x10".into(), "x15".into()],
+//! );
+//! g.set_owner("x10", "G3").unwrap();
+//! g.set_owner("x15", "G4").unwrap();
+//! g.set_score("x10", "G3", 0.67).unwrap();
+//! g.set_score("x15", "G3", 0.46).unwrap(); // cross-influence!
+//! g.set_score("x15", "G4", 0.80).unwrap();
+//!
+//! let part = g.partition(0.25, &[]).unwrap();
+//! assert_eq!(part.groups().len(), 1); // G3 and G4 merged
+//! ```
+
+mod dot;
+mod graph;
+mod partition;
+mod unionfind;
+
+pub use graph::{Edge, InfluenceGraph};
+pub use partition::{Partition, SearchGroup};
+pub use unionfind::UnionFind;
+
+/// Errors from graph construction and partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Unknown routine name.
+    UnknownRoutine(String),
+    /// Unknown parameter name.
+    UnknownParam(String),
+    /// A parameter had no owning routine when one was required.
+    NoOwner(String),
+    /// An invalid cut-off (must be finite and >= 0).
+    InvalidCutoff(f64),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownRoutine(n) => write!(f, "unknown routine: {n}"),
+            GraphError::UnknownParam(n) => write!(f, "unknown parameter: {n}"),
+            GraphError::NoOwner(n) => write!(f, "parameter {n} has no owning routine"),
+            GraphError::InvalidCutoff(c) => write!(f, "invalid cut-off: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

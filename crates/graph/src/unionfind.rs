@@ -1,0 +1,137 @@
+//! Disjoint-set forest used by the partitioner.
+
+/// Union–find with path halving and union by size.
+///
+/// Merging tuning searches is exactly a connected-components computation on
+/// the pruned influence graph; union–find keeps it `O(α(n))` per operation,
+/// which matters not for the paper's four routines but for the library's
+/// stated goal of scaling to applications with many kernels.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `{0}, {1}, ..., {n-1}`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group elements by component, each group sorted ascending; groups
+    /// ordered by their smallest element. Deterministic output for stable
+    /// search plans.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        let mut keyed: Vec<(usize, usize)> = (0..n).map(|i| (self.find(i), i)).collect();
+        keyed.sort();
+        for (root, i) in keyed {
+            by_root.entry(root).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.components(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.groups(), vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.components(), 3);
+        assert_eq!(uf.groups(), vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        uf.union(3, 4);
+        assert_eq!(uf.groups(), vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn all_merged() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.union(2, 0);
+        assert_eq!(uf.components(), 1);
+        assert_eq!(uf.groups(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.groups().is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the influence graph and its partitioner.
+
+use cets_graph::{InfluenceGraph, UnionFind};
+use proptest::prelude::*;
+
+/// Strategy: a random influence graph with `nr` routines, one owned
+/// parameter per routine, and arbitrary score matrix in [0, 1].
+fn random_graph(nr: usize) -> impl Strategy<Value = InfluenceGraph> {
+    proptest::collection::vec(0.0..1.0f64, nr * nr).prop_map(move |scores| {
+        let routines: Vec<String> = (0..nr).map(|i| format!("R{i}")).collect();
+        let params: Vec<String> = (0..nr).map(|i| format!("p{i}")).collect();
+        let mut g = InfluenceGraph::new(routines.clone(), params.clone());
+        for i in 0..nr {
+            g.set_owner(&params[i], &routines[i]).unwrap();
+            let row: Vec<f64> = scores[i * nr..(i + 1) * nr].to_vec();
+            g.set_scores(&params[i], &row).unwrap();
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_find_groups_partition(ops in proptest::collection::vec((0usize..8, 0usize..8), 0..20)) {
+        let mut uf = UnionFind::new(8);
+        for (a, b) in ops {
+            uf.union(a, b);
+        }
+        let groups = uf.groups();
+        // Groups are disjoint and cover 0..8.
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..8).collect::<Vec<_>>());
+        // Component count matches.
+        prop_assert_eq!(groups.len(), uf.components());
+        // Elements within a group are mutually connected.
+        for g in &groups {
+            for w in g.windows(2) {
+                prop_assert!(uf.connected(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_groups_cover_routines(g in random_graph(5), cutoff in 0.0..1.5f64) {
+        let part = g.partition(cutoff, &[]).unwrap();
+        let mut covered: Vec<usize> = part
+            .groups()
+            .iter()
+            .flat_map(|grp| grp.routines.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        prop_assert_eq!(covered, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_monotone_in_cutoff(g in random_graph(5), lo in 0.0..0.5f64, delta in 0.0..0.5f64) {
+        // Raising the cut-off can only split groups (fewer merges).
+        let p_lo = g.partition(lo, &[]).unwrap();
+        let p_hi = g.partition(lo + delta, &[]).unwrap();
+        prop_assert!(p_hi.groups().len() >= p_lo.groups().len());
+    }
+
+    #[test]
+    fn partition_params_match_members(g in random_graph(5), cutoff in 0.0..1.0f64) {
+        let part = g.partition(cutoff, &[]).unwrap();
+        for grp in part.groups() {
+            // Each group's parameter set is exactly the union of its
+            // member routines' owned params (here: one each, same index).
+            let mut expect: Vec<usize> = grp.routines.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(&grp.params, &expect);
+        }
+    }
+
+    #[test]
+    fn cap_preserves_param_multiset(g in random_graph(6), max_dims in 1usize..6) {
+        let mut part = g.partition(0.0, &[]).unwrap();
+        let before: usize = part.groups().iter().map(|g| g.params.len()).sum();
+        let importance: Vec<f64> = (0..6).map(|p| g.importance(p)).collect();
+        part.cap_dimensions(max_dims, &importance);
+        for grp in part.groups() {
+            prop_assert!(grp.params.len() <= max_dims);
+            // kept + dropped == original member params.
+            let total = grp.params.len() + grp.dropped.len();
+            prop_assert_eq!(total, grp.routines.len());
+        }
+        let after: usize = part
+            .groups()
+            .iter()
+            .map(|g| g.params.len() + g.dropped.len())
+            .sum();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn cap_keeps_most_important(g in random_graph(6)) {
+        let mut part = g.partition(0.0, &[]).unwrap();
+        let importance: Vec<f64> = (0..6).map(|p| g.importance(p)).collect();
+        part.cap_dimensions(3, &importance);
+        for grp in part.groups() {
+            for &kept in &grp.params {
+                for &dropped in &grp.dropped {
+                    prop_assert!(
+                        importance[kept] >= importance[dropped] - 1e-12,
+                        "kept {kept} ({}) < dropped {dropped} ({})",
+                        importance[kept],
+                        importance[dropped]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_routines_never_in_groups(g in random_graph(5), cutoff in 0.0..1.0f64) {
+        let part = g.partition(cutoff, &["R0", "R2"]).unwrap();
+        for grp in part.groups() {
+            prop_assert!(!grp.routines.contains(&0));
+            prop_assert!(!grp.routines.contains(&2));
+        }
+        prop_assert_eq!(part.precedence(), &[0, 2]);
+    }
+
+    #[test]
+    fn edges_never_below_cutoff(g in random_graph(4), cutoff in 0.0..1.0f64) {
+        for e in g.edges(cutoff).unwrap() {
+            prop_assert!(e.score >= cutoff);
+        }
+    }
+
+    #[test]
+    fn dot_renders_for_any_graph(g in random_graph(4), cutoff in 0.0..1.0f64) {
+        let dot = g.to_dot(cutoff).unwrap();
+        prop_assert!(dot.starts_with("digraph"));
+        let part = g.partition(cutoff, &[]).unwrap();
+        prop_assert!(part.to_dot(&g).contains("digraph"));
+    }
+}

@@ -1,0 +1,393 @@
+//! Cholesky factorization with automatic jitter escalation.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `A = L Lᵀ`.
+///
+/// Gaussian-process fitting repeatedly factorizes kernel matrices that are
+/// positive definite in exact arithmetic but can lose definiteness to
+/// rounding when observations nearly coincide (common in tuning searches
+/// where the acquisition revisits a neighbourhood). [`Cholesky::new_jittered`]
+/// therefore retries with an escalating diagonal "jitter", the standard GP
+/// stabilisation; the jitter actually applied is recorded in
+/// [`Cholesky::jitter`].
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorize `a` without any jitter. Fails when `a` is not (numerically)
+    /// positive definite.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        Self::with_jitter(a, 0.0)
+    }
+
+    /// Factorize `a + jitter * I`, retrying with jitter escalated by 10x up
+    /// to `1e-4 * mean(diag)` when the factorization fails.
+    ///
+    /// This mirrors the behaviour of mainstream GP libraries (GPy, GPyTorch,
+    /// GPTune's underlying models). Starts from `initial` (use `1e-10` of the
+    /// mean diagonal as a sensible default via [`Cholesky::new_jittered`]).
+    pub fn new_escalating(a: &Matrix, initial: f64, max_jitter: f64) -> Result<Self> {
+        let mut jitter = initial;
+        loop {
+            match Self::with_jitter(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(_) if jitter == 0.0 => jitter = max_jitter * 1e-8,
+                Err(_) if jitter < max_jitter => jitter = (jitter * 10.0).min(max_jitter),
+                Err(_) => {
+                    return Err(LinalgError::NotPositiveDefinite {
+                        last_jitter: jitter,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Factorize with the default escalation policy: start at zero jitter,
+    /// escalate to at most `1e-4 * mean(|diag|)`.
+    pub fn new_jittered(a: &Matrix) -> Result<Self> {
+        let n = a.rows().max(1);
+        let mean_diag = a.diag().iter().map(|d| d.abs()).sum::<f64>() / n as f64;
+        let max_jitter = (mean_diag * 1e-4).max(1e-12);
+        Self::new_escalating(a, 0.0, max_jitter)
+    }
+
+    fn with_jitter(a: &Matrix, jitter: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            last_jitter: jitter,
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The diagonal jitter that was actually added to achieve definiteness.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower: length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solve `Lᵀ x = y` (backward substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "solve_upper: length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `A x = b` via the two triangular solves.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_mat: rhs has {} rows, factor is {}x{}",
+                b.rows(),
+                self.dim(),
+                self.dim()
+            )));
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// `log det(A) = 2 Σ log L_ii` — needed for the GP log marginal
+    /// likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// The inverse `A⁻¹` (used sparingly; prefer the solve methods).
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        self.solve_mat(&Matrix::identity(n))
+            .expect("identity has matching shape")
+    }
+
+    /// Grow the factorization by one row/column in `O(n²)`.
+    ///
+    /// Given the bordered matrix `[[A, c], [cᵀ, d]]` where `A = L Lᵀ` is the
+    /// already-factorized block, the new factor row is `[wᵀ, √(d − wᵀw)]`
+    /// with `L w = c`. This is how a Gaussian process absorbs one new
+    /// observation per BO iteration without re-paying the `O(n³)`
+    /// factorization.
+    ///
+    /// Fails with [`LinalgError::NotPositiveDefinite`] when the bordered
+    /// matrix is not positive definite (`d ≤ wᵀw`); callers should then
+    /// fall back to a fresh jittered factorization.
+    pub fn append(&mut self, col: &[f64], diag: f64) -> Result<()> {
+        let n = self.dim();
+        if col.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "append: column length {} != {n}",
+                col.len()
+            )));
+        }
+        let w = self.solve_lower(col);
+        let wtw: f64 = w.iter().map(|&v| v * v).sum();
+        let pivot2 = diag + self.jitter - wtw;
+        if pivot2 <= 0.0 || !pivot2.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite {
+                last_jitter: self.jitter,
+            });
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                grown[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for (j, &wj) in w.iter().enumerate() {
+            grown[(n, j)] = wj;
+        }
+        grown[(n, n)] = pivot2.sqrt();
+        self.l = grown;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let ch = Cholesky::new(&spd3()).unwrap();
+        let l = ch.l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+        assert_eq!(ch.jitter(), 0.0);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let llt = ch.l().mat_mul(&ch.l().transpose()).unwrap();
+        assert!(llt.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = ch.solve_vec(&b);
+        let back = a.mat_vec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solve_mat_identity_gives_inverse() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let inv = ch.inverse();
+        let prod = a.mat_mul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // det = (2*1*3)^2 = 36.
+        let ch = Cholesky::new(&spd3()).unwrap();
+        assert!((ch.log_det() - 36.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-deficient Gram matrix: duplicate observation rows.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let ch = Cholesky::new_jittered(&a).unwrap();
+        assert!(ch.jitter() > 0.0);
+        // Solution should still be finite.
+        let x = ch.solve_vec(&[1.0, 1.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn jitter_gives_up_on_indefinite() {
+        let a = Matrix::from_rows(&[&[0.0, 10.0], &[10.0, 0.0]]);
+        assert!(matches!(
+            Cholesky::new_jittered(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn append_matches_full_factorization() {
+        let a = spd3();
+        // Factor the leading 2x2 block, then append the third row/col.
+        let block = Matrix::from_fn(2, 2, |i, j| a[(i, j)]);
+        let mut ch = Cholesky::new(&block).unwrap();
+        ch.append(&[a[(0, 2)], a[(1, 2)]], a[(2, 2)]).unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        assert!(ch.l().approx_eq(full.l(), 1e-10));
+        assert!((ch.log_det() - full.log_det()).abs() < 1e-10);
+        // Solves agree too.
+        let b = [1.0, -2.0, 0.5];
+        let x1 = ch.solve_vec(&b);
+        let x2 = full.solve_vec(&b);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn append_rejects_indefinite_border() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let mut ch = Cholesky::new(&a).unwrap();
+        // Bordering with c = 2, d = 1: Schur complement 1 - 4 < 0.
+        assert!(matches!(
+            ch.append(&[2.0], 1.0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        // Factor unchanged after a failed append.
+        assert_eq!(ch.dim(), 1);
+    }
+
+    #[test]
+    fn append_shape_checked() {
+        let mut ch = Cholesky::new(&spd3()).unwrap();
+        assert!(matches!(
+            ch.append(&[1.0], 5.0),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_appends_build_large_factor() {
+        // Build a 6x6 SPD matrix by appending one bordered row at a time.
+        let n = 6;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-0.5 * d * d).exp() + if i == j { 0.1 } else { 0.0 }
+        });
+        let mut ch = Cholesky::new(&Matrix::from_rows(&[&[a[(0, 0)]]])).unwrap();
+        for k in 1..n {
+            let col: Vec<f64> = (0..k).map(|i| a[(i, k)]).collect();
+            ch.append(&col, a[(k, k)]).unwrap();
+        }
+        let full = Cholesky::new(&a).unwrap();
+        assert!(ch.l().approx_eq(full.l(), 1e-9));
+    }
+
+    #[test]
+    fn triangular_solves_compose() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [5.0, -1.0, 0.5];
+        let y = ch.solve_lower(&b);
+        // L y == b
+        let back = ch.l().mat_vec(&y);
+        for (g, w) in back.iter().zip(&b) {
+            assert!((g - w).abs() < 1e-10);
+        }
+        let x = ch.solve_upper(&y);
+        let back2 = ch.l().transpose().mat_vec(&x);
+        for (g, w) in back2.iter().zip(&y) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition `A = V Λ Vᵀ` of a symmetric matrix.
+///
+/// Used as a diagnostic in the GP layer (kernel-matrix conditioning: a
+/// huge spread of eigenvalues means the surrogate is numerically fragile
+/// and the jitter escalation will engage) and available to downstream
+/// statistics (PCA-style analyses of evaluation databases).
+///
+/// The cyclic Jacobi method is `O(n³)` per sweep with quadratic
+/// convergence once nearly diagonal — entirely adequate for tuning-sized
+/// matrices and unbeatable for robustness.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    eigenvalues: Vec<f64>,
+    /// Eigenvectors as matrix columns, matching [`SymEigen::eigenvalues`].
+    eigenvectors: Matrix,
+}
+
+impl SymEigen {
+    /// Decompose a symmetric matrix. Fails for non-square or (beyond
+    /// `tol = 1e-8 · max|A|`) asymmetric input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let tol = a.max_abs() * 1e-8;
+        if !a.is_symmetric(tol.max(1e-12)) {
+            return Err(LinalgError::ShapeMismatch(
+                "SymEigen requires a symmetric matrix".into(),
+            ));
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+
+        // Cyclic Jacobi sweeps until off-diagonal mass is negligible.
+        let off = |m: &Matrix| -> f64 {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s
+        };
+        let target = (a.frobenius_norm() * 1e-12).powi(2).max(1e-300);
+        for _sweep in 0..100 {
+            if off(&m) <= target {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    // Jacobi rotation angle.
+                    let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Apply the rotation: rows/cols p and q.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+
+        // Sort eigenpairs descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| {
+            m[(j, j)]
+                .partial_cmp(&m[(i, i)])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+        let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+        Ok(SymEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Eigenvectors as columns (column `k` pairs with eigenvalue `k`).
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// Spectral condition number `λ_max / λ_min` (for SPD input);
+    /// `+∞` when the smallest eigenvalue is ≤ 0.
+    pub fn condition_number(&self) -> f64 {
+        let max = self.eigenvalues.first().copied().unwrap_or(0.0);
+        let min = self.eigenvalues.last().copied().unwrap_or(0.0);
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = SymEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues(), &[3.0, 2.0, 1.0]);
+        assert!((e.condition_number() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymEigen::new(&a).unwrap();
+        assert!((e.eigenvalues()[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues()[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.eigenvectors().col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
+        let e = SymEigen::new(&a).unwrap();
+        // A = V Λ Vᵀ.
+        let lam = Matrix::from_diag(e.eigenvalues());
+        let v = e.eigenvectors();
+        let back = v.mat_mul(&lam).unwrap().mat_mul(&v.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-8), "reconstruction failed");
+        // Eigenvectors orthonormal: VᵀV = I.
+        let vtv = v.transpose().mat_mul(v).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]);
+        let e = SymEigen::new(&a).unwrap();
+        let sum: f64 = e.eigenvalues().iter().sum();
+        let prod: f64 = e.eigenvalues().iter().product();
+        assert!((sum - 6.0).abs() < 1e-10, "trace mismatch");
+        assert!((prod - 1.0).abs() < 1e-10, "det mismatch"); // 5*1 - 4 = 1
+    }
+
+    #[test]
+    fn indefinite_matrix_negative_eigenvalue() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let e = SymEigen::new(&a).unwrap();
+        assert!((e.eigenvalues()[0] - 1.0).abs() < 1e-10);
+        assert!((e.eigenvalues()[1] + 1.0).abs() < 1e-10);
+        assert!(e.condition_number().is_infinite());
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_nonsquare() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]);
+        assert!(SymEigen::new(&a).is_err());
+        assert!(SymEigen::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn larger_random_spd() {
+        // B^T B + I is SPD; eigenvalues must all exceed 1 - eps.
+        let b = Matrix::from_fn(6, 6, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let mut a = b.transpose().mat_mul(&b).unwrap();
+        a.add_diag(1.0);
+        let e = SymEigen::new(&a).unwrap();
+        assert!(e.eigenvalues().iter().all(|&l| l >= 1.0 - 1e-8));
+        assert!(e.condition_number().is_finite());
+        // Descending order.
+        for w in e.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! LU factorization with partial pivoting.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// Used for general square solves where the matrix is not symmetric positive
+/// definite — e.g. the normal-equation fallbacks in `cets-stats` and
+/// miscellaneous model calibration in the TDDFT simulator.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: strictly-lower part of `L` (unit diagonal implied)
+    /// and upper part `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index that ended up in
+    /// position `i`.
+    perm: Vec<usize>,
+    /// Parity of the permutation (+1.0 or -1.0), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorize a square matrix. Fails with [`LinalgError::Singular`] when a
+    /// pivot is smaller than `1e-12 * max|A|`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tol = a.max_abs() * 1e-12;
+
+        for k in 0..n {
+            // Pivot: largest |value| in column k at or below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= tol || !pivot_val.is_finite() {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Lu::solve_vec: length mismatch");
+        // Apply permutation, then forward substitution on unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum;
+        }
+        // Backward substitution on U.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum / self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        self.sign * (0..self.dim()).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+
+    /// The inverse `A⁻¹` via `n` solves against identity columns.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let x = self.solve_vec(&e);
+            e[j] = 0.0;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_general_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_vec(&[8.0, -11.0, -3.0]);
+        // Known solution: x = 2, y = 3, z = -1.
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivoting() {
+        // Requires a row swap: first pivot is 0.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = a.mat_mul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn permutation_heavy_system() {
+        // Lower-triangular-with-zeros pattern that forces pivoting each step.
+        let a = Matrix::from_rows(&[&[0.0, 0.0, 1.0], &[0.0, 2.0, 0.0], &[3.0, 0.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_vec(&[1.0, 2.0, 3.0]);
+        let back = a.mat_vec(&x);
+        for (g, w) in back.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Householder QR factorization and least squares.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization `A = Q R` of an `m x n` matrix with `m >= n`.
+///
+/// `cets-stats` uses this for ordinary-least-squares fits (e.g. the linear
+/// baselines behind feature-importance sanity checks) because the normal
+/// equations squared condition number makes Cholesky on `AᵀA` fragile for
+/// near-collinear tuning parameters (threadblock size vs threadblocks/SM in
+/// the paper correlate at ~0.6).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; `R` on and above it.
+    qr: Matrix,
+    /// Scalar `beta` per reflector.
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorize `a` (`m >= n` required).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "Qr::new requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        for k in 0..n {
+            // Compute the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, qr[k+1..m, k]]; beta = 2 / (vᵀv)
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            // Apply reflector to remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = v0 * qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let s = beta * dot;
+                qr[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+            // Store: R diagonal value, and v (normalized so v0 stays).
+            qr[(k, k)] = alpha;
+            // Stash v0 implicitly: scale sub-diagonal entries by 1/v0 so that
+            // v = [1, stored...] and fold v0² into beta.
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    qr[(i, k)] /= v0;
+                }
+                betas.push(beta * v0 * v0);
+            } else {
+                betas.push(0.0);
+            }
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Least-squares solve of `min ||A x - b||₂`.
+    ///
+    /// Fails with [`LinalgError::Singular`] when `R` has a (near-)zero
+    /// diagonal, i.e. the columns of `A` are linearly dependent.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        assert_eq!(b.len(), m, "solve_least_squares: rhs length mismatch");
+        let mut y = b.to_vec();
+        // Apply Qᵀ: each reflector in turn.
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        // Back substitution on R.
+        let tol = self.qr.max_abs() * 1e-12;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.qr[(i, j)] * x[j];
+            }
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= tol {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve_least_squares(&[5.0, 10.0]).unwrap();
+        let back = a.mat_vec(&x);
+        assert!((back[0] - 5.0).abs() < 1e-10);
+        assert!((back[1] - 10.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_regression_line() {
+        // Fit y = 1 + 2t at t = 0..4 exactly.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t).collect();
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: the LS solution beats nearby perturbations.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+        let b = [0.0, 1.0, 1.0];
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let res = |x: &[f64]| -> f64 {
+            a.mat_vec(x)
+                .iter()
+                .zip(&b)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum()
+        };
+        let r0 = res(&x);
+        for d in [[0.01, 0.0], [-0.01, 0.0], [0.0, 0.01], [0.0, -0.01]] {
+            let perturbed = [x[0] + d[0], x[1] + d[1]];
+            assert!(res(&perturbed) >= r0);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let r = Qr::new(&a).unwrap().r();
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r[(1, 0)], 0.0);
+        // |R| diag nonzero for full-rank input.
+        assert!(r[(0, 0)].abs() > 1e-10 && r[(1, 1)].abs() > 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular)
+        ));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Qr::new(&a), Err(LinalgError::ShapeMismatch(_))));
+    }
+}

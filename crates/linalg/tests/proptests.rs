@@ -1,0 +1,177 @@
+//! Property-based tests for the dense linear algebra substrate.
+
+use cets_linalg::{vecops, Cholesky, Lu, Matrix, Qr, SymEigen};
+use proptest::prelude::*;
+
+/// Strategy: an n×n matrix with entries in [-5, 5].
+fn square(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0..5.0f64, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// Strategy: a symmetric positive-definite matrix A = BᵀB + n·I.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    square(n).prop_map(move |b| {
+        let mut a = b.transpose().mat_mul(&b).unwrap();
+        a.add_diag(n as f64);
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in square(4)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in square(3), b in square(3)) {
+        // (A B)ᵀ == Bᵀ Aᵀ
+        let left = a.mat_mul(&b).unwrap().transpose();
+        let right = b.transpose().mat_mul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn matvec_matches_matmul(a in square(4), v in proptest::collection::vec(-5.0..5.0f64, 4)) {
+        let as_mat = Matrix::from_vec(4, 1, v.clone());
+        let prod = a.mat_mul(&as_mat).unwrap();
+        let direct = a.mat_vec(&v);
+        for i in 0..4 {
+            prop_assert!((prod[(i, 0)] - direct[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd(4)) {
+        let ch = Cholesky::new_jittered(&a).unwrap();
+        let llt = ch.l().mat_mul(&ch.l().transpose()).unwrap();
+        // Reconstruction within jitter + rounding.
+        let tol = 1e-6 * a.max_abs().max(1.0);
+        prop_assert!(llt.approx_eq(&a, tol), "||LLt - A|| too big");
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(a in spd(4), b in proptest::collection::vec(-5.0..5.0f64, 4)) {
+        let ch = Cholesky::new_jittered(&a).unwrap();
+        let x = ch.solve_vec(&b);
+        let back = a.mat_vec(&x);
+        for (g, w) in back.iter().zip(&b) {
+            prop_assert!((g - w).abs() < 1e-6 * a.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cholesky_logdet_matches_lu(a in spd(3)) {
+        let ch = Cholesky::new(&a).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        // det > 0 for SPD; log det agrees across factorizations.
+        prop_assert!(lu.det() > 0.0);
+        prop_assert!((ch.log_det() - lu.det().ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lu_solve_roundtrip(a in square(4), b in proptest::collection::vec(-5.0..5.0f64, 4)) {
+        // Make a diagonally dominant (hence invertible).
+        let mut a = a;
+        for i in 0..4 {
+            let row_sum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            a[(i, i)] += row_sum + 1.0;
+        }
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_vec(&b);
+        let back = a.mat_vec(&x);
+        for (g, w) in back.iter().zip(&b) {
+            prop_assert!((g - w).abs() < 1e-7 * a.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(
+        cols in proptest::collection::vec(-3.0..3.0f64, 12),
+        b in proptest::collection::vec(-3.0..3.0f64, 6),
+    ) {
+        // 6x2 system; ensure full rank by adding an identity-ish bump.
+        let mut a = Matrix::from_vec(6, 2, cols);
+        a[(0, 0)] += 10.0;
+        a[(1, 1)] += 10.0;
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        // Residual r = b - Ax must be orthogonal to both columns of A.
+        let ax = a.mat_vec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, pi)| bi - pi).collect();
+        for j in 0..2 {
+            let col = a.col(j);
+            prop_assert!(vecops::dot(&col, &r).abs() < 1e-7, "residual not orthogonal");
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(m in square(4)) {
+        // Symmetrize: A = (M + Mᵀ)/2.
+        let a = m.add(&m.transpose()).unwrap().scale(0.5);
+        let e = SymEigen::new(&a).unwrap();
+        let lam = Matrix::from_diag(e.eigenvalues());
+        let v = e.eigenvectors();
+        let back = v.mat_mul(&lam).unwrap().mat_mul(&v.transpose()).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-7 * (1.0 + a.max_abs())), "reconstruction failed");
+        // Trace preserved.
+        let trace: f64 = a.diag().iter().sum();
+        let sum: f64 = e.eigenvalues().iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn eigen_of_spd_positive(a in spd(4)) {
+        let e = SymEigen::new(&a).unwrap();
+        prop_assert!(e.eigenvalues().iter().all(|&l| l > 0.0));
+        prop_assert!(e.condition_number().is_finite());
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(
+        a in proptest::collection::vec(-10.0..10.0f64, 5),
+        b in proptest::collection::vec(-10.0..10.0f64, 5),
+    ) {
+        let lhs = vecops::dot(&a, &b).abs();
+        let rhs = vecops::norm2(&a) * vecops::norm2(&b);
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn weighted_sq_dist_zero_iff_equal(a in proptest::collection::vec(-10.0..10.0f64, 4)) {
+        let w = vec![1.0; 4];
+        prop_assert_eq!(vecops::weighted_sq_dist(&a, &a, &w), 0.0);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(
+        xs in proptest::collection::vec(-100.0..100.0f64, 2..20),
+        shift in -50.0..50.0f64,
+    ) {
+        let v = vecops::variance(&xs);
+        prop_assert!(v >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((vecops::variance(&shifted) - v).abs() < 1e-6 * (1.0 + v));
+    }
+
+    #[test]
+    fn argmin_is_minimal(xs in proptest::collection::vec(-100.0..100.0f64, 1..20)) {
+        let (i, v) = vecops::argmin(&xs).unwrap();
+        prop_assert_eq!(xs[i], v);
+        prop_assert!(xs.iter().all(|&x| x >= v));
+    }
+
+    #[test]
+    fn rank_desc_is_permutation_sorted(xs in proptest::collection::vec(-100.0..100.0f64, 1..20)) {
+        let order = vecops::rank_desc(&xs);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..xs.len()).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            prop_assert!(xs[w[0]] >= xs[w[1]]);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Validity constraints over configurations.
+
+use crate::space::{Config, SearchSpace};
+use std::fmt;
+use std::sync::Arc;
+
+type Predicate = dyn Fn(&SearchSpace, &Config) -> bool + Send + Sync;
+
+/// A named validity predicate over full configurations.
+///
+/// Constraints are how domain experts encode platform rules — the paper's
+/// examples are the A100 occupancy rule (`tb * tb_sm` must not exceed the
+/// maximum active threads per SM) and the MPI-grid rule
+/// (`nstb * nkpb * nspb` ≤ allocated cores). A configuration is *valid* only
+/// if every constraint accepts it.
+///
+/// The predicate receives the owning [`SearchSpace`] so it can look up
+/// parameters by name, which keeps constraints robust to parameter
+/// reordering.
+#[derive(Clone)]
+pub struct Constraint {
+    name: String,
+    description: String,
+    pred: Arc<Predicate>,
+}
+
+impl Constraint {
+    /// Create a constraint. `name` is a short identifier, `description` a
+    /// human-readable statement of the rule (surfaced in reports and DOT
+    /// exports).
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        pred: impl Fn(&SearchSpace, &Config) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Constraint {
+            name: name.into(),
+            description: description.into(),
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// Short identifier.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable rule statement.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Evaluate the predicate.
+    pub fn check(&self, space: &SearchSpace, cfg: &Config) -> bool {
+        (self.pred)(space, cfg)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchSpace;
+
+    #[test]
+    fn constraint_checks_by_name() {
+        let space = SearchSpace::builder()
+            .integer("tb", 32, 1024)
+            .integer("tb_sm", 1, 32)
+            .constraint(Constraint::new(
+                "occupancy",
+                "tb * tb_sm <= 2048",
+                |s, c| s.get_i64(c, "tb").unwrap() * s.get_i64(c, "tb_sm").unwrap() <= 2048,
+            ))
+            .build();
+        let ok = space
+            .config_from_pairs(&[("tb", 64.0), ("tb_sm", 32.0)])
+            .unwrap();
+        let bad = space
+            .config_from_pairs(&[("tb", 1024.0), ("tb_sm", 32.0)])
+            .unwrap();
+        assert!(space.is_valid(&ok));
+        assert!(!space.is_valid(&bad));
+    }
+
+    #[test]
+    fn debug_does_not_panic() {
+        let c = Constraint::new("x", "always true", |_, _| true);
+        let s = format!("{c:?}");
+        assert!(s.contains("always true"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Samplers: uniform rejection sampling, Latin hypercube, neighbourhood
+//! perturbation.
+
+use crate::{Config, ParamDef, Result, SearchSpace, SpaceError};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Draws valid configurations from a [`SearchSpace`].
+///
+/// All sampling is rejection-based: draw from the unconstrained product
+/// space, keep only configurations accepted by every constraint. The
+/// attempt budget ([`Sampler::with_max_attempts`]) makes the paper's
+/// observation concrete that *heavily constrained high-dimensional spaces
+/// defeat blind candidate generation* — when the budget is exhausted the
+/// sampler returns [`SpaceError::SamplingExhausted`] instead of spinning.
+#[derive(Debug, Clone)]
+pub struct Sampler<'a> {
+    space: &'a SearchSpace,
+    max_attempts: usize,
+}
+
+impl<'a> Sampler<'a> {
+    /// A sampler with the default attempt budget (10 000 per draw).
+    pub fn new(space: &'a SearchSpace) -> Self {
+        Sampler {
+            space,
+            max_attempts: 10_000,
+        }
+    }
+
+    /// Override the per-draw rejection budget.
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// One uniform draw from the constrained space.
+    pub fn uniform<R: Rng>(&self, rng: &mut R) -> Result<Config> {
+        for _ in 0..self.max_attempts {
+            let u: Vec<f64> = (0..self.space.dim()).map(|_| rng.random::<f64>()).collect();
+            let cfg = self.space.decode(&u)?;
+            if self.space.is_valid(&cfg) {
+                return Ok(cfg);
+            }
+        }
+        Err(SpaceError::SamplingExhausted {
+            attempts: self.max_attempts,
+        })
+    }
+
+    /// `n` uniform draws.
+    pub fn uniform_n<R: Rng>(&self, n: usize, rng: &mut R) -> Result<Vec<Config>> {
+        (0..n).map(|_| self.uniform(rng)).collect()
+    }
+
+    /// Latin-hypercube sample of `n` configurations.
+    ///
+    /// Each dimension is divided into `n` strata; each stratum is visited
+    /// exactly once per dimension with independently shuffled assignments —
+    /// the standard initial design for Bayesian optimization (GPTune uses
+    /// the same family). Constraint-violating rows are re-drawn uniformly,
+    /// so the stratification is exact only for loosely constrained spaces.
+    pub fn latin_hypercube<R: Rng>(&self, n: usize, rng: &mut R) -> Result<Vec<Config>> {
+        if n == 0 {
+            return Ok(vec![]);
+        }
+        let d = self.space.dim();
+        // perms[j][i] = stratum of dimension j for sample i.
+        let mut perms: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for _ in 0..d {
+            let mut p: Vec<usize> = (0..n).collect();
+            p.shuffle(rng);
+            perms.push(p);
+        }
+        let mut out = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // i indexes parallel permutation columns
+        for i in 0..n {
+            let u: Vec<f64> = (0..d)
+                .map(|j| (perms[j][i] as f64 + rng.random::<f64>()) / n as f64)
+                .collect();
+            let cfg = self.space.decode(&u)?;
+            if self.space.is_valid(&cfg) {
+                out.push(cfg);
+            } else {
+                out.push(self.uniform(rng)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Low-discrepancy (Halton-sequence) sample of `n` configurations.
+    ///
+    /// Deterministic space-filling design: dimension `j` uses the radical
+    /// inverse in the `j`-th prime base, with a fixed index offset (20) to
+    /// skip the sequence's degenerate prefix. Useful when a *reproducible*
+    /// initial design is wanted independent of any RNG (e.g. comparing
+    /// search engines); constraint-violating points are replaced with
+    /// uniform draws like in [`Sampler::latin_hypercube`]. Halton's
+    /// uniformity degrades past ~6 dimensions — prefer LHS for the
+    /// methodology's capped searches, Halton for low-dim sweeps.
+    pub fn halton<R: Rng>(&self, n: usize, rng: &mut R) -> Result<Vec<Config>> {
+        let d = self.space.dim();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let u: Vec<f64> = (0..d)
+                .map(|j| radical_inverse(i as u64 + 20, PRIMES[j % PRIMES.len()]))
+                .collect();
+            let cfg = self.space.decode(&u)?;
+            if self.space.is_valid(&cfg) {
+                out.push(cfg);
+            } else {
+                out.push(self.uniform(rng)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Perturb `cfg` into a valid neighbour: each coordinate moves with
+    /// probability `move_prob`; continuous/integer coordinates take a
+    /// Gaussian-ish step of relative scale `step` in unit space, ordinals
+    /// step ±1 bin, categoricals resample. Used by the acquisition
+    /// optimizer's local-refinement stage.
+    pub fn neighbour<R: Rng>(
+        &self,
+        cfg: &Config,
+        move_prob: f64,
+        step: f64,
+        rng: &mut R,
+    ) -> Result<Config> {
+        let u0 = self.space.encode(cfg)?;
+        for _ in 0..self.max_attempts {
+            let mut u = u0.clone();
+            let mut moved = false;
+            for (j, uj) in u.iter_mut().enumerate() {
+                if rng.random::<f64>() >= move_prob {
+                    continue;
+                }
+                moved = true;
+                match &self.space.defs()[j] {
+                    ParamDef::Real { .. } | ParamDef::Integer { .. } => {
+                        // Triangular step ≈ cheap Gaussian substitute.
+                        let delta = (rng.random::<f64>() - rng.random::<f64>()) * step;
+                        *uj = (*uj + delta).clamp(0.0, 1.0);
+                    }
+                    ParamDef::Ordinal { values } => {
+                        let n = values.len() as f64;
+                        let dir = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                        *uj = (*uj + dir / n).clamp(0.0, 1.0);
+                    }
+                    ParamDef::Categorical { .. } => {
+                        *uj = rng.random::<f64>();
+                    }
+                }
+            }
+            if !moved {
+                // Force at least one move so the neighbour differs.
+                let j = rng.random_range(0..u.len());
+                u[j] = rng.random::<f64>();
+            }
+            let cand = self.space.decode(&u)?;
+            if self.space.is_valid(&cand) {
+                return Ok(cand);
+            }
+        }
+        Err(SpaceError::SamplingExhausted {
+            attempts: self.max_attempts,
+        })
+    }
+}
+
+/// First 25 primes — Halton bases for up to 25 dimensions (cycled after).
+const PRIMES: [u64; 25] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+];
+
+/// Van-der-Corput radical inverse of `i` in base `b` — the Halton kernel.
+fn radical_inverse(mut i: u64, b: u64) -> f64 {
+    let mut inv = 0.0;
+    let mut denom = 1.0;
+    while i > 0 {
+        denom *= b as f64;
+        inv += (i % b) as f64 / denom;
+        i /= b;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constraint, SearchSpace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .real("x", -50.0, 50.0)
+            .integer("tb", 32, 1024)
+            .ordinal("u", vec![1.0, 2.0, 4.0, 8.0])
+            .build()
+    }
+
+    #[test]
+    fn uniform_draws_are_valid_and_deterministic() {
+        let s = space();
+        let sam = Sampler::new(&s);
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = sam.uniform_n(10, &mut r1).unwrap();
+        let b = sam.uniform_n(10, &mut r2).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|c| s.is_valid(c)));
+    }
+
+    #[test]
+    fn lhs_stratifies_unconstrained_dims() {
+        let s = SearchSpace::builder().real("x", 0.0, 1.0).build();
+        let sam = Sampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10;
+        let cfgs = sam.latin_hypercube(n, &mut rng).unwrap();
+        // Exactly one sample per stratum [k/n, (k+1)/n).
+        let mut strata = vec![0usize; n];
+        for c in &cfgs {
+            let x = c[0].as_f64();
+            let k = ((x * n as f64) as usize).min(n - 1);
+            strata[k] += 1;
+        }
+        assert!(strata.iter().all(|&c| c == 1), "{strata:?}");
+    }
+
+    #[test]
+    fn lhs_zero_is_empty() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Sampler::new(&s)
+            .latin_hypercube(0, &mut rng)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn halton_is_deterministic_and_space_filling() {
+        let s = SearchSpace::builder()
+            .real("x", 0.0, 1.0)
+            .real("y", 0.0, 1.0)
+            .build();
+        let sam = Sampler::new(&s);
+        let mut r1 = StdRng::seed_from_u64(0);
+        let mut r2 = StdRng::seed_from_u64(999); // RNG unused when all valid
+        let a = sam.halton(16, &mut r1).unwrap();
+        let b = sam.halton(16, &mut r2).unwrap();
+        assert_eq!(a, b, "Halton must not depend on the RNG when unconstrained");
+        // Space-filling: each quadrant of the unit square gets hits.
+        let mut quads = [0usize; 4];
+        for c in &a {
+            let (x, y) = (c[0].as_f64(), c[1].as_f64());
+            let q = (x >= 0.5) as usize * 2 + (y >= 0.5) as usize;
+            quads[q] += 1;
+        }
+        assert!(quads.iter().all(|&q| q >= 2), "{quads:?}");
+    }
+
+    #[test]
+    fn radical_inverse_known_values() {
+        // Base 2: 1 -> 0.5, 2 -> 0.25, 3 -> 0.75.
+        assert_eq!(radical_inverse(1, 2), 0.5);
+        assert_eq!(radical_inverse(2, 2), 0.25);
+        assert_eq!(radical_inverse(3, 2), 0.75);
+        assert_eq!(radical_inverse(0, 2), 0.0);
+        // Base 3: 1 -> 1/3, 2 -> 2/3.
+        assert!((radical_inverse(1, 3) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejection_respects_constraints() {
+        let s = SearchSpace::builder()
+            .integer("a", 0, 10)
+            .integer("b", 0, 10)
+            .constraint(Constraint::new("sum", "a + b <= 10", |s, c| {
+                s.get_i64(c, "a").unwrap() + s.get_i64(c, "b").unwrap() <= 10
+            }))
+            .build();
+        let sam = Sampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = sam.uniform(&mut rng).unwrap();
+            assert!(s.get_i64(&c, "a").unwrap() + s.get_i64(&c, "b").unwrap() <= 10);
+        }
+    }
+
+    #[test]
+    fn impossible_constraint_exhausts() {
+        let s = SearchSpace::builder()
+            .real("x", 0.0, 1.0)
+            .constraint(Constraint::new("never", "false", |_, _| false))
+            .build();
+        let sam = Sampler::new(&s).with_max_attempts(50);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            sam.uniform(&mut rng),
+            Err(SpaceError::SamplingExhausted { attempts: 50 })
+        ));
+    }
+
+    #[test]
+    fn neighbour_differs_and_is_valid() {
+        let s = space();
+        let sam = Sampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = sam.uniform(&mut rng).unwrap();
+        let mut changed = 0;
+        for _ in 0..20 {
+            let n = sam.neighbour(&base, 0.5, 0.1, &mut rng).unwrap();
+            assert!(s.is_valid(&n));
+            if n != base {
+                changed += 1;
+            }
+        }
+        assert!(changed > 10, "perturbation almost never changed the config");
+    }
+
+    #[test]
+    fn neighbour_resamples_categoricals() {
+        let s = SearchSpace::builder()
+            .categorical("mode", (0..8).map(|i| format!("opt{i}")).collect())
+            .build();
+        let sam = Sampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = s.decode(&[0.01]).unwrap(); // option 0
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..60 {
+            let n = sam.neighbour(&base, 1.0, 0.1, &mut rng).unwrap();
+            seen.insert(n[0].as_usize());
+        }
+        // Categorical moves are resamples, not ±1 steps: several distinct
+        // options should appear, not just the adjacent one.
+        assert!(seen.len() >= 4, "only saw options {seen:?}");
+    }
+
+    #[test]
+    fn neighbour_stays_local_for_small_steps() {
+        let s = SearchSpace::builder().real("x", 0.0, 100.0).build();
+        let sam = Sampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = s.config_from_pairs(&[("x", 50.0)]).unwrap();
+        for _ in 0..50 {
+            let n = sam.neighbour(&base, 1.0, 0.05, &mut rng).unwrap();
+            let x = n[0].as_f64();
+            assert!((x - 50.0).abs() <= 10.0, "step too large: {x}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Sensitivity analysis: mean relative variability per (parameter, routine).
+//!
+//! Paper Section IV-B: *"we establish one configuration as a baseline, and
+//! then test V different variations individually on each parameter,
+//! calculating the average runtime variability per parameter as
+//! `1/V × Σ |(time_baseline − time_i) / time_baseline|`"*. Section IV-C
+//! reuses the same statistic per routine to infer interdependence — that
+//! reuse is the paper's key cost saving over a full orthogonality analysis.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Variability scores: `scores[p][r]` = mean relative variability of routine
+/// `r`'s output under individual variations of parameter `p`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityScores {
+    param_names: Vec<String>,
+    routine_names: Vec<String>,
+    scores: Vec<Vec<f64>>,
+    /// Number of variations evaluated per parameter (the paper's `V`).
+    variations: usize,
+}
+
+impl SensitivityScores {
+    /// Compute scores from raw observations.
+    ///
+    /// * `baseline[r]` — routine `r`'s output at the baseline configuration;
+    /// * `varied[p][v][r]` — routine `r`'s output with parameter `p` at its
+    ///   `v`-th variation and everything else at baseline.
+    ///
+    /// Total observation cost is `1 + D × V` evaluations — the quantity the
+    /// methodology minimizes (compare `O(2^D)`-ish full orthogonality
+    /// designs). Zero baselines make relative variability undefined and are
+    /// rejected.
+    pub fn from_observations(
+        param_names: &[String],
+        routine_names: &[String],
+        baseline: &[f64],
+        varied: &[Vec<Vec<f64>>],
+    ) -> Result<Self> {
+        let (np, nr) = (param_names.len(), routine_names.len());
+        if baseline.len() != nr {
+            return Err(StatsError::BadShape(format!(
+                "baseline has {} routines, expected {nr}",
+                baseline.len()
+            )));
+        }
+        if varied.len() != np {
+            return Err(StatsError::BadShape(format!(
+                "varied has {} params, expected {np}",
+                varied.len()
+            )));
+        }
+        if baseline.iter().any(|&b| b == 0.0 || !b.is_finite()) {
+            return Err(StatsError::Degenerate(
+                "baseline output is zero or non-finite".into(),
+            ));
+        }
+        let v_count = varied.first().map_or(0, |v| v.len());
+        if v_count == 0 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let mut scores = vec![vec![0.0; nr]; np];
+        for (p, rows) in varied.iter().enumerate() {
+            if rows.len() != v_count {
+                return Err(StatsError::BadShape(format!(
+                    "param {p} has {} variations, expected {v_count}",
+                    rows.len()
+                )));
+            }
+            for row in rows {
+                if row.len() != nr {
+                    return Err(StatsError::BadShape(format!(
+                        "variation row has {} routines, expected {nr}",
+                        row.len()
+                    )));
+                }
+                for (r, &out) in row.iter().enumerate() {
+                    scores[p][r] += ((baseline[r] - out) / baseline[r]).abs();
+                }
+            }
+            for s in &mut scores[p] {
+                *s /= v_count as f64;
+            }
+        }
+        Ok(SensitivityScores {
+            param_names: param_names.to_vec(),
+            routine_names: routine_names.to_vec(),
+            scores,
+            variations: v_count,
+        })
+    }
+
+    /// Parameter names in order.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Routine names in order.
+    pub fn routine_names(&self) -> &[String] {
+        &self.routine_names
+    }
+
+    /// The paper's `V`.
+    pub fn variations(&self) -> usize {
+        self.variations
+    }
+
+    /// Score of parameter `p` on routine `r` (indices).
+    pub fn score(&self, p: usize, r: usize) -> f64 {
+        self.scores[p][r]
+    }
+
+    /// Score row of a parameter across all routines.
+    pub fn row(&self, p: usize) -> &[f64] {
+        &self.scores[p]
+    }
+
+    /// Score by names.
+    pub fn score_by_name(&self, param: &str, routine: &str) -> Option<f64> {
+        let p = self.param_names.iter().position(|n| n == param)?;
+        let r = self.routine_names.iter().position(|n| n == routine)?;
+        Some(self.scores[p][r])
+    }
+
+    /// Top-`k` most sensitive parameters for routine `r`, descending — the
+    /// layout of the paper's Tables II, V and VI.
+    pub fn top_k(&self, routine: &str, k: usize) -> Option<VariabilityTable> {
+        let r = self.routine_names.iter().position(|n| n == routine)?;
+        let mut rows: Vec<(String, f64)> = self
+            .param_names
+            .iter()
+            .cloned()
+            .zip(self.scores.iter().map(|row| row[r]))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows.truncate(k);
+        Some(VariabilityTable {
+            routine: routine.to_string(),
+            rows,
+        })
+    }
+
+    /// Total number of application evaluations this analysis consumed
+    /// (`1 + D × V`), for cost accounting against alternatives.
+    pub fn observation_cost(&self) -> usize {
+        1 + self.param_names.len() * self.variations
+    }
+}
+
+/// Ranked variability rows for one routine, printable as a paper-style
+/// table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityTable {
+    /// Which routine this table describes.
+    pub routine: String,
+    /// `(parameter, variability)` sorted descending.
+    pub rows: Vec<(String, f64)>,
+}
+
+impl std::fmt::Display for VariabilityTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>12}",
+            format!("[{}]", self.routine),
+            "Variability"
+        )?;
+        for (name, v) in &self.rows {
+            writeln!(f, "{:<14} {:>11.2}%", name, v * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn hand_computed_scores() {
+        // One param, one routine, baseline 10, variations give 12 and 6:
+        // mean(|10-12|/10, |10-6|/10) = mean(0.2, 0.4) = 0.3.
+        let s = SensitivityScores::from_observations(
+            &names("p", 1),
+            &names("r", 1),
+            &[10.0],
+            &[vec![vec![12.0], vec![6.0]]],
+        )
+        .unwrap();
+        assert!((s.score(0, 0) - 0.3).abs() < 1e-12);
+        assert_eq!(s.variations(), 2);
+        assert_eq!(s.observation_cost(), 3);
+    }
+
+    #[test]
+    fn multi_routine_scores_are_independent() {
+        // Param influences routine 0 strongly, routine 1 not at all.
+        let s = SensitivityScores::from_observations(
+            &names("p", 1),
+            &names("r", 2),
+            &[10.0, 5.0],
+            &[vec![vec![20.0, 5.0], vec![5.0, 5.0]]],
+        )
+        .unwrap();
+        assert!((s.score(0, 0) - 0.75).abs() < 1e-12);
+        assert_eq!(s.score(0, 1), 0.0);
+    }
+
+    #[test]
+    fn top_k_sorts_descending() {
+        let s = SensitivityScores::from_observations(
+            &names("p", 3),
+            &names("r", 1),
+            &[1.0],
+            &[
+                vec![vec![1.1]], // 10%
+                vec![vec![2.0]], // 100%
+                vec![vec![1.5]], // 50%
+            ],
+        )
+        .unwrap();
+        let t = s.top_k("r0", 2).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].0, "p1");
+        assert!((t.rows[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(t.rows[1].0, "p2");
+        // Display renders percentages.
+        let txt = t.to_string();
+        assert!(txt.contains("100.00%"), "{txt}");
+    }
+
+    #[test]
+    fn zero_baseline_rejected() {
+        let r = SensitivityScores::from_observations(
+            &names("p", 1),
+            &names("r", 1),
+            &[0.0],
+            &[vec![vec![1.0]]],
+        );
+        assert!(matches!(r, Err(StatsError::Degenerate(_))));
+    }
+
+    #[test]
+    fn shape_errors() {
+        // Wrong routine count in baseline.
+        assert!(SensitivityScores::from_observations(
+            &names("p", 1),
+            &names("r", 2),
+            &[1.0],
+            &[vec![vec![1.0, 1.0]]],
+        )
+        .is_err());
+        // Ragged variation rows.
+        assert!(SensitivityScores::from_observations(
+            &names("p", 2),
+            &names("r", 1),
+            &[1.0],
+            &[vec![vec![1.0]], vec![vec![1.0], vec![2.0]]],
+        )
+        .is_err());
+        // Empty variations.
+        assert!(matches!(
+            SensitivityScores::from_observations(&names("p", 1), &names("r", 1), &[1.0], &[vec![]]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn score_by_name() {
+        let s = SensitivityScores::from_observations(
+            &["nbatches".to_string()],
+            &["G1".to_string()],
+            &[2.0],
+            &[vec![vec![4.0]]],
+        )
+        .unwrap();
+        assert_eq!(s.score_by_name("nbatches", "G1"), Some(1.0));
+        assert_eq!(s.score_by_name("nope", "G1"), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the statistics toolkit.
+
+use cets_stats::describe::quantile_sorted;
+use cets_stats::{pearson, RandomForest, RandomForestConfig, SensitivityScores, Summary};
+use proptest::prelude::*;
+
+fn names(prefix: &str, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pearson_bounded(
+        x in proptest::collection::vec(-100.0..100.0f64, 3..30),
+    ) {
+        // Build y as a noisy affine map of x to avoid degenerate variance.
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, &v)| 0.5 * v + (i as f64) * 0.37).collect();
+        if let Ok(r) = pearson(&x, &y) {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariant(
+        x in proptest::collection::vec(-100.0..100.0f64, 5..20),
+        scale in 0.1..10.0f64,
+        shift in -100.0..100.0f64,
+    ) {
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, &v)| v + (i % 3) as f64).collect();
+        let Ok(r1) = pearson(&x, &y) else { return Ok(()); };
+        let x2: Vec<f64> = x.iter().map(|&v| scale * v + shift).collect();
+        let r2 = pearson(&x2, &y).unwrap();
+        prop_assert!((r1 - r2).abs() < 1e-8, "{r1} vs {r2}");
+    }
+
+    #[test]
+    fn pearson_symmetric(
+        x in proptest::collection::vec(-10.0..10.0f64, 5..15),
+    ) {
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, &v)| v * v + i as f64).collect();
+        let (Ok(a), Ok(b)) = (pearson(&x, &y), pearson(&y, &x)) else { return Ok(()); };
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_orders_quantiles(xs in proptest::collection::vec(-1e6..1e6f64, 1..50)) {
+        let s = Summary::new(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(xs in proptest::collection::vec(-100.0..100.0f64, 2..30)) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=10 {
+            let q = quantile_sorted(&sorted, k as f64 / 10.0);
+            prop_assert!(q >= prev - 1e-12);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn sensitivity_scale_invariant(
+        base in 1.0..100.0f64,
+        deltas in proptest::collection::vec(-0.9..2.0f64, 3),
+        scale in 0.1..10.0f64,
+    ) {
+        // Scores are relative: scaling every output by a constant leaves
+        // them unchanged.
+        let outs: Vec<Vec<f64>> = deltas.iter().map(|d| vec![base * (1.0 + d)]).collect();
+        let s1 = SensitivityScores::from_observations(
+            &names("p", 1), &names("r", 1), &[base], std::slice::from_ref(&outs),
+        ).unwrap();
+        let scaled: Vec<Vec<f64>> = outs.iter().map(|row| vec![row[0] * scale]).collect();
+        let s2 = SensitivityScores::from_observations(
+            &names("p", 1), &names("r", 1), &[base * scale], &[scaled],
+        ).unwrap();
+        prop_assert!((s1.score(0, 0) - s2.score(0, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_zero_for_constant_output(base in 1.0..100.0f64, v in 1usize..10) {
+        let outs = vec![vec![base]; v];
+        let s = SensitivityScores::from_observations(
+            &names("p", 1), &names("r", 1), &[base], &[outs],
+        ).unwrap();
+        prop_assert_eq!(s.score(0, 0), 0.0);
+    }
+
+    #[test]
+    fn sensitivity_nonnegative(
+        base in 1.0..10.0f64,
+        outs in proptest::collection::vec(0.1..100.0f64, 1..8),
+    ) {
+        let rows: Vec<Vec<f64>> = outs.iter().map(|&o| vec![o]).collect();
+        let s = SensitivityScores::from_observations(
+            &names("p", 1), &names("r", 1), &[base], &[rows],
+        ).unwrap();
+        prop_assert!(s.score(0, 0) >= 0.0);
+    }
+}
+
+proptest! {
+    // Forest training is slower: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn forest_predictions_within_target_range(
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+        let cfg = RandomForestConfig { n_trees: 15, seed, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &cfg).unwrap();
+        let (lo, hi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        // Tree means can never extrapolate beyond the target range.
+        for probe in &x {
+            let p = forest.predict(probe);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn forest_importances_normalized(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0]).collect();
+        let cfg = RandomForestConfig { n_trees: 10, seed, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &cfg).unwrap();
+        let sum: f64 = forest.feature_importances().iter().sum();
+        prop_assert!(forest.feature_importances().iter().all(|&v| v >= 0.0));
+        prop_assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0, "sum = {sum}");
+    }
+}

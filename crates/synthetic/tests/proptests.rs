@@ -1,0 +1,128 @@
+//! Property-based tests for the synthetic objective functions.
+
+use cets_core::Objective;
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+use proptest::prelude::*;
+
+fn cases() -> impl Strategy<Value = SyntheticCase> {
+    prop_oneof![
+        Just(SyntheticCase::Case1),
+        Just(SyntheticCase::Case2),
+        Just(SyntheticCase::Case3),
+        Just(SyntheticCase::Case4),
+        Just(SyntheticCase::Case5),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn evaluate_always_finite(case in cases(), u in proptest::collection::vec(0.0..1.0f64, 20)) {
+        let f = SyntheticFunction::new(case);
+        let cfg = f.space().decode(&u).unwrap();
+        let obs = f.evaluate(&cfg);
+        prop_assert!(obs.total.is_finite());
+        prop_assert_eq!(obs.routines.len(), 4);
+        for r in &obs.routines {
+            prop_assert!(r.is_finite());
+            // ln(1 + |.|) >= 0.
+            prop_assert!(*r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_log_routines(case in cases(), u in proptest::collection::vec(0.0..1.0f64, 20)) {
+        let f = SyntheticFunction::new(case).with_noise(0.0);
+        let cfg = f.space().decode(&u).unwrap();
+        let obs = f.evaluate(&cfg);
+        let sum: f64 = obs.routines.iter().sum();
+        prop_assert!((obs.total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_deterministic(case in cases(), u in proptest::collection::vec(0.0..1.0f64, 20), seed in 0u64..100) {
+        let f = SyntheticFunction::new(case).with_seed(seed);
+        let cfg = f.space().decode(&u).unwrap();
+        prop_assert_eq!(f.evaluate(&cfg), f.evaluate(&cfg));
+    }
+
+    #[test]
+    fn g1_g2_independent_of_group34_vars(
+        case in cases(),
+        u in proptest::collection::vec(0.05..0.95f64, 20),
+        delta in proptest::collection::vec(0.0..1.0f64, 10),
+    ) {
+        // Changing x10..x19 never changes G1 or G2 (noise off).
+        let f = SyntheticFunction::new(case).with_noise(0.0);
+        let cfg_a = f.space().decode(&u).unwrap();
+        let mut u2 = u.clone();
+        u2[10..20].copy_from_slice(&delta);
+        let cfg_b = f.space().decode(&u2).unwrap();
+        let a = f.evaluate(&cfg_a);
+        let b = f.evaluate(&cfg_b);
+        prop_assert_eq!(a.routines[0], b.routines[0]);
+        prop_assert_eq!(a.routines[1], b.routines[1]);
+    }
+
+    #[test]
+    fn g4_depends_only_on_its_vars(
+        case in cases(),
+        u in proptest::collection::vec(0.05..0.95f64, 20),
+        delta in proptest::collection::vec(0.0..1.0f64, 15),
+    ) {
+        // Changing x0..x14 never changes G4.
+        let f = SyntheticFunction::new(case).with_noise(0.0);
+        let cfg_a = f.space().decode(&u).unwrap();
+        let mut u2 = u.clone();
+        u2[..15].copy_from_slice(&delta);
+        let cfg_b = f.space().decode(&u2).unwrap();
+        prop_assert_eq!(f.evaluate(&cfg_a).routines[3], f.evaluate(&cfg_b).routines[3]);
+    }
+
+    #[test]
+    fn group4_vars_do_affect_g3_in_coupled_cases(
+        u in proptest::collection::vec(0.2..0.8f64, 20),
+        bump in 0.05..0.2f64,
+    ) {
+        // For Case 4/5 a change in x15 must move G3 (noise off) whenever
+        // x10 and x15 are nonzero (guaranteed by the 0.2..0.8 range: x in
+        // [-30, 30] \ {0}... strictly x=0 occurs at u=0.5 only).
+        for case in [SyntheticCase::Case4, SyntheticCase::Case5] {
+            let f = SyntheticFunction::new(case).with_noise(0.0);
+            let mut u2 = u.clone();
+            u2[15] = (u2[15] + bump).min(0.95);
+            // Keep x10 and x15 away from zero.
+            let mut ua = u.clone();
+            ua[10] = 0.8;
+            ua[15] = 0.7;
+            let mut ub = ua.clone();
+            ub[15] = 0.9;
+            let ca = f.space().decode(&ua).unwrap();
+            let cb = f.space().decode(&ub).unwrap();
+            prop_assert_ne!(f.evaluate(&ca).routines[2], f.evaluate(&cb).routines[2]);
+        }
+    }
+
+    #[test]
+    fn raw_view_preserves_total(case in cases(), u in proptest::collection::vec(0.0..1.0f64, 20)) {
+        let log_f = SyntheticFunction::new(case);
+        let raw_f = SyntheticFunction::new(case).as_raw();
+        let cfg = log_f.space().decode(&u).unwrap();
+        prop_assert_eq!(log_f.evaluate(&cfg).total, raw_f.evaluate(&cfg).total);
+    }
+
+    #[test]
+    fn noise_perturbation_bounded(case in cases(), u in proptest::collection::vec(0.1..0.9f64, 20)) {
+        // With sigma = 0.1 noise, group values move but stay finite and
+        // close to the noise-free value in log space.
+        let clean = SyntheticFunction::new(case).with_noise(0.0);
+        let noisy = SyntheticFunction::new(case).with_noise(0.1);
+        let cfg = clean.space().decode(&u).unwrap();
+        let a = clean.evaluate(&cfg).total;
+        let b = noisy.evaluate(&cfg).total;
+        prop_assert!(b.is_finite());
+        // ln(1+|g+e|) differs from ln(1+|g|) by at most ~|e| = O(1).
+        prop_assert!((a - b).abs() < 5.0, "{a} vs {b}");
+    }
+}

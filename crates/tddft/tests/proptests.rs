@@ -1,0 +1,132 @@
+//! Property-based tests for the RT-TDDFT performance simulator.
+
+use cets_core::Objective;
+use cets_tddft::{CaseStudy, GpuArch, TddftSimulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn occupancy_in_unit_interval(tb in 1u32..2048, tb_sm in 1u32..64) {
+        let g = GpuArch::a100();
+        let occ = g.occupancy(tb, tb_sm);
+        prop_assert!((0.0..=1.0).contains(&occ), "occ = {occ}");
+    }
+
+    #[test]
+    fn occupancy_monotone_in_blocks(tb in 32u32..1024, tb_sm in 1u32..31) {
+        let g = GpuArch::a100();
+        prop_assert!(g.occupancy(tb, tb_sm + 1) >= g.occupancy(tb, tb_sm));
+    }
+
+    #[test]
+    fn fft_time_positive_and_monotone_in_batch(n in 1024usize..4_000_000, batch in 1usize..31) {
+        let g = GpuArch::a100();
+        let t1 = g.fft_3d_time(n, batch);
+        let t2 = g.fft_3d_time(n, batch + 1);
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 > t1, "total FFT time must grow with batch");
+        // Per-transform time shrinks (batching amortization).
+        prop_assert!(t2 / (batch + 1) as f64 <= t1 / batch as f64 + 1e-15);
+    }
+
+    #[test]
+    fn simulate_valid_configs_finite_positive(seed in 0u64..2000) {
+        let sim = TddftSimulator::new(CaseStudy::case2());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = sim.sample_valid(&mut rng).unwrap();
+        prop_assert!(sim.space().is_valid(&cfg), "constructive sample invalid");
+        let b = sim.simulate(&cfg);
+        for v in [b.g1, b.g2, b.g3, b.slater, b.total] {
+            prop_assert!(v.is_finite() && v > 0.0, "{b:?}");
+        }
+        prop_assert!(b.total >= b.slater);
+    }
+
+    #[test]
+    fn observation_matches_routine_layout(seed in 0u64..500) {
+        let sim = TddftSimulator::new(CaseStudy::case1()).with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = sim.sample_valid(&mut rng).unwrap();
+        let obs = sim.evaluate(&cfg);
+        prop_assert_eq!(obs.routines.len(), sim.routine_names().len());
+        let b = sim.simulate(&cfg);
+        prop_assert_eq!(obs.routines[0], b.g1);
+        prop_assert_eq!(obs.routines[3], b.slater);
+        prop_assert_eq!(obs.total, b.total);
+    }
+
+    #[test]
+    fn noise_deterministic_and_multiplicative(seed in 0u64..500) {
+        let sim = TddftSimulator::new(CaseStudy::case1()).with_seed(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = sim.sample_valid(&mut rng).unwrap();
+        let a = sim.evaluate(&cfg);
+        prop_assert_eq!(a.clone(), sim.evaluate(&cfg));
+        let clean = TddftSimulator::new(CaseStudy::case1()).with_noise(0.0);
+        let c = clean.evaluate(&cfg);
+        // 2% noise stays well within ±25% (5 sigma + clip margin).
+        prop_assert!((a.total / c.total - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn more_band_ranks_never_slower_slater(seed in 0u64..300) {
+        // Slater time is driven by local band count: doubling nstb (when
+        // it divides) cannot make the per-rank region slower, holding the
+        // rest fixed and noise off.
+        let sim = TddftSimulator::new(CaseStudy::case1()).with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = {
+            // Sample, then force an MPI grid with room to double nstb.
+            let mut cfg = sim.sample_valid(&mut rng).unwrap();
+            cfg = sim.space().with_value(&cfg, "nstb", cets_space::ParamValue::Int(2)).unwrap();
+            cfg = sim.space().with_value(&cfg, "nkpb", cets_space::ParamValue::Int(1)).unwrap();
+            cfg = sim.space().with_value(&cfg, "nspb", cets_space::ParamValue::Int(1)).unwrap();
+            cfg
+        };
+        let doubled = sim
+            .space()
+            .with_value(&base, "nstb", cets_space::ParamValue::Int(4))
+            .unwrap();
+        let t2 = sim.simulate(&base).slater;
+        let t4 = sim.simulate(&doubled).slater;
+        prop_assert!(t4 <= t2 + 1e-12, "{t4} > {t2}");
+    }
+
+    #[test]
+    fn pair_occupancy_never_helps_g3(seed in 0u64..300) {
+        // The cache-interference term is monotone: raising the pairwise
+        // kernel's occupancy can only hurt Group 3 (noise off).
+        let sim = TddftSimulator::new(CaseStudy::case1()).with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = sim.sample_valid(&mut rng).unwrap();
+        cfg = sim.space().with_value(&cfg, "tb_pair", cets_space::ParamValue::Real(64.0)).unwrap();
+        let lo = sim
+            .space()
+            .with_value(&cfg, "tb_sm_pair", cets_space::ParamValue::Int(1))
+            .unwrap();
+        let hi = sim
+            .space()
+            .with_value(&cfg, "tb_sm_pair", cets_space::ParamValue::Int(32))
+            .unwrap();
+        prop_assert!(sim.simulate(&hi).g3 >= sim.simulate(&lo).g3);
+        // ...and Group 1 is untouched by it.
+        prop_assert_eq!(sim.simulate(&hi).g1, sim.simulate(&lo).g1);
+    }
+
+    #[test]
+    fn expert_space_subset_of_general(seed in 0u64..300) {
+        // Every config valid in the expert-constrained space corresponds
+        // to valid MPI values in the general space.
+        let expert = TddftSimulator::new(CaseStudy::case2()).with_expert_constraints();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = expert.sample_valid(&mut rng).unwrap();
+        let nstb = expert.space().get_f64(&cfg, "nstb").unwrap();
+        let nkpb = expert.space().get_f64(&cfg, "nkpb").unwrap();
+        prop_assert_eq!(64.0 % nstb, 0.0);
+        prop_assert_eq!(36.0 % nkpb, 0.0);
+    }
+}

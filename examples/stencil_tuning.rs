@@ -1,0 +1,58 @@
+//! Generality demo: apply the CETS methodology to a completely different
+//! domain — a distributed 3D Jacobi stencil with a deep-halo/compute
+//! trade-off — and watch it discover the Compute↔Halo interdependence and
+//! plan a merged search for them.
+//!
+//! ```text
+//! cargo run --release --example stencil_tuning
+//! ```
+
+use cets::core::{
+    render_markdown, BoConfig, Methodology, MethodologyConfig, Objective, VariationPolicy,
+};
+use cets::stencil::{StencilApp, StencilProblem};
+
+fn main() {
+    let app = StencilApp::new(StencilProblem::benchmark());
+    let default_time = app.evaluate(&app.default_config()).total;
+    println!(
+        "3D Jacobi, {}³ grid, {} ranks, {} steps — untuned: {:.3}s (simulated)\n",
+        app.problem().n,
+        app.problem().ranks,
+        app.problem().steps,
+        default_time
+    );
+
+    let methodology = Methodology::new(MethodologyConfig {
+        cutoff: 0.06, // above the ~2-4% noise floor, below the real couplings
+        variation_policy: VariationPolicy::Spread { count: 5 },
+        precedence: vec!["Decomp".into()],
+        bo: BoConfig {
+            seed: 5,
+            ..Default::default()
+        },
+        evals_per_dim: 10,
+        ..Default::default()
+    });
+
+    let owners = StencilApp::owners();
+    let pairs: Vec<(&str, &str)> = owners
+        .iter()
+        .map(|(p, r)| (p.as_str(), r.as_str()))
+        .collect();
+    let (report, exec) = methodology
+        .run(&app, &pairs, &app.default_config())
+        .expect("stencil tuning");
+
+    println!(
+        "{}",
+        render_markdown(&app, "3D Jacobi stencil", &report, Some(&exec))
+    );
+    println!(
+        "tuned: {:.3}s -> {:.3}s ({:.1}% faster, {} evaluations)",
+        default_time,
+        exec.final_value,
+        (1.0 - exec.final_value / default_time) * 100.0,
+        exec.total_evals
+    );
+}

@@ -1,0 +1,100 @@
+//! The paper's synthetic-function campaign on one case (Sections III-C &
+//! IV): sensitivity analysis (Table II), influence DAG (Figure 2),
+//! methodology plan, and a strategy comparison (Table III, reduced
+//! budgets — the full reproduction is `cargo run -p cets-bench --bin
+//! exp_table3_strategies`).
+//!
+//! ```text
+//! cargo run --release --example synthetic_campaign [1..5]
+//! ```
+
+use cets::core::{
+    run_strategy, BoConfig, Methodology, MethodologyConfig, Objective, Strategy, VariationPolicy,
+};
+use cets::synthetic::{SyntheticCase, SyntheticFunction};
+
+fn main() {
+    let case_idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let case = SyntheticCase::all()[(case_idx - 1).min(4)];
+    println!(
+        "=== {} (Group 4 influence: {}) ===\nGroup 3 = {}\n",
+        case.name(),
+        case.group4_influence(),
+        case.group3_formula()
+    );
+
+    // --- Phase 1: analysis on the raw routine scale (paper Table II).
+    let analysis = SyntheticFunction::new(case).as_raw();
+    let owners = SyntheticFunction::owners();
+    let pairs = SyntheticFunction::owner_pairs(&owners);
+    let baseline = analysis.space().decode(&[0.6; 20]).unwrap();
+
+    let methodology = Methodology::new(MethodologyConfig {
+        cutoff: 0.25, // the paper's synthetic cut-off
+        variation_policy: VariationPolicy::Multiplicative {
+            count: 30,
+            factor: 0.1,
+        },
+        bo: BoConfig {
+            seed: 7,
+            ..Default::default()
+        },
+        evals_per_dim: 10,
+        ..Default::default()
+    });
+    let report = methodology
+        .analyze(&analysis, &pairs, &baseline)
+        .expect("analysis");
+
+    println!("Top-10 sensitive variables for Group 3 (cf. paper Table II):");
+    print!("{}", report.scores.top_k("G3", 10).unwrap());
+
+    println!("\nInfluence DAG at 25% cut-off (cf. paper Figure 2):");
+    println!("{}", report.graph.to_dot(0.25).unwrap());
+
+    println!("Suggested searches:\n{}", report.plan.describe());
+
+    // --- Phase 2: compare the suggested split against the extremes
+    // (reduced budgets; paper Table III uses 10 evals/dim).
+    let evals_per_dim = 5;
+    let f = SyntheticFunction::new(case);
+    let suggested = if case.expect_merge() {
+        Strategy::Groups(vec![
+            vec!["G1".into()],
+            vec!["G2".into()],
+            vec!["G3".into(), "G4".into()],
+        ])
+    } else {
+        Strategy::FullyIndependent
+    };
+    println!(
+        "{:<22} {:>14} {:>10} {:>8}",
+        "Strategy", "Minimum found", "Evals", "Time(s)"
+    );
+    for strategy in [
+        Strategy::RandomSearch {
+            n_evals: 20 * evals_per_dim,
+        },
+        Strategy::FullyIndependent,
+        suggested,
+    ] {
+        let r = run_strategy(
+            &f,
+            &pairs,
+            &strategy,
+            &BoConfig {
+                seed: 11,
+                ..Default::default()
+            },
+            evals_per_dim,
+        )
+        .expect("strategy run");
+        println!(
+            "{:<22} {:>14.2} {:>10} {:>8.2}",
+            r.name, r.final_value, r.n_evals, r.time_s
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! `cets` — command-line front end for the CETS tuning methodology.
+//!
+//! ```text
+//! cets synthetic --case 3 [--cutoff 0.25] [--evals-per-dim 10] [--seed 0] [--report out.md]
+//! cets tddft --case 1 [--cutoff 0.10] [--evals-per-dim 10] [--seed 0] [--report out.md]
+//!                    [--db out.json]
+//! cets help
+//! ```
+//!
+//! Runs the full pipeline (sensitivity → DAG → plan → staged BO execution)
+//! on one of the two built-in evaluation targets and prints (optionally
+//! writes) the markdown tuning report.
+
+use cets::core::{
+    render_markdown, BoConfig, Methodology, MethodologyConfig, Objective, VariationPolicy,
+};
+use cets::synthetic::{SyntheticCase, SyntheticFunction};
+use cets::tddft::{CaseStudy, TddftSimulator};
+use std::process::ExitCode;
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw.get(i + 1).cloned().unwrap_or_default();
+                flags.push((name.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Args { flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn usage() {
+    eprintln!("cets — cost-effective tuning searches for HPC");
+    eprintln!();
+    eprintln!("USAGE:");
+    eprintln!("  cets synthetic --case <1..5> [options]   tune a synthetic function");
+    eprintln!("  cets tddft     --case <1|2>  [options]   tune the RT-TDDFT simulator");
+    eprintln!();
+    eprintln!("OPTIONS:");
+    eprintln!("  --cutoff <f>         influence cut-off (default: 0.25 synthetic, 0.10 tddft)");
+    eprintln!("  --evals-per-dim <n>  BO budget per dimension (default 10)");
+    eprintln!("  --seed <n>           RNG seed (default 0)");
+    eprintln!("  --report <path>      also write the markdown report to a file");
+    eprintln!("  --db <path>          (tddft) save the evaluation database as JSON");
+}
+
+fn run_pipeline<O: Objective>(
+    objective: &O,
+    owners: &[(String, String)],
+    title: &str,
+    methodology: Methodology,
+    report_path: Option<&str>,
+    db_path: Option<&str>,
+) -> ExitCode {
+    let pairs: Vec<(&str, &str)> = owners
+        .iter()
+        .map(|(p, r)| (p.as_str(), r.as_str()))
+        .collect();
+    let baseline = objective.default_config();
+    let default_value = objective.evaluate(&baseline).total;
+    eprintln!("analyzing {title} (untuned objective: {default_value:.4})...");
+    let (report, exec) = match methodology.run(objective, &pairs, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let md = render_markdown(objective, title, &report, Some(&exec));
+    println!("{md}");
+    eprintln!(
+        "tuned: {:.4} -> {:.4} ({:.1}% improvement, {} evaluations)",
+        default_value,
+        exec.final_value,
+        (1.0 - exec.final_value / default_value) * 100.0,
+        exec.total_evals
+    );
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, &md) {
+            eprintln!("error writing report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {path}");
+    }
+    if let Some(path) = db_path {
+        if let Err(e) = exec.database.save(std::path::Path::new(path)) {
+            eprintln!("error writing database {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "database written to {path} ({} records)",
+            exec.database.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&raw[1..]);
+    let evals_per_dim: usize = args.get("evals-per-dim", 10);
+    let seed: u64 = args.get("seed", 0);
+
+    match cmd.as_str() {
+        "synthetic" => {
+            let case_no: usize = args.get("case", 3);
+            if !(1..=5).contains(&case_no) {
+                eprintln!("--case must be 1..5");
+                return ExitCode::FAILURE;
+            }
+            let case = SyntheticCase::all()[case_no - 1];
+            let cutoff: f64 = args.get("cutoff", 0.25);
+            // Analysis on the raw routine scale, execution on the log
+            // objective (see cets-synthetic docs).
+            let analysis = SyntheticFunction::new(case).with_seed(seed).as_raw();
+            let owners = SyntheticFunction::owners();
+            let m = Methodology::new(MethodologyConfig {
+                cutoff,
+                variation_policy: VariationPolicy::Multiplicative {
+                    count: 30,
+                    factor: 0.1,
+                },
+                bo: BoConfig {
+                    seed,
+                    ..Default::default()
+                },
+                evals_per_dim,
+                ..Default::default()
+            });
+            // Analyze on the raw routine scale, execute against the
+            // paper's log-scale objective.
+            let exec_f = SyntheticFunction::new(case).with_seed(seed);
+            let pairs = SyntheticFunction::owner_pairs(&owners);
+            let baseline = analysis.space().decode(&[0.6; 20]).unwrap();
+            let default_value = exec_f.evaluate(&exec_f.default_config()).total;
+            eprintln!(
+                "analyzing {} (untuned objective: {default_value:.4})...",
+                case.name()
+            );
+            let report = match m.analyze(&analysis, &pairs, &baseline) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let exec = match m.execute(&exec_f, &report) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let md = render_markdown(&exec_f, &case.name(), &report, Some(&exec));
+            println!("{md}");
+            eprintln!(
+                "tuned: {:.4} -> {:.4} ({:.1}% improvement, {} evaluations)",
+                default_value,
+                exec.final_value,
+                (1.0 - exec.final_value / default_value) * 100.0,
+                exec.total_evals
+            );
+            if let Some(path) = args.get_str("report") {
+                if let Err(e) = std::fs::write(path, &md) {
+                    eprintln!("error writing report {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("report written to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        "tddft" => {
+            let case_no: usize = args.get("case", 1);
+            let case = match case_no {
+                1 => CaseStudy::case1(),
+                2 => CaseStudy::case2(),
+                _ => {
+                    eprintln!("--case must be 1 or 2");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cutoff: f64 = args.get("cutoff", 0.10);
+            let sim = TddftSimulator::new(case)
+                .with_seed(seed)
+                .with_expert_constraints();
+            let owners = TddftSimulator::owners();
+            let m = Methodology::new(MethodologyConfig {
+                cutoff,
+                variation_policy: VariationPolicy::Spread { count: 5 },
+                precedence: vec!["Slater".into(), "MPI".into()],
+                shared_params: TddftSimulator::shared_params(),
+                bo: BoConfig {
+                    seed,
+                    ..Default::default()
+                },
+                evals_per_dim,
+                ..Default::default()
+            });
+            run_pipeline(
+                &sim,
+                &owners,
+                &sim.case().name.clone(),
+                m,
+                args.get_str("report"),
+                args.get_str("db"),
+            )
+        }
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # cets — Cost-Effective Tuning Searches
+//!
+//! Umbrella crate re-exporting the whole CETS workspace: a Rust
+//! reproduction of *"Cost-Effective Methodology for Complex Tuning Searches
+//! in HPC: Navigating Interdependencies and Dimensionality"* (IPDPS 2024).
+//!
+//! Start with [`core`] (the methodology and the Bayesian-optimization
+//! engine), then [`synthetic`] and [`tddft`] for the paper's two evaluation
+//! targets. See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use cets_core as core;
+pub use cets_gp as gp;
+pub use cets_graph as graph;
+pub use cets_linalg as linalg;
+pub use cets_space as space;
+pub use cets_stats as stats;
+pub use cets_stencil as stencil;
+pub use cets_synthetic as synthetic;
+pub use cets_tddft as tddft;

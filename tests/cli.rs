@@ -1,0 +1,96 @@
+//! End-to-end tests of the `cets` command-line front end.
+
+use std::process::Command;
+
+fn cets() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cets"))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = cets().arg("help").output().expect("run cets");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("synthetic"));
+    assert!(text.contains("tddft"));
+    assert!(text.contains("--cutoff"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cets().arg("frobnicate").output().expect("run cets");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown command"));
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn synthetic_pipeline_produces_report() {
+    let out = cets()
+        .args([
+            "synthetic",
+            "--case",
+            "1",
+            "--evals-per-dim",
+            "2",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run cets");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let md = String::from_utf8_lossy(&out.stdout);
+    assert!(md.contains("# Tuning report: Case 1"));
+    assert!(md.contains("## Search plan"));
+    assert!(md.contains("## Results"));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("tuned:"));
+}
+
+#[test]
+fn tddft_pipeline_writes_report_and_db() {
+    let dir = std::env::temp_dir();
+    let report = dir.join(format!("cets_cli_report_{}.md", std::process::id()));
+    let db = dir.join(format!("cets_cli_db_{}.json", std::process::id()));
+    let out = cets()
+        .args([
+            "tddft",
+            "--case",
+            "1",
+            "--evals-per-dim",
+            "2",
+            "--report",
+            report.to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cets");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report_text = std::fs::read_to_string(&report).expect("report written");
+    assert!(report_text.contains("## Search plan"));
+    assert!(report_text.contains("G2+G3"));
+    let db_text = std::fs::read_to_string(&db).expect("db written");
+    assert!(db_text.contains("\"records\""));
+    std::fs::remove_file(&report).ok();
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn bad_case_number_rejected() {
+    let out = cets()
+        .args(["synthetic", "--case", "9"])
+        .output()
+        .expect("run cets");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--case must be 1..5"));
+}
