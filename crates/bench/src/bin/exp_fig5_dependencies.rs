@@ -28,6 +28,7 @@ fn main() {
         bo: BoConfig::default(),
         evals_per_dim: 10,
         parallel: true,
+        ..Default::default()
     });
     let report = m
         .analyze(&sim, &pairs, &sim.default_config())

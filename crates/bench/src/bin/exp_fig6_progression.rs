@@ -31,6 +31,7 @@ fn main() {
             bo: paper_bo(6),
             evals_per_dim,
             parallel: true,
+            ..Default::default()
         })
     };
 

@@ -310,20 +310,25 @@ impl BoSearch {
                 }
             };
             let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1)) || !can_append;
-            let gp = if retrain {
+            let gp: &Gp = if retrain {
                 let xs: Vec<Vec<f64>> = history.iter().map(|(u, _)| u.clone()).collect();
                 let ys: Vec<f64> = history.iter().map(|(u, y)| target(u, *y)).collect();
                 let mut gp_cfg = cfg.gp.clone();
                 gp_cfg.seed = cfg.seed.wrapping_add(history.len() as u64);
-                gp_cache = Some(Gp::train(&xs, &ys, &gp_cfg)?);
-                gp_cache.as_ref().unwrap()
+                gp_cache.insert(Gp::train(&xs, &ys, &gp_cfg)?)
             } else {
                 // Incremental path: the cache holds all but the newest
                 // observation; append it, falling back to a full refit if
-                // the bordered update loses definiteness.
-                let (u_last, y_last) = history.last().expect("non-empty history").clone();
+                // the bordered update loses definiteness. `can_append`
+                // guarantees both the cache and a last observation exist.
+                let (Some(cache), Some((u_last, y_last))) =
+                    (gp_cache.as_mut(), history.last().cloned())
+                else {
+                    return Err(CoreError::SearchStalled(
+                        "incremental GP update without a cached model".into(),
+                    ));
+                };
                 let r_last = target(&u_last, y_last);
-                let cache = gp_cache.as_mut().unwrap();
                 if cache.append(u_last, r_last).is_err() {
                     let xs: Vec<Vec<f64>> = history.iter().map(|(u, _)| u.clone()).collect();
                     let ys: Vec<f64> = history.iter().map(|(u, y)| target(u, *y)).collect();
@@ -331,7 +336,7 @@ impl BoSearch {
                     let noise = cache.noise();
                     *cache = Gp::fit(&xs, &ys, kernel, noise)?;
                 }
-                gp_cache.as_ref().unwrap()
+                cache
             };
 
             let u_next = self.propose(subspace, &sampler, gp, best, prior, &mut rng)?;

@@ -52,8 +52,8 @@ pub use highdim::{dropout_bo, full_space_bo, rembo};
 pub use insights::{gather_insights, FeatureInsights, InsightsConfig};
 pub use interaction::{pairwise_interactions, pairwise_interactions_on, InteractionAnalysis};
 pub use methodology::{
-    build_graph, execute_plan, Methodology, MethodologyConfig, MethodologyReport, PlanExecution,
-    PlannedSearch, SearchPlan, SearchTarget,
+    build_graph, execute_plan, LintPolicy, Methodology, MethodologyConfig, MethodologyReport,
+    PlanExecution, PlannedSearch, SearchPlan, SearchTarget,
 };
 pub use objective::{CountingObjective, Objective, Observation};
 pub use random_search::{random_search, RandomSearchConfig};
@@ -79,6 +79,9 @@ pub enum CoreError {
     SearchStalled(String),
     /// Invalid configuration of the engine itself.
     BadConfig(String),
+    /// The pre-execution plan linter rejected the plan (see
+    /// [`methodology::LintPolicy`]). The payload is the rendered report.
+    Lint(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -91,6 +94,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             CoreError::SearchStalled(m) => write!(f, "search stalled: {m}"),
             CoreError::BadConfig(m) => write!(f, "bad config: {m}"),
+            CoreError::Lint(m) => write!(f, "plan rejected by linter:\n{m}"),
         }
     }
 }

@@ -13,6 +13,38 @@ use cets_stats::SensitivityScores;
 use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
+/// How strictly the built-in plan linter gates [`Methodology::run`].
+///
+/// Before any objective evaluation is spent on *execution*, the analysis
+/// result is checked by `cets-lint` (search space, influence DAG, staged
+/// plan, kernel configuration). This policy decides what happens with the
+/// findings. The linter itself always runs — even under [`LintPolicy::Off`]
+/// the report is computable via [`Methodology::lint_report`]; the policy
+/// only controls whether findings *block* execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Never block. For experiments that deliberately stress broken plans.
+    Off,
+    /// Block on `Error`-level diagnostics; warnings are reported but pass.
+    /// This is the default: an Error means execution would be wrong or
+    /// wasted, never merely suspicious.
+    #[default]
+    DenyErrors,
+    /// Block on warnings too. For CI-grade strictness.
+    DenyWarnings,
+}
+
+impl LintPolicy {
+    /// Does `report` pass under this policy?
+    pub fn accepts(&self, report: &cets_lint::Report) -> bool {
+        match self {
+            LintPolicy::Off => true,
+            LintPolicy::DenyErrors => report.errors() == 0,
+            LintPolicy::DenyWarnings => report.errors() == 0 && report.warnings() == 0,
+        }
+    }
+}
+
 /// What a planned search minimizes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SearchTarget {
@@ -75,15 +107,14 @@ impl SearchPlan {
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        writeln!(
+        let _ = writeln!(
             s,
             "{:<16} {:>5} {:>7}  Parameters",
             "Search", "Dims", "Budget"
-        )
-        .unwrap();
+        );
         for (k, stage) in self.stages.iter().enumerate() {
             for p in stage {
-                writeln!(
+                let _ = writeln!(
                     s,
                     "{:<16} {:>5} {:>7}  {}{}",
                     format!("[stage {k}] {}", p.name),
@@ -95,8 +126,7 @@ impl SearchPlan {
                     } else {
                         format!("  (dropped: {})", p.dropped.join(", "))
                     }
-                )
-                .unwrap();
+                );
             }
         }
         s
@@ -162,6 +192,8 @@ pub struct MethodologyConfig {
     pub evals_per_dim: usize,
     /// Run independent searches of one stage in parallel threads.
     pub parallel: bool,
+    /// How strictly the pre-execution linter gates [`Methodology::run`].
+    pub lint: LintPolicy,
 }
 
 impl Default for MethodologyConfig {
@@ -175,6 +207,7 @@ impl Default for MethodologyConfig {
             bo: BoConfig::default(),
             evals_per_dim: 10,
             parallel: true,
+            lint: LintPolicy::default(),
         }
     }
 }
@@ -232,12 +265,16 @@ impl Methodology {
                     *s += graph.score_at(p, r);
                 }
             }
-            let routine = sums
+            let Some(routine) = sums
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(r, _)| r)
-                .expect("at least one routine");
+            else {
+                return Err(CoreError::BadConfig(
+                    "shared parameter group declared but the objective has no routines".into(),
+                ));
+            };
             for name in group {
                 let p = graph.param_index(name)?;
                 partition.assign_param_to(p, routine);
@@ -323,6 +360,104 @@ impl Methodology {
         Ok(SearchPlan { stages })
     }
 
+    /// Assemble the `cets-lint` bundle describing this configuration's
+    /// analysis result: search space + baseline defaults, the influence
+    /// graph, the staged plan, the shared/precedence declarations, and the
+    /// GP kernel's noise floor.
+    pub fn lint_bundle<O: Objective + ?Sized>(
+        &self,
+        objective: &O,
+        report: &MethodologyReport,
+        baseline: &Config,
+    ) -> cets_lint::PlanBundle {
+        let cfg = &self.config;
+        let space = objective.space();
+        let params = space
+            .names()
+            .iter()
+            .zip(space.defs())
+            .enumerate()
+            .map(|(i, (name, def))| cets_lint::ParamSpec {
+                name: name.clone(),
+                def: def.clone(),
+                default: baseline.get(i).map(|v| v.as_f64()),
+            })
+            .collect();
+        let constraints = space
+            .constraints()
+            .iter()
+            .map(|c| cets_lint::ConstraintSpec {
+                name: c.name().to_string(),
+                expr: c.description().to_string(),
+            })
+            .collect();
+        let plan = cets_lint::PlanSpec {
+            stages: report
+                .plan
+                .stages
+                .iter()
+                .map(|stage| {
+                    stage
+                        .iter()
+                        .map(|s| cets_lint::SearchSpec {
+                            name: s.name.clone(),
+                            params: s.params.clone(),
+                            routines: match &s.target {
+                                SearchTarget::Total => vec![],
+                                SearchTarget::Routines(r) => r.clone(),
+                            },
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+        cets_lint::PlanBundle {
+            params,
+            constraints,
+            graph: Some(report.graph.clone()),
+            cutoff: cfg.cutoff,
+            max_dims: cfg.max_dims,
+            precedence: cfg.precedence.clone(),
+            shared_params: cfg.shared_params.clone(),
+            kernel: Some(cets_lint::KernelSpec {
+                noise_floor: cfg.bo.gp.noise_floor,
+                length_scales: vec![],
+                signal_variance: None,
+            }),
+            plan: Some(plan),
+            unresolved: vec![],
+        }
+    }
+
+    /// Run the static linter over the analysis result without executing
+    /// anything. [`Methodology::run`] calls this internally and gates on
+    /// [`MethodologyConfig::lint`]; call it directly to inspect findings.
+    pub fn lint_report<O: Objective + ?Sized>(
+        &self,
+        objective: &O,
+        report: &MethodologyReport,
+        baseline: &Config,
+    ) -> cets_lint::Report {
+        cets_lint::lint(&self.lint_bundle(objective, report, baseline))
+    }
+
+    fn enforce_lint<O: Objective + ?Sized>(
+        &self,
+        objective: &O,
+        report: &MethodologyReport,
+        baseline: &Config,
+    ) -> Result<()> {
+        if self.config.lint == LintPolicy::Off {
+            return Ok(());
+        }
+        let lint = self.lint_report(objective, report, baseline);
+        if self.config.lint.accepts(&lint) {
+            Ok(())
+        } else {
+            Err(CoreError::Lint(cets_lint::render_human(&lint)))
+        }
+    }
+
     /// Execute a previously computed report's plan.
     pub fn execute<O: Objective + ?Sized>(
         &self,
@@ -337,7 +472,9 @@ impl Methodology {
         )
     }
 
-    /// Full pipeline: analyze then execute.
+    /// Full pipeline: analyze, **lint** (see [`MethodologyConfig::lint`]),
+    /// then execute. A plan that fails the lint gate is rejected with
+    /// [`CoreError::Lint`] *before* any execution budget is spent.
     pub fn run<O: Objective + ?Sized>(
         &self,
         objective: &O,
@@ -345,6 +482,7 @@ impl Methodology {
         baseline: &Config,
     ) -> Result<(MethodologyReport, PlanExecution)> {
         let report = self.analyze(objective, owners, baseline)?;
+        self.enforce_lint(objective, &report, baseline)?;
         let exec = self.execute(objective, &report)?;
         Ok((report, exec))
     }
@@ -450,7 +588,16 @@ pub fn execute_plan<O: Objective + ?Sized>(
                     });
                 }
             });
-            slots.into_iter().map(|s| s.expect("search ran")).collect()
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.unwrap_or_else(|| {
+                        Err(CoreError::SearchStalled(
+                            "a parallel search thread terminated without reporting".into(),
+                        ))
+                    })
+                })
+                .collect()
         } else {
             prepared.iter().map(run_one).collect()
         };
@@ -734,6 +881,80 @@ mod tests {
         assert!(
             matches!(err, CoreError::SearchStalled(_)),
             "expected SearchStalled, got {err}"
+        );
+    }
+
+    #[test]
+    fn lint_gate_rejects_error_plan() {
+        // max_dims = 0 is a degenerate cap: G003 fires at Error level and
+        // run() must refuse before spending any execution budget.
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            max_dims: 0,
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        let err = m.run(&obj, &owners3(), &obj.default_config()).unwrap_err();
+        match err {
+            CoreError::Lint(msg) => assert!(msg.contains("G003"), "missing G003 in:\n{msg}"),
+            other => panic!("expected CoreError::Lint, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lint_gate_off_allows_error_plan() {
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            max_dims: 0,
+            lint: LintPolicy::Off,
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        assert!(m.run(&obj, &owners3(), &obj.default_config()).is_ok());
+    }
+
+    #[test]
+    fn lint_gate_deny_warnings_rejects_warning_plan() {
+        // A zero GP noise floor is N001 at Warning level: passes the
+        // default policy, blocks under DenyWarnings.
+        let obj = SplitSphere::new();
+        let mut bo = quick_bo();
+        bo.gp.noise_floor = 0.0;
+        let base = MethodologyConfig {
+            bo,
+            evals_per_dim: 5,
+            ..Default::default()
+        };
+        let strict = Methodology::new(MethodologyConfig {
+            lint: LintPolicy::DenyWarnings,
+            ..base.clone()
+        });
+        let err = strict
+            .run(&obj, &owners3(), &obj.default_config())
+            .unwrap_err();
+        match err {
+            CoreError::Lint(msg) => assert!(msg.contains("N001"), "missing N001 in:\n{msg}"),
+            other => panic!("expected CoreError::Lint, got {other}"),
+        }
+        // Default policy (DenyErrors) lets warnings through.
+        let lax = Methodology::new(base);
+        assert!(lax.run(&obj, &owners3(), &obj.default_config()).is_ok());
+    }
+
+    #[test]
+    fn lint_report_is_inspectable_without_execution() {
+        let obj = SplitSphere::new();
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        let baseline = obj.default_config();
+        let report = m.analyze(&obj, &owners3(), &baseline).unwrap();
+        let lint = m.lint_report(&obj, &report, &baseline);
+        assert!(
+            lint.is_clean(),
+            "unexpected findings:\n{:?}",
+            lint.diagnostics
         );
     }
 

@@ -1,0 +1,113 @@
+//! Property: the lint gate in `Methodology::run` is exactly as strict as
+//! the report says — a zero-Error analysis is never rejected by the
+//! default policy, and an Error-level analysis always is.
+
+use cets_core::{CoreError, LintPolicy, Methodology, MethodologyConfig, Objective, Observation};
+use cets_space::{Config, ParamValue, SearchSpace};
+use proptest::prelude::*;
+
+/// A cheap separable objective with two routines (mirrors the in-crate
+/// SplitSphere test helper, which is not exported).
+struct TwoSpheres(SearchSpace);
+
+impl TwoSpheres {
+    fn new() -> Self {
+        TwoSpheres(
+            SearchSpace::builder()
+                .real("x0", -1.0, 1.0)
+                .real("x1", -1.0, 1.0)
+                .real("x2", -1.0, 1.0)
+                .build(),
+        )
+    }
+}
+
+impl Objective for TwoSpheres {
+    fn space(&self) -> &SearchSpace {
+        &self.0
+    }
+    fn routine_names(&self) -> Vec<String> {
+        vec!["r0".into(), "r1".into()]
+    }
+    fn evaluate(&self, cfg: &Config) -> Observation {
+        let x: Vec<f64> = cfg.iter().map(|v| v.as_f64()).collect();
+        let r0 = x[0] * x[0] + x[1] * x[1];
+        let r1 = x[2] * x[2];
+        Observation {
+            total: r0 + r1 + 0.01,
+            routines: vec![r0 + 0.005, r1 + 0.005],
+        }
+    }
+    fn default_config(&self) -> Config {
+        vec![
+            ParamValue::Real(0.8),
+            ParamValue::Real(-0.7),
+            ParamValue::Real(0.9),
+        ]
+    }
+}
+
+fn owners() -> Vec<(&'static str, &'static str)> {
+    vec![("x0", "r0"), ("x1", "r0"), ("x2", "r1")]
+}
+
+fn quick(cfg: MethodologyConfig) -> Methodology {
+    let mut cfg = cfg;
+    cfg.bo.n_init = 3;
+    cfg.bo.n_candidates = 24;
+    cfg.bo.n_local = 4;
+    cfg.evals_per_dim = 3;
+    Methodology::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gate_matches_report_exactly(
+        cutoff in 0.05..0.9f64,
+        max_dims in 0usize..5,
+        noise_exp in -8i32..-2,
+    ) {
+        let obj = TwoSpheres::new();
+        let mut cfg = MethodologyConfig {
+            cutoff,
+            max_dims,
+            ..Default::default()
+        };
+        cfg.bo.gp.noise_floor = 10f64.powi(noise_exp);
+        let m = quick(cfg);
+        let baseline = obj.default_config();
+        let Ok(report) = m.analyze(&obj, &owners(), &baseline) else {
+            return Ok(()); // analysis failure is not the gate's business
+        };
+        let lint = m.lint_report(&obj, &report, &baseline);
+        let run = m.run(&obj, &owners(), &baseline);
+        if lint.errors() == 0 {
+            // A zero-Error plan must never be rejected *by the gate*.
+            prop_assert!(
+                !matches!(run, Err(CoreError::Lint(_))),
+                "clean plan rejected: {:?}",
+                lint.diagnostics
+            );
+        } else {
+            prop_assert!(
+                matches!(run, Err(CoreError::Lint(_))),
+                "error-level plan passed the gate: {:?}",
+                lint.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn off_policy_never_gates() {
+    let obj = TwoSpheres::new();
+    let m = quick(MethodologyConfig {
+        max_dims: 0, // G003 error under the default policy
+        lint: LintPolicy::Off,
+        ..Default::default()
+    });
+    let baseline = obj.default_config();
+    assert!(m.run(&obj, &owners(), &baseline).is_ok());
+}

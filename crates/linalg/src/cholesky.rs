@@ -167,10 +167,22 @@ impl Cholesky {
     }
 
     /// The inverse `A⁻¹` (used sparingly; prefer the solve methods).
+    ///
+    /// Infallible by construction: each unit vector is solved directly, so
+    /// no shape check (and no panic path) is involved.
     pub fn inverse(&self) -> Matrix {
         let n = self.dim();
-        self.solve_mat(&Matrix::identity(n))
-            .expect("identity has matching shape")
+        let mut out = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let x = self.solve_vec(&e);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
     }
 
     /// Grow the factorization by one row/column in `O(n²)`.

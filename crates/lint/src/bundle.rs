@@ -1,0 +1,186 @@
+//! The lint subject: a plain-data description of everything the
+//! methodology is about to execute.
+//!
+//! A [`PlanBundle`] is deliberately *not* the live `cets-core` object
+//! graph: it is a data mirror that can be built from a loaded plan file
+//! (see [`crate::loader`]) or assembled by `cets-core` from its in-memory
+//! `SearchSpace` / `InfluenceGraph` / `SearchPlan` right before execution.
+//! Keeping it plain data means every rule is a pure function over the
+//! bundle and the linter can run before a single objective evaluation is
+//! spent.
+
+use cets_graph::InfluenceGraph;
+use cets_space::ParamDef;
+
+/// One search-space parameter: its domain and (optionally) its default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name (must be unique — rule `S001`).
+    pub name: String,
+    /// Domain definition (reused from `cets-space`).
+    pub def: ParamDef,
+    /// Default / baseline value as the numeric view used by sensitivity
+    /// analysis (`None` when the plan has no baseline). Categorical
+    /// defaults are option indices.
+    pub default: Option<f64>,
+}
+
+/// One constraint as an expression string over parameter names
+/// (see [`crate::expr`] for the language).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintSpec {
+    /// Constraint name (for diagnostics).
+    pub name: String,
+    /// Expression source, e.g. `"tb * tb_sm <= 2048"`. Constraints whose
+    /// source does not parse are skipped by the satisfiability probe —
+    /// the linter only analyzes what it can understand.
+    pub expr: String,
+}
+
+/// The GP kernel / noise configuration the searches will use, as far as
+/// the numerics rules need it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Noise-variance floor added to the covariance diagonal. Zero or
+    /// negative values make Cholesky factorization PSD-fragile
+    /// (rule `N001`).
+    pub noise_floor: f64,
+    /// Fixed length-scales, when known (empty when optimized).
+    pub length_scales: Vec<f64>,
+    /// Signal variance, when known.
+    pub signal_variance: Option<f64>,
+}
+
+/// One planned search: which parameters it tunes and which routines'
+/// runtimes it minimizes (empty = the total objective).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpec {
+    /// Search name (e.g. `"G3+G4"`).
+    pub name: String,
+    /// Tuned parameter names.
+    pub params: Vec<String>,
+    /// Target routine names (empty = total objective).
+    pub routines: Vec<String>,
+}
+
+/// The staged plan: stage `k+1` starts after stage `k`; searches within a
+/// stage run in parallel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanSpec {
+    /// Stages of mutually independent searches.
+    pub stages: Vec<Vec<SearchSpec>>,
+}
+
+impl PlanSpec {
+    /// All searches flattened in execution order.
+    pub fn searches(&self) -> impl Iterator<Item = &SearchSpec> {
+        self.stages.iter().flatten()
+    }
+}
+
+/// A reference that failed to resolve while loading a plan file — kept in
+/// the bundle (rather than aborting the load) so rule `S005` can report
+/// it with a stable code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnresolvedRef {
+    /// What kind of thing referenced the name (e.g. `"owners"`,
+    /// `"scores"`).
+    pub context: String,
+    /// The unknown name.
+    pub name: String,
+}
+
+/// Everything the linter inspects.
+#[derive(Debug, Clone)]
+pub struct PlanBundle {
+    /// Search-space parameters.
+    pub params: Vec<ParamSpec>,
+    /// Constraints as expressions.
+    pub constraints: Vec<ConstraintSpec>,
+    /// The influence graph, when sensitivity analysis ran (reused from
+    /// `cets-graph`).
+    pub graph: Option<InfluenceGraph>,
+    /// Influence cut-off used for DAG pruning.
+    pub cutoff: f64,
+    /// Per-search dimensionality cap (paper: 10).
+    pub max_dims: usize,
+    /// Routines tuned first, then frozen.
+    pub precedence: Vec<String>,
+    /// Groups of parameters that must keep one value application-wide.
+    pub shared_params: Vec<Vec<String>>,
+    /// GP kernel configuration, when known.
+    pub kernel: Option<KernelSpec>,
+    /// The staged search plan, when already computed.
+    pub plan: Option<PlanSpec>,
+    /// Names that failed to resolve at load time.
+    pub unresolved: Vec<UnresolvedRef>,
+}
+
+impl Default for PlanBundle {
+    fn default() -> Self {
+        PlanBundle {
+            params: Vec::new(),
+            constraints: Vec::new(),
+            graph: None,
+            cutoff: 0.25,
+            max_dims: 10,
+            precedence: Vec::new(),
+            shared_params: Vec::new(),
+            kernel: None,
+            plan: None,
+            unresolved: Vec::new(),
+        }
+    }
+}
+
+impl PlanBundle {
+    /// Is `name` a declared parameter?
+    pub fn has_param(&self, name: &str) -> bool {
+        self.params.iter().any(|p| p.name == name)
+    }
+
+    /// The spec of parameter `name`, if declared.
+    pub fn param(&self, name: &str) -> Option<&ParamSpec> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Routine names known to the graph (empty without a graph).
+    pub fn routine_names(&self) -> &[String] {
+        self.graph.as_ref().map_or(&[], |g| g.routines())
+    }
+
+    /// Is `name` a routine of the graph?
+    pub fn has_routine(&self, name: &str) -> bool {
+        self.routine_names().iter().any(|r| r == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mirrors_methodology_defaults() {
+        let b = PlanBundle::default();
+        assert_eq!(b.cutoff, 0.25);
+        assert_eq!(b.max_dims, 10);
+        assert!(b.graph.is_none());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let b = PlanBundle {
+            params: vec![ParamSpec {
+                name: "tb".into(),
+                def: ParamDef::Integer { lo: 32, hi: 1024 },
+                default: Some(128.0),
+            }],
+            graph: Some(InfluenceGraph::new(vec!["G1".into()], vec!["tb".into()])),
+            ..Default::default()
+        };
+        assert!(b.has_param("tb"));
+        assert!(!b.has_param("xx"));
+        assert!(b.has_routine("G1"));
+        assert_eq!(b.param("tb").unwrap().default, Some(128.0));
+    }
+}

@@ -1,0 +1,177 @@
+//! The diagnostic model: stable codes, severities, locations.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// [`Severity::Error`] findings make a plan unusable (the methodology
+/// refuses to execute it under the default policy); [`Severity::Warning`]
+/// findings waste budget or risk numerical trouble but do not make the
+/// plan wrong; [`Severity::Info`] findings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory note.
+    Info,
+    /// Suspicious but executable.
+    Warning,
+    /// The plan must not be executed.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by the reporters (`"error"` etc.).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What part of the bundle a diagnostic points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A search-space parameter, by name.
+    Param(String),
+    /// A routine, by name.
+    Routine(String),
+    /// A constraint, by name.
+    Constraint(String),
+    /// A planned search, by name.
+    Search(String),
+    /// The influence graph as a whole.
+    Graph,
+    /// The kernel / GP configuration.
+    Kernel,
+    /// The plan or its settings as a whole.
+    Plan,
+}
+
+impl Location {
+    /// Category label (`"param"`, `"routine"`, ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Location::Param(_) => "param",
+            Location::Routine(_) => "routine",
+            Location::Constraint(_) => "constraint",
+            Location::Search(_) => "search",
+            Location::Graph => "graph",
+            Location::Kernel => "kernel",
+            Location::Plan => "plan",
+        }
+    }
+
+    /// The referenced name, when the location names something.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Location::Param(n)
+            | Location::Routine(n)
+            | Location::Constraint(n)
+            | Location::Search(n) => Some(n),
+            Location::Graph | Location::Kernel | Location::Plan => None,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(n) => write!(f, "{} `{}`", self.kind(), n),
+            None => f.write_str(self.kind()),
+        }
+    }
+}
+
+/// One finding, with a stable machine-readable code.
+///
+/// Codes are grouped by subsystem: `S0xx` search space, `G0xx` influence
+/// graph / plan structure, `N0xx` numerics. The full list with examples
+/// lives in `DESIGN.md` ("Diagnostics reference"); codes never change
+/// meaning once shipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"S001"`.
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Where in the bundle the problem lives.
+    pub location: Location,
+    /// One-line description of the problem.
+    pub message: String,
+    /// Optional fix-it hint.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct an [`Severity::Error`] diagnostic.
+    pub fn error(code: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Construct a [`Severity::Warning`] diagnostic.
+    pub fn warning(code: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a fix-it hint.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.code, self.message, self.location
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_is_compiler_like() {
+        let d = Diagnostic::error("S001", Location::Param("tb".into()), "duplicate parameter")
+            .with_help("rename one of the two");
+        let s = d.to_string();
+        assert!(s.contains("error[S001]"));
+        assert!(s.contains("param `tb`"));
+    }
+
+    #[test]
+    fn location_kinds_and_names() {
+        assert_eq!(Location::Graph.kind(), "graph");
+        assert_eq!(Location::Graph.name(), None);
+        assert_eq!(Location::Search("G3+G4".into()).name(), Some("G3+G4"));
+    }
+}

@@ -1,0 +1,464 @@
+//! A small arithmetic/comparison expression language for constraints.
+//!
+//! Plan files (and the in-memory [`crate::bundle::ConstraintSpec`]s built
+//! from `cets_space::Constraint` descriptions) express constraints as
+//! strings like `"tb * tb_sm <= 2048"` or `"a + b <= 10 && a >= 0"`. This
+//! module parses them into an AST and evaluates them against a named
+//! variable environment, which is what lets the linter probe constraints
+//! for satisfiability (rule `S004`) and check variable references
+//! (rule `S005`) without executing any objective.
+//!
+//! Grammar (usual precedence, lowest first):
+//!
+//! ```text
+//! or    := and ( '||' and )*
+//! and   := cmp ( '&&' cmp )*
+//! cmp   := sum ( ('<='|'>='|'=='|'!='|'<'|'>') sum )?
+//! sum   := prod ( ('+'|'-') prod )*
+//! prod  := unary ( ('*'|'/'|'%') unary )*
+//! unary := '-' unary | atom
+//! atom  := number | identifier | '(' or ')'
+//! ```
+//!
+//! Booleans are represented as `1.0` / `0.0`; a constraint is *satisfied*
+//! when its value is non-zero.
+
+use std::collections::BTreeSet;
+
+/// Binary operators of the constraint language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Parsed constraint expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Named variable (a search-space parameter).
+    Var(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Every variable name referenced by the expression.
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(n) => {
+                out.insert(n.clone());
+            }
+            Expr::Neg(e) => e.collect_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Does the expression contain a comparison or logical operator (i.e.
+    /// does it read as a predicate rather than a bare arithmetic value)?
+    pub fn is_predicate(&self) -> bool {
+        match self {
+            Expr::Bin(op, a, b) => {
+                matches!(
+                    op,
+                    BinOp::Le | BinOp::Ge | BinOp::Lt | BinOp::Gt | BinOp::Eq | BinOp::Ne
+                ) || matches!(op, BinOp::And | BinOp::Or)
+                    || a.is_predicate()
+                    || b.is_predicate()
+            }
+            Expr::Neg(e) => e.is_predicate(),
+            _ => false,
+        }
+    }
+
+    /// Evaluate against a variable environment. Booleans are `1.0`/`0.0`.
+    ///
+    /// Fails on unknown variables; never panics. Division by zero follows
+    /// IEEE semantics (`inf`/`nan`), which the caller treats as
+    /// unsatisfied.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<f64>) -> Result<f64, String> {
+        match self {
+            Expr::Num(x) => Ok(*x),
+            Expr::Var(n) => lookup(n).ok_or_else(|| format!("unknown variable `{n}`")),
+            Expr::Neg(e) => Ok(-e.eval(lookup)?),
+            Expr::Bin(op, a, b) => {
+                let x = a.eval(lookup)?;
+                let y = b.eval(lookup)?;
+                let bool_of = |c: bool| if c { 1.0 } else { 0.0 };
+                Ok(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Rem => x % y,
+                    BinOp::Le => bool_of(x <= y),
+                    BinOp::Ge => bool_of(x >= y),
+                    BinOp::Lt => bool_of(x < y),
+                    BinOp::Gt => bool_of(x > y),
+                    BinOp::Eq => bool_of(x == y),
+                    BinOp::Ne => bool_of(x != y),
+                    BinOp::And => bool_of(x != 0.0 && y != 0.0),
+                    BinOp::Or => bool_of(x != 0.0 || y != 0.0),
+                })
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: non-zero and finite-or-boolean means
+    /// satisfied; NaN means unsatisfied.
+    pub fn satisfied(&self, lookup: &dyn Fn(&str) -> Option<f64>) -> Result<bool, String> {
+        let v = self.eval(lookup)?;
+        Ok(!v.is_nan() && v != 0.0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Op(BinOp),
+    Minus,
+    Plus,
+    LParen,
+    RParen,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Op(BinOp::Mul));
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Op(BinOp::Div));
+                i += 1;
+            }
+            '%' => {
+                out.push(Tok::Op(BinOp::Rem));
+                i += 1;
+            }
+            '<' | '>' | '=' | '!' | '&' | '|' => {
+                let next = bytes.get(i + 1).copied();
+                let (tok, len) = match (c, next) {
+                    ('<', Some('=')) => (Tok::Op(BinOp::Le), 2),
+                    ('>', Some('=')) => (Tok::Op(BinOp::Ge), 2),
+                    ('=', Some('=')) => (Tok::Op(BinOp::Eq), 2),
+                    ('!', Some('=')) => (Tok::Op(BinOp::Ne), 2),
+                    ('&', Some('&')) => (Tok::Op(BinOp::And), 2),
+                    ('|', Some('|')) => (Tok::Op(BinOp::Or), 2),
+                    ('<', _) => (Tok::Op(BinOp::Lt), 1),
+                    ('>', _) => (Tok::Op(BinOp::Gt), 1),
+                    _ => return Err(format!("unexpected character `{c}` at offset {i}")),
+                };
+                out.push(tok);
+                i += len;
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && i > start
+                            && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad number `{text}` at offset {start}"))?;
+                out.push(Tok::Num(v));
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(bytes[start..i].iter().collect()));
+            }
+            _ => return Err(format!("unexpected character `{c}` at offset {i}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, ops: &[BinOp]) -> Option<BinOp> {
+        if let Some(Tok::Op(op)) = self.peek() {
+            if ops.contains(op) {
+                let op = *op;
+                self.pos += 1;
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn or(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.and()?;
+        while let Some(op) = self.eat_op(&[BinOp::Or]) {
+            let rhs = self.and()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.cmp()?;
+        while let Some(op) = self.eat_op(&[BinOp::And]) {
+            let rhs = self.cmp()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, String> {
+        let lhs = self.sum()?;
+        if let Some(op) = self.eat_op(&[
+            BinOp::Le,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Gt,
+        ]) {
+            let rhs = self.sum()?;
+            return Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn sum(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.prod()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.prod()?;
+                    lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.prod()?;
+                    lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn prod(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.unary()?;
+        while let Some(op) = self.eat_op(&[BinOp::Mul, BinOp::Div, BinOp::Rem]) {
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, String> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Neg(Box::new(self.unary()?)))
+            }
+            Some(Tok::Plus) => {
+                self.pos += 1;
+                self.unary()
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, String> {
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::Ident(n)) => Ok(Expr::Var(n)),
+            Some(Tok::LParen) => {
+                let e = self.or()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(e),
+                    _ => Err("missing `)`".into()),
+                }
+            }
+            Some(t) => Err(format!("unexpected token {t:?}")),
+            None => Err("unexpected end of expression".into()),
+        }
+    }
+}
+
+/// Parse a constraint expression; never panics.
+pub fn parse(src: &str) -> Result<Expr, String> {
+    let toks = tokenize(src)?;
+    if toks.is_empty() {
+        return Err("empty expression".into());
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.or()?;
+    if p.pos != p.toks.len() {
+        return Err(format!(
+            "trailing tokens after expression: {:?}",
+            &p.toks[p.pos..]
+        ));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn eval(src: &str, vars: &[(&str, f64)]) -> f64 {
+        let m = env(vars);
+        parse(src).unwrap().eval(&|n| m.get(n).copied()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(eval("1 + 2 * 3", &[]), 7.0);
+        assert_eq!(eval("(1 + 2) * 3", &[]), 9.0);
+        assert_eq!(eval("-2 * 3", &[]), -6.0);
+        assert_eq!(eval("7 % 4", &[]), 3.0);
+        assert_eq!(eval("2e2 + 0.5", &[]), 200.5);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(
+            eval("tb * tb_sm <= 2048", &[("tb", 32.0), ("tb_sm", 64.0)]),
+            1.0
+        );
+        assert_eq!(
+            eval("tb * tb_sm <= 2048", &[("tb", 64.0), ("tb_sm", 64.0)]),
+            0.0
+        );
+        assert_eq!(
+            eval("a >= 0 && a + b <= 10", &[("a", 1.0), ("b", 2.0)]),
+            1.0
+        );
+        assert_eq!(eval("a < 0 || b < 0", &[("a", 1.0), ("b", 2.0)]), 0.0);
+        assert_eq!(eval("a != b", &[("a", 1.0), ("b", 2.0)]), 1.0);
+    }
+
+    #[test]
+    fn variables_collected() {
+        let e = parse("a + b * c <= d").unwrap();
+        let vars: Vec<String> = e.vars().into_iter().collect();
+        assert_eq!(vars, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn predicate_detection() {
+        assert!(parse("a <= 1").unwrap().is_predicate());
+        assert!(parse("a <= 1 && b > 0").unwrap().is_predicate());
+        assert!(!parse("a + b").unwrap().is_predicate());
+    }
+
+    #[test]
+    fn unknown_variable_is_error_not_panic() {
+        let e = parse("zz + 1").unwrap();
+        assert!(e.eval(&|_| None).is_err());
+    }
+
+    #[test]
+    fn parse_failures() {
+        assert!(parse("").is_err());
+        assert!(parse("a +").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a ? b").is_err());
+        assert!(parse("a <= 1 extra ~").is_err());
+        assert!(parse("1..2").is_err());
+    }
+
+    #[test]
+    fn satisfied_treats_nan_as_false() {
+        let e = parse("a / b").unwrap();
+        let m = env(&[("a", 0.0), ("b", 0.0)]);
+        assert!(!e.satisfied(&|n| m.get(n).copied()).unwrap());
+    }
+}

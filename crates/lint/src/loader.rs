@@ -1,0 +1,425 @@
+//! Load a [`PlanBundle`] from a JSON plan file.
+//!
+//! The loader is deliberately forgiving about *semantic* problems — a
+//! dangling owner name or a score row for an unknown parameter is recorded
+//! in [`PlanBundle::unresolved`] so the `S005` rule can report it with a
+//! proper diagnostic instead of aborting the whole lint run. Only
+//! *structural* problems (malformed JSON, a parameter without a name, a
+//! score that is not a number) abort with `Err`.
+//!
+//! ## Schema
+//!
+//! ```text
+//! {
+//!   "params": [
+//!     {"name": "tb", "kind": "integer", "lo": 1, "hi": 32, "default": 8},
+//!     {"name": "lr", "kind": "real", "lo": 0.0, "hi": 1.0},
+//!     {"name": "vec", "kind": "ordinal", "values": [1, 2, 4]},
+//!     {"name": "impl", "kind": "categorical", "options": ["cuda", "hip"]}
+//!   ],
+//!   "constraints": [{"name": "smem", "expr": "tb * 64 <= 2048"}],
+//!   "routines": ["A", "B"],
+//!   "owners": {"tb": "A"},
+//!   "scores": {"tb": [0.9, 0.1]},
+//!   "cutoff": 0.25,
+//!   "max_dims": 10,
+//!   "precedence": ["A"],
+//!   "shared_params": [["zc_tb"]],
+//!   "kernel": {"noise_floor": 1e-6, "length_scales": [0.3], "signal_variance": 1.0},
+//!   "plan": {"stages": [[{"name": "G1", "params": ["tb"], "routines": ["A"]}]]}
+//! }
+//! ```
+//!
+//! Every top-level field is optional except `params` may be empty; absent
+//! fields keep the [`PlanBundle`] defaults (`cutoff = 0.25`,
+//! `max_dims = 10`).
+
+use crate::bundle::{
+    ConstraintSpec, KernelSpec, ParamSpec, PlanBundle, PlanSpec, SearchSpec, UnresolvedRef,
+};
+use cets_graph::InfluenceGraph;
+use cets_space::ParamDef;
+use serde::Value;
+
+/// Parse `src` (JSON text) into a [`PlanBundle`].
+///
+/// Returns `Err` with a human-readable message for structural problems;
+/// semantic dangling references are deferred to the `S005` lint.
+pub fn load_str(src: &str) -> Result<PlanBundle, String> {
+    let v = serde_json::parse_value(src).map_err(|e| format!("invalid JSON: {e}"))?;
+    from_value(&v)
+}
+
+/// Read and parse a plan file from disk.
+pub fn load_path(path: &std::path::Path) -> Result<PlanBundle, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    load_str(&src)
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, String> {
+    match v {
+        Value::String(s) => Ok(s),
+        other => Err(format!("{what} must be a string, got {other:?}")),
+    }
+}
+
+fn as_num(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Float(f) => Ok(*f),
+        other => Err(format!("{what} must be a number, got {other:?}")),
+    }
+}
+
+fn as_int(v: &Value, what: &str) -> Result<i64, String> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::UInt(u) => i64::try_from(*u).map_err(|_| format!("{what} is out of range")),
+        Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i64),
+        other => Err(format!("{what} must be an integer, got {other:?}")),
+    }
+}
+
+fn as_arr<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], String> {
+    match v {
+        Value::Array(items) => Ok(items),
+        other => Err(format!("{what} must be an array, got {other:?}")),
+    }
+}
+
+fn as_obj<'a>(v: &'a Value, what: &str) -> Result<&'a [(String, Value)], String> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(format!("{what} must be an object, got {other:?}")),
+    }
+}
+
+fn num_list(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    as_arr(v, what)?
+        .iter()
+        .enumerate()
+        .map(|(i, x)| as_num(x, &format!("{what}[{i}]")))
+        .collect()
+}
+
+fn str_list(v: &Value, what: &str) -> Result<Vec<String>, String> {
+    as_arr(v, what)?
+        .iter()
+        .enumerate()
+        .map(|(i, x)| as_str(x, &format!("{what}[{i}]")).map(str::to_string))
+        .collect()
+}
+
+fn parse_param(v: &Value, idx: usize) -> Result<ParamSpec, String> {
+    let ctx = format!("params[{idx}]");
+    let obj = as_obj(v, &ctx)?;
+    let _ = obj; // field access goes through get_field below
+    let name = match v.get_field("name") {
+        Value::Null => return Err(format!("{ctx} is missing `name`")),
+        other => as_str(other, &format!("{ctx}.name"))?.to_string(),
+    };
+    let kind = match v.get_field("kind") {
+        Value::Null => return Err(format!("{ctx} (`{name}`) is missing `kind`")),
+        other => as_str(other, &format!("{ctx}.kind"))?,
+    };
+    let def = match kind {
+        "real" => ParamDef::Real {
+            lo: as_num(v.get_field("lo"), &format!("{ctx}.lo"))?,
+            hi: as_num(v.get_field("hi"), &format!("{ctx}.hi"))?,
+        },
+        "integer" => ParamDef::Integer {
+            lo: as_int(v.get_field("lo"), &format!("{ctx}.lo"))?,
+            hi: as_int(v.get_field("hi"), &format!("{ctx}.hi"))?,
+        },
+        "ordinal" => ParamDef::Ordinal {
+            values: num_list(v.get_field("values"), &format!("{ctx}.values"))?,
+        },
+        "categorical" => ParamDef::Categorical {
+            options: str_list(v.get_field("options"), &format!("{ctx}.options"))?,
+        },
+        other => {
+            return Err(format!(
+                "{ctx} (`{name}`) has unknown kind `{other}` \
+                 (expected real | integer | ordinal | categorical)"
+            ))
+        }
+    };
+    let default = match v.get_field("default") {
+        Value::Null => None,
+        other => Some(as_num(other, &format!("{ctx}.default"))?),
+    };
+    Ok(ParamSpec { name, def, default })
+}
+
+fn parse_search(v: &Value, stage: usize, idx: usize) -> Result<SearchSpec, String> {
+    let ctx = format!("plan.stages[{stage}][{idx}]");
+    let name = match v.get_field("name") {
+        Value::Null => format!("stage{stage}-search{idx}"),
+        other => as_str(other, &format!("{ctx}.name"))?.to_string(),
+    };
+    let params = match v.get_field("params") {
+        Value::Null => Vec::new(),
+        other => str_list(other, &format!("{ctx}.params"))?,
+    };
+    let routines = match v.get_field("routines") {
+        Value::Null => Vec::new(),
+        other => str_list(other, &format!("{ctx}.routines"))?,
+    };
+    Ok(SearchSpec {
+        name,
+        params,
+        routines,
+    })
+}
+
+fn from_value(v: &Value) -> Result<PlanBundle, String> {
+    as_obj(v, "plan file")?;
+    let mut b = PlanBundle::default();
+
+    if let arr @ (Value::Array(_) | Value::Null) = v.get_field("params") {
+        if let Value::Array(items) = arr {
+            for (i, p) in items.iter().enumerate() {
+                b.params.push(parse_param(p, i)?);
+            }
+        }
+    } else {
+        return Err("`params` must be an array".into());
+    }
+
+    match v.get_field("constraints") {
+        Value::Null => {}
+        cs => {
+            for (i, c) in as_arr(cs, "constraints")?.iter().enumerate() {
+                let ctx = format!("constraints[{i}]");
+                let expr = match c.get_field("expr") {
+                    Value::Null => return Err(format!("{ctx} is missing `expr`")),
+                    other => as_str(other, &format!("{ctx}.expr"))?.to_string(),
+                };
+                let name = match c.get_field("name") {
+                    Value::Null => format!("c{i}"),
+                    other => as_str(other, &format!("{ctx}.name"))?.to_string(),
+                };
+                b.constraints.push(ConstraintSpec { name, expr });
+            }
+        }
+    }
+
+    // Graph: only built when `routines` is present.
+    match v.get_field("routines") {
+        Value::Null => {}
+        r => {
+            let routines = str_list(r, "routines")?;
+            let param_names: Vec<String> = b.params.iter().map(|p| p.name.clone()).collect();
+            let mut g = InfluenceGraph::new(routines, param_names);
+
+            match v.get_field("scores") {
+                Value::Null => {}
+                s => {
+                    for (pname, row) in as_obj(s, "scores")? {
+                        let scores = num_list(row, &format!("scores.{pname}"))?;
+                        if scores.len() != g.routines().len() {
+                            return Err(format!(
+                                "scores.{pname} has {} entries but there are {} routines",
+                                scores.len(),
+                                g.routines().len()
+                            ));
+                        }
+                        if g.set_scores(pname, &scores).is_err() {
+                            b.unresolved.push(UnresolvedRef {
+                                context: "scores".into(),
+                                name: pname.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+
+            match v.get_field("owners") {
+                Value::Null => {}
+                o => {
+                    for (pname, routine) in as_obj(o, "owners")? {
+                        let rname = as_str(routine, &format!("owners.{pname}"))?;
+                        if g.set_owner(pname, rname).is_err() {
+                            b.unresolved.push(UnresolvedRef {
+                                context: "owners".into(),
+                                name: format!("{pname} -> {rname}"),
+                            });
+                        }
+                    }
+                }
+            }
+
+            b.graph = Some(g);
+        }
+    }
+
+    match v.get_field("cutoff") {
+        Value::Null => {}
+        c => b.cutoff = as_num(c, "cutoff")?,
+    }
+    match v.get_field("max_dims") {
+        Value::Null => {}
+        m => {
+            let raw = as_int(m, "max_dims")?;
+            b.max_dims = usize::try_from(raw).map_err(|_| "max_dims must be >= 0".to_string())?;
+        }
+    }
+    match v.get_field("precedence") {
+        Value::Null => {}
+        p => b.precedence = str_list(p, "precedence")?,
+    }
+    match v.get_field("shared_params") {
+        Value::Null => {}
+        s => {
+            for (i, group) in as_arr(s, "shared_params")?.iter().enumerate() {
+                b.shared_params
+                    .push(str_list(group, &format!("shared_params[{i}]"))?);
+            }
+        }
+    }
+
+    match v.get_field("kernel") {
+        Value::Null => {}
+        k => {
+            as_obj(k, "kernel")?;
+            let noise_floor = match k.get_field("noise_floor") {
+                Value::Null => return Err("kernel is missing `noise_floor`".into()),
+                other => as_num(other, "kernel.noise_floor")?,
+            };
+            let length_scales = match k.get_field("length_scales") {
+                Value::Null => Vec::new(),
+                other => num_list(other, "kernel.length_scales")?,
+            };
+            let signal_variance = match k.get_field("signal_variance") {
+                Value::Null => None,
+                other => Some(as_num(other, "kernel.signal_variance")?),
+            };
+            b.kernel = Some(KernelSpec {
+                noise_floor,
+                length_scales,
+                signal_variance,
+            });
+        }
+    }
+
+    match v.get_field("plan") {
+        Value::Null => {}
+        p => {
+            let stages_v = match p.get_field("stages") {
+                Value::Null => return Err("plan is missing `stages`".into()),
+                other => other,
+            };
+            let mut stages = Vec::new();
+            for (si, stage) in as_arr(stages_v, "plan.stages")?.iter().enumerate() {
+                let mut searches = Vec::new();
+                for (gi, s) in as_arr(stage, &format!("plan.stages[{si}]"))?
+                    .iter()
+                    .enumerate()
+                {
+                    searches.push(parse_search(s, si, gi)?);
+                }
+                stages.push(searches);
+            }
+            b.plan = Some(PlanSpec { stages });
+        }
+    }
+
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"{
+        "params": [
+            {"name": "tb", "kind": "integer", "lo": 1, "hi": 32, "default": 8},
+            {"name": "lr", "kind": "real", "lo": 0.0, "hi": 1.0},
+            {"name": "vec", "kind": "ordinal", "values": [1, 2, 4]},
+            {"name": "impl", "kind": "categorical", "options": ["cuda", "hip"]}
+        ],
+        "constraints": [{"name": "smem", "expr": "tb * 64 <= 2048"}],
+        "routines": ["A", "B"],
+        "owners": {"tb": "A"},
+        "scores": {"tb": [0.9, 0.1], "lr": [0.2, 0.8]},
+        "cutoff": 0.3,
+        "max_dims": 6,
+        "precedence": ["A"],
+        "shared_params": [["tb"]],
+        "kernel": {"noise_floor": 1e-6, "length_scales": [0.3], "signal_variance": 1.0},
+        "plan": {"stages": [[{"name": "G1", "params": ["tb"], "routines": ["A"]}]]}
+    }"#;
+
+    #[test]
+    fn full_plan_loads() {
+        let b = load_str(FULL).expect("full plan loads");
+        assert_eq!(b.params.len(), 4);
+        assert_eq!(b.params[0].default, Some(8.0));
+        assert_eq!(b.constraints.len(), 1);
+        assert_eq!(b.cutoff, 0.3);
+        assert_eq!(b.max_dims, 6);
+        assert_eq!(b.precedence, vec!["A".to_string()]);
+        assert_eq!(b.shared_params, vec![vec!["tb".to_string()]]);
+        let g = b.graph.as_ref().expect("graph built");
+        assert_eq!(g.routines().len(), 2);
+        let ti = g.param_index("tb").expect("tb present");
+        assert_eq!(g.score_at(ti, 0), 0.9);
+        let k = b.kernel.as_ref().expect("kernel present");
+        assert_eq!(k.noise_floor, 1e-6);
+        let plan = b.plan.as_ref().expect("plan present");
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!(plan.stages[0][0].name, "G1");
+        assert!(b.unresolved.is_empty());
+    }
+
+    #[test]
+    fn minimal_plan_uses_defaults() {
+        let b = load_str(r#"{"params": []}"#).expect("minimal plan loads");
+        assert_eq!(b.cutoff, 0.25);
+        assert_eq!(b.max_dims, 10);
+        assert!(b.graph.is_none());
+        assert!(b.plan.is_none());
+    }
+
+    #[test]
+    fn dangling_names_deferred_not_fatal() {
+        let b = load_str(
+            r#"{
+                "params": [{"name": "a", "kind": "real", "lo": 0, "hi": 1}],
+                "routines": ["R"],
+                "owners": {"ghost": "R"},
+                "scores": {"phantom": [0.5]}
+            }"#,
+        )
+        .expect("dangling names are deferred");
+        assert_eq!(b.unresolved.len(), 2);
+        assert!(b.unresolved.iter().any(|u| u.context == "owners"));
+        assert!(b.unresolved.iter().any(|u| u.context == "scores"));
+    }
+
+    #[test]
+    fn structural_errors_are_fatal() {
+        assert!(load_str("not json").is_err());
+        assert!(load_str(r#"{"params": [{"kind": "real"}]}"#).is_err());
+        assert!(load_str(r#"{"params": [{"name": "a", "kind": "weird"}]}"#).is_err());
+        assert!(
+            load_str(r#"{"params": [{"name": "a", "kind": "real", "lo": "x", "hi": 1}]}"#).is_err()
+        );
+        // wrong-length score row is structural (set_scores would assert)
+        assert!(load_str(
+            r#"{"params": [{"name": "a", "kind": "real", "lo": 0, "hi": 1}],
+                "routines": ["R", "S"], "scores": {"a": [0.5]}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn invalid_domains_still_load() {
+        // Semantically invalid (lo > hi) but structurally fine: S002's job.
+        let b = load_str(r#"{"params": [{"name": "a", "kind": "integer", "lo": 9, "hi": 1}]}"#)
+            .expect("invalid domains load");
+        assert!(b.params[0].def.validate().is_err());
+    }
+}

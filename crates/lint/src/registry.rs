@@ -1,0 +1,176 @@
+//! The [`Lint`] trait, the rule [`Registry`], and the [`Report`] a run
+//! produces.
+//!
+//! Adding a new rule is one file under `src/rules/`: implement [`Lint`],
+//! then register the rule in [`Registry::with_default_rules`].
+
+use crate::bundle::PlanBundle;
+use crate::diag::{Diagnostic, Severity};
+
+/// One static-analysis rule over a [`PlanBundle`].
+///
+/// Rules must be pure and total: no objective evaluations, no I/O, and
+/// **no panics** — a rule that cannot analyze part of a bundle (e.g. the
+/// graph is missing, or a constraint does not parse) skips it silently or
+/// emits a diagnostic, never unwinds. This contract is enforced by the
+/// crate's property tests, which feed arbitrary bundles to the full
+/// registry.
+pub trait Lint {
+    /// Stable rule name (kebab-case), e.g. `"duplicate-params"`.
+    fn name(&self) -> &'static str;
+
+    /// Diagnostic codes this rule can emit (for `--explain`-style docs).
+    fn codes(&self) -> &'static [&'static str];
+
+    /// Analyze the bundle, pushing findings into `out`.
+    fn check(&self, bundle: &PlanBundle, out: &mut Vec<Diagnostic>);
+}
+
+/// The outcome of running a registry over a bundle.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in rule-registration then emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of error-level findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-level findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The highest severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// All findings with the given code (for tests).
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Does any finding carry `code`?
+    pub fn has_code(&self, code: &str) -> bool {
+        self.with_code(code).next().is_some()
+    }
+}
+
+/// An ordered collection of rules.
+pub struct Registry {
+    rules: Vec<Box<dyn Lint>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { rules: Vec::new() }
+    }
+
+    /// Every built-in rule, in code order.
+    pub fn with_default_rules() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(crate::rules::duplicate_params::DuplicateParams));
+        r.register(Box::new(crate::rules::bounds::Bounds));
+        r.register(Box::new(crate::rules::defaults::DefaultsInBounds));
+        r.register(Box::new(
+            crate::rules::constraints::ConstraintSatisfiability,
+        ));
+        r.register(Box::new(crate::rules::unknown_refs::UnknownRefs));
+        r.register(Box::new(crate::rules::cycles::GraphCycles));
+        r.register(Box::new(crate::rules::orphans::OrphanedParams));
+        r.register(Box::new(crate::rules::dim_cap::DimensionCap));
+        r.register(Box::new(crate::rules::shared::SharedParamOwnership));
+        r.register(Box::new(crate::rules::kernel_psd::KernelPsd));
+        r.register(Box::new(crate::rules::nonfinite::NonFiniteInputs));
+        r.register(Box::new(crate::rules::zero_variance::ZeroVariance));
+        r
+    }
+
+    /// Add a rule (runs after all previously registered ones).
+    pub fn register(&mut self, rule: Box<dyn Lint>) {
+        self.rules.push(rule);
+    }
+
+    /// Registered rule names, in order.
+    pub fn rule_names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Run every rule over `bundle`.
+    pub fn run(&self, bundle: &PlanBundle) -> Report {
+        let mut diagnostics = Vec::new();
+        for rule in &self.rules {
+            rule.check(bundle, &mut diagnostics);
+        }
+        Report { diagnostics }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_default_rules()
+    }
+}
+
+/// Convenience: run the default registry over a bundle.
+pub fn lint(bundle: &PlanBundle) -> Report {
+    Registry::with_default_rules().run(bundle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_has_every_code_family() {
+        let r = Registry::with_default_rules();
+        let codes: Vec<&str> = r
+            .rules
+            .iter()
+            .flat_map(|l| l.codes().iter().copied())
+            .collect();
+        for c in [
+            "S001", "S002", "S003", "S004", "S005", "G001", "G002", "G003", "G004", "N001", "N002",
+            "N003",
+        ] {
+            assert!(codes.contains(&c), "missing rule for {c}");
+        }
+    }
+
+    #[test]
+    fn empty_bundle_is_clean() {
+        let report = lint(&PlanBundle::default());
+        assert_eq!(report.errors(), 0, "{:?}", report.diagnostics);
+        assert!(report.max_severity().is_none() || report.errors() == 0);
+    }
+
+    #[test]
+    fn report_counters() {
+        use crate::diag::Location;
+        let mut rep = Report::default();
+        rep.diagnostics
+            .push(Diagnostic::error("S001", Location::Plan, "x"));
+        rep.diagnostics
+            .push(Diagnostic::warning("G002", Location::Plan, "y"));
+        assert_eq!(rep.errors(), 1);
+        assert_eq!(rep.warnings(), 1);
+        assert!(!rep.is_clean());
+        assert_eq!(rep.max_severity(), Some(Severity::Error));
+        assert!(rep.has_code("S001"));
+        assert!(!rep.has_code("S002"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Render a [`Report`] for humans or machines.
+
+use crate::diag::Diagnostic;
+use crate::registry::Report;
+use serde::Value;
+
+/// Rustc-style plain-text rendering:
+///
+/// ```text
+/// error[S001]: duplicate parameter `tb`
+///   --> param `tb`
+///   help: parameter names must be unique; rename or remove one definition
+/// ```
+pub fn render_human(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(s, "{}[{}]: {}", d.severity, d.code, d.message);
+        let _ = writeln!(s, "  --> {}", d.location);
+        if let Some(h) = &d.help {
+            let _ = writeln!(s, "  help: {h}");
+        }
+    }
+    let _ = write!(
+        s,
+        "lint: {} error(s), {} warning(s)",
+        report.errors(),
+        report.warnings()
+    );
+    s
+}
+
+fn diagnostic_value(d: &Diagnostic) -> Value {
+    let mut loc = vec![("kind".to_string(), Value::String(d.location.kind().into()))];
+    if let Some(n) = d.location.name() {
+        loc.push(("name".to_string(), Value::String(n.into())));
+    }
+    let mut fields = vec![
+        ("code".to_string(), Value::String(d.code.into())),
+        (
+            "severity".to_string(),
+            Value::String(d.severity.label().into()),
+        ),
+        ("location".to_string(), Value::Object(loc)),
+        ("message".to_string(), Value::String(d.message.clone())),
+    ];
+    if let Some(h) = &d.help {
+        fields.push(("help".to_string(), Value::String(h.clone())));
+    }
+    Value::Object(fields)
+}
+
+/// Machine-readable JSON rendering (stable field names):
+///
+/// ```text
+/// {"errors": 1, "warnings": 0, "diagnostics": [{"code": "S001", ...}]}
+/// ```
+pub fn render_json(report: &Report) -> String {
+    let v = Value::Object(vec![
+        ("errors".to_string(), Value::UInt(report.errors() as u64)),
+        (
+            "warnings".to_string(),
+            Value::UInt(report.warnings() as u64),
+        ),
+        (
+            "diagnostics".to_string(),
+            Value::Array(report.diagnostics.iter().map(diagnostic_value).collect()),
+        ),
+    ]);
+    serde_json::to_string_pretty(&v)
+        .unwrap_or_else(|e| format!("{{\"error\":\"report rendering failed: {e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, Location};
+
+    fn sample_report() -> Report {
+        Report {
+            diagnostics: vec![
+                Diagnostic::error(
+                    "S001",
+                    Location::Param("tb".into()),
+                    "duplicate parameter `tb`",
+                )
+                .with_help("rename one"),
+                Diagnostic::warning("G002", Location::Graph, "orphaned"),
+            ],
+        }
+    }
+
+    #[test]
+    fn human_rendering_has_codes_and_counts() {
+        let s = render_human(&sample_report());
+        assert!(s.contains("error[S001]"));
+        assert!(s.contains("warning[G002]"));
+        assert!(s.contains("--> param `tb`"));
+        assert!(s.contains("help: rename one"));
+        assert!(s.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_rendering_roundtrips() {
+        let s = render_json(&sample_report());
+        let v = serde_json::parse_value(&s).expect("reporter emits valid JSON");
+        assert_eq!(v.get_field("errors").as_u64().unwrap(), 1);
+        assert_eq!(v.get_field("warnings").as_u64().unwrap(), 1);
+        let diags = v.get_field("diagnostics").as_array().unwrap();
+        assert_eq!(diags.len(), 2);
+        assert!(matches!(
+            diags[0].get_field("code"),
+            serde::Value::String(c) if c == "S001"
+        ));
+        assert!(matches!(
+            diags[0].get_field("location").get_field("name"),
+            serde::Value::String(n) if n == "tb"
+        ));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let rep = Report::default();
+        assert!(render_human(&rep).contains("0 error(s)"));
+        let v = serde_json::parse_value(&render_json(&rep)).unwrap();
+        assert_eq!(v.get_field("diagnostics").as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Built-in rules, one module per rule.
+//!
+//! | Module | Codes | Checks |
+//! |---|---|---|
+//! | [`duplicate_params`] | `S001` | duplicate / shadowed parameter and routine names |
+//! | [`bounds`] | `S002` | empty, inverted or non-finite domains |
+//! | [`defaults`] | `S003` | defaults outside their parameter's domain |
+//! | [`constraints`] | `S004` | constraints no probe sample satisfies |
+//! | [`unknown_refs`] | `S005` | references to undeclared parameters / routines |
+//! | [`cycles`] | `G001` | influence-graph cycles not resolved by merging |
+//! | [`orphans`] | `G002` | tuned parameters orphaned by the cut-off |
+//! | [`dim_cap`] | `G003` | searches exceeding the dimension cap |
+//! | [`shared`] | `G004` | shared-kernel parameters tuned in several searches |
+//! | [`kernel_psd`] | `N001` | PSD-fragile GP kernel configuration |
+//! | [`nonfinite`] | `N002` | NaN/Inf scores, cut-offs or defaults |
+//! | [`zero_variance`] | `N003` | zero-variance dimensions fed to the statistics |
+
+pub mod bounds;
+pub mod constraints;
+pub mod cycles;
+pub mod defaults;
+pub mod dim_cap;
+pub mod duplicate_params;
+pub mod kernel_psd;
+pub mod nonfinite;
+pub mod orphans;
+pub mod shared;
+pub mod unknown_refs;
+pub mod zero_variance;

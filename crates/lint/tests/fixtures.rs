@@ -1,0 +1,120 @@
+//! End-to-end fixture tests: every acceptance-criteria code is detected in
+//! a real plan file loaded from disk, and the clean exemplar plan passes.
+
+use cets_lint::{lint, load_path, render_human, render_json, Report, Severity};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> Report {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let bundle = load_path(&path).unwrap_or_else(|e| panic!("{name} should load: {e}"));
+    lint(&bundle)
+}
+
+fn assert_code(report: &Report, code: &str, severity: Severity) {
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("expected {code}, got:\n{}", render_human(report)));
+    assert_eq!(d.severity, severity, "{code} severity");
+}
+
+#[test]
+fn duplicate_param_is_s001() {
+    let r = fixture("dup_param.json");
+    assert_code(&r, "S001", Severity::Error);
+}
+
+#[test]
+fn inverted_bounds_is_s002() {
+    let r = fixture("inverted_bounds.json");
+    assert_code(&r, "S002", Severity::Error);
+    // Both the inverted integer and the inverted real are reported.
+    assert_eq!(r.diagnostics.iter().filter(|d| d.code == "S002").count(), 2);
+}
+
+#[test]
+fn default_out_of_bounds_is_s003() {
+    let r = fixture("default_oob.json");
+    assert_code(&r, "S003", Severity::Error);
+}
+
+#[test]
+fn unsatisfiable_constraint_is_s004() {
+    let r = fixture("unsat_constraint.json");
+    assert_code(&r, "S004", Severity::Warning);
+}
+
+#[test]
+fn unknown_references_are_s005() {
+    let r = fixture("unknown_ref.json");
+    assert_code(&r, "S005", Severity::Error);
+    // Both the constraint's `ghost` and the plan's `phantom` are caught.
+    assert!(r.diagnostics.iter().filter(|d| d.code == "S005").count() >= 2);
+}
+
+#[test]
+fn dag_cycle_is_g001() {
+    let r = fixture("cycle.json");
+    assert_code(&r, "G001", Severity::Error);
+}
+
+#[test]
+fn orphaned_param_is_g002() {
+    let r = fixture("orphan.json");
+    assert_code(&r, "G002", Severity::Warning);
+}
+
+#[test]
+fn dim_cap_violation_is_g003() {
+    let r = fixture("dim_cap.json");
+    assert_code(&r, "G003", Severity::Error);
+}
+
+#[test]
+fn shared_param_in_two_searches_is_g004() {
+    let r = fixture("shared_twice.json");
+    assert_code(&r, "G004", Severity::Error);
+}
+
+#[test]
+fn fragile_kernel_is_n001() {
+    let r = fixture("kernel_fragile.json");
+    assert_code(&r, "N001", Severity::Warning);
+}
+
+#[test]
+fn negative_cutoff_is_n002() {
+    let r = fixture("negative_cutoff.json");
+    assert_code(&r, "N002", Severity::Error);
+}
+
+#[test]
+fn zero_variance_is_n003() {
+    let r = fixture("zero_variance.json");
+    assert_code(&r, "N003", Severity::Warning);
+    assert_eq!(r.diagnostics.iter().filter(|d| d.code == "N003").count(), 2);
+}
+
+#[test]
+fn exemplar_plan_is_clean() {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/plans/tddft_plan.json");
+    let bundle = load_path(&path).expect("exemplar plan loads");
+    let report = lint(&bundle);
+    assert!(
+        report.is_clean(),
+        "exemplar should be clean:\n{}",
+        render_human(&report)
+    );
+}
+
+#[test]
+fn json_rendering_of_fixture_parses() {
+    let r = fixture("cycle.json");
+    let json = render_json(&r);
+    let v = serde_json::parse_value(&json).expect("valid JSON");
+    assert!(v.get_field("errors").as_u64().unwrap() >= 1);
+}

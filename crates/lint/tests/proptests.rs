@@ -1,0 +1,270 @@
+//! Property-based tests for the linter's core guarantees:
+//!
+//! 1. **Totality** — `lint` never panics, whatever hostile bundle it is
+//!    handed (NaN scores, inverted bounds, duplicate names, dangling
+//!    references, degenerate plans).
+//! 2. **Determinism** — the same bundle renders to the same report, byte
+//!    for byte, in both output formats.
+//! 3. **Reporter integrity** — the JSON rendering is always parseable and
+//!    its counters match the diagnostic list, even for adversarial names.
+//! 4. **Expression totality** — the constraint-expression parser never
+//!    panics on arbitrary input.
+//!
+//! The bundles are generated from a seed via an inline SplitMix64 so every
+//! pathological field combination is reachable without fighting strategy
+//! combinators.
+
+use cets_lint::{
+    lint, render_human, render_json, ConstraintSpec, KernelSpec, ParamSpec, PlanBundle, PlanSpec,
+    SearchSpec, Severity, UnresolvedRef,
+};
+use cets_space::ParamDef;
+use proptest::prelude::*;
+
+/// Deterministic 64-bit mixer (same scheme the S004 prober uses).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    /// Mix of ordinary and hostile floating-point values.
+    fn f64(&mut self) -> f64 {
+        match self.below(10) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -1.0,
+            4 => 0.0,
+            5 => 1e300,
+            _ => (self.next() % 2000) as f64 / 100.0 - 5.0,
+        }
+    }
+
+    fn name(&mut self) -> String {
+        const POOL: &[&str] = &[
+            "a",
+            "b",
+            "tb",
+            "zc_tb",
+            "p0",
+            "p1",
+            "dup",
+            "dup",
+            "",
+            "weird \"name\"\nwith\tescapes",
+            "ünïcode-参数",
+            "ghost",
+        ];
+        POOL[self.below(POOL.len())].to_string()
+    }
+
+    fn names(&mut self, max: usize) -> Vec<String> {
+        (0..self.below(max + 1)).map(|_| self.name()).collect()
+    }
+}
+
+fn arbitrary_def(rng: &mut Mix) -> ParamDef {
+    match rng.below(4) {
+        0 => ParamDef::Real {
+            lo: rng.f64(),
+            hi: rng.f64(),
+        },
+        1 => ParamDef::Integer {
+            lo: (rng.next() % 64) as i64 - 32,
+            hi: (rng.next() % 64) as i64 - 32,
+        },
+        2 => ParamDef::Ordinal {
+            values: (0..rng.below(4)).map(|_| rng.f64()).collect(),
+        },
+        _ => ParamDef::Categorical {
+            options: rng.names(3),
+        },
+    }
+}
+
+fn arbitrary_bundle(seed: u64) -> PlanBundle {
+    let mut rng = Mix(seed);
+    let params: Vec<ParamSpec> = (0..rng.below(7))
+        .map(|_| ParamSpec {
+            name: rng.name(),
+            def: arbitrary_def(&mut rng),
+            default: if rng.below(2) == 0 {
+                Some(rng.f64())
+            } else {
+                None
+            },
+        })
+        .collect();
+
+    const EXPRS: &[&str] = &[
+        "a + b <= 10",
+        "tb * tb <= 2048",
+        "a >= 10 and b >= 10",
+        "ghost + 1 <= 0",
+        "((",
+        "a +",
+        "1 <=",
+        "not an expression at all",
+        "",
+        "-a * (b + 2) < 7 or a == b",
+    ];
+    let constraints: Vec<ConstraintSpec> = (0..rng.below(4))
+        .map(|_| ConstraintSpec {
+            name: rng.name(),
+            expr: EXPRS[rng.below(EXPRS.len())].to_string(),
+        })
+        .collect();
+
+    let graph = if rng.below(3) > 0 {
+        let routines = rng.names(3);
+        let pnames: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
+        let mut g = cets_graph::InfluenceGraph::new(routines.clone(), pnames.clone());
+        for _ in 0..rng.below(6) {
+            let p = rng.name();
+            let r = rng.name();
+            let s = rng.f64();
+            let _ = g.set_score(&p, &r, s); // dangling names simply fail
+            let _ = g.set_owner(&p, &r);
+        }
+        for p in &pnames {
+            for r in &routines {
+                if rng.below(2) == 0 {
+                    let s = rng.f64();
+                    let _ = g.set_score(p, r, s);
+                }
+            }
+        }
+        Some(g)
+    } else {
+        None
+    };
+
+    let plan = if rng.below(2) == 0 {
+        Some(PlanSpec {
+            stages: (0..rng.below(4))
+                .map(|_| {
+                    (0..rng.below(3))
+                        .map(|_| SearchSpec {
+                            name: rng.name(),
+                            params: rng.names(12),
+                            routines: rng.names(3),
+                        })
+                        .collect()
+                })
+                .collect(),
+        })
+    } else {
+        None
+    };
+
+    PlanBundle {
+        params,
+        constraints,
+        graph,
+        cutoff: rng.f64(),
+        max_dims: rng.below(14),
+        precedence: rng.names(3),
+        shared_params: (0..rng.below(3)).map(|_| rng.names(3)).collect(),
+        kernel: if rng.below(2) == 0 {
+            Some(KernelSpec {
+                noise_floor: rng.f64(),
+                length_scales: (0..rng.below(4)).map(|_| rng.f64()).collect(),
+                signal_variance: if rng.below(2) == 0 {
+                    Some(rng.f64())
+                } else {
+                    None
+                },
+            })
+        } else {
+            None
+        },
+        plan,
+        unresolved: (0..rng.below(3))
+            .map(|_| UnresolvedRef {
+                context: rng.name(),
+                name: rng.name(),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lint_is_total_on_hostile_bundles(seed in 0u64..u64::MAX) {
+        let bundle = arbitrary_bundle(seed);
+        let report = lint(&bundle); // must not panic
+        // Counters are consistent with the diagnostic list.
+        let errors = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        prop_assert_eq!(report.errors(), errors);
+        prop_assert_eq!(report.warnings(), warnings);
+        prop_assert_eq!(report.is_clean(), report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn lint_is_deterministic(seed in 0u64..u64::MAX) {
+        let bundle = arbitrary_bundle(seed);
+        let a = lint(&bundle);
+        let b = lint(&bundle);
+        prop_assert_eq!(render_human(&a), render_human(&b));
+        prop_assert_eq!(render_json(&a), render_json(&b));
+    }
+
+    #[test]
+    fn json_rendering_always_parses(seed in 0u64..u64::MAX) {
+        let bundle = arbitrary_bundle(seed);
+        let report = lint(&bundle);
+        let json = render_json(&report);
+        let v = serde_json::parse_value(&json)
+            .map_err(|e| format!("unparseable report JSON: {e}\n{json}"))?;
+        prop_assert_eq!(
+            v.get_field("errors").as_u64().map_err(|e| e.to_string())?,
+            report.errors() as u64
+        );
+        prop_assert_eq!(
+            v.get_field("diagnostics")
+                .as_array()
+                .map_err(|e| e.to_string())?
+                .len(),
+            report.diagnostics.len()
+        );
+    }
+
+    #[test]
+    fn expr_parser_is_total(seed in 0u64..u64::MAX) {
+        // Random byte soup over an expression-flavoured alphabet.
+        let mut rng = Mix(seed);
+        const ALPHABET: &[u8] = b"abx01 +-*/()<>=!&|.eand or not\t";
+        let len = rng.below(40);
+        let s: String = (0..len)
+            .map(|_| ALPHABET[rng.below(ALPHABET.len())] as char)
+            .collect();
+        let _ = cets_lint::expr::parse(&s); // must not panic
+        if let Ok(e) = cets_lint::expr::parse(&s) {
+            // Evaluation is total too, whatever the variable bindings.
+            let _ = e.eval(&|_| Some(1.0));
+            let _ = e.eval(&|_| None);
+            let _ = e.eval(&|_| Some(f64::NAN));
+        }
+    }
+}

@@ -481,7 +481,7 @@ impl Objective for TddftSimulator {
         pairs.push(("nstreams".into(), rng.random_range(1..=32) as f64));
         for (k, _) in KERNELS {
             let s = k.short();
-            let u = [1.0, 2.0, 4.0, 8.0][rng.random_range(0..4)];
+            let u = [1.0, 2.0, 4.0, 8.0][rng.random_range(0..4usize)];
             let tb = (rng.random_range(1..=32) * 32) as f64;
             let max_tb_sm = ((2048.0 / tb) as i64).clamp(1, 32);
             let tb_sm = rng.random_range(1..=max_tb_sm) as f64;

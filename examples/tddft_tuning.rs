@@ -45,6 +45,7 @@ fn main() {
         },
         evals_per_dim: 10,
         parallel: true,
+        ..Default::default()
     });
 
     let owners = TddftSimulator::owners();

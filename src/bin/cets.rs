@@ -4,12 +4,16 @@
 //! cets synthetic --case 3 [--cutoff 0.25] [--evals-per-dim 10] [--seed 0] [--report out.md]
 //! cets tddft --case 1 [--cutoff 0.10] [--evals-per-dim 10] [--seed 0] [--report out.md]
 //!                    [--db out.json]
+//! cets lint <plan.json> [--format human|json] [--deny-warnings]
 //! cets help
 //! ```
 //!
 //! Runs the full pipeline (sensitivity → DAG → plan → staged BO execution)
 //! on one of the two built-in evaluation targets and prints (optionally
-//! writes) the markdown tuning report.
+//! writes) the markdown tuning report. `cets lint` statically validates a
+//! plan-bundle file (search space + influence DAG + staged plan + kernel)
+//! without evaluating anything; exit code 0 means the plan passed, 1 means
+//! diagnostics denied it, 2 means the file could not be read or parsed.
 
 use cets::core::{
     render_markdown, BoConfig, Methodology, MethodologyConfig, Objective, VariationPolicy,
@@ -28,9 +32,17 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let value = raw.get(i + 1).cloned().unwrap_or_default();
-                flags.push((name.to_string(), value));
-                i += 2;
+                // A flag followed by another flag (or nothing) is boolean.
+                match raw.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(value) => {
+                        flags.push((name.to_string(), value.clone()));
+                        i += 2;
+                    }
+                    None => {
+                        flags.push((name.to_string(), String::new()));
+                        i += 1;
+                    }
+                }
             } else {
                 i += 1;
             }
@@ -60,6 +72,7 @@ fn usage() {
     eprintln!("USAGE:");
     eprintln!("  cets synthetic --case <1..5> [options]   tune a synthetic function");
     eprintln!("  cets tddft     --case <1|2>  [options]   tune the RT-TDDFT simulator");
+    eprintln!("  cets lint      <plan.json>   [options]   statically validate a plan bundle");
     eprintln!();
     eprintln!("OPTIONS:");
     eprintln!("  --cutoff <f>         influence cut-off (default: 0.25 synthetic, 0.10 tddft)");
@@ -67,6 +80,10 @@ fn usage() {
     eprintln!("  --seed <n>           RNG seed (default 0)");
     eprintln!("  --report <path>      also write the markdown report to a file");
     eprintln!("  --db <path>          (tddft) save the evaluation database as JSON");
+    eprintln!();
+    eprintln!("LINT OPTIONS:");
+    eprintln!("  --format <human|json>  output format (default human)");
+    eprintln!("  --deny-warnings        exit non-zero on warnings, not just errors");
 }
 
 fn run_pipeline<O: Objective>(
@@ -160,7 +177,13 @@ fn main() -> ExitCode {
             // paper's log-scale objective.
             let exec_f = SyntheticFunction::new(case).with_seed(seed);
             let pairs = SyntheticFunction::owner_pairs(&owners);
-            let baseline = analysis.space().decode(&[0.6; 20]).unwrap();
+            let baseline = match analysis.space().decode(&[0.6; 20]) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error building the analysis baseline: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let default_value = exec_f.evaluate(&exec_f.default_config()).total;
             eprintln!(
                 "analyzing {} (untuned objective: {default_value:.4})...",
@@ -233,6 +256,35 @@ fn main() -> ExitCode {
                 args.get_str("report"),
                 args.get_str("db"),
             )
+        }
+        "lint" => {
+            let Some(path) = raw.get(1).filter(|p| !p.starts_with("--")) else {
+                eprintln!("usage: cets lint <plan.json> [--format human|json] [--deny-warnings]");
+                return ExitCode::from(2);
+            };
+            let bundle = match cets::lint::load_path(std::path::Path::new(path)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let report = cets::lint::lint(&bundle);
+            match args.get_str("format").unwrap_or("human") {
+                "json" => println!("{}", cets::lint::render_json(&report)),
+                "human" => println!("{}", cets::lint::render_human(&report)),
+                other => {
+                    eprintln!("unknown --format {other} (expected human or json)");
+                    return ExitCode::from(2);
+                }
+            }
+            let deny_warnings = raw.iter().any(|a| a == "--deny-warnings");
+            let denied = report.errors() > 0 || (deny_warnings && report.warnings() > 0);
+            if denied {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         "help" | "--help" | "-h" => {
             usage();

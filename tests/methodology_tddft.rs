@@ -28,6 +28,7 @@ fn tddft_methodology(seed: u64, evals_per_dim: usize) -> Methodology {
         bo: quick_bo(seed),
         evals_per_dim,
         parallel: true,
+        ..Default::default()
     })
 }
 

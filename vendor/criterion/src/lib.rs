@@ -1,0 +1,210 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements just enough of the criterion 0.5 API surface for the
+//! workspace benches to compile and run: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Timing model: each registered benchmark closure is run a small,
+//! fixed number of iterations (after one warm-up call) and the mean
+//! wall-clock time per iteration is printed. There is no statistical
+//! analysis, outlier rejection, or HTML report — this harness exists
+//! so `cargo bench` (and `cargo test --benches`) work in an offline
+//! build environment.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Per-iteration measurement state handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up call, untimed.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style identifier.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier made from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark registry / runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: group_name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the iteration count used for each benchmark in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark under `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finalises the group (no-op in this harness).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, iters: usize, f: &mut F) {
+    let mut b = Bencher::new(iters as u64);
+    f(&mut b);
+    let per_iter = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {id:<50} {per_iter:>12?}/iter ({iters} iters)");
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        // warm-up + sample_size iterations
+        assert!(ran >= DEFAULT_SAMPLE_SIZE as u64);
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &v| {
+            b.iter(|| total += v)
+        });
+        group.finish();
+        assert!(total >= 21);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

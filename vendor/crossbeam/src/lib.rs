@@ -1,0 +1,69 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Only the `crossbeam::thread::scope` API used by the workspace is
+//! provided. One semantic difference: where crossbeam returns `Err` from
+//! `scope` when a child thread panicked, `std::thread::scope` resumes the
+//! panic on join — so the `Err` branch here is unreachable in practice and
+//! callers' `.expect(..)` never fires (the original panic propagates
+//! instead, which is strictly more informative).
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Handle passed to the scope closure; spawn children through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// nested spawns are possible (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which child threads may borrow from the
+    /// enclosing stack frame; all children are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let mut data = vec![0u64; 8];
+        super::thread::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i as u64 * 2;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline vendored serde facade.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the tiny subset of serde's surface the workspace uses: `Serialize` /
+//! `Deserialize` traits (implemented via the re-exported derive macros in
+//! `serde_derive`) over a JSON-shaped [`Value`] tree. The sibling
+//! `serde_json` stand-in renders/parses [`Value`] as real JSON text.
+//!
+//! Design notes:
+//! * Numbers keep their integer/float identity ([`Value::Int`],
+//!   [`Value::UInt`], [`Value::Float`]) so `u64` seeds and checkpoint
+//!   counters round-trip exactly.
+//! * Objects preserve insertion order (`Vec<(String, Value)>`), which keeps
+//!   serialized reports stable and diff-friendly.
+//! * Non-finite floats serialize as `null` (JSON has no NaN/Inf) and
+//!   deserialize back as `f64::NAN`, matching serde_json's lossy default.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the interchange format between the derive
+/// macros and the `serde_json` renderer/parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent, fits `i64`).
+    Int(i64),
+    /// Unsigned integer beyond `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable path + expectation message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Build an error describing an unexpected value shape.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl Value {
+    /// Short name of the value's JSON kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up an object field, yielding `Null` for absent keys (derive
+    /// code paths treat missing and null alike).
+    pub fn get_field(&self, name: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// View as an array slice.
+    pub fn as_array(&self) -> Result<&[Value], DeError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+
+    /// View an externally-tagged enum value: `{"Variant": inner}`.
+    pub fn as_variant(&self) -> Result<(&str, &Value), DeError> {
+        match self {
+            Value::Object(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
+            other => Err(DeError::expected("single-key enum object", other)),
+        }
+    }
+
+    /// Numeric view accepting any number variant.
+    pub fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Float(f) => Ok(*f),
+            // serde_json with default float handling writes NaN as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+
+    /// Integer view (rejects fractional floats).
+    pub fn as_i64(&self) -> Result<i64, DeError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::UInt(u) => {
+                i64::try_from(*u).map_err(|_| DeError(format!("integer {u} out of i64 range")))
+            }
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i64),
+            other => Err(DeError::expected("integer", other)),
+        }
+    }
+
+    /// Unsigned integer view.
+    pub fn as_u64(&self) -> Result<u64, DeError> {
+        match self {
+            Value::Int(i) => {
+                u64::try_from(*i).map_err(|_| DeError(format!("integer {i} out of u64 range")))
+            }
+            Value::UInt(u) => Ok(*u),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() && *f >= 0.0 => Ok(*f as u64),
+            other => Err(DeError::expected("unsigned integer", other)),
+        }
+    }
+}
+
+/// Conversion into the [`Value`] interchange tree.
+pub trait Serialize {
+    /// Render `self` as a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] interchange tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of `v`.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(*self),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        (*self as u64).serialize()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64()?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Deserialize for u64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_u64()
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let u = v.as_u64()?;
+        usize::try_from(u).map_err(|_| DeError(format!("{u} out of range for usize")))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_array()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array()?;
+        if items.len() != 2 {
+            return Err(DeError(format!("expected 2-tuple, found {}", items.len())));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array()?;
+        if items.len() != 3 {
+            return Err(DeError(format!("expected 3-tuple, found {}", items.len())));
+        }
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_views() {
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Float(3.0).as_i64().unwrap(), 3);
+        assert!(Value::Float(3.5).as_i64().is_err());
+        assert_eq!(Value::UInt(u64::MAX).as_u64().unwrap(), u64::MAX);
+        assert!(Value::Int(-1).as_u64().is_err());
+    }
+
+    #[test]
+    fn roundtrip_std_types() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(u64::MAX)];
+        let tree = v.serialize();
+        let back: Vec<Option<u64>> = Deserialize::deserialize(&tree).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn missing_field_is_null() {
+        let obj = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(obj.get_field("a"), &Value::Int(1));
+        assert_eq!(obj.get_field("b"), &Value::Null);
+    }
+
+    #[test]
+    fn variant_view() {
+        let v = Value::Object(vec![("Real".into(), Value::Float(1.5))]);
+        let (tag, inner) = v.as_variant().unwrap();
+        assert_eq!(tag, "Real");
+        assert_eq!(inner, &Value::Float(1.5));
+        assert!(Value::Null.as_variant().is_err());
+    }
+}

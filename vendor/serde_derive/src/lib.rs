@@ -1,0 +1,396 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implements the derive macros for the vendored serde facade without
+//! `syn`/`quote`: the input item is parsed with a small hand-rolled walker
+//! over `proc_macro::TokenStream` (enough for non-generic structs with
+//! named fields and enums with unit/tuple/struct variants — everything the
+//! workspace derives), and the impl is emitted as a string.
+//!
+//! Representation matches serde's externally-tagged default:
+//! * struct        → `{"field": ...}`
+//! * unit variant  → `"Variant"`
+//! * newtype       → `{"Variant": inner}`
+//! * tuple variant → `{"Variant": [..]}`
+//! * struct variant→ `{"Variant": {..}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f})),"
+                ));
+            }
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::serialize(f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(",");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}{{{binds}}} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))]),",
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(v.get_field(\"{f}\"))\
+                         .map_err(|e| ::serde::DeError(\
+                         ::std::format!(\"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(""))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(inner)\
+                         .map_err(|e| ::serde::DeError(\
+                         ::std::format!(\"{name}::{vn}: {{e}}\")))?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize(&items[{i}])\
+                                     .map_err(|e| ::serde::DeError(\
+                                     ::std::format!(\"{name}::{vn}.{i}: {{e}}\")))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\
+                                 let items = inner.as_array()?;\
+                                 if items.len() != {n} {{\
+                                     return ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"{name}::{vn}: expected {n} fields, \
+                                     found {{}}\", items.len())));\
+                                 }}\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\
+                             }},",
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(\
+                                     inner.get_field(\"{f}\"))\
+                                     .map_err(|e| ::serde::DeError(\
+                                     ::std::format!(\"{name}::{vn}.{f}: {{e}}\")))?,"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                            inits.join("")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(s) = v {{\
+                     return match s.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"unknown variant {{other}} of {name}\"))),\
+                     }};\
+                 }}\
+                 let (tag, inner) = v.as_variant()?;\
+                 let _ = inner;\
+                 match tag {{\
+                     {tagged_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError(\
+                     ::std::format!(\"unknown variant {{other}} of {name}\"))),\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes / visibility / doc comments until `struct` or `enum`.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc. — skip (the group after pub is
+                // consumed by the Group arm below on the next spin).
+            }
+            Some(TokenTree::Group(_)) => {} // pub(crate) payload
+            Some(_) => {}
+            None => panic!("derive: no struct/enum found"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, got {other:?}"),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic types ({name})");
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde derive does not support tuple structs ({name})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("vendored serde derive does not support unit structs ({name})")
+            }
+            Some(_) => {}
+            None => panic!("derive: no body found for {name}"),
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    (name, shape)
+}
+
+/// Field names of a `{ a: T, pub b: U, ... }` body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    'outer: loop {
+        // Skip leading attributes.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility.
+        if matches!(&iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                &iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("derive: expected field name, got {other}"),
+            None => break 'outer,
+        };
+        fields.push(name);
+        // Skip `: Type` until a top-level comma (angle-bracket aware).
+        let mut angle: i32 = 0;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break 'outer,
+            }
+        }
+    }
+    fields
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    'outer: loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("derive: expected variant name, got {other}"),
+            None => break 'outer,
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the next top-level comma (covers discriminants).
+        let mut angle: i32 = 0;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break 'outer,
+            }
+        }
+    }
+    variants
+}
+
+/// Number of comma-separated items at the top level of a token stream
+/// (angle-bracket aware); 0 for an empty stream.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut items = 0usize;
+    let mut saw_any = false;
+    for t in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => items += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        // Trailing comma yields the same count as no trailing comma only
+        // when the last item is non-empty; good enough for derive input,
+        // which rustc has already validated.
+        items + 1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,245 @@
+//! Workspace automation. The only task so far is `lint-src`, the
+//! source-hygiene scanner:
+//!
+//! ```text
+//! cargo run -p xtask -- lint-src                   # check against the baseline
+//! cargo run -p xtask -- lint-src --update-baseline # ratchet the baseline down
+//! ```
+//!
+//! `lint-src` counts `unwrap()` / `expect(` / `panic!(` call sites in
+//! *library* code (`crates/*/src` and the root `src/`), compares the
+//! per-file counts against `xtask/lint-src-baseline.txt`, and fails if any
+//! file got **worse**. Files absent from the baseline are held to zero, so
+//! new code cannot introduce panic sites at all; existing debt can only
+//! shrink. `--update-baseline` rewrites the file with the current counts
+//! (use it after burning sites down — review the diff, it should only ever
+//! decrease).
+//!
+//! Exemptions:
+//! - `vendor/` (API stubs), `tests/`, `benches/`, `examples/` directories;
+//! - everything from the first `#[cfg(test)]` line of a file onward (this
+//!   workspace keeps unit-test modules at the file tail);
+//! - line comments and `///` docs.
+//!
+//! The counting is intentionally textual: it is a ratchet against *new*
+//! panic sites, not a parser. Matches inside string literals are possible
+//! but rare, and a false positive simply lands in the baseline once.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+const BASELINE: &str = "xtask/lint-src-baseline.txt";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint-src") => lint_src(args.iter().any(|a| a == "--update-baseline")),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint-src)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint-src [--update-baseline]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Workspace root = parent of the directory containing this crate's
+/// Cargo.toml.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if matches!(name.as_str(), "tests" | "benches" | "examples" | "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Count forbidden call sites in one file, skipping the `#[cfg(test)]`
+/// tail and line comments.
+fn count_sites(src: &str) -> usize {
+    let mut n = 0;
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break; // unit tests live at the file tail in this workspace
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        for p in PATTERNS {
+            n += code.matches(p).count();
+        }
+    }
+    n
+}
+
+fn scan(root: &Path) -> BTreeMap<String, usize> {
+    let mut files = Vec::new();
+    // Library crates: everything under crates/*/src.
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for krate in crates {
+            collect_rs_files(&krate.join("src"), &mut files);
+        }
+    }
+    // The umbrella crate's own sources (lib + binaries).
+    collect_rs_files(&root.join("src"), &mut files);
+
+    let mut counts = BTreeMap::new();
+    for f in files {
+        let Ok(src) = std::fs::read_to_string(&f) else {
+            continue;
+        };
+        let n = count_sites(&src);
+        if n > 0 {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            counts.insert(rel, n);
+        }
+    }
+    counts
+}
+
+fn read_baseline(path: &Path) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    let Ok(src) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((file, count)) = line.rsplit_once(' ') {
+            if let Ok(n) = count.parse::<usize>() {
+                map.insert(file.to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+fn lint_src(update: bool) -> ExitCode {
+    let root = workspace_root();
+    let counts = scan(&root);
+    let baseline_path = root.join(BASELINE);
+
+    if update {
+        let mut out = String::from(
+            "# Per-file unwrap()/expect(/panic!( counts in library sources.\n\
+             # Ratchet: counts may only decrease. Regenerate with\n\
+             #   cargo run -p xtask -- lint-src --update-baseline\n",
+        );
+        for (file, n) in &counts {
+            out.push_str(&format!("{file} {n}\n"));
+        }
+        if let Err(e) = std::fs::write(&baseline_path, out) {
+            eprintln!("lint-src: cannot write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint-src: baseline updated ({} files, {} sites)",
+            counts.len(),
+            counts.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = read_baseline(&baseline_path);
+    let mut failures = 0usize;
+    for (file, &n) in &counts {
+        let allowed = baseline.get(file).copied().unwrap_or(0);
+        if n > allowed {
+            eprintln!(
+                "lint-src: {file} has {n} unwrap()/expect(/panic!( site(s), baseline allows \
+                 {allowed} — return a typed error instead"
+            );
+            failures += 1;
+        }
+    }
+    // Improvement hint: stale baseline entries that could ratchet down.
+    for (file, &allowed) in &baseline {
+        let n = counts.get(file).copied().unwrap_or(0);
+        if n < allowed {
+            println!("lint-src: note: {file} improved ({allowed} -> {n}); baseline can ratchet");
+        }
+    }
+    let total: usize = counts.values().sum();
+    if failures > 0 {
+        eprintln!("lint-src: FAILED ({failures} file(s) worse than baseline)");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "lint-src: clean ({} files with {} grandfathered sites, none worse than baseline)",
+            counts.len(),
+            total
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_basic_sites() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"no\"); }\n";
+        assert_eq!(count_sites(src), 3);
+    }
+
+    #[test]
+    fn comments_and_test_tail_exempt() {
+        let src = "\
+fn f() {}
+// x.unwrap() in a comment
+let y = 1; // trailing .expect( comment
+#[cfg(test)]
+mod tests {
+    fn g() { x.unwrap(); panic!(\"fine in tests\"); }
+}
+";
+        assert_eq!(count_sites(src), 0);
+    }
+
+    #[test]
+    fn baseline_roundtrip_format() {
+        let dir = std::env::temp_dir().join("xtask-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("baseline.txt");
+        std::fs::write(&p, "# comment\ncrates/a/src/lib.rs 3\nsrc/bin/cets.rs 1\n").unwrap();
+        let m = read_baseline(&p);
+        assert_eq!(m.get("crates/a/src/lib.rs"), Some(&3));
+        assert_eq!(m.get("src/bin/cets.rs"), Some(&1));
+    }
+}
