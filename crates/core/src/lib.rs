@@ -55,7 +55,7 @@ pub use methodology::{
     build_graph, execute_plan, LintPolicy, Methodology, MethodologyConfig, MethodologyReport,
     PlanExecution, PlannedSearch, SearchPlan, SearchTarget,
 };
-pub use objective::{CountingObjective, Objective, Observation};
+pub use objective::{ContractedObjective, CountingObjective, Objective, Observation};
 pub use random_search::{random_search, RandomSearchConfig};
 pub use report::render_markdown;
 pub use sensitivity::{routine_sensitivity, VariationPolicy};

@@ -194,6 +194,17 @@ pub struct MethodologyConfig {
     pub parallel: bool,
     /// How strictly the pre-execution linter gates [`Methodology::run`].
     pub lint: LintPolicy,
+    /// Statically contract the search box before execution.
+    ///
+    /// When on, [`Methodology::run`] feeds the analysis result through
+    /// `cets-lint`'s abstract-interpretation engine and replaces every
+    /// parameter domain that the constraints *provably* narrow with its
+    /// contracted version (see [`Methodology::contracted_space`]). The
+    /// contraction is sound — no constraint-satisfying configuration is
+    /// excluded — so the only effect on the search is a denser supply of
+    /// valid candidates for the BO rejection sampler. A box proved empty
+    /// is rejected with [`CoreError::Lint`] before any budget is spent.
+    pub contract_bounds: bool,
 }
 
 impl Default for MethodologyConfig {
@@ -208,6 +219,7 @@ impl Default for MethodologyConfig {
             evals_per_dim: 10,
             parallel: true,
             lint: LintPolicy::default(),
+            contract_bounds: false,
         }
     }
 }
@@ -458,6 +470,74 @@ impl Methodology {
         }
     }
 
+    /// The statically contracted search space for this analysis result,
+    /// when the abstract-interpretation engine narrows anything.
+    ///
+    /// Runs `cets-lint`'s interval analysis over the same bundle the lint
+    /// gate sees and rebuilds the objective's [`cets_space::SearchSpace`]
+    /// (same parameters, same constraint predicates) with every provably
+    /// tightened domain applied. Returns:
+    ///
+    /// * `Ok(None)` — nothing narrowed (or the bundle was not analyzable):
+    ///   execute against the original space;
+    /// * `Ok(Some(space))` — at least one domain tightened;
+    /// * `Err(CoreError::Lint)` — the constraint conjunction is proved
+    ///   unsatisfiable: no configuration can be valid, searching is
+    ///   pointless.
+    ///
+    /// A tightened domain that would evict the analysis baseline or the
+    /// objective's default value for that parameter is skipped (the
+    /// default must stay encodable — dropped parameters freeze to it), so
+    /// the contracted space always accepts both reference configurations.
+    pub fn contracted_space<O: Objective + ?Sized>(
+        &self,
+        objective: &O,
+        report: &MethodologyReport,
+        baseline: &Config,
+    ) -> Result<Option<cets_space::SearchSpace>> {
+        use cets_space::{ParamValue, SearchSpace};
+        let bundle = self.lint_bundle(objective, report, baseline);
+        let analysis = cets_lint::analyze_space(&bundle);
+        if !analysis.analyzed {
+            return Ok(None);
+        }
+        if analysis.proved_empty {
+            return Err(CoreError::Lint(
+                "the constraint conjunction is proved unsatisfiable over the declared \
+                 domains (A001): no configuration can be valid"
+                    .into(),
+            ));
+        }
+        if !analysis.any_narrowed() {
+            return Ok(None);
+        }
+
+        let space = objective.space();
+        let defaults = objective.default_config();
+        let mut changed = false;
+        let mut builder = SearchSpace::builder();
+        for (i, (name, def)) in space.names().iter().zip(space.defs()).enumerate() {
+            let fits = |t: &cets_space::ParamDef| {
+                let ok = |v: &ParamValue| t.contains(v);
+                baseline.get(i).is_none_or(ok) && defaults.get(i).is_none_or(ok)
+            };
+            match analysis.tightened_def(name).filter(|t| fits(t)) {
+                Some(t) => {
+                    changed = true;
+                    builder = builder.param(name.clone(), t.clone());
+                }
+                None => builder = builder.param(name.clone(), def.clone()),
+            }
+        }
+        if !changed {
+            return Ok(None);
+        }
+        for c in space.constraints() {
+            builder = builder.constraint(c.clone());
+        }
+        Ok(Some(builder.try_build()?))
+    }
+
     /// Execute a previously computed report's plan.
     pub fn execute<O: Objective + ?Sized>(
         &self,
@@ -473,7 +553,10 @@ impl Methodology {
     }
 
     /// Full pipeline: analyze, **lint** (see [`MethodologyConfig::lint`]),
-    /// then execute. A plan that fails the lint gate is rejected with
+    /// optionally **contract** the box
+    /// (see [`MethodologyConfig::contract_bounds`]), then execute. A plan
+    /// that fails the lint gate — or whose constraint conjunction is
+    /// proved unsatisfiable by the contraction — is rejected with
     /// [`CoreError::Lint`] *before* any execution budget is spent.
     pub fn run<O: Objective + ?Sized>(
         &self,
@@ -483,6 +566,13 @@ impl Methodology {
     ) -> Result<(MethodologyReport, PlanExecution)> {
         let report = self.analyze(objective, owners, baseline)?;
         self.enforce_lint(objective, &report, baseline)?;
+        if self.config.contract_bounds {
+            if let Some(space) = self.contracted_space(objective, &report, baseline)? {
+                let contracted = crate::objective::ContractedObjective::new(objective, space);
+                let exec = self.execute(&contracted, &report)?;
+                return Ok((report, exec));
+            }
+        }
         let exec = self.execute(objective, &report)?;
         Ok((report, exec))
     }
@@ -882,6 +972,215 @@ mod tests {
             matches!(err, CoreError::SearchStalled(_)),
             "expected SearchStalled, got {err}"
         );
+    }
+
+    /// Two real parameters on [0, 100] whose constraints provably confine
+    /// them to [0, 50]: the contraction pre-pass halves each axis.
+    mod boxed {
+        use super::*;
+        use cets_space::{Constraint, SearchSpace};
+
+        pub struct Boxed(pub SearchSpace);
+
+        impl Boxed {
+            pub fn new() -> Self {
+                Boxed(
+                    SearchSpace::builder()
+                        .real("a", 0.0, 100.0)
+                        .real("b", 0.0, 100.0)
+                        .constraint(Constraint::new("cap-a", "a <= 50", |s, c| {
+                            s.get_f64(c, "a").unwrap_or(f64::NAN) <= 50.0
+                        }))
+                        .constraint(Constraint::new("cap-b", "b <= 50", |s, c| {
+                            s.get_f64(c, "b").unwrap_or(f64::NAN) <= 50.0
+                        }))
+                        .build(),
+                )
+            }
+        }
+
+        impl Objective for Boxed {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r0".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> crate::Observation {
+                let a = cfg[0].as_f64();
+                let b = cfg[1].as_f64();
+                let v = (a - 1.0).powi(2) + (b - 1.0).powi(2);
+                crate::Observation {
+                    total: v,
+                    routines: vec![v],
+                }
+            }
+            fn default_config(&self) -> Config {
+                self.0.config_from_pairs(&[("a", 8.0), ("b", 8.0)]).unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn contracted_space_narrows_to_the_provable_box() {
+        use cets_space::ParamDef;
+        let obj = boxed::Boxed::new();
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            ..Default::default()
+        });
+        let baseline = obj.default_config();
+        let report = m
+            .analyze(&obj, &[("a", "r0"), ("b", "r0")], &baseline)
+            .unwrap();
+        let narrowed = m
+            .contracted_space(&obj, &report, &baseline)
+            .unwrap()
+            .expect("constraints provably narrow both axes");
+        assert_eq!(narrowed.defs()[0], ParamDef::Real { lo: 0.0, hi: 50.0 });
+        assert_eq!(narrowed.defs()[1], ParamDef::Real { lo: 0.0, hi: 50.0 });
+        // Names and constraints are carried over unchanged.
+        assert_eq!(narrowed.names(), obj.space().names());
+        assert_eq!(narrowed.constraints().len(), 2);
+        // The baseline stays valid in the narrowed space.
+        assert!(narrowed.is_valid(&baseline));
+    }
+
+    #[test]
+    fn contract_bounds_run_is_no_worse_at_equal_budget() {
+        let obj = boxed::Boxed::new();
+        let owners = [("a", "r0"), ("b", "r0")];
+        let base = MethodologyConfig {
+            bo: quick_bo(),
+            evals_per_dim: 8,
+            ..Default::default()
+        };
+        let plain = Methodology::new(base.clone())
+            .run(&obj, &owners, &obj.default_config())
+            .unwrap()
+            .1;
+        let contracted = Methodology::new(MethodologyConfig {
+            contract_bounds: true,
+            ..base
+        })
+        .run(&obj, &owners, &obj.default_config())
+        .unwrap()
+        .1;
+        // Same budget either way: contraction changes candidate density,
+        // not the number of objective evaluations.
+        assert_eq!(contracted.total_evals, plain.total_evals);
+        assert!(
+            contracted.final_value <= plain.final_value + 1e-9,
+            "contracted {} !<= plain {}",
+            contracted.final_value,
+            plain.final_value
+        );
+        // The result is still a valid configuration of the *original* space.
+        assert!(obj.space().is_valid(&contracted.final_config));
+    }
+
+    #[test]
+    fn contracted_space_rejects_proved_empty_box() {
+        use cets_space::{Constraint, SearchSpace};
+        struct Dead(SearchSpace);
+        impl Objective for Dead {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r0".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> crate::Observation {
+                crate::Observation::scalar(cfg[0].as_f64())
+            }
+            fn default_config(&self) -> Config {
+                self.0.config_from_pairs(&[("a", 1.0)]).unwrap()
+            }
+        }
+        let obj = Dead(
+            SearchSpace::builder()
+                .real("a", 0.0, 10.0)
+                .constraint(Constraint::new("dead", "a > 100", |s, c| {
+                    s.get_f64(c, "a").unwrap_or(f64::NAN) > 100.0
+                }))
+                .build(),
+        );
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            lint: LintPolicy::Off, // get past the gate to the pre-pass
+            contract_bounds: true,
+            ..Default::default()
+        });
+        let baseline = obj.default_config();
+        let report = m.analyze(&obj, &[("a", "r0")], &baseline).unwrap();
+        let err = m.contracted_space(&obj, &report, &baseline).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Lint(m) if m.contains("A001")),
+            "expected A001 Lint error, got {err}"
+        );
+    }
+
+    #[test]
+    fn contracted_space_keeps_domains_that_would_evict_the_default() {
+        use cets_space::{Constraint, SearchSpace};
+        // The default (a = 80) violates the constraint; the tightened
+        // domain [0, 50] would evict it, so the pre-pass must keep the
+        // declared domain for `a`.
+        struct BadDefault(SearchSpace);
+        impl Objective for BadDefault {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r0".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> crate::Observation {
+                crate::Observation::scalar(cfg[0].as_f64() + cfg[1].as_f64())
+            }
+            fn default_config(&self) -> Config {
+                self.0
+                    .config_from_pairs(&[("a", 80.0), ("b", 8.0)])
+                    .unwrap()
+            }
+        }
+        let obj = BadDefault(
+            SearchSpace::builder()
+                .real("a", 0.0, 100.0)
+                .real("b", 0.0, 100.0)
+                .constraint(Constraint::new("cap-a", "a <= 50", |s, c| {
+                    s.get_f64(c, "a").unwrap_or(f64::NAN) <= 50.0
+                }))
+                .constraint(Constraint::new("cap-b", "b <= 50", |s, c| {
+                    s.get_f64(c, "b").unwrap_or(f64::NAN) <= 50.0
+                }))
+                .build(),
+        );
+        let m = Methodology::new(MethodologyConfig {
+            bo: quick_bo(),
+            contract_bounds: true,
+            ..Default::default()
+        });
+        let baseline = obj.default_config();
+        let report = m
+            .analyze(&obj, &[("a", "r0"), ("b", "r0")], &baseline)
+            .unwrap();
+        let narrowed = m
+            .contracted_space(&obj, &report, &baseline)
+            .unwrap()
+            .expect("b still narrows");
+        use cets_space::ParamDef;
+        assert_eq!(
+            narrowed.defs()[0],
+            ParamDef::Real { lo: 0.0, hi: 100.0 },
+            "a keeps its declared domain: the tightened one evicts the default"
+        );
+        assert_eq!(narrowed.defs()[1], ParamDef::Real { lo: 0.0, hi: 50.0 });
+        // The default stays *encodable*: every value inside its domain.
+        // (It still violates the constraint — that is exactly why its
+        // parameter kept the loose bounds.)
+        for (def, v) in narrowed.defs().iter().zip(&baseline) {
+            assert!(def.contains(v), "{def:?} lost {v:?}");
+        }
     }
 
     #[test]

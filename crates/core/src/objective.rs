@@ -122,6 +122,63 @@ impl<'a, O: Objective + ?Sized> Objective for CountingObjective<'a, O> {
     }
 }
 
+/// Wrapper that substitutes a *statically contracted* search space for the
+/// inner objective's declared one.
+///
+/// Built by the methodology's `contract_bounds` pre-pass (see
+/// [`crate::methodology::MethodologyConfig::contract_bounds`]): the
+/// abstract-interpretation engine in `cets-lint` proves which fraction of
+/// each parameter's declared domain can possibly satisfy the constraints,
+/// and searching the narrowed box raises the density of valid candidates
+/// without losing any feasible point — the contraction is sound, so every
+/// configuration the constraints accept is still inside the new bounds.
+///
+/// Everything except [`Objective::space`] delegates to the inner
+/// objective; evaluation semantics are untouched.
+pub struct ContractedObjective<'a, O: Objective + ?Sized> {
+    inner: &'a O,
+    space: SearchSpace,
+}
+
+impl<'a, O: Objective + ?Sized> ContractedObjective<'a, O> {
+    /// Wrap `inner`, answering [`Objective::space`] with `space`.
+    ///
+    /// `space` must declare the same parameters in the same order as
+    /// `inner.space()` (the methodology builds it that way); only the
+    /// domains may differ.
+    pub fn new(inner: &'a O, space: SearchSpace) -> Self {
+        debug_assert_eq!(inner.space().names(), space.names());
+        ContractedObjective { inner, space }
+    }
+
+    /// The narrowed space (same as [`Objective::space`], but owned here).
+    pub fn contracted_space(&self) -> &SearchSpace {
+        &self.space
+    }
+}
+
+impl<'a, O: Objective + ?Sized> Objective for ContractedObjective<'a, O> {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn routine_names(&self) -> Vec<String> {
+        self.inner.routine_names()
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Observation {
+        self.inner.evaluate(cfg)
+    }
+
+    fn default_config(&self) -> Config {
+        self.inner.default_config()
+    }
+
+    fn sample_valid(&self, rng: &mut dyn rand::Rng) -> Option<Config> {
+        self.inner.sample_valid(rng)
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod test_objectives {
     use super::*;

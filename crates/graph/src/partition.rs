@@ -157,7 +157,9 @@ impl InfluenceGraph {
 
         let mut uf = UnionFind::new(nr);
         for e in self.cross_edges(cutoff)? {
-            let from = e.from.expect("cross_edges only yields owned params");
+            // cross_edges only yields owned params; an ownerless edge cannot
+            // merge groups, so skip it rather than panicking.
+            let Some(from) = e.from else { continue };
             if prec.contains(&from) || prec.contains(&e.to) || shared_idx.contains(&e.param) {
                 continue;
             }

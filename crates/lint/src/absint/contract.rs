@@ -1,0 +1,715 @@
+//! Forward interval evaluation of constraint expressions and HC4-revise
+//! backward bound contraction.
+//!
+//! ## Forward ([`eval_expr`])
+//!
+//! Evaluates an [`Expr`] over an environment of per-parameter
+//! [`Interval`]s using the transfer functions of
+//! [`crate::absint::interval`]. The result *encloses* the concrete
+//! [`Expr::eval`] on every point of the box (property-tested): if the
+//! concrete value can be NaN the result's `maybe_nan` flag is set, and
+//! every real concrete value lies in the result's range.
+//!
+//! ## Backward ([`contract`])
+//!
+//! HC4-revise: each constraint is asserted *satisfied* (top-level
+//! semantics: real and non-zero, NaN excluded) and the assertion is pushed
+//! down the AST, narrowing parameter intervals via the inverse transfer
+//! functions (`a + b ∈ r ⇒ a ∈ r - b`, …). The fixpoint loop sweeps all
+//! constraints until no interval moves more than [`CONVERGENCE_EPS`]
+//! (relative) or [`ITER_CAP`] passes elapse, snapping integer/ordinal
+//! domains to representable values after every pass.
+//!
+//! ## Floating-point soundness
+//!
+//! Forward evaluation is exactly sound (IEEE rounding is monotone), but
+//! the backward identities (`x = s - y`) hold in real arithmetic, not in
+//! floats: the concrete `s` is a *rounded* sum, and absorption can make
+//! `x` differ from `s - y` by up to an ulp of `s`'s magnitude. Every
+//! derived interval is therefore widened outward by a relative slack at
+//! the magnitude of the participating ranges (`widen`), and non-finite
+//! derived endpoints — where IEEE overflow breaks the field identities
+//! entirely — are treated as unbounded. Contraction may therefore be
+//! slightly looser than the real-arithmetic optimum, but it never excludes
+//! a concretely satisfying point (property-tested).
+
+use super::interval::Interval;
+use crate::expr::{BinOp, Expr};
+use cets_space::ParamDef;
+use std::collections::BTreeMap;
+
+/// Maximum fixpoint passes over the constraint set.
+pub const ITER_CAP: usize = 64;
+
+/// Relative endpoint movement below which the fixpoint is converged.
+pub const CONVERGENCE_EPS: f64 = 1e-9;
+
+/// Relative slack applied when inverting transfer functions, covering
+/// IEEE rounding and absorption in the concrete evaluation.
+const BACKWARD_SLACK: f64 = 1e-12;
+
+/// Outcome of a contraction run.
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    /// Final per-parameter intervals (never wider than the initial box).
+    pub env: BTreeMap<String, Interval>,
+    /// Fixpoint passes executed (0 when there was nothing to do).
+    pub iterations: usize,
+    /// Did the loop stop because nothing moved (or the box emptied),
+    /// rather than because [`ITER_CAP`] was reached?
+    pub converged: bool,
+    /// The constraints are jointly unsatisfiable over the box.
+    pub proved_empty: bool,
+}
+
+/// The initial interval of a parameter domain, in the numeric view the
+/// constraint language uses (ordinals by value, categoricals by option
+/// index). `None` for invalid domains — those are `S002` territory and
+/// the analysis skips the bundle.
+pub fn initial_interval(def: &ParamDef) -> Option<Interval> {
+    match def {
+        ParamDef::Real { lo, hi } => {
+            if lo.is_finite() && hi.is_finite() && lo < hi {
+                Some(Interval::new(*lo, *hi))
+            } else {
+                None
+            }
+        }
+        ParamDef::Integer { lo, hi } => {
+            if lo <= hi {
+                Some(Interval::new(*lo as f64, *hi as f64))
+            } else {
+                None
+            }
+        }
+        ParamDef::Ordinal { values } => {
+            if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+                None
+            } else {
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                Some(Interval::new(lo, hi))
+            }
+        }
+        ParamDef::Categorical { options } => {
+            if options.is_empty() {
+                None
+            } else {
+                Some(Interval::new(0.0, (options.len() - 1) as f64))
+            }
+        }
+    }
+}
+
+/// Snap a contracted interval to the representable values of its domain:
+/// integer bounds round inward, ordinal bounds tighten to the hull of the
+/// surviving values. An empty result means the domain has no feasible
+/// value left.
+pub fn snap(def: &ParamDef, iv: Interval) -> Interval {
+    if iv.is_empty_range() {
+        return Interval::bottom();
+    }
+    match def {
+        ParamDef::Real { .. } => iv,
+        ParamDef::Integer { .. } | ParamDef::Categorical { .. } => {
+            Interval::new(iv.lo.ceil(), iv.hi.floor())
+        }
+        ParamDef::Ordinal { values } => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in values {
+                if iv.contains(v) {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            Interval::new(lo, hi)
+        }
+    }
+}
+
+/// Forward interval evaluation. Unknown variables evaluate to the full
+/// line with NaN possible (sound; the analysis driver skips constraints
+/// with unknown references anyway, leaving them to rule `S005`).
+pub fn eval_expr(e: &Expr, env: &BTreeMap<String, Interval>) -> Interval {
+    match e {
+        Expr::Num(x) => Interval::point(*x),
+        Expr::Var(n) => env
+            .get(n)
+            .copied()
+            .unwrap_or_else(|| Interval::top().with_nan(true)),
+        Expr::Neg(inner) => eval_expr(inner, env).neg(),
+        Expr::Bin(op, a, b) => {
+            let x = eval_expr(a, env);
+            let y = eval_expr(b, env);
+            if x.is_bottom() || y.is_bottom() {
+                return Interval::bottom();
+            }
+            match op {
+                BinOp::Add => x.add(&y),
+                BinOp::Sub => x.sub(&y),
+                BinOp::Mul => x.mul(&y),
+                BinOp::Div => x.div(&y),
+                BinOp::Rem => x.rem(&y),
+                BinOp::Le => x.le(&y),
+                BinOp::Ge => x.ge(&y),
+                BinOp::Lt => x.lt(&y),
+                BinOp::Gt => x.gt(&y),
+                BinOp::Eq => x.eq_cmp(&y),
+                BinOp::Ne => x.ne_cmp(&y),
+                BinOp::And => x.and(&y),
+                BinOp::Or => x.or(&y),
+            }
+        }
+    }
+}
+
+/// Witness that a constraint (or the conjunction) has no satisfying point
+/// in the current box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Infeasible;
+
+/// One ulp step upward (total; fixed points at `+inf` and NaN).
+fn step_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        x
+    } else if x == 0.0 {
+        f64::from_bits(1)
+    } else if x > 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        f64::from_bits(x.to_bits() - 1)
+    }
+}
+
+/// One ulp step downward.
+fn step_down(x: f64) -> f64 {
+    -step_up(-x)
+}
+
+/// Largest endpoint magnitude of a range (`0` when empty).
+fn mag(iv: &Interval) -> f64 {
+    if iv.is_empty_range() {
+        0.0
+    } else {
+        iv.lo.abs().max(iv.hi.abs())
+    }
+}
+
+/// Widen a derived (inverse-transfer) interval outward so it is sound
+/// under IEEE rounding: relative slack at the larger of the endpoint's
+/// and the operation's magnitude, plus two ulp steps for subnormal
+/// granularity. Non-finite endpoints (overflow territory, where the
+/// field identities break) become unbounded; a non-finite scale disables
+/// the refinement entirely.
+fn widen(iv: Interval, scale: f64) -> Interval {
+    if !scale.is_finite() {
+        return Interval::top();
+    }
+    let lo = if iv.lo.is_finite() {
+        let slack = iv.lo.abs().max(scale) * BACKWARD_SLACK;
+        step_down(step_down(iv.lo - slack))
+    } else {
+        f64::NEG_INFINITY
+    };
+    let hi = if iv.hi.is_finite() {
+        let slack = iv.hi.abs().max(scale) * BACKWARD_SLACK;
+        step_up(step_up(iv.hi + slack))
+    } else {
+        f64::INFINITY
+    };
+    Interval::new(lo, hi)
+}
+
+/// Assert `e` is truthy, narrowing `env` where the inverse transfer
+/// functions allow. `Err(Infeasible)` proves no point of the current box
+/// can satisfy the assertion.
+///
+/// At the top level (`allow_nan = false`) "truthy" is the `satisfied`
+/// semantics: a real value other than zero. Under `&&` / `||`
+/// (`allow_nan = true`) NaN also counts as truthy, because the concrete
+/// semantics test `x != 0.0`.
+fn backward_truthy(
+    e: &Expr,
+    allow_nan: bool,
+    env: &mut BTreeMap<String, Interval>,
+) -> Result<(), Infeasible> {
+    let f = eval_expr(e, env);
+    if !f.truthy_possible(allow_nan) {
+        return Err(Infeasible);
+    }
+    match e {
+        // No interval can express "anything but zero"; the feasibility
+        // check above is all we can do for leaves.
+        Expr::Num(_) | Expr::Var(_) => Ok(()),
+        // -x is truthy exactly when x is (NaN and zero are fixed points).
+        Expr::Neg(inner) => backward_truthy(inner, allow_nan, env),
+        Expr::Bin(op, a, b) => match op {
+            // A true conjunction needs both sides truthy in the
+            // NaN-is-truthy sense (`x != 0.0`).
+            BinOp::And => {
+                backward_truthy(a, true, env)?;
+                backward_truthy(b, true, env)
+            }
+            // A true disjunction only pins a side down when the other is
+            // provably never truthy.
+            BinOp::Or => {
+                let fa = eval_expr(a, env);
+                let fb = eval_expr(b, env);
+                if !fa.truthy_possible(true) {
+                    backward_truthy(b, true, env)
+                } else if !fb.truthy_possible(true) {
+                    backward_truthy(a, true, env)
+                } else {
+                    Ok(())
+                }
+            }
+            // A true comparison (except `!=`, which NaN satisfies) forces
+            // both operands real and ordered.
+            BinOp::Le | BinOp::Lt | BinOp::Ge | BinOp::Gt | BinOp::Eq => {
+                require_true_cmp(*op, a, b, env)
+            }
+            // `!=` is true for NaN operands and carves a hole, not an
+            // interval: no refinement.
+            BinOp::Ne => Ok(()),
+            // Bare arithmetic used as a predicate: the feasibility check
+            // above is all (truthiness is a hole around zero).
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => Ok(()),
+        },
+    }
+}
+
+/// Push a required-true comparison into its operands. IEEE comparisons
+/// with NaN are false, so a required-true comparison proves both operands
+/// real; closed bounds keep the strict variants sound.
+fn require_true_cmp(
+    op: BinOp,
+    a: &Expr,
+    b: &Expr,
+    env: &mut BTreeMap<String, Interval>,
+) -> Result<(), Infeasible> {
+    let fa = eval_expr(a, env);
+    let fb = eval_expr(b, env);
+    if fa.is_empty_range() || fb.is_empty_range() {
+        return Err(Infeasible); // an operand can only be NaN (or nothing)
+    }
+    let (ra, rb) = match op {
+        BinOp::Le | BinOp::Lt => (
+            Interval::new(f64::NEG_INFINITY, fb.hi),
+            Interval::new(fa.lo, f64::INFINITY),
+        ),
+        BinOp::Ge | BinOp::Gt => (
+            Interval::new(fb.lo, f64::INFINITY),
+            Interval::new(f64::NEG_INFINITY, fa.hi),
+        ),
+        BinOp::Eq => {
+            let m = fa.meet(&fb);
+            (m, m)
+        }
+        _ => return Ok(()),
+    };
+    let na = fa.meet(&ra);
+    let nb = fb.meet(&rb);
+    if na.is_empty_range() || nb.is_empty_range() {
+        return Err(Infeasible);
+    }
+    backward_in(a, na, env)?;
+    backward_in(b, nb, env)
+}
+
+fn backward_in(
+    e: &Expr,
+    r: Interval,
+    env: &mut BTreeMap<String, Interval>,
+) -> Result<(), Infeasible> {
+    let f = eval_expr(e, env);
+    let m = f.meet(&r);
+    if m.is_empty_range() {
+        // No real value of this subtree lies in the required range (a
+        // NaN-only forward value also lands here: `In` excludes NaN).
+        return Err(Infeasible);
+    }
+    match e {
+        Expr::Num(_) => Ok(()), // the meet above already checked it
+        Expr::Var(n) => {
+            if let Some(slot) = env.get_mut(n) {
+                *slot = Interval::new(m.lo, m.hi);
+            }
+            Ok(())
+        }
+        Expr::Neg(inner) => backward_in(inner, m.neg(), env),
+        Expr::Bin(op, a, b) => {
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    let fa = eval_expr(a, env);
+                    let fb = eval_expr(b, env);
+                    if fa.is_empty_range() || fb.is_empty_range() {
+                        return Err(Infeasible); // real result needs real operands
+                    }
+                    let (da, db) = match op {
+                        // a + b = m  ⇒  a ∈ m - b, b ∈ m - a
+                        BinOp::Add => (
+                            widen(m.sub(&fb), mag(&m).max(mag(&fb))),
+                            widen(m.sub(&fa), mag(&m).max(mag(&fa))),
+                        ),
+                        // a - b = m  ⇒  a ∈ m + b, b ∈ a - m
+                        BinOp::Sub => (
+                            widen(m.add(&fb), mag(&m).max(mag(&fb))),
+                            widen(fa.sub(&m), mag(&m).max(mag(&fa))),
+                        ),
+                        // a * b = m  ⇒  a ∈ m / b (no-op when 0 ∈ b).
+                        BinOp::Mul => (widen(m.div(&fb), mag(&m)), widen(m.div(&fa), mag(&m))),
+                        // a / b = m  ⇒  a ∈ m * b; b ∈ a / m only when m
+                        // is bounded (an infinite quotient can come from
+                        // overflow at any tiny divisor, so an unbounded m
+                        // says nothing reliable about b).
+                        BinOp::Div => (
+                            widen(m.mul(&fb), mag(&m)),
+                            if m.lo.is_finite() && m.hi.is_finite() {
+                                widen(fa.div(&m), mag(&fa))
+                            } else {
+                                Interval::top()
+                            },
+                        ),
+                        _ => (Interval::top(), Interval::top()),
+                    };
+                    let na = fa.meet(&da);
+                    let nb = fb.meet(&db);
+                    if na.is_empty_range() || nb.is_empty_range() {
+                        return Err(Infeasible);
+                    }
+                    backward_in(a, na, env)?;
+                    backward_in(b, nb, env)
+                }
+                // Remainder has no useful inverse; the meet above is all.
+                BinOp::Rem => Ok(()),
+                // Boolean-valued nodes: if the required range excludes
+                // zero the node must be *true*; propagate that. A
+                // required-false node is left alone (sound no-op).
+                BinOp::Le | BinOp::Lt | BinOp::Ge | BinOp::Gt | BinOp::Eq => {
+                    if !m.can_be_zero() {
+                        require_true_cmp(*op, a, b, env)
+                    } else {
+                        Ok(())
+                    }
+                }
+                BinOp::Ne => Ok(()),
+                BinOp::And => {
+                    if !m.can_be_zero() {
+                        backward_truthy(a, true, env)?;
+                        backward_truthy(b, true, env)
+                    } else {
+                        Ok(())
+                    }
+                }
+                BinOp::Or => {
+                    if !m.can_be_zero() {
+                        let fa = eval_expr(a, env);
+                        let fb = eval_expr(b, env);
+                        if !fa.truthy_possible(true) {
+                            backward_truthy(b, true, env)
+                        } else if !fb.truthy_possible(true) {
+                            backward_truthy(a, true, env)
+                        } else {
+                            Ok(())
+                        }
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Relative distance between two endpoints, for convergence tests.
+fn rel_delta(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0; // covers ±inf == ±inf
+    }
+    let d = (a - b).abs();
+    if d.is_nan() {
+        return f64::INFINITY;
+    }
+    d / a.abs().max(b.abs()).max(1.0)
+}
+
+/// Contract the box spanned by `params` to a (near-)fixpoint consistent
+/// with every constraint in `exprs` being satisfied.
+///
+/// The caller is responsible for pre-filtering: every variable of every
+/// expression should be a declared parameter with a valid domain (use
+/// [`initial_interval`] to vet domains). The function is total either
+/// way — unknown variables simply evaluate to ⊤ and never narrow.
+pub fn contract(params: &[(&str, &ParamDef)], exprs: &[&Expr]) -> Contraction {
+    let mut env: BTreeMap<String, Interval> = BTreeMap::new();
+    for (name, def) in params {
+        let iv = initial_interval(def).unwrap_or_else(Interval::top);
+        env.insert((*name).to_string(), iv);
+    }
+    let mut out = Contraction {
+        env,
+        iterations: 0,
+        converged: true,
+        proved_empty: false,
+    };
+    if exprs.is_empty() || params.is_empty() {
+        return out;
+    }
+    out.converged = false;
+    for pass in 1..=ITER_CAP {
+        out.iterations = pass;
+        let before = out.env.clone();
+        for e in exprs {
+            if backward_truthy(e, false, &mut out.env).is_err() {
+                out.proved_empty = true;
+                out.converged = true;
+                return out;
+            }
+        }
+        // Snap to representable values once per pass.
+        for (name, def) in params {
+            if let Some(slot) = out.env.get_mut(*name) {
+                *slot = snap(def, *slot);
+                if slot.is_empty_range() {
+                    out.proved_empty = true;
+                    out.converged = true;
+                    return out;
+                }
+            }
+        }
+        let delta = before
+            .iter()
+            .filter_map(|(k, old)| {
+                out.env
+                    .get(k)
+                    .map(|new| rel_delta(old.lo, new.lo).max(rel_delta(old.hi, new.hi)))
+            })
+            .fold(0.0, f64::max);
+        if delta <= CONVERGENCE_EPS {
+            out.converged = true;
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse;
+
+    fn env(pairs: &[(&str, f64, f64)]) -> BTreeMap<String, Interval> {
+        pairs
+            .iter()
+            .map(|(n, lo, hi)| (n.to_string(), Interval::new(*lo, *hi)))
+            .collect()
+    }
+
+    #[test]
+    fn forward_arithmetic_and_comparison() {
+        let m = env(&[("a", 0.0, 10.0), ("b", 2.0, 4.0)]);
+        let v = eval_expr(&parse("a + b * 2").unwrap(), &m);
+        assert_eq!((v.lo, v.hi), (4.0, 18.0));
+        let v = eval_expr(&parse("a <= 20").unwrap(), &m);
+        assert_eq!((v.lo, v.hi), (1.0, 1.0), "tautology collapses to true");
+        let v = eval_expr(&parse("a > 100").unwrap(), &m);
+        assert_eq!((v.lo, v.hi), (0.0, 0.0), "unsat collapses to false");
+    }
+
+    #[test]
+    fn forward_division_poisoning() {
+        let m = env(&[("a", -1.0, 1.0)]);
+        let v = eval_expr(&parse("1 / a").unwrap(), &m);
+        assert_eq!((v.lo, v.hi), (f64::NEG_INFINITY, f64::INFINITY));
+        let v = eval_expr(&parse("a / a").unwrap(), &m);
+        assert!(v.maybe_nan, "0/0 reachable");
+    }
+
+    #[test]
+    fn forward_unknown_var_is_top() {
+        let v = eval_expr(&parse("zz + 1").unwrap(), &BTreeMap::new());
+        assert!(v.maybe_nan);
+        assert_eq!((v.lo, v.hi), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn contracts_linear_upper_bound() {
+        let def_a = ParamDef::Integer { lo: 32, hi: 1024 };
+        let e = parse("a * 64 <= 49152").unwrap();
+        let c = contract(&[("a", &def_a)], &[&e]);
+        assert!(!c.proved_empty);
+        assert!(c.converged);
+        let a = c.env["a"];
+        assert_eq!((a.lo, a.hi), (32.0, 768.0));
+    }
+
+    #[test]
+    fn contracts_both_sides_of_sum() {
+        let d = ParamDef::Real { lo: 0.0, hi: 100.0 };
+        let e = parse("a + b <= 10").unwrap();
+        let c = contract(&[("a", &d), ("b", &d)], &[&e]);
+        let a = c.env["a"];
+        assert_eq!(a.lo, 0.0);
+        assert!(
+            a.hi <= 10.0 + 1e-6 && a.hi >= 10.0,
+            "a.hi ~ 10, got {}",
+            a.hi
+        );
+    }
+
+    #[test]
+    fn proves_empty_conjunction() {
+        let d = ParamDef::Real { lo: 0.0, hi: 10.0 };
+        let hi = parse("a >= 9").unwrap();
+        let lo = parse("a <= 1").unwrap();
+        let c = contract(&[("a", &d)], &[&hi, &lo]);
+        assert!(c.proved_empty);
+        assert!(c.converged);
+    }
+
+    #[test]
+    fn proves_empty_single_unsat() {
+        let d = ParamDef::Integer { lo: 1, hi: 8 };
+        let e = parse("a > 100").unwrap();
+        let c = contract(&[("a", &d)], &[&e]);
+        assert!(c.proved_empty);
+    }
+
+    #[test]
+    fn integer_snap_tightens() {
+        let d = ParamDef::Integer { lo: 0, hi: 100 };
+        let e = parse("a * 3 <= 10").unwrap();
+        let c = contract(&[("a", &d)], &[&e]);
+        let a = c.env["a"];
+        assert_eq!((a.lo, a.hi), (0.0, 3.0), "10/3 snaps to 3");
+    }
+
+    #[test]
+    fn ordinal_snap_keeps_surviving_values() {
+        let d = ParamDef::Ordinal {
+            values: vec![1.0, 2.0, 4.0, 8.0, 16.0],
+        };
+        let e = parse("v <= 5").unwrap();
+        let c = contract(&[("v", &d)], &[&e]);
+        let v = c.env["v"];
+        assert_eq!((v.lo, v.hi), (1.0, 4.0));
+    }
+
+    #[test]
+    fn equality_pins_to_point() {
+        let d = ParamDef::Real { lo: -5.0, hi: 5.0 };
+        let e = parse("a == 3").unwrap();
+        let c = contract(&[("a", &d)], &[&e]);
+        let a = c.env["a"];
+        assert_eq!((a.lo, a.hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn conjunction_narrows_from_both_ends() {
+        let d = ParamDef::Real {
+            lo: -100.0,
+            hi: 100.0,
+        };
+        let e = parse("a >= -1 && a <= 1").unwrap();
+        let c = contract(&[("a", &d)], &[&e]);
+        let a = c.env["a"];
+        assert!(a.lo >= -1.0 - 1e-9 && a.hi <= 1.0 + 1e-9, "{a:?}");
+    }
+
+    #[test]
+    fn disjunction_does_not_overcontract() {
+        let d = ParamDef::Real { lo: 0.0, hi: 10.0 };
+        let e = parse("a <= 1 || a >= 9").unwrap();
+        let c = contract(&[("a", &d)], &[&e]);
+        let a = c.env["a"];
+        // Both branches are possible: no narrowing allowed.
+        assert_eq!((a.lo, a.hi), (0.0, 10.0));
+    }
+
+    #[test]
+    fn chained_constraints_propagate() {
+        let d = ParamDef::Real {
+            lo: 0.0,
+            hi: 1000.0,
+        };
+        let c1 = parse("a <= b").unwrap();
+        let c2 = parse("b <= 10").unwrap();
+        let c = contract(&[("a", &d), ("b", &d)], &[&c1, &c2]);
+        assert!(c.env["a"].hi <= 10.0 + 1e-6, "{:?}", c.env["a"]);
+        assert!(c.env["b"].hi <= 10.0 + 1e-6, "{:?}", c.env["b"]);
+    }
+
+    #[test]
+    fn division_backward_is_cautious() {
+        // y can be 0 (x/0 = inf satisfies > 1); no narrowing of y from an
+        // unbounded quotient requirement.
+        let dx = ParamDef::Real { lo: 1.0, hi: 2.0 };
+        let dy = ParamDef::Real { lo: 0.0, hi: 4.0 };
+        let e = parse("x / y > 1").unwrap();
+        let c = contract(&[("x", &dx), ("y", &dy)], &[&e]);
+        assert!(!c.proved_empty);
+        let y = c.env["y"];
+        assert_eq!(y.lo, 0.0, "y = 0 stays feasible (x/0 = inf > 1)");
+    }
+
+    #[test]
+    fn no_constraints_is_identity() {
+        let d = ParamDef::Real { lo: 0.0, hi: 1.0 };
+        let c = contract(&[("a", &d)], &[]);
+        assert!(c.converged);
+        assert_eq!(c.iterations, 0);
+        assert_eq!((c.env["a"].lo, c.env["a"].hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn terminates_on_slow_shrink_within_cap() {
+        // a <= a / 2 + 1 over [0, big] halves the bound each pass; the cap
+        // and epsilon must stop it without panicking.
+        let d = ParamDef::Real { lo: 0.0, hi: 1e12 };
+        let e = parse("a <= a / 2 + 1").unwrap();
+        let c = contract(&[("a", &d)], &[&e]);
+        assert!(c.iterations <= ITER_CAP);
+        assert!(!c.proved_empty);
+        assert!(c.env["a"].hi < 1e12, "some progress is made");
+    }
+
+    #[test]
+    fn initial_intervals_match_domains() {
+        assert_eq!(
+            initial_interval(&ParamDef::Real { lo: -1.0, hi: 2.0 }),
+            Some(Interval::new(-1.0, 2.0))
+        );
+        assert_eq!(
+            initial_interval(&ParamDef::Integer { lo: 3, hi: 7 }),
+            Some(Interval::new(3.0, 7.0))
+        );
+        assert_eq!(
+            initial_interval(&ParamDef::Ordinal {
+                values: vec![4.0, 1.0, 2.0]
+            }),
+            Some(Interval::new(1.0, 4.0))
+        );
+        assert_eq!(
+            initial_interval(&ParamDef::Categorical {
+                options: vec!["a".into(), "b".into()]
+            }),
+            Some(Interval::new(0.0, 1.0))
+        );
+        assert_eq!(initial_interval(&ParamDef::Integer { lo: 5, hi: 4 }), None);
+        assert_eq!(
+            initial_interval(&ParamDef::Ordinal { values: vec![] }),
+            None
+        );
+    }
+
+    #[test]
+    fn widen_guards_nonfinite() {
+        let w = widen(Interval::new(f64::INFINITY, f64::INFINITY), 1.0);
+        assert_eq!((w.lo, w.hi), (f64::NEG_INFINITY, f64::INFINITY));
+        let w = widen(Interval::new(0.0, 1.0), f64::INFINITY);
+        assert_eq!((w.lo, w.hi), (f64::NEG_INFINITY, f64::INFINITY));
+        let w = widen(Interval::new(2.0, 3.0), 1.0);
+        assert!(w.lo < 2.0 && w.hi > 3.0);
+    }
+}

@@ -1,0 +1,515 @@
+//! The interval abstract domain.
+//!
+//! An [`Interval`] over-approximates the set of values a constraint
+//! sub-expression can take: a closed range `[lo, hi]` over the extended
+//! reals (`±inf` are attainable values — IEEE division produces them)
+//! plus an explicit *NaN-poisoning* flag. The flag is tracked separately
+//! because the constraint language's concrete semantics
+//! ([`crate::expr::Expr::eval`]) treats NaN asymmetrically: every
+//! comparison with NaN is false, but `&&` / `||` truthiness is `x != 0.0`,
+//! which is **true** for NaN.
+//!
+//! ## Invariants
+//!
+//! * `lo` and `hi` are never NaN.
+//! * The empty range is canonically `lo = +inf, hi = -inf`.
+//! * [`Interval::is_bottom`] (empty range *and* no NaN) means no concrete
+//!   value at all is possible.
+//!
+//! ## Soundness
+//!
+//! The forward transfer functions are *exactly* sound with respect to
+//! IEEE-754 evaluation: rounding is monotone, and every endpoint we
+//! compute is the rounding of the exact endpoint, so the concrete (rounded)
+//! result of an operation on values inside the operand intervals lies
+//! inside the result interval — no outward rounding needed. Where an
+//! endpoint combination is itself NaN (`inf - inf`, `0 * inf`, `inf/inf`,
+//! `x/0`), the function widens the range conservatively and raises
+//! `maybe_nan`. This enclosure property is property-tested against
+//! [`crate::expr::Expr::eval`] on random points.
+
+use std::fmt;
+
+/// A closed interval over the extended reals with a NaN-possibility flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint (never NaN; `+inf` when the range is empty).
+    pub lo: f64,
+    /// Upper endpoint (never NaN; `-inf` when the range is empty).
+    pub hi: f64,
+    /// Can the concrete value be NaN?
+    pub maybe_nan: bool,
+}
+
+impl Interval {
+    /// The canonical empty range (no real value, no NaN).
+    pub const fn bottom() -> Self {
+        Interval {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+            maybe_nan: false,
+        }
+    }
+
+    /// The full extended-real line, NaN excluded.
+    pub const fn top() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            maybe_nan: false,
+        }
+    }
+
+    /// `[lo, hi]` with NaN endpoints or inverted bounds collapsing to the
+    /// empty range — the constructor is total.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            Interval::bottom()
+        } else {
+            Interval {
+                lo,
+                hi,
+                maybe_nan: false,
+            }
+        }
+    }
+
+    /// A single value. `Interval::point(NaN)` is the NaN-only interval.
+    pub fn point(x: f64) -> Self {
+        if x.is_nan() {
+            Interval::bottom().with_nan(true)
+        } else {
+            Interval::new(x, x)
+        }
+    }
+
+    /// Copy with the NaN flag set to `nan`.
+    pub fn with_nan(mut self, nan: bool) -> Self {
+        self.maybe_nan = nan;
+        self
+    }
+
+    /// Is the real range empty (the value, if any, can only be NaN)?
+    pub fn is_empty_range(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// No concrete value at all (empty range and no NaN).
+    pub fn is_bottom(&self) -> bool {
+        self.is_empty_range() && !self.maybe_nan
+    }
+
+    /// Does the interval contain the real value `x`? NaN maps to the flag.
+    pub fn contains(&self, x: f64) -> bool {
+        if x.is_nan() {
+            self.maybe_nan
+        } else {
+            self.lo <= x && x <= self.hi
+        }
+    }
+
+    /// Can the value be `0.0` (a *falsy* concrete value)?
+    pub fn can_be_zero(&self) -> bool {
+        !self.is_empty_range() && self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    /// Can the value be a real number other than zero? This is the
+    /// *satisfiable* test for a top-level constraint, where NaN counts as
+    /// unsatisfied.
+    pub fn can_be_nonzero_real(&self) -> bool {
+        !self.is_empty_range() && (self.lo != 0.0 || self.hi != 0.0)
+    }
+
+    /// Can the value be truthy under `&&`/`||` semantics (`x != 0.0`)?
+    /// NaN is truthy there, so the flag counts when `allow_nan` is set.
+    pub fn truthy_possible(&self, allow_nan: bool) -> bool {
+        (allow_nan && self.maybe_nan) || self.can_be_nonzero_real()
+    }
+
+    /// Intersection of the real ranges; NaN flag is the conjunction.
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+            .with_nan(self.maybe_nan && other.maybe_nan)
+    }
+
+    /// Convex hull of the real ranges; NaN flag is the disjunction.
+    pub fn join(&self, other: &Interval) -> Interval {
+        let i = if self.is_empty_range() {
+            Interval::new(other.lo, other.hi)
+        } else if other.is_empty_range() {
+            Interval::new(self.lo, self.hi)
+        } else {
+            Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+        };
+        i.with_nan(self.maybe_nan || other.maybe_nan)
+    }
+
+    /// Largest absolute value in the range (`0` when empty).
+    fn max_abs(&self) -> f64 {
+        if self.is_empty_range() {
+            0.0
+        } else {
+            self.lo.abs().max(self.hi.abs())
+        }
+    }
+
+    /// Does the range reach `-inf`?
+    fn has_neg_inf(&self) -> bool {
+        !self.is_empty_range() && self.lo == f64::NEG_INFINITY
+    }
+
+    /// Does the range reach `+inf`?
+    fn has_pos_inf(&self) -> bool {
+        !self.is_empty_range() && self.hi == f64::INFINITY
+    }
+
+    /// Does the range contain an infinite value?
+    fn has_inf(&self) -> bool {
+        self.has_neg_inf() || self.has_pos_inf()
+    }
+
+    /// Unary negation: `[-hi, -lo]`, NaN preserved.
+    pub fn neg(&self) -> Interval {
+        if self.is_empty_range() {
+            Interval::bottom().with_nan(self.maybe_nan)
+        } else {
+            Interval::new(-self.hi, -self.lo).with_nan(self.maybe_nan)
+        }
+    }
+
+    /// Addition. NaN arises from `(-inf) + (+inf)` (and from NaN operands).
+    pub fn add(&self, other: &Interval) -> Interval {
+        let nan = self.maybe_nan
+            || other.maybe_nan
+            || (self.has_neg_inf() && other.has_pos_inf())
+            || (self.has_pos_inf() && other.has_neg_inf());
+        if self.is_empty_range() || other.is_empty_range() {
+            return Interval::bottom().with_nan(nan);
+        }
+        let lo = self.lo + other.lo;
+        let hi = self.hi + other.hi;
+        if lo.is_nan() || hi.is_nan() {
+            // An endpoint sum was inf - inf; the real range is unbounded.
+            Interval::top().with_nan(true)
+        } else {
+            Interval::new(lo, hi).with_nan(nan)
+        }
+    }
+
+    /// Subtraction: `a - b = a + (-b)`.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication. NaN arises from `0 * ±inf`.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let nan = self.maybe_nan
+            || other.maybe_nan
+            || (self.can_be_zero() && other.has_inf())
+            || (other.can_be_zero() && self.has_inf());
+        if self.is_empty_range() || other.is_empty_range() {
+            return Interval::bottom().with_nan(nan);
+        }
+        hull4(
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        .with_nan(nan)
+    }
+
+    /// Division. A divisor range containing zero widens the result to the
+    /// full line (IEEE `x/0 = ±inf`, `0/0 = NaN`); `inf/inf` is NaN.
+    pub fn div(&self, other: &Interval) -> Interval {
+        let mut nan = self.maybe_nan || other.maybe_nan || (self.has_inf() && other.has_inf());
+        if other.can_be_zero() {
+            nan = nan || self.can_be_zero();
+            if self.is_bottom() {
+                return Interval::bottom().with_nan(nan);
+            }
+            return Interval::top().with_nan(nan);
+        }
+        if self.is_empty_range() || other.is_empty_range() {
+            return Interval::bottom().with_nan(nan);
+        }
+        hull4(
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        )
+        .with_nan(nan)
+    }
+
+    /// Remainder (`%`, IEEE `fmod`: sign of the dividend, `|r| < |y|`,
+    /// `|r| <= |x|`). NaN arises from infinite dividends or zero divisors.
+    pub fn rem(&self, other: &Interval) -> Interval {
+        let nan = self.maybe_nan || other.maybe_nan || self.has_inf() || other.can_be_zero();
+        if self.is_empty_range() || other.is_empty_range() {
+            return Interval::bottom().with_nan(nan);
+        }
+        let m = self.max_abs().min(other.max_abs());
+        let (lo, hi) = if self.lo >= 0.0 {
+            (0.0, m)
+        } else if self.hi <= 0.0 {
+            (-m, 0.0)
+        } else {
+            (-m, m)
+        };
+        Interval::new(lo, hi).with_nan(nan)
+    }
+
+    /// Boolean interval from "can the predicate be true / be false".
+    fn boolean(can_true: bool, can_false: bool) -> Interval {
+        match (can_true, can_false) {
+            (true, true) => Interval::new(0.0, 1.0),
+            (true, false) => Interval::point(1.0),
+            (false, true) => Interval::point(0.0),
+            (false, false) => Interval::bottom(),
+        }
+    }
+
+    /// Can this operand participate in a comparison at all (has *some*
+    /// concrete value)?
+    fn can_exist(&self) -> bool {
+        !self.is_bottom()
+    }
+
+    /// `a <= b` as a boolean interval. Comparisons never produce NaN;
+    /// any NaN operand makes the comparison false.
+    pub fn le(&self, other: &Interval) -> Interval {
+        let reals = !self.is_empty_range() && !other.is_empty_range();
+        let t = reals && self.lo <= other.hi;
+        let f = (reals && self.hi > other.lo)
+            || (self.maybe_nan && other.can_exist())
+            || (other.maybe_nan && self.can_exist());
+        Interval::boolean(t, f)
+    }
+
+    /// `a < b` as a boolean interval.
+    pub fn lt(&self, other: &Interval) -> Interval {
+        let reals = !self.is_empty_range() && !other.is_empty_range();
+        let t = reals && self.lo < other.hi;
+        let f = (reals && self.hi >= other.lo)
+            || (self.maybe_nan && other.can_exist())
+            || (other.maybe_nan && self.can_exist());
+        Interval::boolean(t, f)
+    }
+
+    /// `a >= b` as a boolean interval.
+    pub fn ge(&self, other: &Interval) -> Interval {
+        other.le(self)
+    }
+
+    /// `a > b` as a boolean interval.
+    pub fn gt(&self, other: &Interval) -> Interval {
+        other.lt(self)
+    }
+
+    /// `a == b` as a boolean interval. False is only excluded when both
+    /// sides are the same NaN-free singleton.
+    pub fn eq_cmp(&self, other: &Interval) -> Interval {
+        let reals = !self.is_empty_range() && !other.is_empty_range();
+        let t = reals && self.lo <= other.hi && other.lo <= self.hi;
+        let singleton = reals
+            && self.lo == self.hi
+            && other.lo == other.hi
+            && self.lo == other.lo
+            && !self.maybe_nan
+            && !other.maybe_nan;
+        let f = (self.can_exist() && other.can_exist()) && !singleton;
+        Interval::boolean(t, f)
+    }
+
+    /// `a != b` as a boolean interval. Note IEEE: `NaN != y` is **true**.
+    pub fn ne_cmp(&self, other: &Interval) -> Interval {
+        let reals = !self.is_empty_range() && !other.is_empty_range();
+        // True whenever the sides can differ, or either side can be NaN.
+        let t = (reals && !(self.lo == self.hi && other.lo == other.hi && self.lo == other.lo))
+            || (self.maybe_nan && other.can_exist())
+            || (other.maybe_nan && self.can_exist());
+        // False requires a shared real value.
+        let f = reals && self.lo <= other.hi && other.lo <= self.hi;
+        Interval::boolean(t, f)
+    }
+
+    /// `a && b` under the concrete semantics `x != 0.0 && y != 0.0`
+    /// (NaN is truthy there).
+    pub fn and(&self, other: &Interval) -> Interval {
+        let t = self.truthy_possible(true) && other.truthy_possible(true);
+        let f =
+            (self.can_be_zero() && other.can_exist()) || (other.can_be_zero() && self.can_exist());
+        Interval::boolean(t, f)
+    }
+
+    /// `a || b` under the concrete semantics `x != 0.0 || y != 0.0`.
+    pub fn or(&self, other: &Interval) -> Interval {
+        let t = (self.truthy_possible(true) && other.can_exist())
+            || (other.truthy_possible(true) && self.can_exist());
+        let f = self.can_be_zero() && other.can_be_zero();
+        Interval::boolean(t, f)
+    }
+
+    /// Measure of the real range for feasible-fraction estimates: width
+    /// for continuous use, `+inf` when unbounded, `0` when empty.
+    pub fn width(&self) -> f64 {
+        if self.is_empty_range() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+}
+
+/// Hull of four endpoint candidates, ignoring NaN candidates (those are
+/// accounted for by the caller's NaN flag). All-NaN means the real range
+/// is empty.
+fn hull4(a: f64, b: f64, c: f64, d: f64) -> Interval {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for x in [a, b, c, d] {
+        if !x.is_nan() {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+    }
+    Interval::new(lo, hi)
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty_range() {
+            if self.maybe_nan {
+                f.write_str("{NaN}")
+            } else {
+                f.write_str("(empty)")
+            }
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)?;
+            if self.maybe_nan {
+                f.write_str(" or NaN")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert!(Interval::bottom().is_bottom());
+        assert!(Interval::new(1.0, 0.0).is_bottom());
+        assert!(Interval::new(f64::NAN, 1.0).is_bottom());
+        assert!(Interval::point(f64::NAN).maybe_nan);
+        assert!(Interval::point(f64::NAN).is_empty_range());
+        assert!(!Interval::point(f64::NAN).is_bottom());
+        assert!(iv(-1.0, 1.0).can_be_zero());
+        assert!(!iv(1.0, 2.0).can_be_zero());
+        assert!(iv(0.0, 0.0).contains(0.0));
+        assert!(!iv(0.0, 0.0).can_be_nonzero_real());
+        assert!(iv(0.0, 1.0).can_be_nonzero_real());
+        assert!(Interval::point(f64::NAN).truthy_possible(true));
+        assert!(!Interval::point(f64::NAN).truthy_possible(false));
+    }
+
+    #[test]
+    fn meet_and_join() {
+        let a = iv(0.0, 5.0);
+        let b = iv(3.0, 8.0);
+        assert_eq!(a.meet(&b), iv(3.0, 5.0));
+        assert_eq!(a.join(&b), iv(0.0, 8.0));
+        assert!(a.meet(&iv(6.0, 7.0)).is_bottom());
+        assert_eq!(Interval::bottom().join(&a), a);
+    }
+
+    #[test]
+    fn arithmetic_basic() {
+        assert_eq!(iv(1.0, 2.0).add(&iv(10.0, 20.0)), iv(11.0, 22.0));
+        assert_eq!(iv(1.0, 2.0).sub(&iv(10.0, 20.0)), iv(-19.0, -8.0));
+        assert_eq!(iv(-2.0, 3.0).mul(&iv(4.0, 5.0)), iv(-10.0, 15.0));
+        assert_eq!(iv(1.0, 2.0).neg(), iv(-2.0, -1.0));
+        assert_eq!(iv(8.0, 16.0).div(&iv(2.0, 4.0)), iv(2.0, 8.0));
+    }
+
+    #[test]
+    fn nan_poisoning_add_mul() {
+        let top_pos = iv(0.0, f64::INFINITY);
+        let top_neg = iv(f64::NEG_INFINITY, 0.0);
+        assert!(top_pos.add(&top_neg).maybe_nan, "inf + -inf can be NaN");
+        assert!(!iv(0.0, 1.0).add(&iv(0.0, 1.0)).maybe_nan);
+        let zero = iv(-1.0, 1.0);
+        assert!(zero.mul(&top_pos).maybe_nan, "0 * inf can be NaN");
+        assert!(!iv(1.0, 2.0).mul(&iv(3.0, 4.0)).maybe_nan);
+    }
+
+    #[test]
+    fn division_by_zero_interval() {
+        let r = iv(1.0, 2.0).div(&iv(-1.0, 1.0));
+        assert_eq!((r.lo, r.hi), (f64::NEG_INFINITY, f64::INFINITY));
+        assert!(!r.maybe_nan, "nonzero / zero is ±inf, not NaN");
+        let r = iv(-1.0, 1.0).div(&iv(-1.0, 1.0));
+        assert!(r.maybe_nan, "0/0 is NaN");
+        // Exactly-zero divisor: same story.
+        let r = iv(3.0, 3.0).div(&iv(0.0, 0.0));
+        assert!(!r.maybe_nan);
+        assert_eq!((r.lo, r.hi), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn rem_bounds() {
+        let r = iv(0.0, 100.0).rem(&iv(1.0, 7.0));
+        assert_eq!((r.lo, r.hi), (0.0, 7.0));
+        assert!(!r.maybe_nan);
+        let r = iv(-5.0, 100.0).rem(&iv(3.0, 3.0));
+        assert_eq!((r.lo, r.hi), (-3.0, 3.0));
+        assert!(iv(0.0, 1.0).rem(&iv(-1.0, 1.0)).maybe_nan, "x % 0 is NaN");
+        assert!(
+            iv(0.0, f64::INFINITY).rem(&iv(1.0, 2.0)).maybe_nan,
+            "inf % y is NaN"
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(iv(0.0, 1.0).le(&iv(2.0, 3.0)), Interval::point(1.0));
+        assert_eq!(iv(2.0, 3.0).le(&iv(0.0, 1.0)), Interval::point(0.0));
+        assert_eq!(iv(0.0, 2.0).le(&iv(1.0, 3.0)), iv(0.0, 1.0));
+        assert_eq!(iv(1.0, 1.0).eq_cmp(&iv(1.0, 1.0)), Interval::point(1.0));
+        assert_eq!(iv(1.0, 1.0).eq_cmp(&iv(2.0, 2.0)), Interval::point(0.0));
+        assert_eq!(iv(1.0, 1.0).ne_cmp(&iv(1.0, 1.0)), Interval::point(0.0));
+        // NaN operand: comparison is false, but != is true.
+        let nan = Interval::point(f64::NAN);
+        assert_eq!(nan.le(&iv(0.0, 1.0)), Interval::point(0.0));
+        assert_eq!(nan.ne_cmp(&iv(0.0, 1.0)), Interval::point(1.0));
+        // Comparisons never carry NaN.
+        assert!(!nan.le(&iv(0.0, 1.0)).maybe_nan);
+    }
+
+    #[test]
+    fn logic_treats_nan_truthy() {
+        let nan = Interval::point(f64::NAN);
+        let one = Interval::point(1.0);
+        let zero = Interval::point(0.0);
+        assert_eq!(nan.and(&one), Interval::point(1.0));
+        assert_eq!(nan.and(&zero), Interval::point(0.0));
+        assert_eq!(zero.or(&nan), Interval::point(1.0));
+        assert_eq!(zero.or(&zero), Interval::point(0.0));
+        assert_eq!(iv(-1.0, 1.0).and(&one), iv(0.0, 1.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(iv(1.0, 2.5).to_string(), "[1, 2.5]");
+        assert_eq!(Interval::bottom().to_string(), "(empty)");
+        assert_eq!(Interval::point(f64::NAN).to_string(), "{NaN}");
+        assert_eq!(iv(0.0, 1.0).with_nan(true).to_string(), "[0, 1] or NaN");
+    }
+}

@@ -1,0 +1,498 @@
+//! Abstract-interpretation feasibility engine.
+//!
+//! The paper's Step 1 constrains the search space with domain knowledge
+//! *before* spending any compute budget. This module answers the semantic
+//! questions the structural linter cannot: is the constrained space
+//! actually non-empty, which constraints are dead weight, and how much can
+//! the box bounds be tightened statically?
+//!
+//! Three layers:
+//!
+//! * [`interval`] — the interval domain with NaN-poisoning;
+//! * [`mod@contract`] — forward evaluation over [`crate::expr::Expr`] and
+//!   HC4-revise backward bound contraction to a fixpoint;
+//! * this module — the [`analyze_space`] driver that classifies every
+//!   constraint (*proved-unsat* / *tautological* / *contingent*), runs the
+//!   contraction, estimates the feasible fraction of the box, and derives
+//!   tightened [`ParamDef`]s for the `--contract` rewriting and the
+//!   `cets-core` pre-pass.
+//!
+//! The findings surface as diagnostics `A001`–`A005` via
+//! [`crate::rules::feasibility`] and the `cets analyze` subcommand.
+
+pub mod contract;
+pub mod interval;
+
+pub use contract::{
+    contract, eval_expr, initial_interval, snap, Contraction, CONVERGENCE_EPS, ITER_CAP,
+};
+pub use interval::Interval;
+
+use crate::bundle::PlanBundle;
+use crate::expr;
+use cets_space::ParamDef;
+use std::collections::BTreeSet;
+
+/// Forward classification of one constraint over the original box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintClass {
+    /// No point of the box satisfies it: the plan is dead on arrival.
+    ProvedUnsat,
+    /// Every point of the box satisfies it: the constraint is dead weight.
+    Tautology,
+    /// Satisfied by some points and not others (the interesting case).
+    Contingent,
+}
+
+impl ConstraintClass {
+    /// Human label used in diagnostics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConstraintClass::ProvedUnsat => "proved-unsat",
+            ConstraintClass::Tautology => "tautological",
+            ConstraintClass::Contingent => "contingent",
+        }
+    }
+}
+
+/// Per-parameter outcome of the contraction.
+#[derive(Debug, Clone)]
+pub struct ParamInterval {
+    /// Parameter name.
+    pub name: String,
+    /// Interval spanned by the declared domain.
+    pub original: Interval,
+    /// Interval after backward contraction (always ⊆ `original`).
+    pub contracted: Interval,
+    /// A tightened domain definition, when the contraction strictly
+    /// narrowed this parameter *and* the narrowing is expressible
+    /// (categorical domains are never rewritten — slicing the option list
+    /// would renumber the indices constraints refer to; degenerate real
+    /// intervals cannot form a valid `Real` domain).
+    pub tightened: Option<ParamDef>,
+}
+
+impl ParamInterval {
+    /// Did contraction strictly shrink this parameter's interval?
+    pub fn narrowed(&self) -> bool {
+        !self.contracted.is_empty_range()
+            && (self.contracted.lo > self.original.lo || self.contracted.hi < self.original.hi)
+    }
+}
+
+/// Per-constraint outcome.
+#[derive(Debug, Clone)]
+pub struct ConstraintAnalysis {
+    /// Constraint name.
+    pub name: String,
+    /// Forward classification over the original box.
+    pub class: ConstraintClass,
+    /// Forward value interval over the original box.
+    pub value: Interval,
+}
+
+/// The full result of [`analyze_space`].
+#[derive(Debug, Clone)]
+pub struct SpaceAnalysis {
+    /// False when the bundle is in `S001`/`S002` error territory
+    /// (duplicate parameters or invalid domains): interval analysis over
+    /// a malformed box would be meaningless, so everything else is empty.
+    pub analyzed: bool,
+    /// Per-parameter intervals, in declaration order.
+    pub params: Vec<ParamInterval>,
+    /// Per-constraint classification, in declaration order (only
+    /// constraints that parse and reference declared parameters).
+    pub constraints: Vec<ConstraintAnalysis>,
+    /// Constraints skipped as unparseable or with unknown references
+    /// (those belong to `S004`/`S005`).
+    pub skipped_constraints: usize,
+    /// The constraint conjunction has no satisfying point in the box.
+    pub proved_empty: bool,
+    /// Fixpoint passes executed by the contraction.
+    pub iterations: usize,
+    /// Did the contraction converge before [`ITER_CAP`]?
+    pub converged: bool,
+    /// Contracted box volume / original box volume (product of per-axis
+    /// measure ratios; `0` when proved empty, `1` with no contraction).
+    /// A tiny value predicts rejection-sampling thrash.
+    pub feasible_fraction: f64,
+}
+
+impl SpaceAnalysis {
+    /// The tightened domain of `name`, when contraction narrowed it.
+    pub fn tightened_def(&self, name: &str) -> Option<&ParamDef> {
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .and_then(|p| p.tightened.as_ref())
+    }
+
+    /// Any parameter strictly narrowed?
+    pub fn any_narrowed(&self) -> bool {
+        self.params.iter().any(|p| p.narrowed())
+    }
+}
+
+/// Measure of a snapped interval under a domain: width for reals, value
+/// count for discrete domains. Used for the feasible-fraction estimate.
+fn measure(def: &ParamDef, iv: &Interval) -> f64 {
+    if iv.is_empty_range() {
+        return 0.0;
+    }
+    match def {
+        ParamDef::Real { .. } => iv.width(),
+        ParamDef::Integer { .. } | ParamDef::Categorical { .. } => {
+            (iv.hi.floor() - iv.lo.ceil() + 1.0).max(0.0)
+        }
+        ParamDef::Ordinal { values } => values.iter().filter(|v| iv.contains(**v)).count() as f64,
+    }
+}
+
+/// Derive a tightened [`ParamDef`] from a contracted interval, when the
+/// narrowing is expressible. See [`ParamInterval::tightened`].
+fn tightened_def(def: &ParamDef, contracted: &Interval) -> Option<ParamDef> {
+    if contracted.is_empty_range() {
+        return None;
+    }
+    match def {
+        ParamDef::Real { .. } => {
+            if contracted.lo < contracted.hi
+                && contracted.lo.is_finite()
+                && contracted.hi.is_finite()
+            {
+                Some(ParamDef::Real {
+                    lo: contracted.lo,
+                    hi: contracted.hi,
+                })
+            } else {
+                None // degenerate: a point is not a valid Real domain
+            }
+        }
+        ParamDef::Integer { .. } => Some(ParamDef::Integer {
+            lo: contracted.lo as i64,
+            hi: contracted.hi as i64,
+        }),
+        ParamDef::Ordinal { values } => {
+            let kept: Vec<f64> = values
+                .iter()
+                .copied()
+                .filter(|v| contracted.contains(*v))
+                .collect();
+            if kept.is_empty() {
+                None
+            } else {
+                Some(ParamDef::Ordinal { values: kept })
+            }
+        }
+        // Slicing the option list would renumber indices that constraints
+        // refer to; categorical domains keep their declared definition.
+        ParamDef::Categorical { .. } => None,
+    }
+}
+
+/// Run the feasibility analysis over a bundle: classify every analyzable
+/// constraint forward, contract the box backward, and estimate the
+/// feasible fraction. Total and deterministic; does no I/O.
+pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
+    let mut out = SpaceAnalysis {
+        analyzed: true,
+        params: Vec::new(),
+        constraints: Vec::new(),
+        skipped_constraints: 0,
+        proved_empty: false,
+        iterations: 0,
+        converged: true,
+        feasible_fraction: 1.0,
+    };
+
+    // Bail out of S001/S002 territory: duplicate names or invalid domains
+    // make the box meaningless.
+    let mut seen = BTreeSet::new();
+    for p in &bundle.params {
+        if !seen.insert(p.name.as_str()) || initial_interval(&p.def).is_none() {
+            out.analyzed = false;
+            return out;
+        }
+    }
+
+    // Parse what we can; unknown references belong to S005, parse
+    // failures to nobody (the linter only reasons about what it
+    // understands).
+    let mut exprs: Vec<(&str, expr::Expr)> = Vec::new();
+    for c in &bundle.constraints {
+        match expr::parse(&c.expr) {
+            Ok(e) if e.vars().iter().all(|v| bundle.has_param(v)) => {
+                exprs.push((c.name.as_str(), e));
+            }
+            _ => out.skipped_constraints += 1,
+        }
+    }
+
+    // Initial box.
+    let param_refs: Vec<(&str, &ParamDef)> = bundle
+        .params
+        .iter()
+        .map(|p| (p.name.as_str(), &p.def))
+        .collect();
+    let initial: Vec<Interval> = bundle
+        .params
+        .iter()
+        .map(|p| initial_interval(&p.def).unwrap_or_else(Interval::top))
+        .collect();
+
+    // Forward classification over the original box.
+    let env0: std::collections::BTreeMap<String, Interval> = bundle
+        .params
+        .iter()
+        .zip(&initial)
+        .map(|(p, iv)| (p.name.clone(), *iv))
+        .collect();
+    let mut any_unsat = false;
+    for (name, e) in &exprs {
+        let v = eval_expr(e, &env0);
+        let class = if !v.can_be_nonzero_real() {
+            any_unsat = true;
+            ConstraintClass::ProvedUnsat
+        } else if !v.maybe_nan && !v.can_be_zero() {
+            ConstraintClass::Tautology
+        } else {
+            ConstraintClass::Contingent
+        };
+        out.constraints.push(ConstraintAnalysis {
+            name: (*name).to_string(),
+            class,
+            value: v,
+        });
+    }
+
+    // Backward contraction (an unsat constraint empties the box at once).
+    let expr_refs: Vec<&expr::Expr> = exprs.iter().map(|(_, e)| e).collect();
+    let c = contract(&param_refs, &expr_refs);
+    out.iterations = c.iterations;
+    out.converged = c.converged;
+    out.proved_empty = c.proved_empty || any_unsat;
+
+    // Per-parameter outcomes + feasible fraction.
+    let mut fraction = 1.0;
+    for (p, orig) in bundle.params.iter().zip(&initial) {
+        let contracted = if out.proved_empty {
+            Interval::bottom()
+        } else {
+            c.env.get(&p.name).copied().unwrap_or(*orig)
+        };
+        let m_orig = measure(&p.def, orig);
+        let m_new = measure(&p.def, &contracted);
+        if m_orig > 0.0 {
+            fraction *= (m_new / m_orig).clamp(0.0, 1.0);
+        } else if m_new == 0.0 {
+            fraction = 0.0;
+        }
+        let tightened = if !out.proved_empty && (contracted.lo > orig.lo || contracted.hi < orig.hi)
+        {
+            tightened_def(&p.def, &contracted)
+        } else {
+            None
+        };
+        out.params.push(ParamInterval {
+            name: p.name.clone(),
+            original: *orig,
+            contracted,
+            tightened,
+        });
+    }
+    out.feasible_fraction = if out.proved_empty { 0.0 } else { fraction };
+    out
+}
+
+/// Mirror of the `S003` membership test: does `default` live inside
+/// `def`? Used to refuse a rewrite that would orphan a declared default
+/// (a default may sit inside the declared domain yet violate a
+/// constraint, in which case the contracted domain excludes it).
+fn default_fits(def: &ParamDef, default: f64) -> bool {
+    use cets_space::ParamValue;
+    if !default.is_finite() {
+        return true; // N002 territory; not ours to worsen
+    }
+    let value = match def {
+        ParamDef::Real { .. } | ParamDef::Ordinal { .. } => ParamValue::Real(default),
+        ParamDef::Integer { .. } => ParamValue::Int(default.round() as i64),
+        ParamDef::Categorical { .. } => ParamValue::Index(default.round().max(0.0) as usize),
+    };
+    def.contains(&value)
+}
+
+/// A copy of `bundle` with every tightened domain applied — what
+/// `cets analyze --contract` re-lints and what the methodology's
+/// `contract_bounds` pre-pass builds its narrowed space from.
+///
+/// A parameter keeps its declared domain when the tightened one would
+/// exclude its declared default: the contraction proved the default
+/// violates a constraint, and silently moving the baseline is worse than
+/// leaving the bound loose.
+pub fn apply_contraction(bundle: &PlanBundle, analysis: &SpaceAnalysis) -> PlanBundle {
+    let mut out = bundle.clone();
+    if !analysis.analyzed || analysis.proved_empty {
+        return out;
+    }
+    for p in &mut out.params {
+        if let Some(t) = analysis.tightened_def(&p.name) {
+            if p.default.is_none_or(|d| default_fits(t, d)) {
+                p.def = t.clone();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{ConstraintSpec, ParamSpec};
+
+    fn param(name: &str, def: ParamDef) -> ParamSpec {
+        ParamSpec {
+            name: name.into(),
+            def,
+            default: None,
+        }
+    }
+
+    fn constraint(name: &str, expr: &str) -> ConstraintSpec {
+        ConstraintSpec {
+            name: name.into(),
+            expr: expr.into(),
+        }
+    }
+
+    fn bundle(params: Vec<ParamSpec>, constraints: Vec<ConstraintSpec>) -> PlanBundle {
+        PlanBundle {
+            params,
+            constraints,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn classifies_unsat_tautology_contingent() {
+        let b = bundle(
+            vec![param("a", ParamDef::Integer { lo: 1, hi: 8 })],
+            vec![
+                constraint("dead", "a > 100"),
+                constraint("trivial", "a >= 0"),
+                constraint("real", "a <= 4"),
+            ],
+        );
+        let s = analyze_space(&b);
+        assert!(s.analyzed);
+        assert_eq!(s.constraints[0].class, ConstraintClass::ProvedUnsat);
+        assert_eq!(s.constraints[1].class, ConstraintClass::Tautology);
+        assert_eq!(s.constraints[2].class, ConstraintClass::Contingent);
+        assert!(s.proved_empty, "an unsat constraint kills the plan");
+        assert_eq!(s.feasible_fraction, 0.0);
+    }
+
+    #[test]
+    fn contraction_and_fraction() {
+        let b = bundle(
+            vec![
+                param("a", ParamDef::Integer { lo: 0, hi: 99 }),
+                param("r", ParamDef::Real { lo: 0.0, hi: 10.0 }),
+            ],
+            vec![constraint("cap", "a <= 24"), constraint("rcap", "r <= 5")],
+        );
+        let s = analyze_space(&b);
+        assert!(!s.proved_empty);
+        assert!(s.converged);
+        let a = &s.params[0];
+        assert_eq!((a.contracted.lo, a.contracted.hi), (0.0, 24.0));
+        assert!(a.narrowed());
+        assert_eq!(a.tightened, Some(ParamDef::Integer { lo: 0, hi: 24 }));
+        // fraction = 25/100 * (5+slack)/10 ≈ 0.125
+        assert!(
+            (s.feasible_fraction - 0.125).abs() < 1e-3,
+            "{}",
+            s.feasible_fraction
+        );
+    }
+
+    #[test]
+    fn skips_malformed_bundles() {
+        let b = bundle(
+            vec![
+                param("a", ParamDef::Real { lo: 0.0, hi: 1.0 }),
+                param("a", ParamDef::Real { lo: 0.0, hi: 1.0 }),
+            ],
+            vec![],
+        );
+        assert!(
+            !analyze_space(&b).analyzed,
+            "duplicate params: S001 territory"
+        );
+        let b = bundle(
+            vec![param("a", ParamDef::Real { lo: 1.0, hi: 0.0 })],
+            vec![],
+        );
+        assert!(
+            !analyze_space(&b).analyzed,
+            "invalid domain: S002 territory"
+        );
+    }
+
+    #[test]
+    fn skips_unparseable_and_unknown_constraints() {
+        let b = bundle(
+            vec![param("a", ParamDef::Real { lo: 0.0, hi: 1.0 })],
+            vec![
+                constraint("garbage", "?!?"),
+                constraint("foreign", "zz <= 1"),
+                constraint("fine", "a <= 2"),
+            ],
+        );
+        let s = analyze_space(&b);
+        assert_eq!(s.skipped_constraints, 2);
+        assert_eq!(s.constraints.len(), 1);
+    }
+
+    #[test]
+    fn categorical_not_rewritten() {
+        let b = bundle(
+            vec![param(
+                "impl",
+                ParamDef::Categorical {
+                    options: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+                },
+            )],
+            vec![constraint("cap", "impl <= 1")],
+        );
+        let s = analyze_space(&b);
+        let p = &s.params[0];
+        assert!(p.narrowed(), "index interval narrows");
+        assert!(p.tightened.is_none(), "but the option list is never sliced");
+        assert!((s.feasible_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_contraction_rewrites_defs() {
+        let b = bundle(
+            vec![param("a", ParamDef::Integer { lo: 0, hi: 99 })],
+            vec![constraint("cap", "a <= 9")],
+        );
+        let s = analyze_space(&b);
+        let nb = apply_contraction(&b, &s);
+        assert_eq!(nb.params[0].def, ParamDef::Integer { lo: 0, hi: 9 });
+        // Re-analysis of the contracted bundle finds nothing to narrow:
+        // the cap is now tautological.
+        let s2 = analyze_space(&nb);
+        assert!(!s2.any_narrowed());
+        assert_eq!(s2.constraints[0].class, ConstraintClass::Tautology);
+    }
+
+    #[test]
+    fn empty_bundle_is_trivially_full() {
+        let s = analyze_space(&PlanBundle::default());
+        assert!(s.analyzed);
+        assert!(!s.proved_empty);
+        assert_eq!(s.feasible_fraction, 1.0);
+        assert!(s.converged);
+    }
+}

@@ -132,6 +132,17 @@ impl Diagnostic {
         }
     }
 
+    /// Construct a [`Severity::Info`] diagnostic.
+    pub fn info(code: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Info,
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
     /// Attach a fix-it hint.
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());

@@ -15,6 +15,14 @@
 //! | `S0xx` | search **s**pace   | `S001` duplicates, `S002` invalid domains, `S003` defaults outside domains, `S004` unsatisfiable-looking constraints, `S005` unknown references |
 //! | `G0xx` | influence **g**raph / plan | `G001` dependency cycles, `G002` cut-off-orphaned tuned parameters, `G003` dimension cap violations, `G004` shared-parameter ownership |
 //! | `N0xx` | **n**umerics | `N001` PSD-fragile kernels, `N002` non-finite inputs, `N003` zero-variance dimensions |
+//! | `A0xx` | **a**bstract interpretation | `A001` proved-unsat plans, `A002` tautological constraints, `A003` rejection-sampling thrash risk, `A004` contractible bounds, `A005` contraction not converged |
+//!
+//! The `A`-codes come from the interval-analysis engine in [`absint`]
+//! (forward constraint classification + HC4-revise backward bound
+//! contraction) and are opt-in: [`analyze`] /
+//! [`Registry::with_analysis_rules`] run them, the plain [`lint`] entry
+//! point does not — `A004` is advice about *optimizable* bounds, not a
+//! defect, so the default gate stays quiet about it.
 //!
 //! See the individual modules under [`rules`] for the full story behind
 //! each code, and `DESIGN.md` for the user-facing diagnostics reference.
@@ -47,6 +55,7 @@
 //! New rules are one file each: implement [`Lint`], add the module under
 //! [`rules`], and register it in [`Registry::with_default_rules`].
 
+pub mod absint;
 pub mod bundle;
 pub mod diag;
 pub mod expr;
@@ -55,10 +64,11 @@ pub mod registry;
 pub mod reporter;
 pub mod rules;
 
+pub use absint::{analyze_space, apply_contraction, ConstraintClass, Interval, SpaceAnalysis};
 pub use bundle::{
     ConstraintSpec, KernelSpec, ParamSpec, PlanBundle, PlanSpec, SearchSpec, UnresolvedRef,
 };
 pub use diag::{Diagnostic, Location, Severity};
-pub use loader::{load_path, load_str};
-pub use registry::{lint, Lint, Registry, Report};
-pub use reporter::{render_human, render_json};
+pub use loader::{load_path, load_str, rewrite_contracted};
+pub use registry::{analyze, lint, Lint, Registry, Report};
+pub use reporter::{render_human, render_json, render_sarif};

@@ -329,6 +329,84 @@ fn from_value(v: &Value) -> Result<PlanBundle, String> {
     Ok(b)
 }
 
+/// Replace `obj[key]`, appending the field when absent.
+fn set_field(obj: &mut Vec<(String, Value)>, key: &str, val: Value) {
+    match obj.iter_mut().find(|(k, _)| k == key) {
+        Some(slot) => slot.1 = val,
+        None => obj.push((key.to_string(), val)),
+    }
+}
+
+/// Render `x` as an integer JSON value when it is one, a float otherwise
+/// (keeps `--contract` output free of gratuitous `4.0`-style literals).
+fn num_value(x: f64) -> Value {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x.is_finite() && x.fract() == 0.0 && x.abs() < EXACT {
+        Value::Int(x as i64)
+    } else {
+        Value::Float(x)
+    }
+}
+
+/// Rewrite the plan JSON `src` with the tightened domains of `analysis`
+/// applied — the engine behind `cets analyze --contract`.
+///
+/// The rewrite is surgical: the original `Value` tree is re-emitted with
+/// only the `lo` / `hi` / `values` fields of narrowed parameters
+/// replaced, so comments-in-strings, extra fields and the overall shape
+/// of the file survive (modulo pretty-printing). Parameters whose
+/// tightened domain would exclude their declared default keep their
+/// bounds, exactly as in [`crate::absint::apply_contraction`].
+///
+/// Returns `Err` when `src` is not a loadable plan file.
+pub fn rewrite_contracted(
+    src: &str,
+    analysis: &crate::absint::SpaceAnalysis,
+) -> Result<String, String> {
+    let bundle = load_str(src)?;
+    let contracted = crate::absint::apply_contraction(&bundle, analysis);
+    let mut v = serde_json::parse_value(src).map_err(|e| format!("invalid JSON: {e}"))?;
+
+    if let Value::Object(top) = &mut v {
+        if let Some((_, Value::Array(params))) = top.iter_mut().find(|(k, _)| k == "params") {
+            for pv in params.iter_mut() {
+                let Value::Object(fields) = pv else { continue };
+                let Some((_, Value::String(name))) =
+                    fields.iter().find(|(k, _)| k == "name").cloned()
+                else {
+                    continue;
+                };
+                let (Some(old), Some(new)) = (bundle.param(&name), contracted.param(&name)) else {
+                    continue;
+                };
+                if old.def == new.def {
+                    continue;
+                }
+                match &new.def {
+                    ParamDef::Real { lo, hi } => {
+                        set_field(fields, "lo", Value::Float(*lo));
+                        set_field(fields, "hi", Value::Float(*hi));
+                    }
+                    ParamDef::Integer { lo, hi } => {
+                        set_field(fields, "lo", Value::Int(*lo));
+                        set_field(fields, "hi", Value::Int(*hi));
+                    }
+                    ParamDef::Ordinal { values } => {
+                        set_field(
+                            fields,
+                            "values",
+                            Value::Array(values.iter().copied().map(num_value).collect()),
+                        );
+                    }
+                    ParamDef::Categorical { .. } => {} // never rewritten
+                }
+            }
+        }
+    }
+
+    serde_json::to_string_pretty(&v).map_err(|e| format!("re-rendering failed: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +429,68 @@ mod tests {
         "kernel": {"noise_floor": 1e-6, "length_scales": [0.3], "signal_variance": 1.0},
         "plan": {"stages": [[{"name": "G1", "params": ["tb"], "routines": ["A"]}]]}
     }"#;
+
+    #[test]
+    fn rewrite_contracted_patches_only_narrowed_params() {
+        let src = r#"{
+            "params": [
+                {"name": "a", "kind": "integer", "lo": 32, "hi": 1024, "default": 64},
+                {"name": "b", "kind": "real", "lo": 0.0, "hi": 1.0}
+            ],
+            "constraints": [{"name": "smem", "expr": "a * 64 <= 49152"}],
+            "cutoff": 0.3
+        }"#;
+        let bundle = load_str(src).unwrap();
+        let analysis = crate::absint::analyze_space(&bundle);
+        let out = rewrite_contracted(src, &analysis).expect("rewrites");
+        let nb = load_str(&out).expect("rewritten plan still loads");
+        assert_eq!(
+            nb.params[0].def,
+            cets_space::ParamDef::Integer { lo: 32, hi: 768 }
+        );
+        assert_eq!(
+            nb.params[1].def,
+            cets_space::ParamDef::Real { lo: 0.0, hi: 1.0 },
+            "untouched param keeps its domain"
+        );
+        assert_eq!(nb.params[0].default, Some(64.0), "default survives");
+        assert_eq!(nb.cutoff, 0.3, "unrelated fields survive");
+        // The rewrite is idempotent: re-analyzing finds nothing to narrow.
+        let again = crate::absint::analyze_space(&nb);
+        assert!(!again.any_narrowed());
+        assert_eq!(rewrite_contracted(&out, &again).unwrap(), out);
+    }
+
+    #[test]
+    fn rewrite_contracted_keeps_bounds_that_would_orphan_the_default() {
+        // default 1000 is inside the declared domain but violates the
+        // constraint; contraction must not strand it outside the box.
+        let src = r#"{
+            "params": [
+                {"name": "a", "kind": "integer", "lo": 32, "hi": 1024, "default": 1000}
+            ],
+            "constraints": [{"name": "smem", "expr": "a * 64 <= 49152"}]
+        }"#;
+        let bundle = load_str(src).unwrap();
+        let analysis = crate::absint::analyze_space(&bundle);
+        assert!(
+            analysis.any_narrowed(),
+            "analysis still reports the narrowing"
+        );
+        let out = rewrite_contracted(src, &analysis).unwrap();
+        let nb = load_str(&out).unwrap();
+        assert_eq!(
+            nb.params[0].def,
+            cets_space::ParamDef::Integer { lo: 32, hi: 1024 },
+            "domain kept: the tightened bounds exclude the declared default"
+        );
+    }
+
+    #[test]
+    fn rewrite_contracted_rejects_garbage() {
+        let analysis = crate::absint::analyze_space(&PlanBundle::default());
+        assert!(rewrite_contracted("not json", &analysis).is_err());
+    }
 
     #[test]
     fn full_plan_loads() {

@@ -100,6 +100,17 @@ impl Registry {
         r
     }
 
+    /// Every default rule **plus** the abstract-interpretation
+    /// feasibility rule (`A001`–`A005`). This is what `cets analyze`
+    /// runs; it is not the default because `A004` (contractible bounds)
+    /// fires on any plan whose bounds are not already statically minimal,
+    /// which is advice, not a defect.
+    pub fn with_analysis_rules() -> Self {
+        let mut r = Registry::with_default_rules();
+        r.register(Box::new(crate::rules::feasibility::Feasibility));
+        r
+    }
+
     /// Add a rule (runs after all previously registered ones).
     pub fn register(&mut self, rule: Box<dyn Lint>) {
         self.rules.push(rule);
@@ -131,6 +142,12 @@ pub fn lint(bundle: &PlanBundle) -> Report {
     Registry::with_default_rules().run(bundle)
 }
 
+/// Convenience: run the analysis registry (defaults + feasibility
+/// `A`-codes) over a bundle. This is `cets analyze`'s entry point.
+pub fn analyze(bundle: &PlanBundle) -> Report {
+    Registry::with_analysis_rules().run(bundle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +166,26 @@ mod tests {
         ] {
             assert!(codes.contains(&c), "missing rule for {c}");
         }
+    }
+
+    #[test]
+    fn analysis_registry_adds_a_codes_only() {
+        let r = Registry::with_analysis_rules();
+        let codes: Vec<&str> = r
+            .rules
+            .iter()
+            .flat_map(|l| l.codes().iter().copied())
+            .collect();
+        for c in ["A001", "A002", "A003", "A004", "A005"] {
+            assert!(codes.contains(&c), "missing analysis rule for {c}");
+        }
+        // The default registry stays free of A-codes.
+        let d = Registry::with_default_rules();
+        assert!(d
+            .rules
+            .iter()
+            .flat_map(|l| l.codes().iter())
+            .all(|c| !c.starts_with('A')));
     }
 
     #[test]

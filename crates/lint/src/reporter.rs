@@ -71,6 +71,102 @@ pub fn render_json(report: &Report) -> String {
         .unwrap_or_else(|e| format!("{{\"error\":\"report rendering failed: {e}\"}}"))
 }
 
+fn sarif_level(d: &Diagnostic) -> &'static str {
+    match d.severity {
+        crate::diag::Severity::Error => "error",
+        crate::diag::Severity::Warning => "warning",
+        crate::diag::Severity::Info => "note",
+    }
+}
+
+fn sarif_result(d: &Diagnostic) -> Value {
+    let mut logical = vec![("kind".to_string(), Value::String(d.location.kind().into()))];
+    if let Some(n) = d.location.name() {
+        logical.push(("name".to_string(), Value::String(n.into())));
+    }
+    logical.push((
+        "fullyQualifiedName".to_string(),
+        Value::String(d.location.to_string()),
+    ));
+    let mut fields = vec![
+        ("ruleId".to_string(), Value::String(d.code.into())),
+        ("level".to_string(), Value::String(sarif_level(d).into())),
+        (
+            "message".to_string(),
+            Value::Object(vec![("text".to_string(), Value::String(d.message.clone()))]),
+        ),
+        (
+            "locations".to_string(),
+            Value::Array(vec![Value::Object(vec![(
+                "logicalLocations".to_string(),
+                Value::Array(vec![Value::Object(logical)]),
+            )])]),
+        ),
+    ];
+    if let Some(h) = &d.help {
+        fields.push((
+            "properties".to_string(),
+            Value::Object(vec![("help".to_string(), Value::String(h.clone()))]),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// SARIF 2.1.0 rendering, for editor / CI ingestion.
+///
+/// The output is a single-run SARIF log: `runs[0].tool.driver` names the
+/// tool (`cets-lint`) and lists every distinct rule code the report
+/// carries; `runs[0].results` holds one result per diagnostic, with the
+/// severity mapped onto SARIF levels (`error`, `warning`, and `note` for
+/// [`Severity::Info`]) and the bundle location exposed as a
+/// `logicalLocation`. Fix-it hints travel in the result's property bag
+/// under `"help"`.
+///
+/// [`Severity::Info`]: crate::diag::Severity::Info
+pub fn render_sarif(report: &Report) -> String {
+    // Distinct rule ids, in first-emission order.
+    let mut rule_ids: Vec<&'static str> = Vec::new();
+    for d in &report.diagnostics {
+        if !rule_ids.contains(&d.code) {
+            rule_ids.push(d.code);
+        }
+    }
+    let rules = Value::Array(
+        rule_ids
+            .into_iter()
+            .map(|id| Value::Object(vec![("id".to_string(), Value::String(id.into()))]))
+            .collect(),
+    );
+    let driver = Value::Object(vec![
+        ("name".to_string(), Value::String("cets-lint".into())),
+        (
+            "informationUri".to_string(),
+            Value::String("https://example.invalid/cets".into()),
+        ),
+        ("rules".to_string(), rules),
+    ]);
+    let run = Value::Object(vec![
+        (
+            "tool".to_string(),
+            Value::Object(vec![("driver".to_string(), driver)]),
+        ),
+        (
+            "results".to_string(),
+            Value::Array(report.diagnostics.iter().map(sarif_result).collect()),
+        ),
+    ]);
+    let v = Value::Object(vec![
+        (
+            "$schema".to_string(),
+            Value::String("https://json.schemastore.org/sarif-2.1.0.json".into()),
+        ),
+        ("version".to_string(), Value::String("2.1.0".into())),
+        ("runs".to_string(), Value::Array(vec![run])),
+    ]);
+    serde_json::to_string_pretty(&v)
+        .unwrap_or_else(|e| format!("{{\"error\":\"report rendering failed: {e}\"}}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +220,76 @@ mod tests {
         assert!(render_human(&rep).contains("0 error(s)"));
         let v = serde_json::parse_value(&render_json(&rep)).unwrap();
         assert_eq!(v.get_field("diagnostics").as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn sarif_rendering_roundtrips() {
+        let mut rep = sample_report();
+        rep.diagnostics
+            .push(Diagnostic::info("A005", Location::Plan, "did not converge"));
+        let s = render_sarif(&rep);
+        let v = serde_json::parse_value(&s).expect("reporter emits valid JSON");
+        assert!(matches!(
+            v.get_field("version"),
+            serde::Value::String(ver) if ver == "2.1.0"
+        ));
+        let runs = v.get_field("runs").as_array().unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get_field("tool").get_field("driver");
+        assert!(matches!(
+            driver.get_field("name"),
+            serde::Value::String(n) if n == "cets-lint"
+        ));
+        // One rule entry per distinct code.
+        assert_eq!(driver.get_field("rules").as_array().unwrap().len(), 3);
+        let results = runs[0].get_field("results").as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(matches!(
+            results[0].get_field("ruleId"),
+            serde::Value::String(c) if c == "S001"
+        ));
+        assert!(matches!(
+            results[0].get_field("level"),
+            serde::Value::String(l) if l == "error"
+        ));
+        // Info maps onto SARIF's "note".
+        assert!(matches!(
+            results[2].get_field("level"),
+            serde::Value::String(l) if l == "note"
+        ));
+        // Logical locations carry the bundle location.
+        let loc = results[0].get_field("locations").as_array().unwrap()[0]
+            .get_field("logicalLocations")
+            .as_array()
+            .unwrap()[0]
+            .clone();
+        assert!(matches!(
+            loc.get_field("kind"),
+            serde::Value::String(k) if k == "param"
+        ));
+        assert!(matches!(
+            loc.get_field("name"),
+            serde::Value::String(n) if n == "tb"
+        ));
+        // Help rides in the property bag.
+        assert!(matches!(
+            results[0].get_field("properties").get_field("help"),
+            serde::Value::String(h) if h == "rename one"
+        ));
+    }
+
+    #[test]
+    fn sarif_dedupes_rule_ids() {
+        let rep = Report {
+            diagnostics: vec![
+                Diagnostic::warning("A004", Location::Param("a".into()), "x"),
+                Diagnostic::warning("A004", Location::Param("b".into()), "y"),
+            ],
+        };
+        let v = serde_json::parse_value(&render_sarif(&rep)).unwrap();
+        let runs = v.get_field("runs").as_array().unwrap();
+        let driver = runs[0].get_field("tool").get_field("driver");
+        assert_eq!(driver.get_field("rules").as_array().unwrap().len(), 1);
+        assert_eq!(runs[0].get_field("results").as_array().unwrap().len(), 2);
     }
 }

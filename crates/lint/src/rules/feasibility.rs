@@ -1,0 +1,288 @@
+//! `A001`–`A005`: abstract-interpretation feasibility findings.
+//!
+//! This rule runs the interval analysis of [`crate::absint`] over the
+//! bundle and reports what it proves:
+//!
+//! * `A001` (error) — a constraint is *proved unsatisfiable* over the
+//!   declared domains, or the conjunction of all constraints empties the
+//!   box: the plan is dead on arrival. Unlike the sampling-based `S004`
+//!   warning, this is a proof, so it is an error.
+//! * `A002` (warning) — a constraint is *tautological*: every point of
+//!   the box satisfies it, so it only costs evaluation time in the
+//!   rejection sampler.
+//! * `A003` (warning) — the statically feasible fraction of the box is
+//!   tiny: rejection sampling will thrash discarding candidates.
+//! * `A004` (warning) — backward contraction tightened a parameter's
+//!   bounds: the declared domain is provably larger than the feasible
+//!   region, and `cets analyze --contract` can rewrite it.
+//! * `A005` (info) — the contraction fixpoint hit its iteration cap
+//!   before converging; the reported intervals are sound but may be
+//!   looser than the true fixpoint.
+//!
+//! The rule is **not** part of the default `cets lint` registry: `A004`
+//! fires on any plan whose bounds are not already statically minimal,
+//! which is advice rather than a defect. `cets analyze` (and
+//! [`crate::registry::Registry::with_analysis_rules`]) opt in.
+//!
+//! Bundles in `S001`/`S002` error territory (duplicate parameters,
+//! invalid domains) are skipped entirely — interval analysis over a
+//! malformed box proves nothing.
+
+use crate::absint::{analyze_space, ConstraintClass};
+use crate::bundle::PlanBundle;
+use crate::diag::{Diagnostic, Location};
+use crate::registry::Lint;
+
+/// Feasible-fraction threshold below which `A003` fires.
+pub const THRASH_THRESHOLD: f64 = 1e-3;
+
+/// See the module docs.
+pub struct Feasibility;
+
+impl Lint for Feasibility {
+    fn name(&self) -> &'static str {
+        "feasibility"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["A001", "A002", "A003", "A004", "A005"]
+    }
+
+    fn check(&self, bundle: &PlanBundle, out: &mut Vec<Diagnostic>) {
+        let analysis = analyze_space(bundle);
+        if !analysis.analyzed {
+            return;
+        }
+
+        let mut single_unsat = false;
+        for c in &analysis.constraints {
+            match c.class {
+                ConstraintClass::ProvedUnsat => {
+                    single_unsat = true;
+                    out.push(
+                        Diagnostic::error(
+                            "A001",
+                            Location::Constraint(c.name.clone()),
+                            format!(
+                                "constraint `{}` is proved unsatisfiable over the declared \
+                                 domains: its value interval is {}",
+                                c.name, c.value
+                            ),
+                        )
+                        .with_help(
+                            "no point of the search space can satisfy this constraint; \
+                             widen the parameter bounds or fix the expression",
+                        ),
+                    );
+                }
+                ConstraintClass::Tautology => {
+                    out.push(
+                        Diagnostic::warning(
+                            "A002",
+                            Location::Constraint(c.name.clone()),
+                            format!(
+                                "constraint `{}` is tautological over the declared domains \
+                                 (value interval {}): it never rejects a candidate",
+                                c.name, c.value
+                            ),
+                        )
+                        .with_help(
+                            "drop the constraint, or tighten the bounds it was meant to guard",
+                        ),
+                    );
+                }
+                ConstraintClass::Contingent => {}
+            }
+        }
+
+        if analysis.proved_empty && !single_unsat {
+            out.push(
+                Diagnostic::error(
+                    "A001",
+                    Location::Plan,
+                    "the conjunction of all constraints is proved unsatisfiable: backward \
+                     contraction emptied the parameter box",
+                )
+                .with_help("the constraints are individually satisfiable but jointly conflicting"),
+            );
+        }
+
+        if !analysis.proved_empty && analysis.feasible_fraction < THRASH_THRESHOLD {
+            out.push(
+                Diagnostic::warning(
+                    "A003",
+                    Location::Plan,
+                    format!(
+                        "the statically feasible fraction of the search box is at most {:e}: \
+                         rejection sampling will thrash discarding candidates",
+                        analysis.feasible_fraction
+                    ),
+                )
+                .with_help(
+                    "apply `cets analyze --contract` to tighten the bounds before searching",
+                ),
+            );
+        }
+
+        if !analysis.proved_empty {
+            for p in &analysis.params {
+                if p.narrowed() {
+                    let mut d = Diagnostic::warning(
+                        "A004",
+                        Location::Param(p.name.clone()),
+                        format!(
+                            "bounds of `{}` contract from {} to {}: the declared domain is \
+                             provably larger than the feasible region",
+                            p.name, p.original, p.contracted
+                        ),
+                    );
+                    d = if p.tightened.is_some() {
+                        d.with_help(
+                            "run `cets analyze --contract` to rewrite the plan with the \
+                             tightened bounds",
+                        )
+                    } else {
+                        d.with_help(
+                            "the narrowing is not expressible in this domain kind; tighten \
+                             the bounds manually if the constraint is intentional",
+                        )
+                    };
+                    out.push(d);
+                }
+            }
+        }
+
+        if !analysis.converged && !analysis.proved_empty {
+            out.push(Diagnostic::info(
+                "A005",
+                Location::Plan,
+                format!(
+                    "bound contraction hit the iteration cap ({} passes) before converging; \
+                     the reported intervals are sound but may be looser than the fixpoint",
+                    analysis.iterations
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{ConstraintSpec, ParamSpec};
+    use crate::diag::Severity;
+    use cets_space::ParamDef;
+
+    fn param(name: &str, lo: i64, hi: i64) -> ParamSpec {
+        ParamSpec {
+            name: name.into(),
+            def: ParamDef::Integer { lo, hi },
+            default: None,
+        }
+    }
+
+    fn constraint(name: &str, expr: &str) -> ConstraintSpec {
+        ConstraintSpec {
+            name: name.into(),
+            expr: expr.into(),
+        }
+    }
+
+    fn run(b: &PlanBundle) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        Feasibility.check(b, &mut out);
+        out
+    }
+
+    #[test]
+    fn unsat_constraint_is_a001_error() {
+        let b = PlanBundle {
+            params: vec![param("a", 1, 8)],
+            constraints: vec![constraint("dead", "a > 100")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A001").expect("A001");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.location, Location::Constraint("dead".into()));
+    }
+
+    #[test]
+    fn jointly_empty_is_a001_at_plan() {
+        let b = PlanBundle {
+            params: vec![param("a", 0, 10)],
+            constraints: vec![constraint("hi", "a >= 9"), constraint("lo", "a <= 1")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A001").expect("A001");
+        assert_eq!(d.location, Location::Plan);
+    }
+
+    #[test]
+    fn tautology_is_a002_warning() {
+        let b = PlanBundle {
+            params: vec![param("a", 1, 8)],
+            constraints: vec![constraint("trivial", "a >= 0")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A002").expect("A002");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn thrash_risk_is_a003() {
+        let b = PlanBundle {
+            params: vec![param("a", 0, 99_999)],
+            constraints: vec![constraint("pin", "a <= 0")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        assert!(out.iter().any(|d| d.code == "A003"), "{out:?}");
+    }
+
+    #[test]
+    fn contraction_is_a004_with_intervals_in_message() {
+        let b = PlanBundle {
+            params: vec![param("a", 32, 1024)],
+            constraints: vec![constraint("smem", "a * 64 <= 49152")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A004").expect("A004");
+        assert_eq!(d.location, Location::Param("a".into()));
+        assert!(d.message.contains("[32, 1024]"), "{}", d.message);
+        assert!(d.message.contains("[32, 768]"), "{}", d.message);
+    }
+
+    #[test]
+    fn clean_contingent_plan_is_quiet() {
+        let b = PlanBundle {
+            params: vec![param("a", 0, 10), param("b", 0, 10)],
+            constraints: vec![constraint("sum", "a + b <= 20")],
+            ..Default::default()
+        };
+        // a + b <= 20 is tautological here; make it contingent but
+        // non-contracting: a + b <= 10 narrows nothing (each var alone
+        // already fits) — contraction derives a <= 10 which is the bound.
+        let out = run(&b);
+        assert!(out.iter().all(|d| d.code == "A002"), "{out:?}");
+        let b2 = PlanBundle {
+            constraints: vec![constraint("sum", "a + b <= 10")],
+            ..b
+        };
+        let out = run(&b2);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn malformed_bundle_is_skipped() {
+        let b = PlanBundle {
+            params: vec![param("a", 9, 1)],
+            constraints: vec![constraint("c", "a > 100")],
+            ..Default::default()
+        };
+        assert!(run(&b).is_empty(), "S002 territory is not re-reported");
+    }
+}

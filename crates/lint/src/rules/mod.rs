@@ -14,6 +14,7 @@
 //! | [`kernel_psd`] | `N001` | PSD-fragile GP kernel configuration |
 //! | [`nonfinite`] | `N002` | NaN/Inf scores, cut-offs or defaults |
 //! | [`zero_variance`] | `N003` | zero-variance dimensions fed to the statistics |
+//! | [`feasibility`] | `A001`–`A005` | interval-analysis proofs: unsat plans, tautologies, thrash risk, contractible bounds (opt-in via `cets analyze`) |
 
 pub mod bounds;
 pub mod constraints;
@@ -21,6 +22,7 @@ pub mod cycles;
 pub mod defaults;
 pub mod dim_cap;
 pub mod duplicate_params;
+pub mod feasibility;
 pub mod kernel_psd;
 pub mod nonfinite;
 pub mod orphans;

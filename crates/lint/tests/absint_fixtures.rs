@@ -1,0 +1,151 @@
+//! End-to-end fixture tests for the abstract-interpretation analysis
+//! codes (A001–A005): every code is detected in a real plan file loaded
+//! from disk, and the contracted exemplar stays deny-warnings clean.
+
+use cets_lint::{
+    analyze, analyze_space, lint, load_path, load_str, render_human, rewrite_contracted,
+    ConstraintClass, Report, Severity,
+};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/absint")
+        .join(name)
+}
+
+fn fixture(name: &str) -> Report {
+    let bundle =
+        load_path(&fixture_path(name)).unwrap_or_else(|e| panic!("{name} should load: {e}"));
+    analyze(&bundle)
+}
+
+fn assert_code(report: &Report, code: &str, severity: Severity) {
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("expected {code}, got:\n{}", render_human(report)));
+    assert_eq!(d.severity, severity, "{code} severity");
+}
+
+#[test]
+fn proved_unsat_constraint_is_a001() {
+    let r = fixture("unsat.json");
+    assert_code(&r, "A001", Severity::Error);
+}
+
+#[test]
+fn jointly_unsat_conjunction_is_a001_at_plan_level() {
+    let r = fixture("jointly_unsat.json");
+    assert_code(&r, "A001", Severity::Error);
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "A001")
+        .expect("A001 present");
+    assert_eq!(
+        d.location.kind(),
+        "plan",
+        "joint emptiness is a plan-level fact"
+    );
+}
+
+#[test]
+fn tautological_constraint_is_a002() {
+    let r = fixture("tautology.json");
+    assert_code(&r, "A002", Severity::Warning);
+}
+
+#[test]
+fn thin_feasible_fraction_is_a003() {
+    let r = fixture("contractible.json");
+    assert_code(&r, "A003", Severity::Warning);
+}
+
+#[test]
+fn contractible_bounds_are_a004() {
+    let r = fixture("contractible.json");
+    assert_code(&r, "A004", Severity::Warning);
+    // Both `buf` (via `buf <= 9`) and `tb` (via `tb * 64 <= 49152`) narrow.
+    assert_eq!(r.diagnostics.iter().filter(|d| d.code == "A004").count(), 2);
+}
+
+#[test]
+fn fixpoint_cap_is_a005() {
+    let r = fixture("nonconverging.json");
+    assert_code(&r, "A005", Severity::Info);
+}
+
+#[test]
+fn analysis_codes_ride_on_top_of_structural_lints() {
+    // `analyze` is a strict superset of `lint`: same bundle, same
+    // structural diagnostics, plus the A-family.
+    let bundle = load_path(&fixture_path("contractible.json")).expect("loads");
+    let lint_report = lint(&bundle);
+    let analyze_report = analyze(&bundle);
+    for d in &lint_report.diagnostics {
+        assert!(
+            analyze_report.diagnostics.iter().any(|a| a.code == d.code),
+            "structural {} missing from analyze output",
+            d.code
+        );
+    }
+    assert!(analyze_report.diagnostics.len() >= lint_report.diagnostics.len());
+}
+
+#[test]
+fn space_analysis_classifies_fixture_constraints() {
+    let bundle = load_path(&fixture_path("tautology.json")).expect("loads");
+    let s = analyze_space(&bundle);
+    assert!(s.analyzed);
+    assert!(s
+        .constraints
+        .iter()
+        .any(|c| c.class == ConstraintClass::Tautology));
+    assert!(!s.proved_empty);
+}
+
+#[test]
+fn contracted_fixture_reanalyzes_without_a004_on_same_params() {
+    // Rewriting the contractible fixture bakes the tightened bounds in;
+    // a second analysis over the rewritten plan finds nothing left to
+    // tighten (the fixpoint is idempotent).
+    let src = std::fs::read_to_string(fixture_path("contractible.json")).expect("read");
+    let bundle = load_str(&src).expect("loads");
+    let analysis = analyze_space(&bundle);
+    assert!(analysis.any_narrowed());
+    let rewritten = rewrite_contracted(&src, &analysis).expect("rewrite succeeds");
+    let bundle2 = load_str(&rewritten).expect("rewritten plan loads");
+    let analysis2 = analyze_space(&bundle2);
+    assert!(
+        !analysis2.any_narrowed(),
+        "second pass should find nothing to tighten"
+    );
+}
+
+#[test]
+fn exemplar_contracts_strictly_in_at_least_one_dimension() {
+    // Acceptance criterion: the shipped exemplar's contracted box is
+    // strictly smaller than the declared one in at least one dimension.
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/plans/tddft_plan.json");
+    let src = std::fs::read_to_string(path).expect("exemplar readable");
+    let bundle = load_str(&src).expect("exemplar loads");
+    let analysis = analyze_space(&bundle);
+    assert!(analysis.analyzed && !analysis.proved_empty);
+    assert!(
+        analysis.params.iter().any(|p| p.tightened.is_some()),
+        "exemplar should have at least one contractible parameter"
+    );
+
+    // And the rewritten exemplar is deny-warnings clean under `analyze`.
+    let rewritten = rewrite_contracted(&src, &analysis).expect("rewrite succeeds");
+    let bundle2 = load_str(&rewritten).expect("contracted exemplar loads");
+    let report = analyze(&bundle2);
+    assert!(
+        report.is_clean(),
+        "contracted exemplar must be clean:\n{}",
+        render_human(&report)
+    );
+}

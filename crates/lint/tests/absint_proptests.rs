@@ -1,0 +1,312 @@
+//! Property-based soundness tests for the abstract-interpretation engine:
+//!
+//! 1. **Forward enclosure** — the interval evaluation of a random
+//!    expression over a box encloses the concrete evaluation at every
+//!    sampled point of that box (NaN results are predicted by the
+//!    `maybe_nan` flag).
+//! 2. **Contraction soundness** — the contracted box is a subset of the
+//!    original box, and *no constraint-satisfying point is excluded*: any
+//!    sampled point that concretely satisfies every constraint still lies
+//!    inside every contracted interval. When the contraction proves the
+//!    box empty, no sampled point satisfies the conjunction.
+//! 3. **Totality & determinism** — the analysis registry (`analyze`) and
+//!    the space analysis never panic on hostile bundles and are
+//!    byte-for-byte deterministic.
+//!
+//! Expressions and boxes are generated from a seed via an inline
+//! SplitMix64 (the same scheme as `proptests.rs`) so that pathological
+//! shapes — division by zero-spanning intervals, `Rem`, nested boolean
+//! operators — are all reachable.
+
+use cets_lint::absint::{analyze_space, contract, eval_expr, initial_interval};
+use cets_lint::expr::{BinOp, Expr};
+use cets_lint::{analyze, render_human, ConstraintSpec, ParamSpec, PlanBundle};
+use cets_space::ParamDef;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Deterministic 64-bit mixer (same scheme the S004 prober uses).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const NAMES: &[&str] = &["a", "b", "c", "d"];
+
+/// A random *valid* domain (this suite tests soundness over well-formed
+/// boxes; totality over malformed ones is covered separately).
+fn valid_def(rng: &mut Mix) -> ParamDef {
+    match rng.below(4) {
+        0 => {
+            let lo = (rng.below(2001) as f64) / 10.0 - 100.0;
+            let w = (rng.below(1000) as f64) / 10.0 + 0.1;
+            ParamDef::Real { lo, hi: lo + w }
+        }
+        1 => {
+            let lo = rng.below(200) as i64 - 100;
+            let w = rng.below(100) as i64;
+            ParamDef::Integer { lo, hi: lo + w }
+        }
+        2 => {
+            let mut values: Vec<f64> = (0..rng.below(4) + 1)
+                .map(|_| rng.below(64) as f64 - 32.0)
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.dedup();
+            ParamDef::Ordinal { values }
+        }
+        _ => ParamDef::Categorical {
+            options: (0..rng.below(3) + 1).map(|i| format!("opt{i}")).collect(),
+        },
+    }
+}
+
+/// Sample one concrete value from a domain, on the numeric scale the
+/// interval analysis uses (ordinals by value, categoricals by index).
+fn sample_value(def: &ParamDef, rng: &mut Mix) -> f64 {
+    match def {
+        ParamDef::Real { lo, hi } => lo + rng.unit() * (hi - lo),
+        ParamDef::Integer { lo, hi } => {
+            let span = (hi - lo) as u64 + 1;
+            (lo + (rng.next() % span) as i64) as f64
+        }
+        ParamDef::Ordinal { values } => values[rng.below(values.len())],
+        ParamDef::Categorical { options } => rng.below(options.len()) as f64,
+    }
+}
+
+/// A random expression tree over `names`, mixing arithmetic, comparison
+/// and boolean nodes. Depth-bounded; leaves are variables and constants
+/// (including 0, to reach division-by-zero territory).
+fn arbitrary_expr(rng: &mut Mix, depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return if rng.below(2) == 0 {
+            Expr::Var(NAMES[rng.below(NAMES.len())].to_string())
+        } else {
+            let consts = [-8.0, -1.0, 0.0, 0.5, 1.0, 2.0, 10.0, 100.0];
+            Expr::Num(consts[rng.below(consts.len())])
+        };
+    }
+    if rng.below(8) == 0 {
+        return Expr::Neg(Box::new(arbitrary_expr(rng, depth - 1)));
+    }
+    const OPS: &[BinOp] = &[
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::Le,
+        BinOp::Ge,
+        BinOp::Lt,
+        BinOp::Gt,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::And,
+        BinOp::Or,
+    ];
+    Expr::Bin(
+        OPS[rng.below(OPS.len())],
+        Box::new(arbitrary_expr(rng, depth - 1)),
+        Box::new(arbitrary_expr(rng, depth - 1)),
+    )
+}
+
+/// A random well-formed box over `NAMES`.
+fn arbitrary_box(rng: &mut Mix) -> Vec<(String, ParamDef)> {
+    NAMES
+        .iter()
+        .map(|n| (n.to_string(), valid_def(rng)))
+        .collect()
+}
+
+/// Comparison-flavoured constraint expressions (the realistic shape) plus
+/// a few exotic ones.
+fn arbitrary_constraint(rng: &mut Mix) -> Expr {
+    let lhs = arbitrary_expr(rng, 2);
+    let consts = [-50.0, 0.0, 1.0, 10.0, 100.0, 2048.0];
+    let rhs = Expr::Num(consts[rng.below(consts.len())]);
+    const CMPS: &[BinOp] = &[BinOp::Le, BinOp::Ge, BinOp::Lt, BinOp::Gt, BinOp::Eq];
+    match rng.below(6) {
+        0 => arbitrary_expr(rng, 3), // anything goes
+        _ => Expr::Bin(CMPS[rng.below(CMPS.len())], Box::new(lhs), Box::new(rhs)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Forward enclosure: interval evaluation encloses concrete evaluation
+    /// at every sampled point of the box.
+    #[test]
+    fn forward_eval_encloses_concrete_eval(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let params = arbitrary_box(&mut rng);
+        let expr = arbitrary_expr(&mut rng, 3);
+
+        let env: BTreeMap<String, _> = params
+            .iter()
+            .map(|(n, d)| (n.clone(), initial_interval(d).expect("valid def")))
+            .collect();
+        let iv = eval_expr(&expr, &env);
+
+        for _ in 0..32 {
+            let point: BTreeMap<String, f64> = params
+                .iter()
+                .map(|(n, d)| (n.clone(), sample_value(d, &mut rng)))
+                .collect();
+            let v = expr
+                .eval(&|n| point.get(n).copied())
+                .expect("all variables bound");
+            if v.is_nan() {
+                prop_assert!(iv.maybe_nan, "concrete NaN not predicted: {expr:?} at {point:?}");
+            } else {
+                prop_assert!(
+                    iv.contains(v),
+                    "concrete {v} outside {iv} for {expr:?} at {point:?}"
+                );
+            }
+        }
+    }
+
+    /// Contraction soundness: contracted ⊆ original, and no point that
+    /// satisfies every constraint is excluded from the contracted box.
+    #[test]
+    fn contraction_excludes_no_satisfying_point(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let params = arbitrary_box(&mut rng);
+        let constraints: Vec<Expr> = (0..rng.below(3) + 1)
+            .map(|_| arbitrary_constraint(&mut rng))
+            .collect();
+
+        let param_refs: Vec<(&str, &ParamDef)> =
+            params.iter().map(|(n, d)| (n.as_str(), d)).collect();
+        let expr_refs: Vec<&Expr> = constraints.iter().collect();
+        let c = contract(&param_refs, &expr_refs);
+
+        // Contracted ⊆ original.
+        for (n, d) in &params {
+            let orig = initial_interval(d).expect("valid def");
+            let got = c.env.get(n).expect("every param present");
+            if !got.is_empty_range() {
+                prop_assert!(
+                    got.lo >= orig.lo && got.hi <= orig.hi,
+                    "{n}: contracted {got} escapes original {orig}"
+                );
+            }
+        }
+
+        // No satisfying point excluded.
+        for _ in 0..64 {
+            let point: BTreeMap<String, f64> = params
+                .iter()
+                .map(|(n, d)| (n.clone(), sample_value(d, &mut rng)))
+                .collect();
+            let sat = constraints.iter().all(|e| {
+                e.satisfied(&|n| point.get(n).copied()).unwrap_or(false)
+            });
+            if !sat {
+                continue;
+            }
+            prop_assert!(
+                !c.proved_empty,
+                "box proved empty but {point:?} satisfies all of {constraints:?}"
+            );
+            for (n, v) in &point {
+                let iv = c.env.get(n).expect("param present");
+                prop_assert!(
+                    iv.contains(*v),
+                    "satisfying point {point:?} excluded: {n}={v} outside {iv} \
+                     (constraints {constraints:?})"
+                );
+            }
+        }
+    }
+
+    /// The analysis registry is total and deterministic on hostile
+    /// bundles (invalid domains, unparseable constraints, NaN defaults).
+    #[test]
+    fn analysis_is_total_and_deterministic_on_hostile_bundles(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let hostile_f64 = |rng: &mut Mix| match rng.below(8) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 1e300,
+            _ => rng.below(2000) as f64 / 10.0 - 100.0,
+        };
+        let params: Vec<ParamSpec> = (0..rng.below(5))
+            .map(|_| ParamSpec {
+                name: ["a", "b", "dup", "dup", ""][rng.below(5)].to_string(),
+                def: match rng.below(3) {
+                    0 => ParamDef::Real {
+                        lo: hostile_f64(&mut rng),
+                        hi: hostile_f64(&mut rng),
+                    },
+                    1 => ParamDef::Integer {
+                        lo: rng.below(64) as i64 - 32,
+                        hi: rng.below(64) as i64 - 32,
+                    },
+                    _ => ParamDef::Ordinal {
+                        values: (0..rng.below(3)).map(|_| hostile_f64(&mut rng)).collect(),
+                    },
+                },
+                default: (rng.below(2) == 0).then(|| hostile_f64(&mut rng)),
+            })
+            .collect();
+        const EXPRS: &[&str] = &[
+            "a / 0 <= 1",
+            "a % 0 == a",
+            "a * 1e300 * 1e300 <= 0",
+            "a - a == 0",
+            "a + b <= 10 and a - b >= 0",
+            "((",
+            "ghost <= 1",
+            "1 <= 2",
+            "a != a",
+        ];
+        let constraints: Vec<ConstraintSpec> = (0..rng.below(4))
+            .map(|_| ConstraintSpec {
+                name: ["c1", "c2", "dead"][rng.below(3)].to_string(),
+                expr: EXPRS[rng.below(EXPRS.len())].to_string(),
+            })
+            .collect();
+        let bundle = PlanBundle {
+            params,
+            constraints,
+            ..Default::default()
+        };
+
+        // Totality: neither the space analysis nor the full analysis
+        // registry may panic, whatever the bundle contains.
+        let s1 = analyze_space(&bundle);
+        let s2 = analyze_space(&bundle);
+        let r1 = analyze(&bundle);
+        let r2 = analyze(&bundle);
+
+        // Determinism, byte for byte.
+        prop_assert_eq!(format!("{s1:?}"), format!("{s2:?}"));
+        prop_assert_eq!(render_human(&r1), render_human(&r2));
+
+        // Internal consistency: proved-empty implies zero feasible fraction.
+        if s1.analyzed && s1.proved_empty {
+            prop_assert_eq!(s1.feasible_fraction, 0.0);
+        }
+        prop_assert!(s1.iterations <= cets_lint::absint::ITER_CAP);
+    }
+}

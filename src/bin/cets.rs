@@ -4,7 +4,9 @@
 //! cets synthetic --case 3 [--cutoff 0.25] [--evals-per-dim 10] [--seed 0] [--report out.md]
 //! cets tddft --case 1 [--cutoff 0.10] [--evals-per-dim 10] [--seed 0] [--report out.md]
 //!                    [--db out.json]
-//! cets lint <plan.json> [--format human|json] [--deny-warnings]
+//! cets lint <plan.json> [--format human|json|sarif] [--deny-warnings]
+//! cets analyze <plan.json> [--format human|json|sarif] [--deny-warnings]
+//!                          [--contract [out.json]]
 //! cets help
 //! ```
 //!
@@ -14,6 +16,13 @@
 //! plan-bundle file (search space + influence DAG + staged plan + kernel)
 //! without evaluating anything; exit code 0 means the plan passed, 1 means
 //! diagnostics denied it, 2 means the file could not be read or parsed.
+//! `cets analyze` additionally runs the abstract-interpretation
+//! feasibility engine (diagnostic codes `A001`–`A005`): it proves
+//! constraints unsatisfiable or tautological over the declared domains and
+//! contracts the box bounds to the feasible region. With `--contract` the
+//! rewritten plan (tightened bounds applied) is printed to stdout — or
+//! written to a file when the flag is given a path — while the report
+//! moves to stderr.
 
 use cets::core::{
     render_markdown, BoConfig, Methodology, MethodologyConfig, Objective, VariationPolicy,
@@ -73,6 +82,7 @@ fn usage() {
     eprintln!("  cets synthetic --case <1..5> [options]   tune a synthetic function");
     eprintln!("  cets tddft     --case <1|2>  [options]   tune the RT-TDDFT simulator");
     eprintln!("  cets lint      <plan.json>   [options]   statically validate a plan bundle");
+    eprintln!("  cets analyze   <plan.json>   [options]   lint + interval feasibility analysis");
     eprintln!();
     eprintln!("OPTIONS:");
     eprintln!("  --cutoff <f>         influence cut-off (default: 0.25 synthetic, 0.10 tddft)");
@@ -81,9 +91,11 @@ fn usage() {
     eprintln!("  --report <path>      also write the markdown report to a file");
     eprintln!("  --db <path>          (tddft) save the evaluation database as JSON");
     eprintln!();
-    eprintln!("LINT OPTIONS:");
-    eprintln!("  --format <human|json>  output format (default human)");
-    eprintln!("  --deny-warnings        exit non-zero on warnings, not just errors");
+    eprintln!("LINT / ANALYZE OPTIONS:");
+    eprintln!("  --format <human|json|sarif>  output format (default human)");
+    eprintln!("  --deny-warnings              exit non-zero on warnings, not just errors");
+    eprintln!("  --contract [out.json]        (analyze) emit the plan with statically");
+    eprintln!("                               contracted bounds applied");
 }
 
 fn run_pipeline<O: Objective>(
@@ -257,25 +269,70 @@ fn main() -> ExitCode {
                 args.get_str("db"),
             )
         }
-        "lint" => {
+        "lint" | "analyze" => {
+            let analyze_mode = cmd == "analyze";
             let Some(path) = raw.get(1).filter(|p| !p.starts_with("--")) else {
-                eprintln!("usage: cets lint <plan.json> [--format human|json] [--deny-warnings]");
+                eprintln!(
+                    "usage: cets {cmd} <plan.json> [--format human|json|sarif] [--deny-warnings]{}",
+                    if analyze_mode {
+                        " [--contract [out.json]]"
+                    } else {
+                        ""
+                    }
+                );
                 return ExitCode::from(2);
             };
-            let bundle = match cets::lint::load_path(std::path::Path::new(path)) {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let bundle = match cets::lint::load_str(&src) {
                 Ok(b) => b,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::from(2);
                 }
             };
-            let report = cets::lint::lint(&bundle);
-            match args.get_str("format").unwrap_or("human") {
-                "json" => println!("{}", cets::lint::render_json(&report)),
-                "human" => println!("{}", cets::lint::render_human(&report)),
+            let report = if analyze_mode {
+                cets::lint::analyze(&bundle)
+            } else {
+                cets::lint::lint(&bundle)
+            };
+            let rendered = match args.get_str("format").unwrap_or("human") {
+                "json" => cets::lint::render_json(&report),
+                "sarif" => cets::lint::render_sarif(&report),
+                "human" => cets::lint::render_human(&report),
                 other => {
-                    eprintln!("unknown --format {other} (expected human or json)");
+                    eprintln!("unknown --format {other} (expected human, json or sarif)");
                     return ExitCode::from(2);
+                }
+            };
+            match analyze_mode.then(|| args.get_str("contract")).flatten() {
+                None => println!("{rendered}"),
+                Some(out_path) => {
+                    let analysis = cets::lint::analyze_space(&bundle);
+                    let contracted = match cets::lint::rewrite_contracted(&src, &analysis) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    if out_path.is_empty() {
+                        // Plan to stdout (pipe-friendly), report to stderr.
+                        eprintln!("{rendered}");
+                        println!("{contracted}");
+                    } else {
+                        if let Err(e) = std::fs::write(out_path, format!("{contracted}\n")) {
+                            eprintln!("error writing {out_path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                        println!("{rendered}");
+                        eprintln!("contracted plan written to {out_path}");
+                    }
                 }
             }
             let deny_warnings = raw.iter().any(|a| a == "--deny-warnings");

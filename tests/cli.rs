@@ -94,3 +94,117 @@ fn bad_case_number_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--case must be 1..5"));
 }
+
+const EXEMPLAR: &str = "examples/plans/tddft_plan.json";
+const UNSAT: &str = "crates/lint/tests/fixtures/absint/unsat.json";
+
+#[test]
+fn lint_exemplar_is_clean_under_deny_warnings() {
+    let out = cets()
+        .args(["lint", EXEMPLAR, "--deny-warnings"])
+        .output()
+        .expect("run cets");
+    assert!(
+        out.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 error(s), 0 warning(s)"));
+}
+
+#[test]
+fn analyze_exemplar_reports_contractible_bounds() {
+    let out = cets()
+        .args(["analyze", EXEMPLAR])
+        .output()
+        .expect("run cets");
+    assert!(out.status.success(), "A004 is a warning, not a denial");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("warning[A004]"), "{text}");
+    assert!(text.contains("[32, 512]"), "{text}");
+}
+
+#[test]
+fn analyze_unsat_fixture_is_denied() {
+    let out = cets().args(["analyze", UNSAT]).output().expect("run cets");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[A001]"));
+}
+
+#[test]
+fn analyze_emits_sarif() {
+    let out = cets()
+        .args(["analyze", EXEMPLAR, "--format", "sarif"])
+        .output()
+        .expect("run cets");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"2.1.0\""), "{text}");
+    assert!(text.contains("cets-lint"), "{text}");
+    assert!(text.contains("A004"), "{text}");
+}
+
+#[test]
+fn lint_emits_sarif_too() {
+    let out = cets()
+        .args(["lint", EXEMPLAR, "--format", "sarif"])
+        .output()
+        .expect("run cets");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"2.1.0\""));
+}
+
+#[test]
+fn analyze_contract_emits_tightened_plan_on_stdout() {
+    let out = cets()
+        .args(["analyze", EXEMPLAR, "--contract"])
+        .output()
+        .expect("run cets");
+    assert!(out.status.success());
+    let plan = String::from_utf8_lossy(&out.stdout);
+    // The rewritten plan carries the contracted g1_tb / zc_tb bounds...
+    assert!(plan.contains("\"hi\": 512"), "{plan}");
+    // ...and the report moved to stderr.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("warning[A004]"));
+}
+
+#[test]
+fn analyze_contracted_exemplar_passes_deny_warnings() {
+    let out = cets()
+        .args(["analyze", EXEMPLAR, "--contract"])
+        .output()
+        .expect("run cets");
+    assert!(out.status.success());
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("cets_cli_contracted_{}.json", std::process::id()));
+    std::fs::write(&path, &out.stdout).expect("write contracted plan");
+    let again = cets()
+        .args(["analyze", path.to_str().unwrap(), "--deny-warnings"])
+        .output()
+        .expect("run cets");
+    assert!(
+        again.status.success(),
+        "contracted exemplar must be deny-warnings clean: {}",
+        String::from_utf8_lossy(&again.stdout)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_missing_file_exits_2() {
+    let out = cets()
+        .args(["analyze", "/nonexistent/plan.json"])
+        .output()
+        .expect("run cets");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn analyze_rejects_unknown_format() {
+    let out = cets()
+        .args(["analyze", EXEMPLAR, "--format", "xml"])
+        .output()
+        .expect("run cets");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --format"));
+}

@@ -6,7 +6,8 @@
 //! cargo run -p xtask -- lint-src --update-baseline # ratchet the baseline down
 //! ```
 //!
-//! `lint-src` counts `unwrap()` / `expect(` / `panic!(` call sites in
+//! `lint-src` counts `unwrap()` / `expect(` / `panic!(` / `todo!(` /
+//! `unimplemented!(` / `unwrap_or_else(|| panic!` call sites in
 //! *library* code (`crates/*/src` and the root `src/`), compares the
 //! per-file counts against `xtask/lint-src-baseline.txt`, and fails if any
 //! file got **worse**. Files absent from the baseline are held to zero, so
@@ -29,7 +30,14 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+const PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+    "unwrap_or_else(|| panic!",
+];
 const BASELINE: &str = "xtask/lint-src-baseline.txt";
 
 fn main() -> ExitCode {
