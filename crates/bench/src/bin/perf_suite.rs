@@ -1,0 +1,437 @@
+//! `perf_suite` — the repo's performance-trajectory harness.
+//!
+//! Times the BO/GP hot path (GP hyperparameter training, batch prediction,
+//! acquisition proposal) plus one full `Methodology::run` on a synthetic
+//! 20-dimensional objective, and writes the results to `BENCH_bo.json` at
+//! the repo root so every PR has a perf trajectory to compare against.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cets-bench --bin perf_suite                     # measure, merge into BENCH_bo.json
+//! cargo run --release -p cets-bench --bin perf_suite -- --record-baseline # (re)record the baseline section
+//! cargo run --release -p cets-bench --bin perf_suite -- --smoke          # tiny sizes, separate output, CI gate
+//! cargo run --release -p cets-bench --bin perf_suite -- --out path.json  # custom output path
+//! ```
+//!
+//! Normal runs load the existing file (if any), keep its `baseline`
+//! section, fill `current` and recompute the `speedup` ratios
+//! (`baseline.median_ms / current.median_ms` per benchmark). `--smoke`
+//! runs reduced sizes and, unless `--out` is given, writes to
+//! `target/bench_smoke.json` so it never perturbs the real trajectory;
+//! every mode re-reads and validates the JSON it wrote before exiting 0.
+
+use cets_core::{BoConfig, BoSearch, Methodology, MethodologyConfig, Objective, VariationPolicy};
+use cets_gp::{Gp, GpConfig, Kernel, KernelKind};
+use cets_space::{SearchSpace, Subspace};
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Build a JSON object from `(key, value)` pairs (the vendored serde facade
+/// represents objects as ordered `Vec<(String, Value)>`).
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Harness-level result: every failure is a message plus exit code 1.
+type BenchResult<T> = std::result::Result<T, String>;
+
+/// Schema identifier written into (and checked back out of) the JSON.
+const SCHEMA: &str = "cets-perf-trajectory/1";
+/// Input dimensionality of every GP benchmark (the paper's 20 parameters).
+const DIM: usize = 20;
+
+struct Args {
+    smoke: bool,
+    record_baseline: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut a = Args {
+        smoke: false,
+        record_baseline: false,
+        out: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => a.smoke = true,
+            "--record-baseline" => a.record_baseline = true,
+            "--out" => {
+                a.out = argv.get(i + 1).cloned();
+                i += 1;
+            }
+            other => {
+                eprintln!("perf_suite: unknown argument `{other}`");
+                eprintln!("usage: perf_suite [--smoke] [--record-baseline] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+/// One benchmark measurement.
+struct Measure {
+    id: &'static str,
+    median_ms: f64,
+    evals_per_sec: f64,
+    /// What one "eval" means for this benchmark.
+    eval_unit: &'static str,
+    reps: usize,
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Deterministic pseudo-random regression data set on the unit cube: a
+/// smooth anisotropic test function with a mild pairwise interaction, so GP
+/// training has real structure to fit (not pure noise).
+fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..DIM).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            let smooth: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ((i + 1) as f64 * v).sin() / (i + 1) as f64)
+                .sum();
+            smooth + 0.5 * x[0] * x[1]
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Time `Gp::train` (multi-start Nelder–Mead over the LML) at size `n`.
+fn bench_gp_train(id: &'static str, n: usize, reps: usize) -> BenchResult<Measure> {
+    let (xs, ys) = dataset(n, 0xC0FFEE ^ n as u64);
+    let cfg = GpConfig::default();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let gp = Gp::train(&xs, &ys, &cfg).map_err(|e| format!("{id}: gp train: {e}"))?;
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(gp.lml().is_finite());
+    }
+    let med = median_ms(&mut samples);
+    // Upper-bound estimate of LML evaluations per second: Nelder–Mead may
+    // converge before exhausting its budget, so the true rate is >= this.
+    let lml_evals = (cfg.n_restarts.max(1) * cfg.nm.max_evals) as f64;
+    Ok(Measure {
+        id,
+        median_ms: med,
+        evals_per_sec: lml_evals / (med / 1e3),
+        eval_unit: "lml_evals (budget upper bound)",
+        reps,
+    })
+}
+
+/// Time predicting `m` held-out points from a fixed-kernel GP of size `n`.
+fn bench_gp_predict(id: &'static str, n: usize, m: usize, reps: usize) -> BenchResult<Measure> {
+    let (xs, ys) = dataset(n, 0xBEEF ^ n as u64);
+    let kernel = Kernel::with_params(KernelKind::Matern52, 1.0, vec![0.3; DIM]);
+    let gp = Gp::fit(&xs, &ys, kernel, 1e-6).map_err(|e| format!("{id}: gp fit: {e}"))?;
+    let (queries, _) = dataset(m, 0xD15C ^ m as u64);
+    let mut samples = Vec::with_capacity(reps);
+    let mut sink = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for q in &queries {
+            let (mu, var) = gp.predict(q);
+            sink += mu + var;
+        }
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert!(sink.is_finite());
+    let med = median_ms(&mut samples);
+    Ok(Measure {
+        id,
+        median_ms: med,
+        evals_per_sec: m as f64 / (med / 1e3),
+        eval_unit: "predictions",
+        reps,
+    })
+}
+
+/// A 20-dim unconstrained unit-cube subspace for the proposal benchmark.
+fn unit_subspace() -> BenchResult<(SearchSpace, Subspace)> {
+    let mut b = SearchSpace::builder();
+    for i in 0..DIM {
+        b = b.real(format!("x{i}"), 0.0, 1.0);
+    }
+    let space = b.build();
+    let defaults = space
+        .decode(&[0.5; DIM])
+        .map_err(|e| format!("defaults: {e}"))?;
+    let sub = Subspace::full(&space, defaults).map_err(|e| format!("subspace: {e}"))?;
+    Ok((space, sub))
+}
+
+/// Time one acquisition-optimization step (`BoSearch::propose`: score the
+/// candidate pool + local refinement) against a GP with `n` observations.
+fn bench_propose(id: &'static str, n: usize, reps: usize) -> BenchResult<Measure> {
+    let (_space, sub) = unit_subspace()?;
+    let (xs, ys) = dataset(n, 0xACE ^ n as u64);
+    let kernel = Kernel::with_params(KernelKind::Matern52, 1.0, vec![0.3; DIM]);
+    let gp = Gp::fit(&xs, &ys, kernel, 1e-6).map_err(|e| format!("{id}: gp fit: {e}"))?;
+    let best = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let bo = BoSearch::new(BoConfig::default());
+    let pool = (bo.config.n_candidates + bo.config.n_local) as f64;
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(rep as u64);
+        let t = Instant::now();
+        let u = bo
+            .propose(&sub, &gp, best, None, &mut rng)
+            .map_err(|e| format!("{id}: propose: {e}"))?;
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(u.len(), DIM);
+    }
+    let med = median_ms(&mut samples);
+    Ok(Measure {
+        id,
+        median_ms: med,
+        evals_per_sec: pool / (med / 1e3),
+        eval_unit: "candidates scored",
+        reps,
+    })
+}
+
+/// Time one full `Methodology::run` (analysis + lint + planned searches)
+/// on a synthetic 20-dim objective.
+fn bench_methodology(
+    id: &'static str,
+    evals_per_dim: usize,
+    max_dims: usize,
+) -> BenchResult<Measure> {
+    let obj = SyntheticFunction::new(SyntheticCase::Case3);
+    let owners = SyntheticFunction::owners();
+    let pairs = SyntheticFunction::owner_pairs(&owners);
+    let m = Methodology::new(MethodologyConfig {
+        cutoff: 0.25,
+        max_dims,
+        variation_policy: VariationPolicy::Spread { count: 5 },
+        bo: BoConfig {
+            seed: 42,
+            ..Default::default()
+        },
+        evals_per_dim,
+        parallel: false,
+        ..Default::default()
+    });
+    let t = Instant::now();
+    let (_report, exec) = m
+        .run(&obj, &pairs, &obj.default_config())
+        .map_err(|e| format!("{id}: methodology run: {e}"))?;
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    Ok(Measure {
+        id,
+        median_ms: ms,
+        evals_per_sec: exec.total_evals as f64 / (ms / 1e3),
+        eval_unit: "objective evals",
+        reps: 1,
+    })
+}
+
+fn run_benches(smoke: bool) -> BenchResult<Vec<Measure>> {
+    let mut out = Vec::new();
+    if smoke {
+        out.push(bench_gp_train("gp_train_n16", 16, 1)?);
+        out.push(bench_gp_train("gp_train_n32", 32, 1)?);
+        out.push(bench_gp_predict("gp_predict_n32_m64", 32, 64, 2)?);
+        out.push(bench_propose("propose_n32", 32, 2)?);
+        out.push(bench_methodology("methodology_run_smoke", 2, 5)?);
+    } else {
+        out.push(bench_gp_train("gp_train_n50", 50, 5)?);
+        out.push(bench_gp_train("gp_train_n200", 200, 3)?);
+        out.push(bench_gp_train("gp_train_n500", 500, 1)?);
+        out.push(bench_gp_predict("gp_predict_n200_m512", 200, 512, 5)?);
+        out.push(bench_propose("propose_n50", 50, 7)?);
+        out.push(bench_propose("propose_n200", 200, 5)?);
+        out.push(bench_propose("propose_n500", 500, 3)?);
+        out.push(bench_methodology("methodology_run", 10, 10)?);
+    }
+    Ok(out)
+}
+
+fn measures_to_json(ms: &[Measure]) -> Value {
+    Value::Object(
+        ms.iter()
+            .map(|m| {
+                (
+                    m.id.to_string(),
+                    obj(vec![
+                        ("median_ms", Value::Float(m.median_ms)),
+                        ("evals_per_sec", Value::Float(m.evals_per_sec)),
+                        ("eval_unit", Value::String(m.eval_unit.to_string())),
+                        ("reps", Value::Int(m.reps as i64)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// `baseline.median_ms / current.median_ms` per benchmark present in both.
+fn speedups(baseline: &Value, current: &Value) -> Value {
+    let mut out: Vec<(String, Value)> = Vec::new();
+    if let Value::Object(cur_fields) = current {
+        for (id, cur) in cur_fields {
+            let bm = baseline.get_field(id).get_field("median_ms").as_f64();
+            let cm = cur.get_field("median_ms").as_f64();
+            if let (Ok(bm), Ok(cm)) = (bm, cm) {
+                if bm.is_finite() && cm > 0.0 {
+                    out.push((id.clone(), Value::Float(bm / cm)));
+                }
+            }
+        }
+    }
+    Value::Object(out)
+}
+
+/// Check the invariants every consumer of `BENCH_bo.json` relies on.
+fn validate(doc: &Value) -> std::result::Result<(), String> {
+    match doc.get_field("schema") {
+        Value::String(s) if s == SCHEMA => {}
+        other => return Err(format!("schema {other:?} != {SCHEMA}")),
+    }
+    let mut any = false;
+    for section in ["baseline", "current"] {
+        let Value::Object(benches) = doc.get_field(section).get_field("benches") else {
+            continue;
+        };
+        any = true;
+        for (id, b) in benches {
+            for key in ["median_ms", "evals_per_sec"] {
+                let v = b.get_field(key).as_f64().unwrap_or(f64::NAN);
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "{section}.benches.{id}.{key} = {v} is not positive"
+                    ));
+                }
+            }
+        }
+    }
+    if !any {
+        return Err("neither baseline nor current section present".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("perf_suite: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> BenchResult<()> {
+    let args = parse_args();
+    let out_path = args.out.clone().unwrap_or_else(|| {
+        if args.smoke {
+            "target/bench_smoke.json".to_string()
+        } else {
+            "BENCH_bo.json".to_string()
+        }
+    });
+
+    let mode = if args.smoke { "smoke" } else { "full" };
+    eprintln!("perf_suite: mode={mode} out={out_path}");
+    let measures = run_benches(args.smoke)?;
+    for m in &measures {
+        eprintln!(
+            "  {:<24} median {:>10.3} ms   {:>12.1} {}/s  (reps {})",
+            m.id,
+            m.median_ms,
+            m.evals_per_sec,
+            m.eval_unit.split(' ').next().unwrap_or("evals"),
+            m.reps
+        );
+    }
+    let benches = measures_to_json(&measures);
+    let results = obj(vec![
+        ("recorded_unix", Value::UInt(unix_now())),
+        ("benches", benches.clone()),
+    ]);
+
+    // Merge with the existing trajectory (normal runs keep the recorded
+    // baseline; `--record-baseline` replaces it and clears stale sections).
+    let existing: Option<Value> = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::parse_value(&s).ok());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("schema", Value::String(SCHEMA.to_string())),
+        ("mode", Value::String(mode.to_string())),
+        ("generated_unix", Value::UInt(unix_now())),
+        (
+            "harness",
+            Value::String("cargo run --release -p cets-bench --bin perf_suite".to_string()),
+        ),
+        ("threads_available", Value::Int(threads as i64)),
+    ];
+    if args.record_baseline {
+        fields.push(("baseline", results));
+    } else {
+        let baseline = existing
+            .as_ref()
+            .map(|e| e.get_field("baseline").clone())
+            .unwrap_or(Value::Null);
+        let ratio = speedups(baseline.get_field("benches"), &benches);
+        if !matches!(baseline, Value::Null) {
+            fields.push(("baseline", baseline));
+        }
+        fields.push(("current", results));
+        fields.push(("speedup", ratio));
+    }
+    let doc = obj(fields);
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    let rendered = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&out_path, rendered + "\n").map_err(|e| format!("write {out_path}: {e}"))?;
+
+    // Self-validate: re-read what we wrote and check the schema invariants
+    // (this is the `--smoke` CI gate's pass/fail condition).
+    let reread =
+        std::fs::read_to_string(&out_path).map_err(|e| format!("reread {out_path}: {e}"))?;
+    let back =
+        serde_json::parse_value(&reread).map_err(|e| format!("output is not valid JSON: {e}"))?;
+    validate(&back).map_err(|e| format!("output validation failed: {e}"))?;
+    if let Value::Object(sp) = back.get_field("speedup") {
+        for (id, v) in sp {
+            eprintln!("  speedup {:<24} {:>6.2}x", id, v.as_f64().unwrap_or(0.0));
+        }
+    }
+    eprintln!("perf_suite: wrote {out_path} (valid {SCHEMA})");
+    Ok(())
+}

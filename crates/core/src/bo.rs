@@ -13,7 +13,7 @@ use crate::checkpoint::BoCheckpoint;
 use crate::normal;
 use crate::{CoreError, Result};
 use cets_gp::{Gp, GpConfig};
-use cets_space::{Config, Sampler, SpaceError, Subspace};
+use cets_space::{Config, SpaceError, Subspace};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::path::PathBuf;
@@ -106,6 +106,15 @@ pub struct BoConfig {
     pub seed: u64,
     /// Write a crash-recovery checkpoint after every evaluation.
     pub checkpoint_path: Option<PathBuf>,
+    /// Score the candidate pool across threads. The candidate pool is
+    /// pre-sampled single-threadedly and scored through the chunk-invariant
+    /// [`Gp::predict_batch`], so the proposal (and thus the whole search
+    /// trajectory) is **bit-identical** to the sequential path for the same
+    /// seed — this switch only changes wall-clock time.
+    pub parallel: bool,
+    /// Worker threads for parallel scoring; `0` means use
+    /// [`std::thread::available_parallelism`].
+    pub n_workers: usize,
 }
 
 impl Default for BoConfig {
@@ -120,6 +129,8 @@ impl Default for BoConfig {
             retrain_every: 5,
             seed: 0,
             checkpoint_path: None,
+            parallel: true,
+            n_workers: 0,
         }
     }
 }
@@ -244,7 +255,10 @@ impl BoSearch {
         }
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(history.len() as u64));
-        let sampler = Sampler::new(subspace.space());
+        // Contraction-aware sampling box: the statically proved feasible
+        // slice of each active dimension (full `(0, 1)` when nothing
+        // narrows, which maps draws bit-identically to the plain cube).
+        let ubox = crate::contraction::active_unit_box(subspace);
 
         let evaluate = |u: &[f64], history: &mut Vec<(Vec<f64>, f64)>| -> Result<f64> {
             let cfg_full = subspace.lift(u)?;
@@ -276,12 +290,16 @@ impl BoSearch {
                     break;
                 }
                 let u: Vec<f64> = (0..d)
-                    .map(|j| (perms[j][i] as f64 + rng.random::<f64>()) / needed as f64)
+                    .map(|j| {
+                        let (lo, hi) = ubox[j];
+                        let r = (perms[j][i] as f64 + rng.random::<f64>()) / needed as f64;
+                        lo + r * (hi - lo)
+                    })
                     .collect();
                 let u = if subspace.is_valid_active(&u) {
                     u
                 } else {
-                    self.sample_valid_unit(subspace, &sampler, &mut rng)?
+                    self.sample_valid_unit(subspace, &ubox, &mut rng)?
                 };
                 evaluate(&u, &mut history)?;
             }
@@ -339,7 +357,7 @@ impl BoSearch {
                 cache
             };
 
-            let u_next = self.propose(subspace, &sampler, gp, best, prior, &mut rng)?;
+            let u_next = self.propose_impl(subspace, &ubox, gp, best, prior, &mut rng)?;
             evaluate(&u_next, &mut history)?;
         }
 
@@ -359,13 +377,19 @@ impl BoSearch {
     fn sample_valid_unit(
         &self,
         subspace: &Subspace,
-        _sampler: &Sampler<'_>,
+        ubox: &[(f64, f64)],
         rng: &mut StdRng,
     ) -> Result<Vec<f64>> {
         // Rejection sampling directly in the active unit cube so frozen
-        // dimensions stay at their defaults.
+        // dimensions stay at their defaults. Draws come from the
+        // contraction-aware box (see [`crate::contraction`]), so heavily
+        // constrained spaces burn far fewer of the 10 000 attempts on
+        // points the static analysis already proved infeasible.
         for _ in 0..10_000 {
-            let u: Vec<f64> = (0..subspace.dim()).map(|_| rng.random::<f64>()).collect();
+            let u: Vec<f64> = ubox
+                .iter()
+                .map(|&(lo, hi)| lo + rng.random::<f64>() * (hi - lo))
+                .collect();
             if subspace.is_valid_active(&u) {
                 return Ok(u);
             }
@@ -376,37 +400,64 @@ impl BoSearch {
     }
 
     /// Acquisition optimization: random candidates + local refinement.
-    fn propose(
+    ///
+    /// Public so benchmark harnesses (`perf_suite`) and alternative search
+    /// loops can time/reuse the exact proposal step the BO loop runs; the
+    /// candidate pool is drawn from `rng` exactly as in [`BoSearch::run`].
+    pub fn propose(
         &self,
         subspace: &Subspace,
-        sampler: &Sampler<'_>,
+        gp: &Gp,
+        best: f64,
+        prior: Option<PriorMean<'_>>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f64>> {
+        let ubox = crate::contraction::active_unit_box(subspace);
+        self.propose_impl(subspace, &ubox, gp, best, prior, rng)
+    }
+
+    fn propose_impl(
+        &self,
+        subspace: &Subspace,
+        ubox: &[(f64, f64)],
         gp: &Gp,
         best: f64,
         prior: Option<PriorMean<'_>>,
         rng: &mut StdRng,
     ) -> Result<Vec<f64>> {
         let cfg = &self.config;
-        let score_of = |u: &[f64]| {
-            let (m, v) = gp.predict(u);
-            let m = match prior {
-                Some(m0) => m + m0(u),
-                None => m,
-            };
-            cfg.acquisition.score(m, v, best)
-        };
 
-        let mut best_u: Option<(Vec<f64>, f64)> = None;
+        // Draw the whole candidate pool up front, single-threadedly:
+        // scoring consumes no randomness, so the RNG stream (and hence the
+        // search trajectory) is independent of how the pool is scored.
+        let mut pool: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_candidates);
         for _ in 0..cfg.n_candidates {
-            let u = self.sample_valid_unit(subspace, sampler, rng)?;
-            let s = score_of(&u);
-            if best_u.as_ref().is_none_or(|(_, bs)| s > *bs) {
-                best_u = Some((u, s));
+            pool.push(self.sample_valid_unit(subspace, ubox, rng)?);
+        }
+        if pool.is_empty() {
+            return Err(CoreError::SearchStalled("no candidates".into()));
+        }
+
+        // Score the pool through the chunk-invariant batched predictor —
+        // sequentially or across threads, the results are bit-identical.
+        let scores = self.score_pool(gp, &pool, best, prior);
+
+        // Fixed-order argmax (strict `>`, first occurrence wins) so the
+        // champion never depends on chunking or thread count.
+        let mut best_idx = 0;
+        let mut s_best = scores[0];
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s > s_best {
+                s_best = s;
+                best_idx = i;
             }
         }
-        let (mut u_best, mut s_best) =
-            best_u.ok_or_else(|| CoreError::SearchStalled("no candidates".into()))?;
+        let mut u_best = pool.swap_remove(best_idx);
 
         // Local refinement: shrinking Gaussian steps around the champion.
+        // Inherently sequential (each step perturbs the current champion),
+        // and scored through the same batched path as the pool so the
+        // comparisons use one arithmetic throughout.
         for k in 0..cfg.n_local {
             let scale = 0.1 * (1.0 - k as f64 / cfg.n_local.max(1) as f64) + 0.01;
             let u_try: Vec<f64> = u_best
@@ -416,13 +467,75 @@ impl BoSearch {
             if !subspace.is_valid_active(&u_try) {
                 continue;
             }
-            let s = score_of(&u_try);
+            let (m, v) = gp.predict_batch(std::slice::from_ref(&u_try))[0];
+            let m = match prior {
+                Some(m0) => m + m0(&u_try),
+                None => m,
+            };
+            let s = cfg.acquisition.score(m, v, best);
             if s > s_best {
                 s_best = s;
                 u_best = u_try;
             }
         }
         Ok(u_best)
+    }
+
+    /// Acquisition scores for a candidate pool, in pool order.
+    ///
+    /// With [`BoConfig::parallel`] the pool is split into contiguous chunks
+    /// scored by scoped worker threads writing disjoint slices of the
+    /// output; because [`Gp::predict_batch`] is chunk-invariant and the
+    /// acquisition is a pure per-candidate function, the resulting scores
+    /// are bit-identical to the sequential path regardless of worker count.
+    fn score_pool(
+        &self,
+        gp: &Gp,
+        pool: &[Vec<f64>],
+        best: f64,
+        prior: Option<PriorMean<'_>>,
+    ) -> Vec<f64> {
+        let cfg = &self.config;
+        let score_chunk = |chunk: &[Vec<f64>], out: &mut [f64]| {
+            let preds = gp.predict_batch(chunk);
+            for ((s, (m, v)), u) in out.iter_mut().zip(preds).zip(chunk) {
+                let m = match prior {
+                    Some(m0) => m + m0(u),
+                    None => m,
+                };
+                *s = cfg.acquisition.score(m, v, best);
+            }
+        };
+
+        let mut scores = vec![0.0; pool.len()];
+        let workers = self.worker_count(pool.len());
+        if workers <= 1 {
+            score_chunk(pool, &mut scores);
+        } else {
+            let chunk = pool.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (cpool, cout) in pool.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+                    let f = &score_chunk;
+                    scope.spawn(move || f(cpool, cout));
+                }
+            });
+        }
+        scores
+    }
+
+    /// Number of scoring workers for a pool of `n_items` candidates.
+    fn worker_count(&self, n_items: usize) -> usize {
+        if !self.config.parallel || n_items < 2 {
+            return 1;
+        }
+        let requested = if self.config.n_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.config.n_workers
+        };
+        requested.clamp(1, n_items)
     }
 }
 
@@ -551,6 +664,38 @@ mod tests {
         assert_eq!(a.history.len(), b.history.len());
         for (ha, hb) in a.history.iter().zip(&b.history) {
             assert_eq!(ha, hb);
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_is_bit_identical_to_sequential() {
+        // The CI-enforced determinism contract: a full BO run with the
+        // chunked thread-scope scorer produces the exact same history —
+        // every configuration and every observation, bit for bit — as the
+        // sequential path. The pool is pre-sampled before scoring and the
+        // argmax reduction runs in fixed order, so worker count must not
+        // leak into the arithmetic.
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let run = |parallel: bool, n_workers: usize| {
+            let cfg = BoConfig {
+                parallel,
+                n_workers,
+                ..quick_config(25, 42)
+            };
+            BoSearch::new(cfg)
+                .run(&sub, |c| obj.evaluate(c).total)
+                .unwrap()
+        };
+        let sequential = run(false, 0);
+        for workers in [0, 2, 3, 5] {
+            let par = run(true, workers);
+            assert_eq!(
+                sequential.history, par.history,
+                "history diverged with n_workers={workers}"
+            );
+            assert_eq!(sequential.best_value, par.best_value);
+            assert_eq!(sequential.incumbent_trace, par.incumbent_trace);
         }
     }
 

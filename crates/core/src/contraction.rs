@@ -1,0 +1,239 @@
+//! Contraction-aware sampling: feed `cets-lint`'s statically contracted
+//! box into the default sampling paths.
+//!
+//! The abstract-interpretation engine ([`cets_lint::analyze_space`]) proves
+//! which slice of each parameter's declared domain can possibly satisfy the
+//! constraint conjunction. Rejection samplers that draw from the *full*
+//! box waste almost every attempt on heavily constrained spaces (the
+//! paper's RT-TDDFT space accepts ~0.0005 % of blind draws); drawing from
+//! the contracted box instead raises the hit rate without excluding any
+//! feasible configuration, because the contraction is sound.
+//!
+//! This module maps contracted domain intervals into the **unit-cube
+//! coordinates** the samplers actually draw in (see
+//! [`cets_space::Sampler::with_unit_box`]) and wires the result into:
+//!
+//! * [`crate::BoSearch`]'s candidate rejection loop (`sample_valid_unit`),
+//! * [`crate::random_search()`] and [`crate::gather_insights`]'s fallback
+//!   samplers — the default path behind [`crate::Objective::sample_valid`].
+//!
+//! All mappings round **outward**, so a box is never narrower than the
+//! proof allows; unconstrained (or unanalyzable) spaces yield the full
+//! cube, which is bit-identical to the pre-contraction sampling behavior.
+
+use cets_lint::{analyze_space, Interval, PlanBundle};
+use cets_space::{ParamDef, Sampler, SearchSpace, Subspace};
+
+/// The unit-coordinate sub-box proved to contain every feasible
+/// configuration of `space`, when the static analysis narrows anything.
+///
+/// Returns `None` when the bundle is unanalyzable, the constraint
+/// conjunction is proved empty (callers keep their normal exhaustion
+/// behavior — an empty box has nothing better to offer), or no parameter
+/// narrows; callers then sample the full cube exactly as before.
+pub fn contracted_unit_box(space: &SearchSpace) -> Option<Vec<(f64, f64)>> {
+    let bundle = PlanBundle {
+        params: space
+            .names()
+            .iter()
+            .zip(space.defs())
+            .map(|(name, def)| cets_lint::ParamSpec {
+                name: name.clone(),
+                def: def.clone(),
+                default: None,
+            })
+            .collect(),
+        constraints: space
+            .constraints()
+            .iter()
+            .map(|c| cets_lint::ConstraintSpec {
+                name: c.name().to_string(),
+                expr: c.description().to_string(),
+            })
+            .collect(),
+        ..Default::default()
+    };
+    let analysis = analyze_space(&bundle);
+    if !analysis.analyzed || analysis.proved_empty || !analysis.any_narrowed() {
+        return None;
+    }
+    let bounds: Vec<(f64, f64)> = analysis
+        .params
+        .iter()
+        .zip(space.defs())
+        .map(|(p, def)| unit_bounds(def, &p.contracted))
+        .collect();
+    Some(bounds)
+}
+
+/// Map a contracted domain interval into the unit bin coordinates of
+/// [`ParamDef::decode`], rounding outward (soundness over tightness).
+fn unit_bounds(def: &ParamDef, iv: &Interval) -> (f64, f64) {
+    const FULL: (f64, f64) = (0.0, 1.0);
+    if iv.is_empty_range() || !iv.lo.is_finite() || !iv.hi.is_finite() {
+        return FULL;
+    }
+    let (lo, hi) = match def {
+        // decode: v = lo + u (hi − lo), linear and exact to invert.
+        ParamDef::Real { lo, hi } => {
+            if hi <= lo {
+                return FULL;
+            }
+            ((iv.lo - lo) / (hi - lo), (iv.hi - lo) / (hi - lo))
+        }
+        // decode: v = lo + ⌊u n⌋ with n bins; integer v keeps the whole
+        // bin [k/n, (k+1)/n) with k = v − lo.
+        ParamDef::Integer { lo, hi } => {
+            let n = (hi - lo + 1) as f64;
+            let k_lo = (iv.lo.ceil() - *lo as f64).max(0.0);
+            let k_hi = (iv.hi.floor() - *lo as f64).min(n - 1.0);
+            if k_hi < k_lo {
+                return FULL; // no representable value: leave untouched
+            }
+            (k_lo / n, (k_hi + 1.0) / n)
+        }
+        // Equal index bins over the (declaration-ordered) value list; only
+        // a contiguous surviving run maps to one unit interval.
+        ParamDef::Ordinal { values } => {
+            let kept: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| iv.contains(**v))
+                .map(|(k, _)| k)
+                .collect();
+            match (kept.first(), kept.last()) {
+                (Some(&a), Some(&b)) if b - a + 1 == kept.len() => {
+                    let n = values.len() as f64;
+                    (a as f64 / n, (b + 1) as f64 / n)
+                }
+                _ => return FULL,
+            }
+        }
+        // Slicing the option list would renumber constraint-referenced
+        // indices; categorical axes always keep the full bin range.
+        ParamDef::Categorical { .. } => return FULL,
+    };
+    (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))
+}
+
+/// A [`Sampler`] over `space` that draws from the contracted unit box when
+/// the static analysis narrows one — the contraction-aware default path
+/// used by [`crate::random_search()`] and [`crate::gather_insights`].
+pub fn contraction_aware_sampler(space: &SearchSpace) -> Sampler<'_> {
+    match contracted_unit_box(space) {
+        Some(bounds) => Sampler::new(space).with_unit_box(bounds),
+        None => Sampler::new(space),
+    }
+}
+
+/// Per-active-dimension unit bounds for a subspace — what the BO rejection
+/// loop draws from. Dimensions of an un-narrowed (or unanalyzable) space
+/// get the full `(0, 1)` interval, which maps draws identically to the
+/// un-contracted path.
+pub fn active_unit_box(subspace: &Subspace) -> Vec<(f64, f64)> {
+    match contracted_unit_box(subspace.space()) {
+        Some(bounds) => subspace
+            .active_indices()
+            .iter()
+            .map(|&i| bounds[i])
+            .collect(),
+        None => vec![(0.0, 1.0); subspace.dim()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cets_space::{Constraint, ParamValue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn constrained_space() -> SearchSpace {
+        SearchSpace::builder()
+            .real("x", 0.0, 100.0)
+            .integer("tb", 0, 99)
+            .constraint(Constraint::new("xcap", "x <= 25", |s, c| {
+                s.get_f64(c, "x").unwrap() <= 25.0
+            }))
+            .constraint(Constraint::new("tbcap", "tb <= 24", |s, c| {
+                s.get_i64(c, "tb").unwrap() <= 24
+            }))
+            .build()
+    }
+
+    #[test]
+    fn contracted_box_matches_analysis() {
+        let s = constrained_space();
+        let b = contracted_unit_box(&s).expect("both axes narrow");
+        // x ∈ [0, 25] of [0, 100] → unit [0, 0.25].
+        assert!((b[0].0 - 0.0).abs() < 1e-12 && (b[0].1 - 0.25).abs() < 1e-12);
+        // tb ∈ {0..24} of {0..99} → unit [0, 25/100).
+        assert!((b[1].0 - 0.0).abs() < 1e-12 && (b[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconstrained_space_has_no_box() {
+        let s = SearchSpace::builder().real("x", 0.0, 1.0).build();
+        assert!(contracted_unit_box(&s).is_none());
+    }
+
+    #[test]
+    fn sampler_draws_land_in_contraction() {
+        let s = constrained_space();
+        let sam = contraction_aware_sampler(&s);
+        assert!(sam.unit_box().is_some());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let cfg = sam.uniform(&mut rng).expect("narrowed box samples fast");
+            assert!(s.get_f64(&cfg, "x").unwrap() <= 25.0);
+            assert!(s.get_i64(&cfg, "tb").unwrap() <= 24);
+        }
+    }
+
+    #[test]
+    fn active_box_projects_to_active_dims() {
+        let s = constrained_space();
+        let defaults = vec![ParamValue::Real(1.0), ParamValue::Int(1)];
+        let sub = Subspace::new(&s, &["tb"], defaults).unwrap();
+        let b = active_unit_box(&sub);
+        assert_eq!(b.len(), 1);
+        assert!((b[0].1 - 0.25).abs() < 1e-12, "tb axis bound: {:?}", b[0]);
+    }
+
+    #[test]
+    fn full_cube_for_unconstrained_subspace() {
+        let s = SearchSpace::builder()
+            .real("a", 0.0, 1.0)
+            .real("b", 0.0, 1.0)
+            .build();
+        let sub = Subspace::full(&s, vec![ParamValue::Real(0.5), ParamValue::Real(0.5)]).unwrap();
+        assert_eq!(active_unit_box(&sub), vec![(0.0, 1.0); 2]);
+    }
+
+    #[test]
+    fn integer_bounds_round_outward() {
+        // tb ∈ [3.2, 7.9] over {0..9} keeps bins 4..=7 → [0.4, 0.8).
+        let def = ParamDef::Integer { lo: 0, hi: 9 };
+        let (lo, hi) = unit_bounds(&def, &Interval::new(3.2, 7.9));
+        assert!((lo - 0.4).abs() < 1e-12 && (hi - 0.8).abs() < 1e-12);
+        // Every kept bin decodes inside the interval.
+        for v in [0.4, 0.5, 0.79] {
+            match def.decode(v) {
+                ParamValue::Int(k) => assert!((4..=7).contains(&k)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_intervals_fall_back_to_full() {
+        let def = ParamDef::Integer { lo: 0, hi: 9 };
+        // No representable integer inside (5.2, 5.8).
+        assert_eq!(unit_bounds(&def, &Interval::new(5.2, 5.8)), (0.0, 1.0));
+        let real = ParamDef::Real { lo: 0.0, hi: 1.0 };
+        assert_eq!(
+            unit_bounds(&real, &Interval::new(f64::NEG_INFINITY, 0.5)),
+            (0.0, 1.0)
+        );
+    }
+}

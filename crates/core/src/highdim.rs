@@ -169,7 +169,7 @@ pub fn dropout_bo<O: Objective + ?Sized>(
 
     // Initial design: constructive sampler if present, else rejection.
     let mut history: Vec<(Vec<f64>, f64)> = Vec::new();
-    let sampler = cets_space::Sampler::new(space);
+    let sampler = crate::contraction::contraction_aware_sampler(space);
     for _ in 0..bo.n_init.min(bo.max_evals) {
         let cfg = match objective.sample_valid(&mut rng) {
             Some(c) => c,

@@ -4,7 +4,7 @@
 
 use crate::objective::Objective;
 use crate::Result;
-use cets_space::{Config, Sampler};
+use cets_space::Config;
 use cets_stats::{
     one_in_ten_ok, pearson::correlated_pairs, RandomForest, RandomForestConfig, Summary,
 };
@@ -82,7 +82,8 @@ pub fn gather_insights<O: Objective + ?Sized>(
     cfg: &InsightsConfig,
 ) -> Result<FeatureInsights> {
     let space = objective.space();
-    let sampler = Sampler::new(space);
+    // Contraction-aware fallback sampler (see [`crate::contraction`]).
+    let sampler = crate::contraction::contraction_aware_sampler(space);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut samples: Vec<(Config, f64)> = Vec::with_capacity(cfg.n_samples);

@@ -30,6 +30,7 @@
 
 pub mod bo;
 pub mod checkpoint;
+pub mod contraction;
 pub mod db;
 pub mod grid_search;
 pub mod highdim;
@@ -46,6 +47,7 @@ pub mod transfer;
 
 pub use bo::{Acquisition, BoConfig, BoSearch, SearchOutcome};
 pub use checkpoint::BoCheckpoint;
+pub use contraction::{active_unit_box, contracted_unit_box, contraction_aware_sampler};
 pub use db::{Database, Record};
 pub use grid_search::grid_search;
 pub use highdim::{dropout_bo, full_space_bo, rembo};

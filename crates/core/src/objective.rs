@@ -65,6 +65,13 @@ pub trait Objective: Sync {
     /// `tb_sm ≤ max_threads / tb`); full-space consumers
     /// ([`crate::insights::gather_insights`], [`crate::random_search()`])
     /// use it when present. Decomposed subspace searches don't need it.
+    ///
+    /// The default path (this method returning `None`) is not blind: the
+    /// consumers fall back to
+    /// [`crate::contraction::contraction_aware_sampler`], whose rejection
+    /// draws come from the statically contracted box when `cets-lint`'s
+    /// interval analysis proves one — so even without a constructive
+    /// sampler, declared constraints narrow where candidates are drawn.
     fn sample_valid(&self, _rng: &mut dyn rand::Rng) -> Option<Config> {
         None
     }

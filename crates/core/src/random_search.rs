@@ -3,7 +3,8 @@
 use crate::bo::SearchOutcome;
 use crate::objective::Objective;
 use crate::{CoreError, Result};
-use cets_space::{Sampler, Subspace};
+use cets_space::Subspace;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -45,12 +46,15 @@ pub fn random_search<O: Objective + ?Sized>(
     let start = Instant::now();
     let space = objective.space();
     let subspace = Subspace::full(space, objective.default_config())?;
-    let sampler = Sampler::new(space);
+    // Contraction-aware fallback sampler: rejection draws come from the
+    // statically narrowed box when the constraint analysis proves one
+    // (identical to a plain `Sampler` otherwise).
+    let sampler = crate::contraction::contraction_aware_sampler(space);
 
     let threads = cfg.threads.max(1).min(cfg.n_evals);
     let mut results: Vec<Option<(Vec<f64>, f64)>> = vec![None; cfg.n_evals];
     let chunk = cfg.n_evals.div_ceil(threads);
-    let errors: std::sync::Mutex<Vec<CoreError>> = std::sync::Mutex::new(Vec::new());
+    let errors: Mutex<Vec<CoreError>> = Mutex::new(Vec::new());
 
     std::thread::scope(|s| {
         for (ci, slot_chunk) in results.chunks_mut(chunk).enumerate() {
@@ -68,23 +72,29 @@ pub fn random_search<O: Objective + ?Sized>(
                         Some(c) => Ok(c),
                         None => sampler.uniform(&mut rng).map_err(CoreError::Space),
                     };
-                    match drawn {
-                        Ok(config) => {
-                            let y = objective.evaluate(&config).total;
-                            let u = subspace.project(&config).expect("own config projects");
-                            *slot = Some((u, y));
-                        }
-                        Err(e) => errors.lock().unwrap().push(e),
+                    let projected = drawn.and_then(|config| {
+                        let y = objective.evaluate(&config).total;
+                        let u = subspace.project(&config)?;
+                        Ok((u, y))
+                    });
+                    match projected {
+                        Ok(pair) => *slot = Some(pair),
+                        Err(e) => errors.lock().push(e),
                     }
                 }
             });
         }
     });
 
-    if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+    if let Some(e) = errors.into_inner().into_iter().next() {
         return Err(e);
     }
-    let history: Vec<(Vec<f64>, f64)> = results.into_iter().map(|r| r.expect("filled")).collect();
+    let history: Vec<(Vec<f64>, f64)> = results.into_iter().flatten().collect();
+    if history.len() != cfg.n_evals {
+        return Err(CoreError::SearchStalled(
+            "random search lost evaluations".into(),
+        ));
+    }
 
     let mut best = f64::INFINITY;
     let mut best_idx = 0;

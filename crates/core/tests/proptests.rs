@@ -2,8 +2,10 @@
 //! checkpoints, acquisition behaviour and sensitivity-driver invariants.
 
 use cets_core::normal;
-use cets_core::{routine_sensitivity, BoCheckpoint, Objective, Observation, VariationPolicy};
-use cets_space::{Config, SearchSpace};
+use cets_core::{
+    routine_sensitivity, BoCheckpoint, BoConfig, BoSearch, Objective, Observation, VariationPolicy,
+};
+use cets_space::{Config, SearchSpace, Subspace};
 use proptest::prelude::*;
 
 proptest! {
@@ -129,6 +131,49 @@ proptest! {
         let heavy_score = s.score_by_name("x0", "r").unwrap();
         let light_score = s.score_by_name("x1", "r").unwrap();
         prop_assert!(heavy_score > light_score, "{heavy_score} !> {light_score}");
+    }
+
+    #[test]
+    fn propose_parallel_matches_sequential(
+        seed in 0u64..100,
+        n_candidates in 8usize..64,
+        workers in 2usize..6,
+    ) {
+        // The acquisition step's determinism contract, property-tested:
+        // for any seed, pool size and worker count, the parallel
+        // chunk-scored proposal is BIT-identical to the sequential one.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+        let obj = Linear::new(vec![1.0, -2.0]);
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..12)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|u| u[0] - 2.0 * u[1]).collect();
+        let best = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let gp = cets_gp::Gp::fit(
+            &x,
+            &y,
+            cets_gp::Kernel::new(cets_gp::KernelKind::Matern52, 2),
+            1e-6,
+        )
+        .unwrap();
+
+        let run = |parallel: bool, n_workers: usize| {
+            let search = BoSearch::new(BoConfig {
+                parallel,
+                n_workers,
+                n_candidates,
+                n_local: 4,
+                ..Default::default()
+            });
+            let mut prng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+            search.propose(&sub, &gp, best, None, &mut prng).unwrap()
+        };
+        let sequential = run(false, 0);
+        let parallel = run(true, workers);
+        prop_assert_eq!(sequential, parallel);
     }
 
     #[test]

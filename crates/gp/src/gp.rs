@@ -79,7 +79,7 @@ impl Gp {
         let (y_mean, y_std) = standardization(y);
         let ys: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
 
-        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
+        let mut k = gram(x, &kernel);
         k.add_diag(noise);
         let chol = Cholesky::new_jittered(&k).map_err(|e| GpError::Factorization(e.to_string()))?;
         let alpha = chol.solve_vec(&ys);
@@ -122,6 +122,18 @@ impl Gp {
         let opt_noise = cfg.optimize_noise;
         let floor = cfg.noise_floor.max(1e-12);
 
+        // The per-dimension pairwise squared differences do not depend on
+        // the hyperparameters, so they are computed once here and shared
+        // by every likelihood evaluation of every Nelder–Mead restart —
+        // each evaluation then builds the kernel matrix with one fused
+        // multiply-add pass over the tensor instead of recomputing all
+        // O(n²d) distances through the generic kernel entry point.
+        let tensor = PairTensor::new(x);
+        let scratch = std::cell::RefCell::new(LmlScratch {
+            k: Matrix::zeros(n, n),
+            r2: vec![0.0; tensor.n_pairs()],
+        });
+
         // Negative LML of standardized targets as a function of log-params.
         let neg_lml = |p: &[f64]| -> f64 {
             let (kp, noise) = if opt_noise {
@@ -131,7 +143,8 @@ impl Gp {
                 (p, floor)
             };
             let kernel = Kernel::from_log_params(cfg.kernel, kp);
-            match lml_of(x, &ys, &kernel, noise) {
+            let mut s = scratch.borrow_mut();
+            match lml_cached(&tensor, &ys, &kernel, noise, &mut s) {
                 Some(v) => -v,
                 None => f64::INFINITY,
             }
@@ -197,6 +210,92 @@ impl Gp {
         mean_std * self.y_std + self.y_mean
     }
 
+    /// Predictive mean and variance (original units) at every point of a
+    /// batch — the vectorized form of [`Gp::predict`].
+    ///
+    /// Builds the `n × m` cross-covariance block K★ in one pass, computes
+    /// all means with a single row-sweep against `α`, and runs one blocked
+    /// multi-column forward solve ([`Cholesky::solve_lower_multi`]) for
+    /// the variances — no per-candidate `Vec` allocations. This is what
+    /// the BO candidate-scoring loop calls.
+    ///
+    /// Guarantees:
+    /// * **chunk invariance** — every candidate's result is computed by a
+    ///   fixed per-column operation sequence, so splitting a batch into
+    ///   chunks (in any sizes) and concatenating yields bit-identical
+    ///   results. The BO loop's parallel scorer relies on this.
+    /// * agreement with [`Gp::predict`] to ulp-level tolerance only: the
+    ///   batch path scales squared distances by `1/ℓ²` where the scalar
+    ///   path divides by `ℓ` before squaring.
+    ///
+    /// Every point must have the kernel's input dimensionality — callers
+    /// pass active-space points of fixed arity, and a debug assertion
+    /// guards it.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let m = xs.len();
+        let n = self.x.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        debug_assert!(xs.iter().all(|p| p.len() == self.kernel.dim()));
+        let w = self.kernel.inv_sq_lengthscales();
+        let d = self.kernel.dim();
+        // Dimension-major transpose of the queries: the r² accumulation
+        // below becomes `d` contiguous element-wise sweeps per training
+        // row (independent accumulators, vectorizable) instead of an
+        // FP-latency-bound dot product per (i, j) entry.
+        let mut qt = vec![0.0; d * m];
+        for (j, q) in xs.iter().enumerate() {
+            for (k, &v) in q.iter().enumerate() {
+                qt[k * m + j] = v;
+            }
+        }
+        let mut kstar = Matrix::zeros(n, m);
+        for (i, xi) in self.x.iter().enumerate() {
+            let row = kstar.row_mut(i);
+            for (k, (&xik, &wk)) in xi.iter().zip(&w).enumerate() {
+                let qk = &qt[k * m..(k + 1) * m];
+                for (rj, &qv) in row.iter_mut().zip(qk) {
+                    let dv = xik - qv;
+                    *rj += wk * dv * dv;
+                }
+            }
+            for rj in row.iter_mut() {
+                *rj = self.kernel.eval_r2(*rj);
+            }
+        }
+        // Means: one sweep over K★'s rows, ascending i per column.
+        let mut mean = vec![0.0; m];
+        for (i, &ai) in self.alpha.iter().enumerate() {
+            for (mu, &kv) in mean.iter_mut().zip(kstar.row(i)) {
+                *mu += ai * kv;
+            }
+        }
+        // Variances: V = L⁻¹ K★ in place, then column sums of squares.
+        if self.chol.solve_lower_multi(&mut kstar).is_err() {
+            // Unreachable (K★ has n rows by construction); fall back to
+            // the scalar path rather than panicking.
+            return xs.iter().map(|p| self.predict(p)).collect();
+        }
+        let mut sq = vec![0.0; m];
+        for i in 0..n {
+            for (s, &v) in sq.iter_mut().zip(kstar.row(i)) {
+                *s += v * v;
+            }
+        }
+        let prior = self.kernel.diag_value() + self.noise;
+        let var_scale = self.y_std * self.y_std;
+        mean.iter()
+            .zip(&sq)
+            .map(|(&mu, &s)| {
+                (
+                    mu * self.y_std + self.y_mean,
+                    (prior - s).max(0.0) * var_scale,
+                )
+            })
+            .collect()
+    }
+
     /// Log marginal likelihood of the (standardized) training data.
     pub fn lml(&self) -> f64 {
         self.lml
@@ -245,11 +344,11 @@ impl Gp {
     /// for capping searches at 10 dimensions).
     pub fn loo_cv(&self) -> (Vec<f64>, Vec<f64>) {
         let n = self.x.len();
-        let k_inv = self.chol.inverse();
+        let k_diag = self.chol.inv_diag();
         let mut means = Vec::with_capacity(n);
         let mut vars = Vec::with_capacity(n);
-        for i in 0..n {
-            let kii = k_inv[(i, i)].max(1e-300);
+        for (i, &kd) in k_diag.iter().enumerate().take(n) {
+            let kii = kd.max(1e-300);
             let mu_std = self.ys[i] - self.alpha[i] / kii;
             let var_std = 1.0 / kii;
             means.push(mu_std * self.y_std + self.y_mean);
@@ -324,11 +423,112 @@ fn standardization(y: &[f64]) -> (f64, f64) {
     (mean, if std > 1e-12 { std } else { 1.0 })
 }
 
-fn lml_of(x: &[Vec<f64>], ys: &[f64], kernel: &Kernel, noise: f64) -> Option<f64> {
+/// The kernel Gram matrix `K(x, x)` (without noise), built from the lower
+/// triangle only and mirrored — stationary kernels are exactly symmetric,
+/// so this halves the evaluation count of a full `from_fn` build.
+fn gram(x: &[Vec<f64>], kernel: &Kernel) -> Matrix {
     let n = x.len();
-    let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
-    k.add_diag(noise);
-    let chol = Cholesky::new_jittered(&k).ok()?;
+    let diag = kernel.diag_value();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..i {
+            let v = kernel.eval(&x[i], &x[j]);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+        k[(i, i)] = diag;
+    }
+    k
+}
+
+/// Per-dimension pairwise squared differences of the training inputs,
+/// laid out dimension-major over the strict lower triangle:
+/// `data[k · P + p] = (x_i[k] − x_j[k])²` where `p` enumerates the pairs
+/// `(i, j), j < i` in row order and `P = n(n−1)/2`.
+///
+/// Hyperparameter training evaluates the log marginal likelihood hundreds
+/// of times per [`Gp::train`] call; the distances never change across
+/// those evaluations, only the length-scale weights do. The
+/// dimension-major layout turns the per-evaluation reduction
+/// `r²_p = Σ_k w_k · data[k][p]` into `d` contiguous axpy sweeps.
+struct PairTensor {
+    data: Vec<f64>,
+    n: usize,
+}
+
+impl PairTensor {
+    fn new(x: &[Vec<f64>]) -> Self {
+        let n = x.len();
+        let d = x.first().map_or(0, |r| r.len());
+        let np = n * (n - 1) / 2;
+        let mut data = vec![0.0; d * np];
+        for (k, dk) in data.chunks_exact_mut(np.max(1)).enumerate() {
+            let mut p = 0;
+            for i in 1..n {
+                let xik = x[i][k];
+                for xj in x.iter().take(i) {
+                    let dv = xik - xj[k];
+                    dk[p] = dv * dv;
+                    p += 1;
+                }
+            }
+        }
+        PairTensor { data, n }
+    }
+
+    fn n_pairs(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+
+    /// `acc[p] = Σ_k w[k] · data[k][p]` — the fused multiply-add pass.
+    fn weighted_r2(&self, w: &[f64], acc: &mut [f64]) {
+        acc.fill(0.0);
+        let np = acc.len();
+        if np == 0 {
+            return;
+        }
+        for (k, &wk) in w.iter().enumerate() {
+            let dk = &self.data[k * np..(k + 1) * np];
+            for (a, &t) in acc.iter_mut().zip(dk) {
+                *a += wk * t;
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`lml_cached`]: the kernel matrix and the packed
+/// pairwise `r²` vector survive across likelihood evaluations, so the hot
+/// loop performs no allocations besides the Cholesky factor itself.
+struct LmlScratch {
+    k: Matrix,
+    r2: Vec<f64>,
+}
+
+/// Log marginal likelihood with the kernel matrix rebuilt from the cached
+/// distance tensor (one weighted reduction + one profile pass) instead of
+/// O(n²d) fresh distance computations.
+fn lml_cached(
+    tensor: &PairTensor,
+    ys: &[f64],
+    kernel: &Kernel,
+    noise: f64,
+    scratch: &mut LmlScratch,
+) -> Option<f64> {
+    let n = tensor.n;
+    tensor.weighted_r2(&kernel.inv_sq_lengthscales(), &mut scratch.r2);
+    let k = &mut scratch.k;
+    let diag = kernel.diag_value() + noise;
+    let mut p = 0;
+    for i in 0..n {
+        for j in 0..i {
+            let v = kernel.eval_r2(scratch.r2[p]);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+            p += 1;
+        }
+        k[(i, i)] = diag;
+    }
+    let chol = Cholesky::new_jittered(k).ok()?;
     let alpha = chol.solve_vec(ys);
     let data_fit: f64 = ys.iter().zip(&alpha).map(|(&a, &b)| a * b).sum();
     Some(

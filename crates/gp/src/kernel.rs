@@ -81,6 +81,27 @@ impl Kernel {
         self.variance * self.profile(r2)
     }
 
+    /// Evaluate `k` from a precomputed scaled squared distance
+    /// `r² = Σ w_k (a_k − b_k)²` with `w_k` from
+    /// [`Kernel::inv_sq_lengthscales`].
+    ///
+    /// This is the fused fast path of the GP hot loop: the caller hoists
+    /// the per-dimension squared differences out of the O(hundreds) of
+    /// likelihood evaluations per [`crate::Gp::train`] and reduces each
+    /// kernel entry to one multiply-add pass plus this profile call. Note
+    /// `w·d²` and `(d/ℓ)²` (what [`Kernel::eval`] computes) can differ in
+    /// the last ulps — callers mixing both paths must not expect
+    /// bit-identical covariances.
+    #[inline]
+    pub fn eval_r2(&self, r2: f64) -> f64 {
+        self.variance * self.profile(r2)
+    }
+
+    /// Per-dimension weights `w_k = 1/ℓ_k²` for [`Kernel::eval_r2`].
+    pub fn inv_sq_lengthscales(&self) -> Vec<f64> {
+        self.lengthscales.iter().map(|&l| 1.0 / (l * l)).collect()
+    }
+
     /// `k(x, x)` — for stationary kernels simply σ².
     pub fn diag_value(&self) -> f64 {
         self.variance

@@ -105,6 +105,54 @@ proptest! {
     }
 
     #[test]
+    fn predict_batch_matches_pointwise(
+        seed in 0u64..200,
+        m in 1usize..40,
+        kind in kinds(),
+    ) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (4.0 * v[0]).sin() + v[1] * v[2]).collect();
+        let gp = Gp::fit(&x, &y, Kernel::new(kind, 3), 1e-6).unwrap();
+        let probes: Vec<Vec<f64>> = (0..m)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let batch = gp.predict_batch(&probes);
+        prop_assert_eq!(batch.len(), m);
+        for (p, &(bm, bv)) in probes.iter().zip(&batch) {
+            // The batch path fuses 1/ℓ² weights where the scalar path
+            // divides by ℓ before squaring — ulp-level agreement only.
+            let (sm, sv) = gp.predict(p);
+            prop_assert!((bm - sm).abs() <= 1e-9 * (1.0 + sm.abs()), "mean {bm} vs {sm}");
+            prop_assert!((bv - sv).abs() <= 1e-9 * (1.0 + sv.abs()), "var {bv} vs {sv}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_is_chunk_invariant(seed in 0u64..200, split in 1usize..15) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..18)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] - 2.0 * v[1]).collect();
+        let gp = Gp::fit(&x, &y, Kernel::new(KernelKind::Matern52, 2), 1e-6).unwrap();
+        let probes: Vec<Vec<f64>> = (0..16)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let split = split.min(probes.len());
+        let whole = gp.predict_batch(&probes);
+        let mut parts = gp.predict_batch(&probes[..split]);
+        parts.extend(gp.predict_batch(&probes[split..]));
+        // Bit-identical, not merely close: the parallel acquisition
+        // scorer's determinism contract rests on this.
+        prop_assert_eq!(whole, parts);
+    }
+
+    #[test]
     fn nelder_mead_never_worse_than_start(
         x0 in proptest::collection::vec(-5.0..5.0f64, 1..4),
         c in proptest::collection::vec(-3.0..3.0f64, 4),

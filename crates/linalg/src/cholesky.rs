@@ -2,6 +2,13 @@
 
 use crate::{LinalgError, Matrix, Result};
 
+/// Panel width of the blocked factorization (and the dispatch threshold:
+/// matrices below `2 * BLOCK` use the scalar kernel, whose loop overhead is
+/// lower).
+const BLOCK: usize = 48;
+/// Micro-tile edge of the SYRK-style trailing update.
+const TILE: usize = 64;
+
 /// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
 /// matrix `A = L Lᵀ`.
 ///
@@ -63,6 +70,41 @@ impl Cholesky {
                 cols: a.cols(),
             });
         }
+        if a.rows() >= BLOCK * 2 {
+            Self::factor_blocked(a, jitter)
+        } else {
+            Self::factor_scalar(a, jitter)
+        }
+    }
+
+    /// Reference (unblocked) factorization — the oracle the blocked kernel
+    /// is property-tested against. Prefer [`Cholesky::new`] /
+    /// [`Cholesky::new_jittered`], which pick the faster kernel by size.
+    pub fn new_unblocked(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        Self::factor_scalar(a, 0.0)
+    }
+
+    /// Cache-blocked factorization regardless of size — exposed so tests
+    /// can exercise the blocked kernel on matrices below the dispatch
+    /// threshold.
+    pub fn new_blocked(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        Self::factor_blocked(a, 0.0)
+    }
+
+    /// Classic scalar row-by-row factorization.
+    fn factor_scalar(a: &Matrix, jitter: f64) -> Result<Self> {
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
@@ -86,6 +128,161 @@ impl Cholesky {
                 }
             }
         }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// Cache-blocked right-looking factorization: factor a `BLOCK×BLOCK`
+    /// diagonal block, triangular-solve the panel below it, then apply the
+    /// SYRK-style trailing update in `TILE×TILE` micro-blocks whose inner
+    /// loop is a contiguous dot over the panel columns. Same flop count as
+    /// the scalar kernel, but the trailing update (the `O(n³)` bulk) reads
+    /// rows sequentially and reuses each panel row across a whole tile.
+    fn factor_blocked(a: &Matrix, jitter: f64) -> Result<Self> {
+        let n = a.rows();
+        // Work in-place on the lower triangle of `a` (+ jitter).
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            let (dst, src) = (&mut l.row_mut(i)[..=i], &a.row(i)[..=i]);
+            dst.copy_from_slice(src);
+            dst[i] += jitter;
+        }
+        let mut kb = 0;
+        while kb < n {
+            let b = BLOCK.min(n - kb);
+            // 1. Factor the diagonal block in place (columns kb..kb+b of
+            //    rows kb..kb+b; earlier panels were already applied by the
+            //    right-looking trailing updates).
+            for jj in 0..b {
+                let j = kb + jj;
+                let mut d = l[(j, j)];
+                for c in kb..j {
+                    d -= l[(j, c)] * l[(j, c)];
+                }
+                if d <= 0.0 || !d.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite {
+                        last_jitter: jitter,
+                    });
+                }
+                let piv = d.sqrt();
+                l[(j, j)] = piv;
+                for i in (j + 1)..(kb + b) {
+                    let mut s = l[(i, j)];
+                    for c in kb..j {
+                        s -= l[(i, c)] * l[(j, c)];
+                    }
+                    l[(i, j)] = s / piv;
+                }
+            }
+            // 2. Panel solve: rows below the block against the block's
+            //    lower-triangular factor, register-blocked four rows at a
+            //    time — the four dot products share the `row_j` loads and
+            //    run as independent accumulator chains. Each row's
+            //    arithmetic order (ascending `j`, ascending `c` within the
+            //    dot) is unchanged, so the factor is bit-identical to the
+            //    row-at-a-time form.
+            {
+                let (head, tail) = l.as_mut_slice().split_at_mut((kb + b) * n);
+                let mut quads = tail.chunks_exact_mut(4 * n);
+                for quad in &mut quads {
+                    let (r0, rest) = quad.split_at_mut(n);
+                    let (r1, rest) = rest.split_at_mut(n);
+                    let (r2, r3) = rest.split_at_mut(n);
+                    for jj in 0..b {
+                        let j = kb + jj;
+                        let row_j = &head[j * n + kb..j * n + j];
+                        let piv = head[j * n + j];
+                        let (mut s0, mut s1, mut s2, mut s3) = (r0[j], r1[j], r2[j], r3[j]);
+                        for (c, &ljc) in row_j.iter().enumerate() {
+                            s0 -= r0[kb + c] * ljc;
+                            s1 -= r1[kb + c] * ljc;
+                            s2 -= r2[kb + c] * ljc;
+                            s3 -= r3[kb + c] * ljc;
+                        }
+                        r0[j] = s0 / piv;
+                        r1[j] = s1 / piv;
+                        r2[j] = s2 / piv;
+                        r3[j] = s3 / piv;
+                    }
+                }
+                for row in quads.into_remainder().chunks_exact_mut(n) {
+                    for jj in 0..b {
+                        let j = kb + jj;
+                        let row_j = &head[j * n + kb..j * n + j];
+                        let mut s = row[j];
+                        for (c, &ljc) in row_j.iter().enumerate() {
+                            s -= row[kb + c] * ljc;
+                        }
+                        row[j] = s / head[j * n + j];
+                    }
+                }
+            }
+            // 3. Trailing SYRK update, micro-tiled: A' -= P Pᵀ where P is
+            //    the just-computed panel. Columns are register-blocked four
+            //    at a time: the four dot products share the `pan_i` loads
+            //    and run as independent accumulator chains, so the update
+            //    is throughput- rather than FP-latency-bound. Each
+            //    accumulator still sums in ascending panel order, so the
+            //    result is bit-identical to the unblocked-in-j form.
+            let tail = kb + b;
+            let mut ib = tail;
+            while ib < n {
+                let ie = (ib + TILE).min(n);
+                let mut jb = tail;
+                while jb <= ib {
+                    let je = (jb + TILE).min(ie);
+                    for i in ib..ie {
+                        let (before, from_i) = l.as_mut_slice().split_at_mut(i * n);
+                        let row_i = &mut from_i[..n];
+                        let jhi = je.min(i);
+                        let pan_lo = kb;
+                        let mut j = jb;
+                        while j + 4 <= jhi {
+                            let r0 = &before[j * n + pan_lo..j * n + pan_lo + b];
+                            let r1 = &before[(j + 1) * n + pan_lo..(j + 1) * n + pan_lo + b];
+                            let r2 = &before[(j + 2) * n + pan_lo..(j + 2) * n + pan_lo + b];
+                            let r3 = &before[(j + 3) * n + pan_lo..(j + 3) * n + pan_lo + b];
+                            let pan_i = &row_i[pan_lo..pan_lo + b];
+                            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                            for (k, &pi) in pan_i.iter().enumerate() {
+                                s0 += pi * r0[k];
+                                s1 += pi * r1[k];
+                                s2 += pi * r2[k];
+                                s3 += pi * r3[k];
+                            }
+                            row_i[j] -= s0;
+                            row_i[j + 1] -= s1;
+                            row_i[j + 2] -= s2;
+                            row_i[j + 3] -= s3;
+                            j += 4;
+                        }
+                        while j < jhi {
+                            let row_j = &before[j * n + pan_lo..j * n + pan_lo + b];
+                            let pan_i = &row_i[pan_lo..pan_lo + b];
+                            let mut s = 0.0;
+                            for (pi, pj) in pan_i.iter().zip(row_j) {
+                                s += pi * pj;
+                            }
+                            row_i[j] -= s;
+                            j += 1;
+                        }
+                        if (jb..je).contains(&i) {
+                            // Diagonal element: dot of the panel row with
+                            // itself.
+                            let pan_i = &row_i[pan_lo..pan_lo + b];
+                            let mut s = 0.0;
+                            for pi in pan_i {
+                                s += pi * pi;
+                            }
+                            row_i[i] -= s;
+                        }
+                    }
+                    jb += TILE;
+                }
+                ib += TILE;
+            }
+            kb += b;
+        }
+        // The strict upper triangle was never written and stays zero.
         Ok(Cholesky { l, jitter })
     }
 
@@ -117,6 +314,49 @@ impl Cholesky {
             y[i] = sum / self.l[(i, i)];
         }
         y
+    }
+
+    /// Solve `L Y = B` in place for a row-major multi-column right-hand
+    /// side (`B` is `n × m`; column `j` of the result equals
+    /// [`Cholesky::solve_lower`] applied to column `j` of the input,
+    /// bit-for-bit — per-column arithmetic order is identical).
+    ///
+    /// Columns are processed in cache-sized chunks so the `O(n² m)` sweep
+    /// reuses each `L` row across a whole chunk; this is the batched
+    /// kernel behind `Gp::predict_batch`.
+    pub fn solve_lower_multi(&self, b: &mut Matrix) -> Result<()> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_lower_multi: rhs has {} rows, factor is {n}x{n}",
+                b.rows()
+            )));
+        }
+        let m = b.cols();
+        // Column chunking keeps the active window of B (n × chunk) hot;
+        // per-column arithmetic is unaffected by the chunk boundaries.
+        const CHUNK: usize = 64;
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + CHUNK).min(m);
+            for i in 0..n {
+                let (done, rest) = b.as_mut_slice().split_at_mut(i * m);
+                let row_i = &mut rest[j0..j1];
+                for k in 0..i {
+                    let lik = self.l[(i, k)];
+                    let row_k = &done[k * m + j0..k * m + j1];
+                    for (bi, &bk) in row_i.iter_mut().zip(row_k) {
+                        *bi -= lik * bk;
+                    }
+                }
+                let inv = self.l[(i, i)];
+                for bi in row_i.iter_mut() {
+                    *bi /= inv;
+                }
+            }
+            j0 = j1;
+        }
+        Ok(())
     }
 
     /// Solve `Lᵀ x = y` (backward substitution).
@@ -181,6 +421,37 @@ impl Cholesky {
             for i in 0..n {
                 out[(i, j)] = x[i];
             }
+        }
+        out
+    }
+
+    /// The diagonal of `A⁻¹` without forming the inverse.
+    ///
+    /// Column `i` of `L⁻¹` is the forward solve `L z = e_i` (which is zero
+    /// above `i`), and `diag(A⁻¹)_i = Σ_k z_k²` since
+    /// `A⁻¹ = L⁻ᵀ L⁻¹`. Runs in `n³/6` flops versus the `~n³` of
+    /// [`Cholesky::inverse`] — this closed form is what makes the GP's
+    /// leave-one-out residuals cheap (Sundararajan & Keerthi need exactly
+    /// `[K⁻¹]_ii` and `α`).
+    pub fn inv_diag(&self) -> Vec<f64> {
+        let n = self.dim();
+        let mut out = vec![0.0; n];
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let zi = 1.0 / self.l[(i, i)];
+            z[i] = zi;
+            let mut acc = zi * zi;
+            for k in (i + 1)..n {
+                let row_k = &self.l.row(k)[i..k];
+                let mut s = 0.0;
+                for (lkc, zc) in row_k.iter().zip(&z[i..k]) {
+                    s -= lkc * zc;
+                }
+                let zk = s / self.l[(k, k)];
+                z[k] = zk;
+                acc += zk * zk;
+            }
+            out[i] = acc;
         }
         out
     }
@@ -383,6 +654,88 @@ mod tests {
         }
         let full = Cholesky::new(&a).unwrap();
         assert!(ch.l().approx_eq(full.l(), 1e-9));
+    }
+
+    /// A well-conditioned SPD matrix shaped like a GP kernel Gram matrix.
+    fn kernel_like(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64) / n as f64;
+            (-8.0 * d * d).exp() + if i == j { 0.05 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        // Span the dispatch threshold and non-multiple-of-block sizes.
+        for n in [5, 47, 96, 131] {
+            let a = kernel_like(n);
+            let blocked = Cholesky::new_blocked(&a).unwrap();
+            let scalar = Cholesky::new_unblocked(&a).unwrap();
+            assert!(
+                blocked.l().approx_eq(scalar.l(), 1e-11),
+                "n={n}: blocked and scalar factors diverge"
+            );
+            // And the dispatching front door reconstructs A.
+            let ch = Cholesky::new(&a).unwrap();
+            let llt = ch.l().mat_mul(&ch.l().transpose()).unwrap();
+            assert!(llt.approx_eq(&a, 1e-9), "n={n}: L Lᵀ != A");
+        }
+    }
+
+    #[test]
+    fn blocked_rejects_indefinite() {
+        let mut a = kernel_like(120);
+        a[(60, 60)] = -5.0;
+        assert!(matches!(
+            Cholesky::new_blocked(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(matches!(
+            Cholesky::new_blocked(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Cholesky::new_unblocked(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_lower_multi_matches_columnwise() {
+        let n = 70;
+        let a = kernel_like(n);
+        let ch = Cholesky::new(&a).unwrap();
+        // 130 columns spans two column chunks plus a ragged tail.
+        let m = 130;
+        let mut b = Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let cols: Vec<Vec<f64>> = (0..m).map(|j| b.col(j)).collect();
+        ch.solve_lower_multi(&mut b).unwrap();
+        for (j, col) in cols.iter().enumerate() {
+            let y = ch.solve_lower(col);
+            for i in 0..n {
+                // Bit-identical, not merely close.
+                assert_eq!(b[(i, j)], y[i], "element ({i}, {j})");
+            }
+        }
+        // Shape mismatch is rejected.
+        let mut bad = Matrix::zeros(n + 1, 2);
+        assert!(matches!(
+            ch.solve_lower_multi(&mut bad),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn inv_diag_matches_inverse() {
+        for n in [1, 3, 24] {
+            let a = kernel_like(n);
+            let ch = Cholesky::new(&a).unwrap();
+            let fast = ch.inv_diag();
+            let full = ch.inverse().diag();
+            for (f, g) in fast.iter().zip(&full) {
+                assert!((f - g).abs() <= 1e-10 * g.abs().max(1.0), "{f} vs {g}");
+            }
+        }
     }
 
     #[test]

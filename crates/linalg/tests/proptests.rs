@@ -165,6 +165,53 @@ proptest! {
     }
 
     #[test]
+    fn blocked_cholesky_matches_unblocked(a in spd(24)) {
+        // The blocked factorization reorganizes the loop nest but performs
+        // the same arithmetic per entry; agreement should be tight.
+        let unblocked = Cholesky::new_unblocked(&a).unwrap();
+        let blocked = Cholesky::new_blocked(&a).unwrap();
+        let tol = 1e-9 * a.max_abs().max(1.0);
+        prop_assert!(
+            blocked.l().approx_eq(unblocked.l(), tol),
+            "blocked and unblocked factors diverge"
+        );
+    }
+
+    #[test]
+    fn solve_lower_multi_is_columnwise_solve_lower(
+        a in spd(12),
+        cols in proptest::collection::vec(-5.0..5.0f64, 12 * 7),
+    ) {
+        // The multi-RHS forward solve must be BIT-identical to solving each
+        // column alone: the GP batch predictor's chunk invariance (and thus
+        // the parallel acquisition scorer's determinism) rests on it.
+        let ch = Cholesky::new_jittered(&a).unwrap();
+        let mut block = Matrix::from_vec(12, 7, cols.clone());
+        prop_assert!(ch.solve_lower_multi(&mut block).is_ok());
+        for j in 0..7 {
+            let col: Vec<f64> = (0..12).map(|i| cols[i * 7 + j]).collect();
+            let single = ch.solve_lower(&col);
+            for i in 0..12 {
+                prop_assert_eq!(block[(i, j)], single[i], "col {} row {}", j, i);
+            }
+        }
+    }
+
+    #[test]
+    fn inv_diag_matches_explicit_inverse(a in spd(9)) {
+        let ch = Cholesky::new_jittered(&a).unwrap();
+        let fast = ch.inv_diag();
+        let inv = ch.inverse();
+        for i in 0..9 {
+            let explicit = inv[(i, i)];
+            prop_assert!(
+                (fast[i] - explicit).abs() < 1e-9 * (1.0 + explicit.abs()),
+                "diag {}: {} vs {}", i, fast[i], explicit
+            );
+        }
+    }
+
+    #[test]
     fn rank_desc_is_permutation_sorted(xs in proptest::collection::vec(-100.0..100.0f64, 1..20)) {
         let order = vecops::rank_desc(&xs);
         let mut seen = order.clone();

@@ -91,6 +91,31 @@ pub struct ConstraintAnalysis {
     pub value: Interval,
 }
 
+/// Deterministic Monte-Carlo cross-check of the feasible fraction.
+///
+/// The interval product [`SpaceAnalysis::feasible_fraction`] is a sound
+/// *upper bound* per axis but forgets correlations between constraints; a
+/// few thousand fixed-seed probes give an unbiased point estimate with a
+/// quantified uncertainty. The [`wilson_interval`] bounds are what the
+/// `A003` diagnostic reports, so a CI gate near the threshold can judge
+/// whether the estimate is precise enough to act on rather than flapping
+/// on a bare point value. Probing is seeded with a constant
+/// ([SplitMix64](https://prng.di.unimi.it/splitmix64.c) stream), so the
+/// estimate is a pure function of the bundle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McFeasibility {
+    /// Number of uniform probes drawn from the declared box.
+    pub probes: u64,
+    /// Probes satisfying every analyzable constraint.
+    pub hits: u64,
+    /// Point estimate `hits / probes`.
+    pub estimate: f64,
+    /// Lower 95 % Wilson bound.
+    pub ci_lo: f64,
+    /// Upper 95 % Wilson bound.
+    pub ci_hi: f64,
+}
+
 /// The full result of [`analyze_space`].
 #[derive(Debug, Clone)]
 pub struct SpaceAnalysis {
@@ -116,6 +141,11 @@ pub struct SpaceAnalysis {
     /// measure ratios; `0` when proved empty, `1` with no contraction).
     /// A tiny value predicts rejection-sampling thrash.
     pub feasible_fraction: f64,
+    /// Fixed-seed Monte-Carlo estimate of the feasible fraction with its
+    /// Wilson confidence interval; `None` when there is no analyzable
+    /// constraint to probe (the fraction is then exactly `1`) or the box
+    /// is proved empty (exactly `0`).
+    pub mc_feasible: Option<McFeasibility>,
 }
 
 impl SpaceAnalysis {
@@ -203,6 +233,7 @@ pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
         iterations: 0,
         converged: true,
         feasible_fraction: 1.0,
+        mc_feasible: None,
     };
 
     // Bail out of S001/S002 territory: duplicate names or invalid domains
@@ -301,7 +332,104 @@ pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
         });
     }
     out.feasible_fraction = if out.proved_empty { 0.0 } else { fraction };
+
+    // Monte-Carlo cross-check: only meaningful with at least one probe-able
+    // constraint and a non-empty box.
+    if !out.proved_empty && !expr_refs.is_empty() {
+        out.mc_feasible = Some(mc_feasible_fraction(&param_refs, &expr_refs, MC_PROBES));
+    }
     out
+}
+
+/// Probes drawn by [`analyze_space`]'s Monte-Carlo cross-check.
+pub const MC_PROBES: u64 = 4096;
+
+/// The SplitMix64 step — a tiny, seedable, allocation-free generator so
+/// the probe stream needs no RNG dependency and is identical on every run.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One uniform representable value of `def` from a `[0, 1)` draw,
+/// mirroring `ParamDef::decode`'s equal-bin treatment of discrete domains.
+fn sample_def(def: &ParamDef, u: f64) -> f64 {
+    match def {
+        ParamDef::Real { lo, hi } => lo + u * (hi - lo),
+        ParamDef::Integer { lo, hi } => {
+            let n = (hi - lo + 1) as f64;
+            *lo as f64 + (u * n).floor().min(n - 1.0)
+        }
+        ParamDef::Ordinal { values } => {
+            let n = values.len() as f64;
+            values
+                .get((u * n).floor().min(n - 1.0).max(0.0) as usize)
+                .copied()
+                .unwrap_or(0.0)
+        }
+        ParamDef::Categorical { options } => {
+            let n = options.len().max(1) as f64;
+            (u * n).floor().min(n - 1.0)
+        }
+    }
+}
+
+/// Fixed-seed Monte-Carlo estimate of the fraction of the declared box
+/// satisfying every constraint in `exprs`. Deterministic — the probe
+/// stream is a constant SplitMix64 sequence — and exact in its counting: a
+/// probe is a point environment, so interval evaluation degenerates to
+/// ordinary arithmetic (NaN counts as unsatisfied, matching the runtime
+/// rejection test).
+fn mc_feasible_fraction(
+    params: &[(&str, &ParamDef)],
+    exprs: &[&expr::Expr],
+    probes: u64,
+) -> McFeasibility {
+    let mut state: u64 = 0x5EED_CE75_F3A5_1B0E;
+    let mut env: std::collections::BTreeMap<String, Interval> = std::collections::BTreeMap::new();
+    let mut hits = 0u64;
+    for _ in 0..probes {
+        for (name, def) in params {
+            let u = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            env.insert((*name).to_string(), Interval::point(sample_def(def, u)));
+        }
+        let ok = exprs.iter().all(|e| {
+            let v = eval_expr(e, &env);
+            !v.maybe_nan && !v.can_be_zero() && !v.is_empty_range()
+        });
+        hits += ok as u64;
+    }
+    let (ci_lo, ci_hi) = wilson_interval(hits, probes, 1.96);
+    McFeasibility {
+        probes,
+        hits,
+        estimate: hits as f64 / probes.max(1) as f64,
+        ci_lo,
+        ci_hi,
+    }
+}
+
+/// The Wilson score interval for a binomial proportion: `hits` successes
+/// out of `n` trials at normal quantile `z` (1.96 ≈ 95 %).
+///
+/// Unlike the naive normal approximation `p̂ ± z √(p̂(1−p̂)/n)`, the Wilson
+/// interval stays inside `[0, 1]` and keeps honest coverage at the extreme
+/// proportions the `A003` thrash gate cares about (zero observed hits
+/// still yields a strictly positive upper bound ≈ `z²/(n+z²)`).
+pub fn wilson_interval(hits: u64, n: u64, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n = n as f64;
+    let p = hits as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
 }
 
 /// Mirror of the `S003` membership test: does `default` live inside
@@ -494,5 +622,64 @@ mod tests {
         assert!(!s.proved_empty);
         assert_eq!(s.feasible_fraction, 1.0);
         assert!(s.converged);
+        assert!(s.mc_feasible.is_none(), "nothing to probe");
+    }
+
+    #[test]
+    fn wilson_interval_known_values() {
+        // Zero successes: lower bound 0, upper ≈ z²/(n+z²).
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        let expect_hi = 1.96_f64.powi(2) / (100.0 + 1.96_f64.powi(2));
+        assert!((hi - expect_hi).abs() < 1e-12, "{hi} vs {expect_hi}");
+        // All successes mirrors it.
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!((hi - 1.0).abs() < 1e-12, "{hi}");
+        assert!((lo - (1.0 - expect_hi)).abs() < 1e-12);
+        // Half-and-half: symmetric around 0.5, inside (0, 1).
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(((lo + hi) / 2.0 - 0.5).abs() < 1e-12);
+        assert!(lo > 0.4 && hi < 0.6);
+        // Degenerate trial count: the vacuous interval.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_tightens_with_more_trials() {
+        let w = |n| {
+            let (lo, hi) = wilson_interval(n / 2, n, 1.96);
+            hi - lo
+        };
+        assert!(w(1000) < w(100) && w(100) < w(10));
+    }
+
+    #[test]
+    fn mc_estimate_matches_known_fraction() {
+        // a <= 24 over {0..99}: exactly 25 % feasible.
+        let b = bundle(
+            vec![param("a", ParamDef::Integer { lo: 0, hi: 99 })],
+            vec![constraint("cap", "a <= 24")],
+        );
+        let s = analyze_space(&b);
+        let mc = s.mc_feasible.expect("probed");
+        assert_eq!(mc.probes, MC_PROBES);
+        assert!(
+            (mc.estimate - 0.25).abs() < 0.03,
+            "estimate {} too far from 0.25",
+            mc.estimate
+        );
+        assert!(mc.ci_lo < 0.25 && 0.25 < mc.ci_hi, "{mc:?}");
+        // Deterministic: same bundle, same counts.
+        let again = analyze_space(&b).mc_feasible.expect("probed");
+        assert_eq!(mc, again);
+    }
+
+    #[test]
+    fn mc_skipped_when_proved_empty() {
+        let b = bundle(
+            vec![param("a", ParamDef::Integer { lo: 1, hi: 8 })],
+            vec![constraint("dead", "a > 100")],
+        );
+        assert!(analyze_space(&b).mc_feasible.is_none());
     }
 }

@@ -64,7 +64,10 @@ pub mod registry;
 pub mod reporter;
 pub mod rules;
 
-pub use absint::{analyze_space, apply_contraction, ConstraintClass, Interval, SpaceAnalysis};
+pub use absint::{
+    analyze_space, apply_contraction, wilson_interval, ConstraintClass, Interval, McFeasibility,
+    SpaceAnalysis,
+};
 pub use bundle::{
     ConstraintSpec, KernelSpec, ParamSpec, PlanBundle, PlanSpec, SearchSpec, UnresolvedRef,
 };

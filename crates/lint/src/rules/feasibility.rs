@@ -108,14 +108,27 @@ impl Lint for Feasibility {
         }
 
         if !analysis.proved_empty && analysis.feasible_fraction < THRASH_THRESHOLD {
+            // The fixed-seed Monte-Carlo cross-check quantifies how precise
+            // the point estimate is: a gate sitting near the threshold can
+            // read the Wilson bounds instead of flapping on a bare number.
+            let mc_note = analysis
+                .mc_feasible
+                .map(|m| {
+                    format!(
+                        "; Monte-Carlo cross-check: {}/{} probes feasible, \
+                         95% Wilson interval [{:.1e}, {:.1e}]",
+                        m.hits, m.probes, m.ci_lo, m.ci_hi
+                    )
+                })
+                .unwrap_or_default();
             out.push(
                 Diagnostic::warning(
                     "A003",
                     Location::Plan,
                     format!(
-                        "the statically feasible fraction of the search box is at most {:e}: \
+                        "the statically feasible fraction of the search box is at most {:e}{}: \
                          rejection sampling will thrash discarding candidates",
-                        analysis.feasible_fraction
+                        analysis.feasible_fraction, mc_note
                     ),
                 )
                 .with_help(
@@ -240,6 +253,23 @@ mod tests {
         };
         let out = run(&b);
         assert!(out.iter().any(|d| d.code == "A003"), "{out:?}");
+    }
+
+    #[test]
+    fn a003_reports_wilson_interval() {
+        let b = PlanBundle {
+            params: vec![param("a", 0, 99_999)],
+            constraints: vec![constraint("pin", "a <= 0")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A003").expect("A003");
+        assert!(
+            d.message.contains("Wilson interval"),
+            "missing uncertainty: {}",
+            d.message
+        );
+        assert!(d.message.contains("probes feasible"), "{}", d.message);
     }
 
     #[test]

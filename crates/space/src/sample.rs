@@ -17,6 +17,7 @@ use rand::{Rng, RngExt};
 pub struct Sampler<'a> {
     space: &'a SearchSpace,
     max_attempts: usize,
+    unit_box: Option<Vec<(f64, f64)>>,
 }
 
 impl<'a> Sampler<'a> {
@@ -25,6 +26,7 @@ impl<'a> Sampler<'a> {
         Sampler {
             space,
             max_attempts: 10_000,
+            unit_box: None,
         }
     }
 
@@ -34,10 +36,49 @@ impl<'a> Sampler<'a> {
         self
     }
 
+    /// Restrict draws to an axis-aligned sub-box of the unit cube — the
+    /// contraction-aware sampling path.
+    ///
+    /// `bounds[j] = (lo, hi)` gives the unit-coordinate interval dimension
+    /// `j` is drawn from; a statically contracted box (see `cets-lint`'s
+    /// `analyze_space`) raises the density of constraint-satisfying draws
+    /// without excluding any feasible configuration. Bounds are clamped to
+    /// `[0, 1]`; a mismatched length or an inverted pair falls back to the
+    /// full cube for that draw call (sound, just not narrowed). Note an
+    /// all-`(0, 1)` box is the identity mapping bit-for-bit, so callers may
+    /// pass it unconditionally.
+    pub fn with_unit_box(mut self, bounds: Vec<(f64, f64)>) -> Self {
+        let ok = bounds.len() == self.space.dim()
+            && bounds
+                .iter()
+                .all(|&(lo, hi)| (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0);
+        self.unit_box = ok.then_some(bounds);
+        self
+    }
+
+    /// The active unit sub-box, when one was installed.
+    pub fn unit_box(&self) -> Option<&[(f64, f64)]> {
+        self.unit_box.as_deref()
+    }
+
+    /// Map a raw `[0, 1)` draw for dimension `j` into the unit box.
+    #[inline]
+    fn map_unit(&self, j: usize, r: f64) -> f64 {
+        match &self.unit_box {
+            Some(b) => {
+                let (lo, hi) = b[j];
+                lo + r * (hi - lo)
+            }
+            None => r,
+        }
+    }
+
     /// One uniform draw from the constrained space.
     pub fn uniform<R: Rng>(&self, rng: &mut R) -> Result<Config> {
         for _ in 0..self.max_attempts {
-            let u: Vec<f64> = (0..self.space.dim()).map(|_| rng.random::<f64>()).collect();
+            let u: Vec<f64> = (0..self.space.dim())
+                .map(|j| self.map_unit(j, rng.random::<f64>()))
+                .collect();
             let cfg = self.space.decode(&u)?;
             if self.space.is_valid(&cfg) {
                 return Ok(cfg);
@@ -76,7 +117,7 @@ impl<'a> Sampler<'a> {
         #[allow(clippy::needless_range_loop)] // i indexes parallel permutation columns
         for i in 0..n {
             let u: Vec<f64> = (0..d)
-                .map(|j| (perms[j][i] as f64 + rng.random::<f64>()) / n as f64)
+                .map(|j| self.map_unit(j, (perms[j][i] as f64 + rng.random::<f64>()) / n as f64))
                 .collect();
             let cfg = self.space.decode(&u)?;
             if self.space.is_valid(&cfg) {
@@ -103,7 +144,7 @@ impl<'a> Sampler<'a> {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let u: Vec<f64> = (0..d)
-                .map(|j| radical_inverse(i as u64 + 20, PRIMES[j % PRIMES.len()]))
+                .map(|j| self.map_unit(j, radical_inverse(i as u64 + 20, PRIMES[j % PRIMES.len()])))
                 .collect();
             let cfg = self.space.decode(&u)?;
             if self.space.is_valid(&cfg) {
@@ -301,6 +342,53 @@ mod tests {
             sam.uniform(&mut rng),
             Err(SpaceError::SamplingExhausted { attempts: 50 })
         ));
+    }
+
+    #[test]
+    fn unit_box_narrows_draws() {
+        let s = SearchSpace::builder().real("x", 0.0, 100.0).build();
+        let sam = Sampler::new(&s).with_unit_box(vec![(0.25, 0.5)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = sam.uniform(&mut rng).unwrap();
+            let x = c[0].as_f64();
+            assert!((25.0..=50.0).contains(&x), "draw {x} escaped the box");
+        }
+        // Latin hypercube stratifies within the box.
+        let cfgs = sam.latin_hypercube(8, &mut rng).unwrap();
+        assert!(cfgs.iter().all(|c| (25.0..=50.0).contains(&c[0].as_f64())));
+    }
+
+    #[test]
+    fn full_unit_box_is_identity() {
+        let s = space();
+        let plain = Sampler::new(&s);
+        let boxed = Sampler::new(&s).with_unit_box(vec![(0.0, 1.0); s.dim()]);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(
+            plain.uniform_n(20, &mut r1).unwrap(),
+            boxed.uniform_n(20, &mut r2).unwrap(),
+            "an all-(0,1) box must be bit-identical to no box"
+        );
+    }
+
+    #[test]
+    fn malformed_unit_box_is_ignored() {
+        let s = space();
+        // Wrong arity and inverted bounds both fall back to the full cube.
+        assert!(Sampler::new(&s)
+            .with_unit_box(vec![(0.0, 1.0)])
+            .unit_box()
+            .is_none());
+        assert!(Sampler::new(&s)
+            .with_unit_box(vec![(0.9, 0.1); 3])
+            .unit_box()
+            .is_none());
+        assert!(Sampler::new(&s)
+            .with_unit_box(vec![(0.1, 0.9); 3])
+            .unit_box()
+            .is_some());
     }
 
     #[test]
