@@ -6,46 +6,111 @@
 //! full evaluation history to JSON after every objective evaluation —
 //! the most expensive state by far — so a restarted search continues where
 //! it stopped ([`crate::BoSearch::resume`]).
+//!
+//! ## Format
+//!
+//! Checkpoints are versioned JSON objects. **Version 2** (current) records
+//! every *attempt*, including failures, so a failure-aware search
+//! ([`crate::BoSearch::run_resilient`]) resumes bit-for-bit:
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "seed": 42,
+//!   "x_unit": [[0.1, 0.9], [0.4, 0.2]],
+//!   "y": [3.5, 0.0],
+//!   "failed": [null, {"kind": "crashed", "message": "..."}]
+//! }
+//! ```
+//!
+//! `y[i]` holds `0.0` as a placeholder where `failed[i]` is non-null (JSON
+//! cannot encode NaN); imputation happens at GP-train time from the failure
+//! records, never from stored sentinel values. **Version 1** files (no
+//! `version` field) are read as all-success histories. Loading validates
+//! the version, array lengths, point dimensions, and finiteness, and
+//! reports what is wrong in [`CoreError::Checkpoint`] rather than
+//! panicking or silently resuming from garbage.
 
+use crate::resilience::{EvalRecord, FailedEval, FailureKind};
 use crate::{CoreError, Result};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
 
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: i64 = 2;
+
 /// Persisted state of a (possibly interrupted) BO search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoCheckpoint {
     /// Seed the search was started with (resume derives its RNG stream from
-    /// `seed + evaluations`, so continued runs stay deterministic without
+    /// `seed + attempts`, so continued runs stay deterministic without
     /// persisting raw RNG state).
     pub seed: u64,
-    /// Evaluated active-space unit points.
+    /// Attempted active-space unit points, in attempt order.
     pub x_unit: Vec<Vec<f64>>,
-    /// Corresponding objective values.
+    /// Corresponding objective values (`0.0` placeholder where the attempt
+    /// failed — see `failed`).
     pub y: Vec<f64>,
+    /// Per-attempt failure record; `None` marks a successful evaluation.
+    pub failed: Vec<Option<FailedEval>>,
 }
 
 impl BoCheckpoint {
-    /// Snapshot a history.
+    /// Snapshot an all-success history.
     pub fn from_history(seed: u64, history: &[(Vec<f64>, f64)]) -> Self {
         BoCheckpoint {
             seed,
             x_unit: history.iter().map(|(u, _)| u.clone()).collect(),
             y: history.iter().map(|(_, y)| *y).collect(),
+            failed: vec![None; history.len()],
         }
     }
 
-    /// Rebuild the `(point, value)` history.
+    /// Snapshot a failure-aware attempt history.
+    pub fn from_records(seed: u64, records: &[EvalRecord]) -> Self {
+        BoCheckpoint {
+            seed,
+            x_unit: records.iter().map(|r| r.u.clone()).collect(),
+            y: records.iter().map(|r| r.y().unwrap_or(0.0)).collect(),
+            failed: records
+                .iter()
+                .map(|r| r.value.as_ref().err().cloned())
+                .collect(),
+        }
+    }
+
+    /// Rebuild the `(point, value)` history of **successful** evaluations.
     pub fn history(&self) -> Vec<(Vec<f64>, f64)> {
         self.x_unit
             .iter()
-            .cloned()
-            .zip(self.y.iter().cloned())
+            .zip(&self.y)
+            .zip(&self.failed)
+            .filter(|(_, f)| f.is_none())
+            .map(|((u, y), _)| (u.clone(), *y))
             .collect()
     }
 
-    /// Number of completed evaluations.
+    /// Rebuild the full attempt history, failures included.
+    pub fn records(&self) -> Vec<EvalRecord> {
+        self.x_unit
+            .iter()
+            .zip(&self.y)
+            .zip(&self.failed)
+            .map(|((u, y), f)| match f {
+                None => EvalRecord::ok(u.clone(), *y),
+                Some(e) => EvalRecord::failed(u.clone(), e.clone()),
+            })
+            .collect()
+    }
+
+    /// Number of attempts (successes + failures).
     pub fn n_evals(&self) -> usize {
         self.y.len()
+    }
+
+    /// Number of failed attempts.
+    pub fn n_failed(&self) -> usize {
+        self.failed.iter().filter(|f| f.is_some()).count()
     }
 
     /// Write atomically (write to `<path>.tmp`, then rename) so a crash
@@ -61,20 +126,135 @@ impl BoCheckpoint {
         Ok(())
     }
 
-    /// Load a checkpoint written by [`BoCheckpoint::save`].
+    /// Load and validate a checkpoint written by [`BoCheckpoint::save`]
+    /// (or a pre-versioning v1 file).
     pub fn load(path: &Path) -> Result<Self> {
         let data = std::fs::read_to_string(path)
             .map_err(|e| CoreError::Checkpoint(format!("read {}: {e}", path.display())))?;
         let cp: BoCheckpoint = serde_json::from_str(&data)
             .map_err(|e| CoreError::Checkpoint(format!("parse {}: {e}", path.display())))?;
-        if cp.x_unit.len() != cp.y.len() {
-            return Err(CoreError::Checkpoint(format!(
+        cp.validate()
+            .map_err(|m| CoreError::Checkpoint(format!("{}: {m}", path.display())))?;
+        Ok(cp)
+    }
+
+    /// Structural validation: consistent lengths and dimensions, finite
+    /// points, finite values on successful entries.
+    fn validate(&self) -> std::result::Result<(), String> {
+        if self.x_unit.len() != self.y.len() {
+            return Err(format!(
                 "corrupt checkpoint: {} points vs {} values",
-                cp.x_unit.len(),
-                cp.y.len()
+                self.x_unit.len(),
+                self.y.len()
+            ));
+        }
+        if self.failed.len() != self.y.len() {
+            return Err(format!(
+                "corrupt checkpoint: {} failure markers vs {} values",
+                self.failed.len(),
+                self.y.len()
+            ));
+        }
+        let dim = self.x_unit.first().map(Vec::len).unwrap_or(0);
+        for (i, u) in self.x_unit.iter().enumerate() {
+            if u.len() != dim {
+                return Err(format!(
+                    "corrupt checkpoint: point {i} has {} coordinates, expected {dim}",
+                    u.len()
+                ));
+            }
+            if let Some(j) = u.iter().position(|v| !v.is_finite()) {
+                return Err(format!(
+                    "corrupt checkpoint: point {i} coordinate {j} is not finite"
+                ));
+            }
+        }
+        for (i, (y, f)) in self.y.iter().zip(&self.failed).enumerate() {
+            if f.is_none() && !y.is_finite() {
+                return Err(format!(
+                    "corrupt checkpoint: value {i} is not finite on a successful entry"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// Hand-written (de)serialization: the vendored serde derive has no
+// `#[serde(default)]`, and the version/back-compat handling needs explicit
+// control anyway.
+
+impl Serialize for BoCheckpoint {
+    fn serialize(&self) -> Value {
+        // `y` placeholders for failed entries are already finite (0.0), so
+        // the JSON never contains nulls in the value array.
+        Value::Object(vec![
+            ("version".into(), Value::Int(CHECKPOINT_VERSION)),
+            ("seed".into(), self.seed.serialize()),
+            ("x_unit".into(), self.x_unit.serialize()),
+            ("y".into(), self.y.serialize()),
+            ("failed".into(), self.failed.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for BoCheckpoint {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        let version = match v.get_field("version") {
+            Value::Null => 1, // pre-versioning files carry no field
+            other => other
+                .as_i64()
+                .map_err(|e| DeError(format!("version: {e}")))?,
+        };
+        if !(1..=CHECKPOINT_VERSION).contains(&version) {
+            return Err(DeError(format!(
+                "unsupported checkpoint version {version} (this build reads 1..={CHECKPOINT_VERSION})"
             )));
         }
-        Ok(cp)
+        let seed = v
+            .get_field("seed")
+            .as_u64()
+            .map_err(|e| DeError(format!("seed: {e}")))?;
+        let x_unit: Vec<Vec<f64>> = Deserialize::deserialize(v.get_field("x_unit"))
+            .map_err(|e| DeError(format!("x_unit: {e}")))?;
+        let y: Vec<f64> =
+            Deserialize::deserialize(v.get_field("y")).map_err(|e| DeError(format!("y: {e}")))?;
+        let failed: Vec<Option<FailedEval>> = if version >= 2 {
+            Deserialize::deserialize(v.get_field("failed"))
+                .map_err(|e| DeError(format!("failed: {e}")))?
+        } else {
+            vec![None; y.len()]
+        };
+        Ok(BoCheckpoint {
+            seed,
+            x_unit,
+            y,
+            failed,
+        })
+    }
+}
+
+impl Serialize for FailedEval {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("kind".into(), Value::String(self.kind.as_str().to_string())),
+            ("message".into(), Value::String(self.message.clone())),
+        ])
+    }
+}
+
+impl Deserialize for FailedEval {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        let tag = String::deserialize(v.get_field("kind"))
+            .map_err(|e| DeError(format!("failure kind: {e}")))?;
+        let kind = FailureKind::parse(&tag)
+            .ok_or_else(|| DeError(format!("unknown failure kind `{tag}`")))?;
+        let message: Option<String> = Deserialize::deserialize(v.get_field("message"))
+            .map_err(|e| DeError(format!("failure message: {e}")))?;
+        Ok(FailedEval {
+            kind,
+            message: message.unwrap_or_default(),
+        })
     }
 }
 
@@ -93,11 +273,68 @@ mod tests {
         let hist = vec![(vec![0.1, 0.2], 3.0), (vec![0.5, 0.6], 1.5)];
         let cp = BoCheckpoint::from_history(42, &hist);
         assert_eq!(cp.n_evals(), 2);
+        assert_eq!(cp.n_failed(), 0);
         let path = tmp_path("roundtrip");
         cp.save(&path).unwrap();
         let loaded = BoCheckpoint::load(&path).unwrap();
         assert_eq!(loaded, cp);
         assert_eq!(loaded.history(), hist);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_roundtrip_with_failures() {
+        let records = vec![
+            EvalRecord::ok(vec![0.1, 0.2], 3.0),
+            EvalRecord::failed(
+                vec![0.5, 0.6],
+                FailedEval {
+                    kind: FailureKind::Crashed,
+                    message: "boom".into(),
+                },
+            ),
+            EvalRecord::ok(vec![0.9, 0.4], 1.0),
+        ];
+        let cp = BoCheckpoint::from_records(7, &records);
+        assert_eq!(cp.n_evals(), 3);
+        assert_eq!(cp.n_failed(), 1);
+        let path = tmp_path("records");
+        cp.save(&path).unwrap();
+        let loaded = BoCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded.records(), records);
+        // Successful history skips the failure.
+        assert_eq!(
+            loaded.history(),
+            vec![(vec![0.1, 0.2], 3.0), (vec![0.9, 0.4], 1.0)]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_file_without_version_loads_as_all_success() {
+        let path = tmp_path("v1");
+        std::fs::write(&path, r#"{"seed":9,"x_unit":[[0.1],[0.2]],"y":[1.0,2.0]}"#).unwrap();
+        let cp = BoCheckpoint::load(&path).unwrap();
+        assert_eq!(cp.seed, 9);
+        assert_eq!(cp.n_failed(), 0);
+        assert_eq!(cp.history(), vec![(vec![0.1], 1.0), (vec![0.2], 2.0)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_rejected_with_clear_message() {
+        let path = tmp_path("future");
+        std::fs::write(
+            &path,
+            r#"{"version":99,"seed":1,"x_unit":[],"y":[],"failed":[]}"#,
+        )
+        .unwrap();
+        let err = BoCheckpoint::load(&path).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unsupported checkpoint version 99"),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -122,10 +359,62 @@ mod tests {
     }
 
     #[test]
+    fn ragged_points_rejected() {
+        let path = tmp_path("ragged");
+        std::fs::write(
+            &path,
+            r#"{"seed":1,"x_unit":[[0.1,0.2],[0.3]],"y":[1.0,2.0]}"#,
+        )
+        .unwrap();
+        let err = BoCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("coordinates"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn null_value_on_success_entry_rejected() {
+        // JSON null reads back as NaN; a successful entry must be finite.
+        let path = tmp_path("nan");
+        std::fs::write(&path, r#"{"seed":1,"x_unit":[[0.1]],"y":[null]}"#).unwrap();
+        let err = BoCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("not finite"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_failure_kind_rejected() {
+        let path = tmp_path("badkind");
+        std::fs::write(
+            &path,
+            r#"{"version":2,"seed":1,"x_unit":[[0.1]],"y":[0.0],"failed":[{"kind":"cosmic-ray","message":""}]}"#,
+        )
+        .unwrap();
+        let err = BoCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("cosmic-ray"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn garbage_json_rejected() {
         let path = tmp_path("garbage");
         std::fs::write(&path, "not json at all").unwrap();
         assert!(BoCheckpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_json_rejected() {
+        let path = tmp_path("truncated");
+        let full = serde_json::to_string_pretty(&BoCheckpoint::from_history(
+            3,
+            &[(vec![0.1, 0.2], 1.0), (vec![0.3, 0.4], 2.0)],
+        ))
+        .unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            BoCheckpoint::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -58,8 +58,14 @@ pub struct FeatureInsights {
     /// Out-of-bag R² of the importance model (`None` if unavailable);
     /// gauge of how much to trust the importances.
     pub model_r2: Option<f64>,
-    /// The raw sample, reusable by later phases.
+    /// The raw sample, reusable by later phases. Contains only finite
+    /// observations; crashed or non-finite evaluations are counted in
+    /// [`FeatureInsights::n_non_finite`] instead.
     pub samples: Vec<(Config, f64)>,
+    /// Sampled evaluations discarded because the objective returned a NaN
+    /// or infinite total. A non-zero count is itself an insight: part of
+    /// the space fails to run.
+    pub n_non_finite: usize,
 }
 
 impl FeatureInsights {
@@ -89,6 +95,7 @@ pub fn gather_insights<O: Objective + ?Sized>(
     let mut samples: Vec<(Config, f64)> = Vec::with_capacity(cfg.n_samples);
     let mut features: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_samples);
     let mut targets: Vec<f64> = Vec::with_capacity(cfg.n_samples);
+    let mut n_non_finite = 0usize;
     for _ in 0..cfg.n_samples {
         // Prefer the objective's constructive sampler (heavily constrained
         // spaces defeat blind rejection); fall back to rejection sampling.
@@ -97,9 +104,21 @@ pub fn gather_insights<O: Objective + ?Sized>(
             None => sampler.uniform(&mut rng)?,
         };
         let y = objective.evaluate(&config).total;
+        // A NaN total would propagate silently through both the Pearson
+        // sums and the forest's variance splits; screen it out and count it.
+        if !y.is_finite() {
+            n_non_finite += 1;
+            continue;
+        }
         features.push(space.encode(&config)?);
         targets.push(y);
         samples.push((config, y));
+    }
+    if samples.is_empty() {
+        return Err(crate::CoreError::SearchStalled(format!(
+            "all {} sampled evaluations were non-finite; nothing to analyze",
+            cfg.n_samples
+        )));
     }
 
     let forest = RandomForest::fit(&features, &targets, &cfg.forest)?;
@@ -124,6 +143,7 @@ pub fn gather_insights<O: Objective + ?Sized>(
         runtime_summary: Summary::new(&targets)?,
         model_r2,
         samples,
+        n_non_finite,
     })
 }
 
@@ -231,6 +251,83 @@ mod tests {
         assert_eq!(ins.runtime_summary.n, 50);
         // 50 samples for 3 dims satisfies 10×3.
         assert!(ins.one_in_ten);
+    }
+
+    #[test]
+    fn non_finite_observations_are_screened_and_counted() {
+        // NaN over half the domain: the analysis must survive on the finite
+        // half and report how much was dropped.
+        struct HalfBroken(SearchSpace);
+        impl Objective for HalfBroken {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> Observation {
+                let x = cfg[0].as_f64();
+                if x > 0.0 {
+                    Observation::scalar(f64::NAN)
+                } else {
+                    Observation::scalar(100.0 * x * x + cfg[1].as_f64().powi(2))
+                }
+            }
+            fn default_config(&self) -> Config {
+                self.0.decode(&[0.25, 0.5]).unwrap()
+            }
+        }
+        let obj = HalfBroken(
+            SearchSpace::builder()
+                .real("big", -1.0, 1.0)
+                .real("small", -1.0, 1.0)
+                .build(),
+        );
+        let ins = gather_insights(
+            &obj,
+            &InsightsConfig {
+                n_samples: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(ins.n_non_finite > 50, "n_non_finite {}", ins.n_non_finite);
+        assert_eq!(ins.samples.len() + ins.n_non_finite, 200);
+        assert!(ins.samples.iter().all(|(_, y)| y.is_finite()));
+        assert!(ins.runtime_summary.n == ins.samples.len());
+        // The importances are still meaningful on the surviving half.
+        assert_eq!(ins.ranked_importance()[0].0, "big");
+        assert!(ins.importance.iter().all(|v| v.is_finite()));
+        assert!(ins.correlated.iter().all(|(_, _, r)| r.is_finite()));
+    }
+
+    #[test]
+    fn fully_non_finite_objective_errors_cleanly() {
+        struct AllNan(SearchSpace);
+        impl Objective for AllNan {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r".into()]
+            }
+            fn evaluate(&self, _cfg: &Config) -> Observation {
+                Observation::scalar(f64::NAN)
+            }
+            fn default_config(&self) -> Config {
+                self.0.decode(&[0.5]).unwrap()
+            }
+        }
+        let obj = AllNan(SearchSpace::builder().real("x", 0.0, 1.0).build());
+        let err = gather_insights(
+            &obj,
+            &InsightsConfig {
+                n_samples: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::CoreError::SearchStalled(_)));
     }
 
     #[test]

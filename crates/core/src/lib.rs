@@ -41,11 +41,14 @@ pub mod normal;
 pub mod objective;
 pub mod random_search;
 pub mod report;
+pub mod resilience;
 pub mod sensitivity;
 pub mod strategy;
 pub mod transfer;
 
-pub use bo::{Acquisition, BoConfig, BoSearch, SearchOutcome};
+pub use bo::{
+    Acquisition, BoConfig, BoSearch, FailurePolicy, Imputation, ResilientOutcome, SearchOutcome,
+};
 pub use checkpoint::BoCheckpoint;
 pub use contraction::{active_unit_box, contracted_unit_box, contraction_aware_sampler};
 pub use db::{Database, Record};
@@ -54,12 +57,18 @@ pub use highdim::{dropout_bo, full_space_bo, rembo};
 pub use insights::{gather_insights, FeatureInsights, InsightsConfig};
 pub use interaction::{pairwise_interactions, pairwise_interactions_on, InteractionAnalysis};
 pub use methodology::{
-    build_graph, execute_plan, LintPolicy, Methodology, MethodologyConfig, MethodologyReport,
-    PlanExecution, PlannedSearch, SearchPlan, SearchTarget,
+    build_graph, execute_plan, execute_plan_resilient, ExecutionLedger, LintPolicy, Methodology,
+    MethodologyConfig, MethodologyReport, PlanExecution, PlannedSearch, SearchDisposition,
+    SearchLedgerEntry, SearchPlan, SearchTarget,
 };
 pub use objective::{ContractedObjective, CountingObjective, Objective, Observation};
 pub use random_search::{random_search, RandomSearchConfig};
 pub use report::render_markdown;
+pub use resilience::{
+    Clock, EvalError, EvalOutcome, EvalRecord, FailedEval, FailureKind, FaultKind, FaultPlan,
+    FaultyObjective, GuardPolicy, ResilienceConfig, ResilientObjective, RetryPolicy, SystemClock,
+    VirtualClock,
+};
 pub use sensitivity::{routine_sensitivity, VariationPolicy};
 pub use strategy::{run_strategy, Strategy, StrategyResult};
 pub use transfer::TransferSeed;

@@ -5,12 +5,14 @@
 use crate::bo::{BoConfig, BoSearch, SearchOutcome};
 use crate::db::Database;
 use crate::objective::Objective;
+use crate::resilience::{EvalOutcome, EvalRecord, ResilienceConfig, ResilientObjective};
 use crate::sensitivity::{routine_sensitivity, VariationPolicy};
 use crate::{CoreError, Result};
 use cets_graph::{InfluenceGraph, Partition};
 use cets_space::{Config, Subspace};
 use cets_stats::SensitivityScores;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How strictly the built-in plan linter gates [`Methodology::run`].
@@ -146,10 +148,73 @@ pub struct MethodologyReport {
     pub plan: SearchPlan,
 }
 
+/// How one planned search ended under the fault-tolerant executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchDisposition {
+    /// The search produced a usable outcome (possibly with failed
+    /// evaluations along the way).
+    Completed,
+    /// The search produced no usable outcome — every attempt failed, it
+    /// hit its failure cap, or its infrastructure errored. Its parameters
+    /// stay at the defaults in force when its stage started; the payload
+    /// says why.
+    Degraded(String),
+}
+
+/// Per-search failure accounting for one plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchLedgerEntry {
+    /// Search name (matches [`PlannedSearch::name`]; `"final"` for the
+    /// closing verification evaluation).
+    pub search: String,
+    /// Stage index the search ran in.
+    pub stage: usize,
+    /// Successful evaluations.
+    pub n_ok: usize,
+    /// Failed evaluations. For [`SearchDisposition::Degraded`] searches
+    /// this counts *attempts* (retries included), since no record history
+    /// survives a fully failed search.
+    pub n_failed: usize,
+    /// Budget consumed (`n_ok + budget_fraction × n_failed`).
+    pub budget_spent: f64,
+    /// How the search ended.
+    pub disposition: SearchDisposition,
+}
+
+/// The failure ledger of a fault-tolerant plan execution: one entry per
+/// search, in execution order. Empty for legacy (non-resilient) runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionLedger {
+    /// Per-search entries, in execution order.
+    pub entries: Vec<SearchLedgerEntry>,
+}
+
+impl ExecutionLedger {
+    /// Searches that completed no usable outcome.
+    pub fn n_degraded(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.disposition, SearchDisposition::Degraded(_)))
+            .count()
+    }
+
+    /// Total failed evaluations across all searches.
+    pub fn total_failures(&self) -> usize {
+        self.entries.iter().map(|e| e.n_failed).sum()
+    }
+
+    /// No failures anywhere and every search completed.
+    pub fn is_clean(&self) -> bool {
+        self.total_failures() == 0 && self.n_degraded() == 0
+    }
+}
+
 /// Result of executing a [`SearchPlan`].
 #[derive(Debug, Clone)]
 pub struct PlanExecution {
     /// Each search's outcome, in execution order, tagged by name.
+    /// Degraded searches (fault-tolerant executor only) are absent here
+    /// and present in [`PlanExecution::ledger`].
     pub searches: Vec<(String, SearchOutcome)>,
     /// All searches' best values folded into one configuration.
     pub final_config: Config,
@@ -165,6 +230,9 @@ pub struct PlanExecution {
     /// transfer learning via [`Database::to_transfer_seed`]). Record order
     /// within a parallel stage is nondeterministic; contents are not.
     pub database: Database,
+    /// Per-search failure accounting ([`execute_plan_resilient`] only;
+    /// empty for the legacy executor).
+    pub ledger: ExecutionLedger,
 }
 
 /// Configuration of the methodology pipeline.
@@ -194,6 +262,14 @@ pub struct MethodologyConfig {
     pub parallel: bool,
     /// How strictly the pre-execution linter gates [`Methodology::run`].
     pub lint: LintPolicy,
+    /// Fault tolerance. `None` (default) keeps the legacy fail-fast
+    /// executor: any panicking or non-finite evaluation aborts the run.
+    /// `Some(..)` routes execution through [`execute_plan_resilient`]:
+    /// evaluations are guarded (panic containment, non-finite screening,
+    /// watchdog, retries), failures are imputed into the BO loop, a search
+    /// that produces nothing is isolated instead of aborting the plan, and
+    /// [`PlanExecution::ledger`] reports the damage.
+    pub resilience: Option<ResilienceConfig>,
     /// Statically contract the search box before execution.
     ///
     /// When on, [`Methodology::run`] feeds the analysis result through
@@ -219,6 +295,7 @@ impl Default for MethodologyConfig {
             evals_per_dim: 10,
             parallel: true,
             lint: LintPolicy::default(),
+            resilience: None,
             contract_bounds: false,
         }
     }
@@ -538,18 +615,28 @@ impl Methodology {
         Ok(Some(builder.try_build()?))
     }
 
-    /// Execute a previously computed report's plan.
+    /// Execute a previously computed report's plan
+    /// (fault-tolerantly when [`MethodologyConfig::resilience`] is set).
     pub fn execute<O: Objective + ?Sized>(
         &self,
         objective: &O,
         report: &MethodologyReport,
     ) -> Result<PlanExecution> {
-        execute_plan(
-            objective,
-            &report.plan,
-            &self.config.bo,
-            self.config.parallel,
-        )
+        match &self.config.resilience {
+            Some(resilience) => execute_plan_resilient(
+                objective,
+                &report.plan,
+                &self.config.bo,
+                self.config.parallel,
+                resilience,
+            ),
+            None => execute_plan(
+                objective,
+                &report.plan,
+                &self.config.bo,
+                self.config.parallel,
+            ),
+        }
     }
 
     /// Full pipeline: analyze, **lint** (see [`MethodologyConfig::lint`]),
@@ -719,6 +806,253 @@ pub fn execute_plan<O: Objective + ?Sized>(
         final_value,
         wall_time: start.elapsed(),
         database,
+        ledger: ExecutionLedger::default(),
+    })
+}
+
+/// Fault-tolerant variant of [`execute_plan`]: every evaluation runs
+/// through a per-search [`ResilientObjective`] (panic containment,
+/// non-finite screening, watchdog, retries), the BO loops are
+/// failure-aware ([`BoSearch::run_resilient_with_records`]), and a search
+/// that produces **no** usable outcome — all attempts failed, failure cap
+/// hit, or its infrastructure errored — is *isolated*: its parameters stay
+/// at the stage's entry defaults, the remaining searches proceed, and the
+/// [`ExecutionLedger`] records what happened. The run aborts only when
+/// nothing succeeded anywhere (there is no configuration to report) or the
+/// folded configuration violates a cross-search constraint (the result
+/// would be wrong, not merely partial).
+pub fn execute_plan_resilient<O: Objective + ?Sized>(
+    objective: &O,
+    plan: &SearchPlan,
+    bo_template: &BoConfig,
+    parallel: bool,
+    resilience: &ResilienceConfig,
+) -> Result<PlanExecution> {
+    let start = Instant::now();
+    let space = objective.space();
+    let routine_names = objective.routine_names();
+    let mut current = objective.default_config();
+    let mut all: Vec<(String, SearchOutcome)> = Vec::new();
+    let mut ledger = ExecutionLedger::default();
+    let db = Mutex::new(Database::for_objective("plan-execution", objective));
+
+    for (stage_idx, stage) in plan.stages.iter().enumerate() {
+        let prepared: Vec<(usize, &PlannedSearch, Vec<usize>)> = stage
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let idxs = match &s.target {
+                    SearchTarget::Total => vec![],
+                    SearchTarget::Routines(names) => names
+                        .iter()
+                        .map(|n| {
+                            routine_names.iter().position(|r| r == n).ok_or_else(|| {
+                                CoreError::BadConfig(format!("unknown routine {n} in plan"))
+                            })
+                        })
+                        .collect::<Result<Vec<usize>>>()?,
+                };
+                Ok((i, s, idxs))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        // One search under full protection. Returns the ledger entry along
+        // with the outcome (or the degradation reason).
+        let run_one = |(i, s, idxs): &(usize, &PlannedSearch, Vec<usize>)| -> (
+            std::result::Result<crate::bo::ResilientOutcome, String>,
+            usize, // attempts (only meaningful on the error side)
+            usize, // failed attempts (ditto)
+        ) {
+            let guarded = ResilientObjective::new(
+                objective,
+                resilience.guard.clone(),
+                Arc::clone(&resilience.clock),
+            );
+            let attempt = |sub: &Subspace| -> Result<crate::bo::ResilientOutcome> {
+                let mut bo_cfg = bo_template.clone();
+                bo_cfg.max_evals = s.budget;
+                bo_cfg.seed = bo_template
+                    .seed
+                    .wrapping_add((stage_idx as u64) << 32)
+                    .wrapping_add(*i as u64 + 1);
+                let f = |cfg: &Config, eval_idx: usize| -> EvalOutcome {
+                    match guarded.evaluate_outcome(cfg, eval_idx) {
+                        EvalOutcome::Ok(mut obs) => {
+                            db.lock().push(cfg.clone(), &obs, s.name.clone());
+                            // The BO loop minimizes `total`; for a
+                            // routine-targeted search that must be the sum of
+                            // the targeted routines (already screened finite).
+                            if !idxs.is_empty() {
+                                obs.total = idxs.iter().map(|&r| obs.routines[r]).sum();
+                            }
+                            EvalOutcome::Ok(obs)
+                        }
+                        failed => failed,
+                    }
+                };
+                // Seed with the incumbent defaults, exactly like the legacy
+                // executor — but a failing incumbent evaluation is a
+                // recorded failure, not an abort.
+                let u0 = sub.project(&current)?;
+                let rec0 = match f(&sub.lift(&u0)?, 0) {
+                    EvalOutcome::Ok(obs) => EvalRecord::ok(u0, obs.total),
+                    EvalOutcome::Failed(e) => {
+                        EvalRecord::failed(u0, crate::resilience::FailedEval::from_error(&e))
+                    }
+                };
+                BoSearch::new(bo_cfg).run_resilient_with_records(
+                    sub,
+                    f,
+                    &resilience.failure,
+                    vec![rec0],
+                )
+            };
+            let names: Vec<&str> = s.params.iter().map(|p| p.as_str()).collect();
+            let result = Subspace::new(space, &names, current.clone())
+                .map_err(CoreError::from)
+                .and_then(|sub| attempt(&sub))
+                .map_err(|e| e.to_string());
+            (result, guarded.attempts(), guarded.failed_attempts())
+        };
+
+        type OneResult = (
+            std::result::Result<crate::bo::ResilientOutcome, String>,
+            usize,
+            usize,
+        );
+        let outcomes: Vec<OneResult> = if parallel && prepared.len() > 1 {
+            let mut slots: Vec<Option<OneResult>> = (0..prepared.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, item) in slots.iter_mut().zip(&prepared) {
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        *slot = Some(run_one(item));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.unwrap_or_else(|| {
+                        (
+                            Err("a parallel search thread terminated without reporting".into()),
+                            0,
+                            0,
+                        )
+                    })
+                })
+                .collect()
+        } else {
+            prepared.iter().map(run_one).collect()
+        };
+
+        for ((_, s, _), (result, attempts, failed_attempts)) in prepared.iter().zip(outcomes) {
+            match result {
+                Ok(r) => {
+                    // Freeze this search's best values into the running
+                    // defaults.
+                    for p in &s.params {
+                        let idx = space.index_of(p)?;
+                        current[idx] = r.outcome.best_config[idx].clone();
+                    }
+                    ledger.entries.push(SearchLedgerEntry {
+                        search: s.name.clone(),
+                        stage: stage_idx,
+                        n_ok: r.records.len() - r.n_failed,
+                        n_failed: r.n_failed,
+                        budget_spent: r.budget_spent,
+                        disposition: SearchDisposition::Completed,
+                    });
+                    all.push((s.name.clone(), r.outcome));
+                }
+                Err(reason) => {
+                    // Isolate: this search contributes nothing; its
+                    // parameters stay at the stage's entry defaults.
+                    ledger.entries.push(SearchLedgerEntry {
+                        search: s.name.clone(),
+                        stage: stage_idx,
+                        n_ok: attempts - failed_attempts,
+                        n_failed: failed_attempts,
+                        budget_spent: resilience.failure.budget_fraction * failed_attempts as f64
+                            + (attempts - failed_attempts) as f64,
+                        disposition: SearchDisposition::Degraded(reason),
+                    });
+                }
+            }
+        }
+        // A folded configuration that violates a cross-search constraint is
+        // wrong, not partial: still a hard error (same contract as the
+        // legacy executor).
+        space.check_valid(&current).map_err(|e| {
+            CoreError::SearchStalled(format!(
+                "folded configuration invalid after stage {stage_idx}: {e}"
+            ))
+        })?;
+    }
+
+    if all.is_empty() {
+        return Err(CoreError::SearchStalled(format!(
+            "every search in the plan degraded ({} entries in the ledger); \
+             no configuration to report",
+            ledger.entries.len()
+        )));
+    }
+
+    // Final verification evaluation, itself guarded: if it fails, fall back
+    // to the database's best recorded configuration and note it in the
+    // ledger instead of aborting a whole completed run at the last step.
+    let guarded = ResilientObjective::new(
+        objective,
+        resilience.guard.clone(),
+        Arc::clone(&resilience.clock),
+    );
+    let n_stages = plan.stages.len();
+    let mut database = db.into_inner();
+    let (final_config, final_value) = match guarded.evaluate_outcome(&current, 0) {
+        EvalOutcome::Ok(obs) => {
+            let v = obs.total;
+            database.push(current.clone(), &obs, "final");
+            ledger.entries.push(SearchLedgerEntry {
+                search: "final".into(),
+                stage: n_stages,
+                n_ok: 1,
+                n_failed: guarded.failed_attempts(),
+                budget_spent: 1.0,
+                disposition: SearchDisposition::Completed,
+            });
+            (current, v)
+        }
+        EvalOutcome::Failed(e) => {
+            let best = database.best().ok_or_else(|| {
+                CoreError::SearchStalled(
+                    "final evaluation failed and the database holds no successful \
+                     evaluation to fall back to"
+                        .into(),
+                )
+            })?;
+            let (cfg, v) = (best.config.clone(), best.total);
+            ledger.entries.push(SearchLedgerEntry {
+                search: "final".into(),
+                stage: n_stages,
+                n_ok: 0,
+                n_failed: guarded.failed_attempts(),
+                budget_spent: resilience.failure.budget_fraction,
+                disposition: SearchDisposition::Degraded(format!(
+                    "final evaluation failed ({e}); reporting the database's best \
+                     recorded configuration instead"
+                )),
+            });
+            (cfg, v)
+        }
+    };
+    Ok(PlanExecution {
+        total_evals: all.iter().map(|(_, o)| o.n_evals).sum(),
+        searches: all,
+        final_config,
+        final_value,
+        wall_time: start.elapsed(),
+        database,
+        ledger,
     })
 }
 
@@ -972,6 +1306,225 @@ mod tests {
             matches!(err, CoreError::SearchStalled(_)),
             "expected SearchStalled, got {err}"
         );
+    }
+
+    mod resilient {
+        use super::*;
+        use crate::resilience::{GuardPolicy, ResilienceConfig, RetryPolicy, VirtualClock};
+        use cets_space::SearchSpace;
+
+        fn quiet_panics() {
+            // Silence the default hook's backtrace spam for intentional panics.
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+
+        /// No retries (each injected panic counts once) and a virtual clock
+        /// (backoff sleeps, if any, are instant).
+        fn quick_resilience() -> ResilienceConfig {
+            ResilienceConfig {
+                guard: GuardPolicy {
+                    retry: RetryPolicy {
+                        max_retries: 0,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                clock: Arc::new(VirtualClock::new()),
+                ..Default::default()
+            }
+        }
+
+        /// Sphere on three axes that panics on configurations selected by a
+        /// caller-supplied predicate.
+        struct PanicOn<F: Fn(f64, f64, f64) -> bool + Sync>(SearchSpace, F);
+
+        impl<F: Fn(f64, f64, f64) -> bool + Sync> PanicOn<F> {
+            fn new(trap: F) -> Self {
+                PanicOn(
+                    SearchSpace::builder()
+                        .real("x0", 0.0, 4.0)
+                        .real("x1", 0.0, 4.0)
+                        .real("x2", 0.0, 4.0)
+                        .build(),
+                    trap,
+                )
+            }
+        }
+
+        impl<F: Fn(f64, f64, f64) -> bool + Sync> Objective for PanicOn<F> {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r0".into(), "r1".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> crate::Observation {
+                let (a, b, c) = (cfg[0].as_f64(), cfg[1].as_f64(), cfg[2].as_f64());
+                if (self.1)(a, b, c) {
+                    panic!("injected crash at ({a}, {b}, {c})");
+                }
+                let (ra, rb) = (a * a + b * b, c * c);
+                crate::Observation {
+                    total: ra + rb,
+                    routines: vec![ra, rb],
+                }
+            }
+            fn default_config(&self) -> Config {
+                self.0
+                    .config_from_pairs(&[("x0", 1.0), ("x1", 1.0), ("x2", 1.0)])
+                    .unwrap()
+            }
+        }
+
+        fn two_search_plan() -> SearchPlan {
+            SearchPlan {
+                stages: vec![vec![
+                    PlannedSearch {
+                        name: "r0".into(),
+                        params: vec!["x0".into(), "x1".into()],
+                        dropped: vec![],
+                        target: SearchTarget::Routines(vec!["r0".into()]),
+                        budget: 12,
+                    },
+                    PlannedSearch {
+                        name: "r1".into(),
+                        params: vec!["x2".into()],
+                        dropped: vec![],
+                        target: SearchTarget::Routines(vec!["r1".into()]),
+                        budget: 10,
+                    },
+                ]],
+            }
+        }
+
+        #[test]
+        fn fault_free_run_completes_with_clean_ledger() {
+            let obj = SplitSphere::new();
+            let m = Methodology::new(MethodologyConfig {
+                bo: quick_bo(),
+                evals_per_dim: 8,
+                resilience: Some(quick_resilience()),
+                ..Default::default()
+            });
+            let (_, exec) = m.run(&obj, &owners3(), &obj.default_config()).unwrap();
+            let default_value = obj.evaluate(&obj.default_config()).total;
+            assert!(
+                exec.final_value < default_value,
+                "final {} !< default {default_value}",
+                exec.final_value
+            );
+            assert!(exec.ledger.is_clean(), "ledger: {:?}", exec.ledger);
+            assert_eq!(exec.ledger.total_failures(), 0);
+            // One entry per search plus the final verification.
+            assert_eq!(exec.ledger.entries.len(), exec.searches.len() + 1);
+            assert!(obj.space().is_valid(&exec.final_config));
+        }
+
+        /// One search whose every evaluation crashes (its fixed coordinates
+        /// hit the trap) is isolated: it degrades, the other search — whose
+        /// *incumbent* evaluation also crashes, but whose proposals recover —
+        /// completes, and the run finishes with the degraded search's
+        /// parameters held at their defaults.
+        #[test]
+        fn search_with_no_successes_degrades_while_others_complete() {
+            quiet_panics();
+            // The r1 search varies only x2, pinning x0 = x1 = 1.0 — every one
+            // of its evaluations crashes. The r0 search trips the trap only
+            // on its incumbent seed (all defaults).
+            let obj = PanicOn::new(|a, b, _| a == 1.0 && b == 1.0);
+            for parallel in [false, true] {
+                let exec = execute_plan_resilient(
+                    &obj,
+                    &two_search_plan(),
+                    &quick_bo(),
+                    parallel,
+                    &quick_resilience(),
+                )
+                .unwrap();
+                assert_eq!(exec.ledger.n_degraded(), 1, "ledger: {:?}", exec.ledger);
+                let by_name = |n: &str| {
+                    exec.ledger
+                        .entries
+                        .iter()
+                        .find(|e| e.search == n)
+                        .unwrap_or_else(|| panic!("no ledger entry for {n}"))
+                };
+                assert!(matches!(
+                    by_name("r0").disposition,
+                    SearchDisposition::Completed
+                ));
+                assert!(by_name("r0").n_failed >= 1, "incumbent crash recorded");
+                assert!(matches!(
+                    by_name("r1").disposition,
+                    SearchDisposition::Degraded(_)
+                ));
+                assert_eq!(by_name("r1").n_ok, 0);
+                // The degraded search's parameter stays at its default.
+                assert_eq!(exec.final_config[2].as_f64(), 1.0);
+                // The completed search still improved r0 = x0² + x1².
+                let r0 =
+                    exec.final_config[0].as_f64().powi(2) + exec.final_config[1].as_f64().powi(2);
+                assert!(r0 < 2.0, "r0 {r0} not improved over default 2.0");
+                assert_eq!(exec.searches.len(), 1);
+            }
+        }
+
+        /// The folded configuration moves both axes at once, which the
+        /// objective cannot evaluate: the final verification fails, and the
+        /// executor reports the database's best recorded evaluation instead
+        /// of aborting the whole run.
+        #[test]
+        fn final_eval_failure_falls_back_to_database_best() {
+            quiet_panics();
+            let obj = PanicOn::new(|a, _, c| a != 1.0 && c != 1.0);
+            let plan = SearchPlan {
+                stages: vec![vec![
+                    PlannedSearch {
+                        name: "r0".into(),
+                        params: vec!["x0".into()],
+                        dropped: vec![],
+                        target: SearchTarget::Routines(vec!["r0".into()]),
+                        budget: 10,
+                    },
+                    PlannedSearch {
+                        name: "r1".into(),
+                        params: vec!["x2".into()],
+                        dropped: vec![],
+                        target: SearchTarget::Routines(vec!["r1".into()]),
+                        budget: 10,
+                    },
+                ]],
+            };
+            let exec = execute_plan_resilient(&obj, &plan, &quick_bo(), false, &quick_resilience())
+                .unwrap();
+            let last = exec.ledger.entries.last().unwrap();
+            assert_eq!(last.search, "final");
+            assert!(matches!(last.disposition, SearchDisposition::Degraded(_)));
+            let best = exec.database.best().unwrap();
+            assert_eq!(exec.final_value, best.total);
+            assert_eq!(exec.final_config, best.config);
+        }
+
+        /// Every search crashing on every evaluation leaves nothing to
+        /// report: the run fails loudly instead of returning defaults as if
+        /// they had been tuned.
+        #[test]
+        fn all_searches_failing_is_a_hard_error() {
+            quiet_panics();
+            let obj = PanicOn::new(|_, _, _| true);
+            let err = execute_plan_resilient(
+                &obj,
+                &two_search_plan(),
+                &quick_bo(),
+                false,
+                &quick_resilience(),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, CoreError::SearchStalled(_)),
+                "expected SearchStalled, got {err}"
+            );
+        }
     }
 
     /// Two real parameters on [0, 100] whose constraints provably confine

@@ -16,7 +16,7 @@
 //! analyses.
 
 use crate::objective::Objective;
-use crate::Result;
+use crate::{CoreError, Result};
 use cets_space::{Config, ParamDef, ParamValue, SearchSpace};
 use cets_stats::SensitivityScores;
 
@@ -112,7 +112,9 @@ fn snap(def: &ParamDef, target: f64) -> ParamValue {
                         .partial_cmp(&(b - target).abs())
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
-                .expect("ordinal has values");
+                // An empty ordinal domain has nothing to snap to; keep the
+                // raw target and let validity checks reject it downstream.
+                .unwrap_or(target);
             ParamValue::Real(nearest)
         }
         ParamDef::Categorical { options } => {
@@ -177,11 +179,29 @@ pub fn routine_sensitivity<O: Objective + ?Sized>(
     };
 
     let base_out = observe(baseline);
+    if base_out.iter().any(|v| !v.is_finite()) {
+        return Err(CoreError::SearchStalled(
+            "baseline evaluation produced a non-finite value; \
+             sensitivity analysis needs a runnable baseline"
+                .into(),
+        ));
+    }
     let mut varied: Vec<Vec<Vec<f64>>> = Vec::with_capacity(param_names.len());
     for p in 0..param_names.len() {
         let rows: Vec<Vec<f64>> = valid_variations(space, baseline, p, policy)
             .iter()
-            .map(&observe)
+            .map(|cfg| {
+                let row = observe(cfg);
+                // A crashed or non-finite variation is substituted with the
+                // baseline row: it contributes zero variability,
+                // conservatively under-reporting influence instead of
+                // letting a NaN poison every downstream score.
+                if row.iter().any(|v| !v.is_finite()) {
+                    base_out.clone()
+                } else {
+                    row
+                }
+            })
             .collect();
         varied.push(rows);
     }
@@ -289,6 +309,93 @@ mod tests {
         // r0 is 0 at baseline -> degenerate zero-baseline error is the
         // correct, explicit outcome.
         assert!(s.is_err());
+    }
+
+    #[test]
+    fn non_finite_variation_rows_fall_back_to_baseline() {
+        use crate::objective::Observation;
+        use cets_space::SearchSpace;
+        // r0 blows up (NaN) whenever x0 leaves [0, 2]; the spread variations
+        // for x0 land mostly outside that band.
+        struct Spiky(SearchSpace);
+        impl Objective for Spiky {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r0".into(), "r1".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> Observation {
+                let (a, b) = (cfg[0].as_f64(), cfg[1].as_f64());
+                let r0 = if (0.0..=2.0).contains(&a) {
+                    a * a
+                } else {
+                    f64::NAN
+                };
+                Observation {
+                    total: r0 + b * b,
+                    routines: vec![r0, b * b],
+                }
+            }
+            fn default_config(&self) -> Config {
+                vec![ParamValue::Real(1.0), ParamValue::Real(1.0)]
+            }
+        }
+        let obj = Spiky(
+            SearchSpace::builder()
+                .real("x0", 0.0, 10.0)
+                .real("x1", 0.0, 10.0)
+                .build(),
+        );
+        let s = routine_sensitivity(
+            &obj,
+            &obj.default_config(),
+            &VariationPolicy::Spread { count: 5 },
+        )
+        .unwrap();
+        // Every score stays finite despite the NaN region...
+        for p in ["x0", "x1"] {
+            for r in ["r0", "r1", "total"] {
+                let v = s.score_by_name(p, r).unwrap();
+                assert!(v.is_finite(), "score({p}, {r}) = {v}");
+            }
+        }
+        // ...and the clean parameter's influence is still detected.
+        assert!(s.score_by_name("x1", "r1").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn non_finite_baseline_is_an_error() {
+        use crate::objective::Observation;
+        use cets_space::SearchSpace;
+        struct NanAtBaseline(SearchSpace);
+        impl Objective for NanAtBaseline {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn routine_names(&self) -> Vec<String> {
+                vec!["r".into()]
+            }
+            fn evaluate(&self, cfg: &Config) -> Observation {
+                let x = cfg[0].as_f64();
+                if x == 1.0 {
+                    Observation::scalar(f64::NAN)
+                } else {
+                    Observation::scalar(x)
+                }
+            }
+            fn default_config(&self) -> Config {
+                vec![ParamValue::Real(1.0)]
+            }
+        }
+        let obj = NanAtBaseline(SearchSpace::builder().real("x", 0.0, 10.0).build());
+        let err = routine_sensitivity(
+            &obj,
+            &obj.default_config(),
+            &VariationPolicy::Spread { count: 3 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SearchStalled(_)), "{err}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use cets_core::normal;
 use cets_core::{
-    routine_sensitivity, BoCheckpoint, BoConfig, BoSearch, Objective, Observation, VariationPolicy,
+    routine_sensitivity, BoCheckpoint, BoConfig, BoSearch, EvalRecord, FailedEval, FailureKind,
+    FailurePolicy, Imputation, Objective, Observation, VariationPolicy,
 };
 use cets_space::{Config, SearchSpace, Subspace};
 use proptest::prelude::*;
@@ -53,6 +54,162 @@ proptest! {
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(loaded.history(), points);
         prop_assert_eq!(loaded.seed, seed);
+    }
+
+    /// Arbitrary bytes on disk: [`BoCheckpoint::load`] must return a clean
+    /// error (or a valid checkpoint), never panic — checkpoints exist to
+    /// recover from crashes, so a corrupt one must not cause another.
+    #[test]
+    fn corrupt_checkpoint_bytes_never_panic(
+        bytes in proptest::collection::vec(0u8..=255, 0..300),
+    ) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::hash::DefaultHasher::new();
+        bytes.hash(&mut h);
+        let path = std::env::temp_dir().join(format!(
+            "cets_prop_corrupt_{}_{:016x}.json",
+            std::process::id(),
+            h.finish()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        let result = BoCheckpoint::load(&path);
+        std::fs::remove_file(&path).ok();
+        if let Ok(cp) = result {
+            // If garbage happens to parse, the invariants still hold.
+            prop_assert_eq!(cp.y.len(), cp.x_unit.len());
+            prop_assert_eq!(cp.failed.len(), cp.x_unit.len());
+        }
+    }
+
+    /// Any strict prefix of a saved checkpoint (a truncated write) fails to
+    /// load with an error, not a panic or a silently shortened history.
+    #[test]
+    fn truncated_checkpoint_errors_cleanly(
+        seed in 0u64..1000,
+        n in 1usize..12,
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let records: Vec<EvalRecord> = (0..n)
+            .map(|i| {
+                let u = vec![i as f64 / n as f64, 0.5];
+                if i % 3 == 0 {
+                    EvalRecord::failed(u, FailedEval {
+                        kind: FailureKind::Crashed,
+                        message: format!("boom {i}"),
+                    })
+                } else {
+                    EvalRecord::ok(u, i as f64)
+                }
+            })
+            .collect();
+        let cp = BoCheckpoint::from_records(seed, &records);
+        let path = std::env::temp_dir().join(format!(
+            "cets_prop_trunc_{}_{}_{}.json",
+            std::process::id(),
+            seed,
+            n
+        ));
+        cp.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        let trimmed = full.trim_end();
+        let cut = ((trimmed.len() as f64) * cut_frac) as usize;
+        // Cut on a char boundary strictly inside the document.
+        let cut = (0..=cut).rev().find(|&c| trimmed.is_char_boundary(c)).unwrap_or(0);
+        std::fs::write(&path, &trimmed[..cut]).unwrap();
+        let result = BoCheckpoint::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(result.is_err(), "strict prefix of {} bytes loaded", cut);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The failure policy's core guarantee: whatever mix of successes,
+    /// failures, non-finite observations and poisoned coordinates the
+    /// history holds, and whatever (possibly non-finite) margin is
+    /// configured, the training set handed to the GP is entirely finite.
+    #[test]
+    fn training_data_is_always_finite(
+        raw in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    prop_oneof![
+                        (0.0..1.0f64).boxed(),
+                        Just(f64::NAN).boxed(),
+                        Just(f64::INFINITY).boxed(),
+                        Just(f64::NEG_INFINITY).boxed(),
+                    ],
+                    2,
+                ),
+                prop_oneof![
+                    (-1e12..1e12f64).boxed(),
+                    Just(f64::NAN).boxed(),
+                    Just(f64::INFINITY).boxed(),
+                    Just(f64::NEG_INFINITY).boxed(),
+                ],
+                0u8..4,
+            ),
+            0..40,
+        ),
+        margin in prop_oneof![
+            (-2.0..5.0f64).boxed(),
+            Just(f64::NAN).boxed(),
+            Just(f64::INFINITY).boxed(),
+        ],
+        exclude in prop_oneof![Just(true).boxed(), Just(false).boxed()],
+    ) {
+        let records: Vec<EvalRecord> = raw
+            .into_iter()
+            .map(|(u, y, sel)| match sel {
+                0 => EvalRecord::ok(u, y),
+                1 => EvalRecord::failed(u, FailedEval {
+                    kind: FailureKind::Crashed,
+                    message: "injected".into(),
+                }),
+                2 => EvalRecord::failed(u, FailedEval {
+                    kind: FailureKind::Timeout,
+                    message: "slow".into(),
+                }),
+                _ => EvalRecord::failed(u, FailedEval {
+                    kind: FailureKind::NonFinite,
+                    message: "nan".into(),
+                }),
+            })
+            .collect();
+        let policy = FailurePolicy {
+            imputation: if exclude {
+                Imputation::Exclude
+            } else {
+                Imputation::WorstPlusMargin { margin }
+            },
+            ..Default::default()
+        };
+        let (xs, ys) = policy.training_data(&records);
+        prop_assert_eq!(xs.len(), ys.len());
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!(y.is_finite(), "non-finite target {y} reached training");
+            prop_assert!(
+                x.iter().all(|v| v.is_finite()),
+                "non-finite input {x:?} reached training"
+            );
+        }
+        // And the GP itself accepts the screened set (non-empty case):
+        // nothing non-finite can reach Gp::train through this path.
+        if xs.len() >= 2 {
+            let gp = cets_gp::Gp::fit(
+                &xs,
+                &ys,
+                cets_gp::Kernel::new(cets_gp::KernelKind::Matern52, 2),
+                1e-4,
+            );
+            prop_assert!(
+                !matches!(gp, Err(cets_gp::GpError::NonFinite(_))),
+                "screened data rejected as non-finite"
+            );
+        }
+        // The budget figure derived from the same records is finite too.
+        prop_assert!(policy.budget_spent(&records).is_finite());
     }
 }
 

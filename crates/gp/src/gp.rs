@@ -76,6 +76,7 @@ impl Gp {
                 "input dim mismatch (kernel expects {d})"
             )));
         }
+        check_finite(x, y)?;
         let (y_mean, y_std) = standardization(y);
         let ys: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
 
@@ -116,6 +117,7 @@ impl Gp {
         if d == 0 || x.iter().any(|r| r.len() != d) {
             return Err(GpError::BadShape("ragged or zero-dim inputs".into()));
         }
+        check_finite(x, y)?;
 
         let (y_mean, y_std) = standardization(y);
         let ys: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
@@ -397,6 +399,7 @@ impl Gp {
                 self.kernel.dim()
             )));
         }
+        check_finite(std::slice::from_ref(&x_new), &[y_new])?;
         let col: Vec<f64> = self
             .x
             .iter()
@@ -415,6 +418,25 @@ impl Gp {
             - 0.5 * self.x.len() as f64 * (2.0 * std::f64::consts::PI).ln();
         Ok(())
     }
+}
+
+/// Reject NaN/infinite inputs or targets before they reach a factorization:
+/// a single poisoned entry spreads through the Cholesky and every
+/// subsequent prediction without tripping any error.
+fn check_finite(x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+    for (i, row) in x.iter().enumerate() {
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite(format!(
+                "input row {i} contains a non-finite coordinate"
+            )));
+        }
+    }
+    for (i, v) in y.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(GpError::NonFinite(format!("target {i} is {v}")));
+        }
+    }
+    Ok(())
 }
 
 fn standardization(y: &[f64]) -> (f64, f64) {
@@ -553,6 +575,39 @@ mod tests {
             let (m, _) = gp.predict(xi);
             assert!((m - yi).abs() < 1e-3, "at {xi:?}: {m} vs {yi}");
         }
+    }
+
+    #[test]
+    fn non_finite_training_data_is_rejected() {
+        let x = grid_1d(6);
+        let mut y: Vec<f64> = x.iter().map(|v| v[0]).collect();
+        y[3] = f64::NAN;
+        let cfg = GpConfig::default();
+        assert!(matches!(
+            Gp::train(&x, &y, &cfg),
+            Err(GpError::NonFinite(_))
+        ));
+        assert!(matches!(
+            Gp::fit(&x, &y, Kernel::new(KernelKind::SquaredExp, 1), 1e-6),
+            Err(GpError::NonFinite(_))
+        ));
+        let mut bad_x = x.clone();
+        bad_x[1][0] = f64::INFINITY;
+        let y_ok: Vec<f64> = x.iter().map(|v| v[0]).collect();
+        assert!(matches!(
+            Gp::train(&bad_x, &y_ok, &cfg),
+            Err(GpError::NonFinite(_))
+        ));
+        // Incremental updates are guarded too.
+        let mut gp = Gp::fit(&x, &y_ok, Kernel::new(KernelKind::SquaredExp, 1), 1e-6).unwrap();
+        assert!(matches!(
+            gp.append(vec![0.55], f64::NAN),
+            Err(GpError::NonFinite(_))
+        ));
+        assert!(matches!(
+            gp.append(vec![f64::NEG_INFINITY], 0.5),
+            Err(GpError::NonFinite(_))
+        ));
     }
 
     #[test]

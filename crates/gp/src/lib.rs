@@ -47,6 +47,11 @@ pub enum GpError {
     Factorization(String),
     /// Hyperparameter optimization failed to produce any usable model.
     TrainingFailed(String),
+    /// Training data contained a NaN or infinite value. A GP conditioned on
+    /// non-finite observations silently poisons every prediction, so the
+    /// input is rejected outright; callers should screen or impute failed
+    /// evaluations before training (see `cets-core`'s failure policy).
+    NonFinite(String),
 }
 
 impl std::fmt::Display for GpError {
@@ -55,6 +60,7 @@ impl std::fmt::Display for GpError {
             GpError::BadShape(m) => write!(f, "bad shape: {m}"),
             GpError::Factorization(m) => write!(f, "factorization failed: {m}"),
             GpError::TrainingFailed(m) => write!(f, "training failed: {m}"),
+            GpError::NonFinite(m) => write!(f, "non-finite training data: {m}"),
         }
     }
 }

@@ -25,11 +25,13 @@
 //! moves to stderr.
 
 use cets::core::{
-    render_markdown, BoConfig, Methodology, MethodologyConfig, Objective, VariationPolicy,
+    render_markdown, BoConfig, FaultPlan, FaultyObjective, Methodology, MethodologyConfig,
+    Objective, ResilienceConfig, SystemClock, VariationPolicy,
 };
 use cets::synthetic::{SyntheticCase, SyntheticFunction};
 use cets::tddft::{CaseStudy, TddftSimulator};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -90,6 +92,12 @@ fn usage() {
     eprintln!("  --seed <n>           RNG seed (default 0)");
     eprintln!("  --report <path>      also write the markdown report to a file");
     eprintln!("  --db <path>          (tddft) save the evaluation database as JSON");
+    eprintln!("  --resilient          run execution under the fault-tolerant layer:");
+    eprintln!("                       panics are contained, non-finite results screened,");
+    eprintln!("                       and the report gains a per-search failure ledger");
+    eprintln!("  --inject-flaky <p>   (synthetic) deterministically inject faults (panics,");
+    eprintln!("                       NaNs) into a fraction p of evaluations; implies");
+    eprintln!("                       --resilient — a demo of graceful degradation");
     eprintln!();
     eprintln!("LINT / ANALYZE OPTIONS:");
     eprintln!("  --format <human|json|sarif>  output format (default human)");
@@ -158,6 +166,17 @@ fn main() -> ExitCode {
     let args = Args::parse(&raw[1..]);
     let evals_per_dim: usize = args.get("evals-per-dim", 10);
     let seed: u64 = args.get("seed", 0);
+    let flaky_rate: Option<f64> = match args.get_str("inject-flaky") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(p) if (0.0..=1.0).contains(&p) => (p > 0.0).then_some(p),
+            _ => {
+                eprintln!("--inject-flaky must be a probability in [0, 1], got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let resilient = args.get_str("resilient").is_some() || flaky_rate.is_some();
 
     match cmd.as_str() {
         "synthetic" => {
@@ -183,6 +202,7 @@ fn main() -> ExitCode {
                     ..Default::default()
                 },
                 evals_per_dim,
+                resilience: resilient.then(ResilienceConfig::default),
                 ..Default::default()
             });
             // Analyze on the raw routine scale, execute against the
@@ -208,7 +228,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let exec = match m.execute(&exec_f, &report) {
+            let exec = match flaky_rate {
+                Some(rate) => {
+                    // Demo of graceful degradation: a seeded fraction of
+                    // evaluations panics or returns NaN; the resilient layer
+                    // contains both. The default panic hook would spam a
+                    // backtrace per injected crash, so silence it.
+                    std::panic::set_hook(Box::new(|_| {}));
+                    let plan = FaultPlan {
+                        flaky_rate: rate,
+                        seed,
+                        ..Default::default()
+                    };
+                    let faulty = FaultyObjective::new(&exec_f, plan, Arc::new(SystemClock::new()));
+                    let out = m.execute(&faulty, &report);
+                    eprintln!(
+                        "fault injection: {} of {} evaluations sabotaged",
+                        faulty.injected(),
+                        faulty.evaluations()
+                    );
+                    out
+                }
+                None => m.execute(&exec_f, &report),
+            };
+            let exec = match exec {
                 Ok(e) => e,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -258,6 +301,7 @@ fn main() -> ExitCode {
                     ..Default::default()
                 },
                 evals_per_dim,
+                resilience: resilient.then(ResilienceConfig::default),
                 ..Default::default()
             });
             run_pipeline(
