@@ -256,10 +256,11 @@ impl BoSearch {
         }
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(history.len() as u64));
-        // Contraction-aware sampling box: the statically proved feasible
-        // slice of each active dimension (full `(0, 1)` when nothing
-        // narrows, which maps draws bit-identically to the plain cube).
-        let ubox = crate::contraction::active_unit_box(subspace);
+        // Contraction-aware sampling slabs: the statically proved feasible
+        // slab union of each active dimension (a single full `(0, 1)` slab
+        // when nothing narrows, which maps draws bit-identically to the
+        // plain cube; disjoint slabs when branch-and-prune recovered them).
+        let uslabs = crate::contraction::active_unit_slabs(subspace);
 
         let evaluate = |u: &[f64], history: &mut Vec<(Vec<f64>, f64)>| -> Result<f64> {
             let cfg_full = subspace.lift(u)?;
@@ -292,15 +293,14 @@ impl BoSearch {
                 }
                 let u: Vec<f64> = (0..d)
                     .map(|j| {
-                        let (lo, hi) = ubox[j];
                         let r = (perms[j][i] as f64 + rng.random::<f64>()) / needed as f64;
-                        lo + r * (hi - lo)
+                        cets_space::map_slabs(&uslabs[j], r)
                     })
                     .collect();
                 let u = if subspace.is_valid_active(&u) {
                     u
                 } else {
-                    self.sample_valid_unit(subspace, &ubox, &mut rng)?
+                    self.sample_valid_unit(subspace, &uslabs, &mut rng)?
                 };
                 evaluate(&u, &mut history)?;
             }
@@ -358,7 +358,7 @@ impl BoSearch {
                 cache
             };
 
-            let u_next = self.propose_impl(subspace, &ubox, gp, best, prior, &mut rng)?;
+            let u_next = self.propose_impl(subspace, &uslabs, gp, best, prior, &mut rng)?;
             evaluate(&u_next, &mut history)?;
         }
 
@@ -378,18 +378,18 @@ impl BoSearch {
     fn sample_valid_unit(
         &self,
         subspace: &Subspace,
-        ubox: &[(f64, f64)],
+        uslabs: &[Vec<(f64, f64)>],
         rng: &mut StdRng,
     ) -> Result<Vec<f64>> {
         // Rejection sampling directly in the active unit cube so frozen
         // dimensions stay at their defaults. Draws come from the
-        // contraction-aware box (see [`crate::contraction`]), so heavily
-        // constrained spaces burn far fewer of the 10 000 attempts on
-        // points the static analysis already proved infeasible.
+        // contraction-aware slab unions (see [`crate::contraction`]), so
+        // heavily constrained spaces burn far fewer of the 10 000 attempts
+        // on points the static analysis already proved infeasible.
         for _ in 0..10_000 {
-            let u: Vec<f64> = ubox
+            let u: Vec<f64> = uslabs
                 .iter()
-                .map(|&(lo, hi)| lo + rng.random::<f64>() * (hi - lo))
+                .map(|s| cets_space::map_slabs(s, rng.random::<f64>()))
                 .collect();
             if subspace.is_valid_active(&u) {
                 return Ok(u);
@@ -413,14 +413,14 @@ impl BoSearch {
         prior: Option<PriorMean<'_>>,
         rng: &mut StdRng,
     ) -> Result<Vec<f64>> {
-        let ubox = crate::contraction::active_unit_box(subspace);
-        self.propose_impl(subspace, &ubox, gp, best, prior, rng)
+        let uslabs = crate::contraction::active_unit_slabs(subspace);
+        self.propose_impl(subspace, &uslabs, gp, best, prior, rng)
     }
 
     fn propose_impl(
         &self,
         subspace: &Subspace,
-        ubox: &[(f64, f64)],
+        uslabs: &[Vec<(f64, f64)>],
         gp: &Gp,
         best: f64,
         prior: Option<PriorMean<'_>>,
@@ -433,7 +433,7 @@ impl BoSearch {
         // search trajectory) is independent of how the pool is scored.
         let mut pool: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_candidates);
         for _ in 0..cfg.n_candidates {
-            pool.push(self.sample_valid_unit(subspace, ubox, rng)?);
+            pool.push(self.sample_valid_unit(subspace, uslabs, rng)?);
         }
         if pool.is_empty() {
             return Err(CoreError::SearchStalled("no candidates".into()));
@@ -727,7 +727,7 @@ impl BoSearch {
             ));
         }
         let start = Instant::now();
-        let ubox = crate::contraction::active_unit_box(subspace);
+        let uslabs = crate::contraction::active_unit_slabs(subspace);
 
         let evaluate = |u: &[f64], records: &mut Vec<EvalRecord>| -> Result<()> {
             let cfg_full = subspace.lift(u)?;
@@ -762,7 +762,7 @@ impl BoSearch {
         // Fixed initial design, a pure function of (seed, n_init): attempt
         // k < n_init evaluates design point k, whether in the original run
         // or a resumed one.
-        let design = self.resilient_design(subspace, &ubox)?;
+        let design = self.resilient_design(subspace, &uslabs)?;
         while records.len() < design.len() && within_budget(&records) {
             let u = design[records.len()].clone();
             evaluate(&u, &mut records)?;
@@ -775,7 +775,7 @@ impl BoSearch {
             let u_next = if xs.is_empty() {
                 // No successful observation yet: keep exploring at random
                 // until one lands (bounded by budget and max_failures).
-                self.sample_valid_unit(subspace, &ubox, &mut rng)?
+                self.sample_valid_unit(subspace, &uslabs, &mut rng)?
             } else {
                 let mut gp_cfg = cfg.gp.clone();
                 gp_cfg.seed = cfg.seed.wrapping_add(records.len() as u64);
@@ -785,7 +785,7 @@ impl BoSearch {
                     .iter()
                     .filter_map(EvalRecord::y)
                     .fold(f64::INFINITY, f64::min);
-                self.propose_impl(subspace, &ubox, &gp, best, None, &mut rng)?
+                self.propose_impl(subspace, &uslabs, &gp, best, None, &mut rng)?
             };
             evaluate(&u_next, &mut records)?;
         }
@@ -814,7 +814,11 @@ impl BoSearch {
     /// The resilient path's Latin-hypercube initial design, derived from
     /// the seed alone (with per-point constraint-rejection fallback) so
     /// interrupted and uninterrupted runs compute the same points.
-    fn resilient_design(&self, subspace: &Subspace, ubox: &[(f64, f64)]) -> Result<Vec<Vec<f64>>> {
+    fn resilient_design(
+        &self,
+        subspace: &Subspace,
+        uslabs: &[Vec<(f64, f64)>],
+    ) -> Result<Vec<Vec<f64>>> {
         let n = self.config.n_init;
         let d = subspace.dim();
         let mut rng = StdRng::seed_from_u64(splitmix64(self.config.seed ^ LHS_SALT));
@@ -833,9 +837,8 @@ impl BoSearch {
         for i in 0..n {
             let u: Vec<f64> = (0..d)
                 .map(|j| {
-                    let (lo, hi) = ubox[j];
                     let r = (perms[j][i] as f64 + rng.random::<f64>()) / n.max(1) as f64;
-                    lo + r * (hi - lo)
+                    cets_space::map_slabs(&uslabs[j], r)
                 })
                 .collect();
             let u = if subspace.is_valid_active(&u) {
@@ -845,7 +848,7 @@ impl BoSearch {
                 // points needed fallbacks.
                 let mut point_rng =
                     StdRng::seed_from_u64(splitmix64(self.config.seed ^ LHS_SALT ^ (i as u64 + 1)));
-                self.sample_valid_unit(subspace, ubox, &mut point_rng)?
+                self.sample_valid_unit(subspace, uslabs, &mut point_rng)?
             };
             design.push(u);
         }

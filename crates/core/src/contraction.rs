@@ -32,7 +32,22 @@ use cets_space::{ParamDef, Sampler, SearchSpace, Subspace};
 /// behavior — an empty box has nothing better to offer), or no parameter
 /// narrows; callers then sample the full cube exactly as before.
 pub fn contracted_unit_box(space: &SearchSpace) -> Option<Vec<(f64, f64)>> {
-    let bundle = PlanBundle {
+    let analysis = analyze_space(&space_bundle(space));
+    if !analysis.analyzed || analysis.proved_empty || !analysis.any_narrowed() {
+        return None;
+    }
+    let bounds: Vec<(f64, f64)> = analysis
+        .params
+        .iter()
+        .zip(space.defs())
+        .map(|(p, def)| unit_bounds(def, &p.contracted))
+        .collect();
+    Some(bounds)
+}
+
+/// The data mirror of `space` the static analysis runs over.
+pub(crate) fn space_bundle(space: &SearchSpace) -> PlanBundle {
+    PlanBundle {
         params: space
             .names()
             .iter()
@@ -52,18 +67,45 @@ pub fn contracted_unit_box(space: &SearchSpace) -> Option<Vec<(f64, f64)>> {
             })
             .collect(),
         ..Default::default()
-    };
-    let analysis = analyze_space(&bundle);
-    if !analysis.analyzed || analysis.proved_empty || !analysis.any_narrowed() {
+    }
+}
+
+/// The per-dimension unit-coordinate *slab unions* proved to contain
+/// every feasible configuration, when disjunctive branch-and-prune found
+/// genuinely disjoint structure (some parameter's feasible set is a union
+/// of ≥ 2 slabs — e.g. `a <= 1 || a >= 9`).
+///
+/// Returns `None` when the analysis is unavailable, the system is proved
+/// empty, or every parameter's feasible set is a single interval — the
+/// plain [`contracted_unit_box`] hull path already covers those, and
+/// keeping the single-interval case on the box path keeps the default
+/// sampling behavior bit-identical.
+pub fn contracted_unit_slabs(space: &SearchSpace) -> Option<Vec<Vec<(f64, f64)>>> {
+    let analysis = analyze_space(&space_bundle(space));
+    if !analysis.analyzed || analysis.proved_empty {
         return None;
     }
-    let bounds: Vec<(f64, f64)> = analysis
+    if !analysis.params.iter().any(|p| p.slabs.len() > 1) {
+        return None;
+    }
+    let dims: Vec<Vec<(f64, f64)>> = analysis
         .params
         .iter()
         .zip(space.defs())
-        .map(|(p, def)| unit_bounds(def, &p.contracted))
+        .map(|(p, def)| {
+            let slabs: Vec<(f64, f64)> = p.slabs.iter().map(|iv| unit_bounds(def, iv)).collect();
+            // `unit_bounds` answers the full `(0, 1)` cube both for "spans
+            // everything" and for "not expressible in this domain kind";
+            // either way the union degenerates, so fall back to the sound
+            // hull for that dimension.
+            if slabs.is_empty() || slabs.contains(&(0.0, 1.0)) {
+                vec![unit_bounds(def, &p.contracted)]
+            } else {
+                slabs
+            }
+        })
         .collect();
-    Some(bounds)
+    Some(dims)
 }
 
 /// Map a contracted domain interval into the unit bin coordinates of
@@ -116,10 +158,14 @@ fn unit_bounds(def: &ParamDef, iv: &Interval) -> (f64, f64) {
     (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))
 }
 
-/// A [`Sampler`] over `space` that draws from the contracted unit box when
-/// the static analysis narrows one — the contraction-aware default path
-/// used by [`crate::random_search()`] and [`crate::gather_insights`].
+/// A [`Sampler`] over `space` that draws from the contracted unit box —
+/// or, when branch-and-prune recovered disjoint feasible slabs, from the
+/// slab *union* — the contraction-aware default path used by
+/// [`crate::random_search()`] and [`crate::gather_insights`].
 pub fn contraction_aware_sampler(space: &SearchSpace) -> Sampler<'_> {
+    if let Some(slabs) = contracted_unit_slabs(space) {
+        return Sampler::new(space).with_unit_slabs(slabs);
+    }
     match contracted_unit_box(space) {
         Some(bounds) => Sampler::new(space).with_unit_box(bounds),
         None => Sampler::new(space),
@@ -138,6 +184,25 @@ pub fn active_unit_box(subspace: &Subspace) -> Vec<(f64, f64)> {
             .map(|&i| bounds[i])
             .collect(),
         None => vec![(0.0, 1.0); subspace.dim()],
+    }
+}
+
+/// Per-active-dimension unit slab unions — the disjunction-aware
+/// generalization of [`active_unit_box`] the BO loop draws from. Every
+/// dimension without disjoint structure carries exactly one slab equal to
+/// its [`active_unit_box`] interval, so drawing via
+/// [`cets_space::map_slabs`] is bit-identical to the box path there.
+pub fn active_unit_slabs(subspace: &Subspace) -> Vec<Vec<(f64, f64)>> {
+    match contracted_unit_slabs(subspace.space()) {
+        Some(dims) => subspace
+            .active_indices()
+            .iter()
+            .map(|&i| dims[i].clone())
+            .collect(),
+        None => active_unit_box(subspace)
+            .into_iter()
+            .map(|b| vec![b])
+            .collect(),
     }
 }
 
@@ -223,6 +288,71 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    fn disjunctive_space() -> SearchSpace {
+        SearchSpace::builder()
+            .integer("a", 0, 10)
+            .real("x", 0.0, 1.0)
+            .constraint(Constraint::new("slab", "a <= 1 || a >= 9", |s, c| {
+                let a = s.get_i64(c, "a").unwrap();
+                a <= 1 || a >= 9
+            }))
+            .build()
+    }
+
+    #[test]
+    fn disjunctive_constraint_yields_two_slabs() {
+        let s = disjunctive_space();
+        let dims = contracted_unit_slabs(&s).expect("branch-and-prune finds two slabs");
+        // a ∈ {0, 1} ∪ {9, 10} over {0..10} → bins [0, 2/11] ∪ [9/11, 1].
+        assert_eq!(dims[0].len(), 2, "a slabs: {:?}", dims[0]);
+        assert!((dims[0][0].0 - 0.0).abs() < 1e-12);
+        assert!((dims[0][0].1 - 2.0 / 11.0).abs() < 1e-12);
+        assert!((dims[0][1].0 - 9.0 / 11.0).abs() < 1e-12);
+        assert!((dims[0][1].1 - 1.0).abs() < 1e-12);
+        // x is unconstrained: exactly one full slab.
+        assert_eq!(dims[1], vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn single_interval_spaces_stay_on_the_box_path() {
+        // Blast-radius control: no disjoint structure → no slab table, so
+        // the established box path (and its bit-exact draw stream) is used.
+        assert!(contracted_unit_slabs(&constrained_space()).is_none());
+    }
+
+    #[test]
+    fn slab_sampler_always_lands_in_a_feasible_slab() {
+        let s = disjunctive_space();
+        let sam = contraction_aware_sampler(&s);
+        assert!(sam.unit_slabs().is_some(), "sampler should carry slabs");
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let cfg = sam.uniform(&mut rng).expect("slab draws are feasible");
+            let a = s.get_i64(&cfg, "a").unwrap();
+            assert!(a <= 1 || a >= 9, "infeasible draw a = {a}");
+        }
+    }
+
+    #[test]
+    fn active_slabs_project_and_fall_back() {
+        let s = disjunctive_space();
+        let defaults = vec![ParamValue::Int(0), ParamValue::Real(0.5)];
+        let sub = Subspace::new(&s, &["a"], defaults.clone()).unwrap();
+        let slabs = active_unit_slabs(&sub);
+        assert_eq!(slabs.len(), 1);
+        assert_eq!(slabs[0].len(), 2);
+        // Without disjoint structure the fallback wraps the box, one slab
+        // per dimension.
+        let plain = constrained_space();
+        let sub2 = Subspace::full(&plain, vec![ParamValue::Real(1.0), ParamValue::Int(1)]).unwrap();
+        let slabs2 = active_unit_slabs(&sub2);
+        let box2 = active_unit_box(&sub2);
+        assert_eq!(
+            slabs2,
+            box2.into_iter().map(|b| vec![b]).collect::<Vec<_>>()
+        );
     }
 
     #[test]

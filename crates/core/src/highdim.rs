@@ -97,17 +97,16 @@ pub fn rembo<O: Objective + ?Sized>(
         let ys: Vec<f64> = history.iter().map(|(_, y)| *y).collect();
         // Same economy as the main loop: full hyperparameter retraining
         // every `retrain_every` evaluations, cheap refit otherwise.
-        let retrain =
-            history.len().is_multiple_of(bo.retrain_every.max(1)) || kernel_cache.is_none();
-        let gp = if retrain {
-            let mut gp_cfg = bo.gp.clone();
-            gp_cfg.seed = bo.seed.wrapping_add(history.len() as u64);
-            let g = Gp::train(&xs, &ys, &gp_cfg)?;
-            kernel_cache = Some((g.kernel().clone(), g.noise()));
-            g
-        } else {
-            let (k, n) = kernel_cache.clone().expect("cache set");
-            Gp::fit(&xs, &ys, k, n)?
+        let retrain = history.len().is_multiple_of(bo.retrain_every.max(1));
+        let gp = match kernel_cache.clone() {
+            Some((k, n)) if !retrain => Gp::fit(&xs, &ys, k, n)?,
+            _ => {
+                let mut gp_cfg = bo.gp.clone();
+                gp_cfg.seed = bo.seed.wrapping_add(history.len() as u64);
+                let g = Gp::train(&xs, &ys, &gp_cfg)?;
+                kernel_cache = Some((g.kernel().clone(), g.noise()));
+                g
+            }
         };
         let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         // Candidate scoring with the configured acquisition.
@@ -120,17 +119,21 @@ pub fn rembo<O: Objective + ?Sized>(
                 best_u = Some((uy, s));
             }
         }
-        let (uy, _) = best_u.expect("candidates > 0");
+        let Some((uy, _)) = best_u else {
+            return Err(CoreError::SearchStalled("no candidates".into()));
+        };
         let v = eval_y(&y_of_unit(&uy));
         history.push((uy, v));
     }
 
     // Report in full space: re-lift the best y.
-    let (best_uy, best_val) = history
+    let Some((best_uy, best_val)) = history
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
         .cloned()
-        .expect("non-empty");
+    else {
+        return Err(CoreError::SearchStalled("no evaluations recorded".into()));
+    };
     let mut trace = Vec::with_capacity(history.len());
     let mut inc = f64::INFINITY;
     for (_, v) in &history {
@@ -181,11 +184,13 @@ pub fn dropout_bo<O: Objective + ?Sized>(
 
     while history.len() < bo.max_evals {
         // Incumbent.
-        let (inc_u, _) = history
+        let Some((inc_u, _)) = history
             .iter()
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .cloned()
-            .expect("non-empty");
+        else {
+            return Err(CoreError::SearchStalled("no evaluations recorded".into()));
+        };
         // Random dimension subset.
         let mut dims: Vec<usize> = (0..d_full).collect();
         for k in 0..d {

@@ -30,6 +30,7 @@
 
 pub mod bo;
 pub mod checkpoint;
+pub mod construct;
 pub mod contraction;
 pub mod db;
 pub mod grid_search;
@@ -50,7 +51,11 @@ pub use bo::{
     Acquisition, BoConfig, BoSearch, FailurePolicy, Imputation, ResilientOutcome, SearchOutcome,
 };
 pub use checkpoint::BoCheckpoint;
-pub use contraction::{active_unit_box, contracted_unit_box, contraction_aware_sampler};
+pub use construct::ConstructiveSampler;
+pub use contraction::{
+    active_unit_box, active_unit_slabs, contracted_unit_box, contracted_unit_slabs,
+    contraction_aware_sampler,
+};
 pub use db::{Database, Record};
 pub use grid_search::grid_search;
 pub use highdim::{dropout_bo, full_space_bo, rembo};

@@ -515,6 +515,7 @@ impl Methodology {
             }),
             plan: Some(plan),
             unresolved: vec![],
+            spans: Default::default(),
         }
     }
 

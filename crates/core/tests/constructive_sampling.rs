@@ -1,0 +1,133 @@
+//! Acceptance tests for constructive in-box sampling: on the disjunctive
+//! exemplar space (`a <= 1 || a >= 9`, where blind rejection discards the
+//! 7/11 ≈ 64 % of the box between the slabs) the constructive walk
+//! produces *only* feasible configurations, bit-deterministically under a
+//! fixed seed, and the slab-aware contraction sampler matches.
+
+use cets_core::{contraction_aware_sampler, ConstructiveSampler};
+use cets_space::{Config, Constraint, ParamValue, Sampler, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn disjunctive_space() -> SearchSpace {
+    SearchSpace::builder()
+        .integer("a", 0, 10)
+        .integer("b", 0, 10)
+        .constraint(Constraint::new("edge_bands", "a <= 1 || a >= 9", |s, c| {
+            let a = s.get_i64(c, "a").unwrap();
+            a <= 1 || a >= 9
+        }))
+        .build()
+}
+
+fn is_feasible(space: &SearchSpace, cfg: &Config) -> bool {
+    let a = space.get_i64(cfg, "a").unwrap();
+    a <= 1 || a >= 9
+}
+
+/// Raw uniform draws over the declared box, counting how many a rejection
+/// sampler would have discarded.
+fn rejection_discard_rate(space: &SearchSpace, n: usize) -> f64 {
+    let plain = Sampler::new(space);
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let mut rejected = 0usize;
+    for _ in 0..n {
+        let u: Vec<f64> = (0..space.dim()).map(|_| rng.random::<f64>()).collect();
+        let cfg = space.decode(&u).unwrap();
+        if !space.is_valid(&cfg) {
+            rejected += 1;
+        }
+    }
+    // Sanity: the plain sampler still terminates (it retries internally).
+    let mut rng2 = StdRng::seed_from_u64(1);
+    assert!(plain.uniform(&mut rng2).is_ok());
+    rejected as f64 / n as f64
+}
+
+#[test]
+fn construction_is_always_feasible_where_rejection_discards_most_draws() {
+    let space = disjunctive_space();
+
+    // Acceptance precondition: blind rejection discards ≥ 50 % here.
+    let discard = rejection_discard_rate(&space, 2000);
+    assert!(
+        discard >= 0.5,
+        "fixture must be rejection-hostile, discard rate {discard}"
+    );
+
+    // Acceptance criterion: every constructive draw is feasible.
+    let sam = ConstructiveSampler::new(&space).expect("space is analyzable");
+    let mut rng = StdRng::seed_from_u64(99);
+    for i in 0..1000 {
+        let cfg = sam
+            .sample(&mut rng)
+            .unwrap_or_else(|| panic!("draw {i} failed"));
+        assert!(is_feasible(&space, &cfg), "draw {i} infeasible: {cfg:?}");
+    }
+}
+
+#[test]
+fn construction_is_bit_deterministic_under_a_fixed_seed() {
+    let space = disjunctive_space();
+    let sam = ConstructiveSampler::new(&space).expect("space is analyzable");
+    let draw = |seed: u64| -> Vec<Config> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..100).map(|_| sam.sample(&mut rng).unwrap()).collect()
+    };
+    assert_eq!(draw(7), draw(7), "same seed, same stream");
+    assert_ne!(draw(7), draw(8), "different seeds explore differently");
+}
+
+#[test]
+fn slab_aware_contraction_sampler_matches_on_the_same_space() {
+    // The rejection-based path also benefits: its unit draws come from
+    // the slab union, so every draw lands in a feasible band of `a`.
+    let space = disjunctive_space();
+    let sam = contraction_aware_sampler(&space);
+    assert!(sam.unit_slabs().is_some(), "slab union installed");
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..500 {
+        let cfg = sam.uniform(&mut rng).expect("slab draws succeed");
+        assert!(is_feasible(&space, &cfg));
+    }
+}
+
+#[test]
+fn both_slabs_are_visited_in_measure_proportion() {
+    let space = disjunctive_space();
+    let sam = ConstructiveSampler::new(&space).expect("space is analyzable");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut low = 0usize;
+    let n = 2000usize;
+    for _ in 0..n {
+        let cfg = sam.sample(&mut rng).unwrap();
+        if space.get_i64(&cfg, "a").unwrap() <= 1 {
+            low += 1;
+        }
+    }
+    // Both slabs hold 2 of the 4 feasible values → low share ≈ 1/2.
+    let share = low as f64 / n as f64;
+    assert!((share - 0.5).abs() < 0.07, "low-slab share {share}");
+}
+
+#[test]
+fn ordinal_default_stays_ordinal_in_construction() {
+    // An ordinal whose feasible values are non-contiguous in index space:
+    // constructed draws must still be declared values.
+    let space = SearchSpace::builder()
+        .ordinal("u", vec![1.0, 2.0, 4.0, 8.0])
+        .constraint(Constraint::new("ends", "u <= 1 || u >= 8", |s, c| {
+            let u = s.get_f64(c, "u").unwrap();
+            u <= 1.0 || u >= 8.0
+        }))
+        .build();
+    let sam = ConstructiveSampler::new(&space).expect("space is analyzable");
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let cfg = sam.sample(&mut rng).expect("constructed draw");
+        match space.get(&cfg, "u").unwrap() {
+            ParamValue::Real(v) => assert!(v == 1.0 || v == 8.0, "u = {v}"),
+            other => panic!("unexpected value {other:?}"),
+        }
+    }
+}

@@ -347,3 +347,60 @@ proptest! {
         prop_assert_eq!(s.observation_cost(), 1 + d * v);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Constructive sampling invariant: over random coupled + disjunctive
+    /// integer spaces, every successful draw satisfies every constraint,
+    /// and the draw stream is bit-deterministic under a fixed seed.
+    #[test]
+    fn constructive_draws_are_feasible_and_deterministic(
+        seed in 0u64..u64::MAX,
+        lo_a in 0i64..20,
+        span_a in 4i64..30,
+        lo_b in 0i64..20,
+        span_b in 4i64..30,
+        slack in 0i64..20,
+    ) {
+        use cets_space::Constraint;
+        use rand::SeedableRng;
+
+        let (hi_a, hi_b) = (lo_a + span_a, lo_b + span_b);
+        // Budget chosen so at least (lo_a, lo_b) is feasible.
+        let cap = lo_a + lo_b + slack;
+        // Disjunctive band on `a`, guaranteed to include lo_a.
+        let cut_lo = lo_a + span_a / 4;
+        let cut_hi = hi_a - span_a / 4;
+        let space = SearchSpace::builder()
+            .integer("a", lo_a, hi_a)
+            .integer("b", lo_b, hi_b)
+            .constraint(Constraint::new(
+                "budget",
+                format!("a + b <= {cap}"),
+                move |s, c| s.get_i64(c, "a").unwrap() + s.get_i64(c, "b").unwrap() <= cap,
+            ))
+            .constraint(Constraint::new(
+                "band",
+                format!("a <= {cut_lo} || a >= {cut_hi}"),
+                move |s, c| {
+                    let a = s.get_i64(c, "a").unwrap();
+                    a <= cut_lo || a >= cut_hi
+                },
+            ))
+            .build();
+
+        let Some(sam) = cets_core::ConstructiveSampler::new(&space) else {
+            // Statically empty systems are allowed to refuse a sampler.
+            return Ok(());
+        };
+        let draw = |s: u64| -> Vec<Option<cets_space::Config>> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+            (0..30).map(|_| sam.sample(&mut rng)).collect()
+        };
+        for cfg in draw(seed).into_iter().flatten() {
+            prop_assert!(space.is_valid(&cfg), "infeasible draw {cfg:?}");
+        }
+        prop_assert_eq!(draw(seed), draw(seed));
+    }
+}

@@ -187,6 +187,19 @@ fn step_down(x: f64) -> f64 {
     -step_up(-x)
 }
 
+/// Round a derived upper-bound constant outward (upward): the relative
+/// [`BACKWARD_SLACK`] plus two ulp steps, matching [`widen`]'s treatment
+/// of interval endpoints. Total: non-finite inputs pass through (`+∞` is
+/// already the loosest bound; NaN/`-∞` are filtered by the callers).
+/// Shared with the octagon layer, whose closure arithmetic needs the same
+/// outward rounding.
+pub(crate) fn slack_up(c: f64) -> f64 {
+    if !c.is_finite() {
+        return c;
+    }
+    step_up(step_up(c + c.abs().max(1.0) * BACKWARD_SLACK))
+}
+
 /// Largest endpoint magnitude of a range (`0` when empty).
 fn mag(iv: &Interval) -> f64 {
     if iv.is_empty_range() {
@@ -446,6 +459,35 @@ pub fn contract(params: &[(&str, &ParamDef)], exprs: &[&Expr]) -> Contraction {
     for (name, def) in params {
         let iv = initial_interval(def).unwrap_or_else(Interval::top);
         env.insert((*name).to_string(), iv);
+    }
+    contract_from(env, params, exprs)
+}
+
+/// [`contract`] seeded with an explicit starting environment instead of
+/// the declared box — the branch-and-prune splitter re-contracts each
+/// disjunctive branch from its already-narrowed box, and the projection
+/// API pins partial assignments as point intervals before contracting.
+/// Parameters missing from `env` start at their declared interval.
+pub fn contract_from(
+    mut env: BTreeMap<String, Interval>,
+    params: &[(&str, &ParamDef)],
+    exprs: &[&Expr],
+) -> Contraction {
+    for (name, def) in params {
+        env.entry((*name).to_string())
+            .or_insert_with(|| initial_interval(def).unwrap_or_else(Interval::top));
+    }
+    // An already-empty seed interval proves emptiness before any pass.
+    if params
+        .iter()
+        .any(|(name, _)| env.get(*name).is_some_and(|iv| iv.is_empty_range()))
+    {
+        return Contraction {
+            env,
+            iterations: 0,
+            converged: true,
+            proved_empty: true,
+        };
     }
     let mut out = Contraction {
         env,

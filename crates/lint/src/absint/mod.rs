@@ -6,32 +6,139 @@
 //! actually non-empty, which constraints are dead weight, and how much can
 //! the box bounds be tightened statically?
 //!
-//! Three layers:
+//! The layers:
 //!
 //! * [`interval`] — the interval domain with NaN-poisoning;
 //! * [`mod@contract`] — forward evaluation over [`crate::expr::Expr`] and
 //!   HC4-revise backward bound contraction to a fixpoint;
-//! * this module — the [`analyze_space`] driver that classifies every
-//!   constraint (*proved-unsat* / *tautological* / *contingent*), runs the
-//!   contraction, estimates the feasible fraction of the box, and derives
-//!   tightened [`ParamDef`]s for the `--contract` rewriting and the
-//!   `cets-core` pre-pass.
+//! * [`octagon`] — the relational octagon domain (`±x ± y ≤ c`
+//!   difference-bound matrices with closure), which proves joint
+//!   emptiness and two-variable bounds the interval domain cannot see;
+//! * [`split`] — disjunctive branch-and-prune over `Or` nodes, joining
+//!   per-branch fixpoints into unions of feasible slabs;
+//! * [`project`] — conditional projection `project(var, fixed)` powering
+//!   constructive (rejection-free) sampling in `cets-core`;
+//! * this module — the [`analyze_space`] / [`analyze_space_with`] driver
+//!   that classifies every constraint (*proved-unsat* / *tautological* /
+//!   *contingent*), runs the contraction in the configured [`Domain`],
+//!   estimates the feasible fraction, and derives tightened
+//!   [`ParamDef`]s for the `--contract` rewriting and the `cets-core`
+//!   pre-pass.
 //!
-//! The findings surface as diagnostics `A001`–`A005` via
+//! The findings surface as diagnostics `A001`–`A008` via
 //! [`crate::rules::feasibility`] and the `cets analyze` subcommand.
 
 pub mod contract;
 pub mod interval;
+pub mod octagon;
+pub mod project;
+pub mod split;
 
 pub use contract::{
-    contract, eval_expr, initial_interval, snap, Contraction, CONVERGENCE_EPS, ITER_CAP,
+    contract, contract_from, eval_expr, initial_interval, snap, Contraction, CONVERGENCE_EPS,
+    ITER_CAP,
 };
 pub use interval::Interval;
+pub use octagon::{octagonal_atoms, OctAtom, Octagon};
+pub use project::Projector;
+pub use split::{dnf_branches, SPLIT_CAP};
 
 use crate::bundle::PlanBundle;
 use crate::expr;
 use cets_space::ParamDef;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which abstract domain the analysis runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Domain {
+    /// Non-relational interval contraction only — the PR 2 behaviour,
+    /// kept as an escape hatch and comparison axis (`--domain interval`).
+    Interval,
+    /// Relational analysis: interval contraction per disjunctive branch,
+    /// refined by the octagon domain, joined into slab unions.
+    #[default]
+    Octagon,
+}
+
+impl Domain {
+    /// CLI / report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Domain::Interval => "interval",
+            Domain::Octagon => "octagon",
+        }
+    }
+}
+
+/// Knobs for [`analyze_space_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Abstract domain (default: [`Domain::Octagon`]).
+    pub domain: Domain,
+    /// Branch cap for disjunctive splitting (default: [`SPLIT_CAP`]).
+    pub split_cap: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            domain: Domain::default(),
+            split_cap: SPLIT_CAP,
+        }
+    }
+}
+
+/// The two relation shapes the octagon domain reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RelationKind {
+    /// `a + b` bounded.
+    Sum,
+    /// `a - b` bounded.
+    Diff,
+}
+
+/// A proven two-variable bound that is strictly tighter than what the
+/// contracted per-variable boxes already imply.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// First parameter name.
+    pub a: String,
+    /// Second parameter name.
+    pub b: String,
+    /// Sum or difference.
+    pub kind: RelationKind,
+    /// `true`: `a ∘ b ≤ bound`; `false`: `a ∘ b ≥ bound`.
+    pub upper: bool,
+    /// The proven bound.
+    pub bound: f64,
+    /// `true` when the bound was *inferred* (closure combination, product
+    /// relaxation) rather than restated from a literal linear constraint;
+    /// only inferred relations surface as `A006`.
+    pub inferred: bool,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.kind {
+            RelationKind::Sum => "+",
+            RelationKind::Diff => "-",
+        };
+        let cmp = if self.upper { "<=" } else { ">=" };
+        // The stored bound carries the directed-rounding slack of the
+        // closure; displaying `544.0000000010884` for an exactly-integral
+        // relation is noise, so shave sub-slack dust off the rendering
+        // (the stored value stays sound).
+        let b = self.bound;
+        let rounded = b.round();
+        let shown = if (b - rounded).abs() <= 1e-6 * rounded.abs().max(1.0) {
+            rounded
+        } else {
+            b
+        };
+        write!(f, "{} {op} {} {cmp} {}", self.a, self.b, shown)
+    }
+}
 
 /// Forward classification of one constraint over the original box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +171,12 @@ pub struct ParamInterval {
     pub original: Interval,
     /// Interval after backward contraction (always ⊆ `original`).
     pub contracted: Interval,
+    /// The feasible region as a sorted union of disjoint slabs — the
+    /// branch-and-prune join before hulling. Always covers `contracted`'s
+    /// endpoints; a single entry equal to `contracted` when no
+    /// disjunction splits this parameter; empty when the box is proved
+    /// empty.
+    pub slabs: Vec<Interval>,
     /// A tightened domain definition, when the contraction strictly
     /// narrowed this parameter *and* the narrowing is expressible
     /// (categorical domains are never rewritten — slicing the option list
@@ -146,6 +259,18 @@ pub struct SpaceAnalysis {
     /// constraint to probe (the fraction is then exactly `1`) or the box
     /// is proved empty (exactly `0`).
     pub mc_feasible: Option<McFeasibility>,
+    /// The abstract domain the analysis ran in.
+    pub domain: Domain,
+    /// Two-variable bounds proved by the octagon domain that are strictly
+    /// tighter than the contracted boxes imply. Empty under
+    /// [`Domain::Interval`].
+    pub relations: Vec<Relation>,
+    /// Disjunctive branches explored (1 when nothing split).
+    pub split_branches: usize,
+    /// Did branch expansion hit the [`AnalysisOptions::split_cap`]? When
+    /// true some disjunction was analysed with the sound-but-loose hull
+    /// (diagnostic `A008`).
+    pub split_capped: bool,
 }
 
 impl SpaceAnalysis {
@@ -220,10 +345,17 @@ fn tightened_def(def: &ParamDef, contracted: &Interval) -> Option<ParamDef> {
     }
 }
 
-/// Run the feasibility analysis over a bundle: classify every analyzable
-/// constraint forward, contract the box backward, and estimate the
-/// feasible fraction. Total and deterministic; does no I/O.
+/// [`analyze_space_with`] under [`AnalysisOptions::default`] — the
+/// relational octagon domain with disjunctive branch-and-prune.
 pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
+    analyze_space_with(bundle, &AnalysisOptions::default())
+}
+
+/// Run the feasibility analysis over a bundle: classify every analyzable
+/// constraint forward, contract the box backward (per disjunctive branch,
+/// octagon-refined under [`Domain::Octagon`]), and estimate the feasible
+/// fraction. Total and deterministic; does no I/O.
+pub fn analyze_space_with(bundle: &PlanBundle, opts: &AnalysisOptions) -> SpaceAnalysis {
     let mut out = SpaceAnalysis {
         analyzed: true,
         params: Vec::new(),
@@ -234,6 +366,10 @@ pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
         converged: true,
         feasible_fraction: 1.0,
         mc_feasible: None,
+        domain: opts.domain,
+        relations: Vec::new(),
+        split_branches: 1,
+        split_capped: false,
     };
 
     // Bail out of S001/S002 territory: duplicate names or invalid domains
@@ -296,23 +432,77 @@ pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
         });
     }
 
-    // Backward contraction (an unsat constraint empties the box at once).
+    // Backward contraction, per disjunctive branch (an unsat constraint
+    // empties the box at once; a branch that contracts to empty is
+    // pruned; the survivors join into slab unions).
     let expr_refs: Vec<&expr::Expr> = exprs.iter().map(|(_, e)| e).collect();
-    let c = contract(&param_refs, &expr_refs);
-    out.iterations = c.iterations;
-    out.converged = c.converged;
-    out.proved_empty = c.proved_empty || any_unsat;
+    let (branches, capped) = match opts.domain {
+        Domain::Octagon => split::dnf_branches(&expr_refs, opts.split_cap.max(1)),
+        Domain::Interval => (
+            vec![expr_refs.iter().map(|e| (*e).clone()).collect::<Vec<_>>()],
+            false,
+        ),
+    };
+    out.split_capped = capped;
+    out.split_branches = branches.len();
 
-    // Per-parameter outcomes + feasible fraction.
+    let name_idx: BTreeMap<&str, usize> = bundle
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+    let mut branch_envs: Vec<BTreeMap<String, Interval>> = Vec::new();
+    let mut joined_oct: Option<Octagon> = None;
+    let mut stated: BTreeMap<StatedKey, f64> = BTreeMap::new();
+    let mut all_converged = true;
+    for br in &branches {
+        let refs: Vec<&expr::Expr> = br.iter().collect();
+        let c = contract(&param_refs, &refs);
+        out.iterations = out.iterations.max(c.iterations);
+        all_converged &= c.converged;
+        if c.proved_empty {
+            continue;
+        }
+        let mut env = c.env;
+        if opts.domain == Domain::Octagon {
+            match octagon_refine(&param_refs, &name_idx, &refs, env, &mut stated) {
+                Some((refined, oct)) => {
+                    env = refined;
+                    match &mut joined_oct {
+                        Some(j) => j.join_with(&oct),
+                        None => joined_oct = Some(oct),
+                    }
+                }
+                None => continue, // octagon proved the branch empty
+            }
+        }
+        branch_envs.push(env);
+    }
+    out.converged = all_converged;
+    out.proved_empty = any_unsat || branch_envs.is_empty();
+
+    // Per-parameter outcomes + feasible fraction (slab-union measures:
+    // disjoint slabs of one axis sum, so `a <= 1 || a >= 9` over {0..10}
+    // measures 4/11, not the vacuous 1).
     let mut fraction = 1.0;
     for (p, orig) in bundle.params.iter().zip(&initial) {
-        let contracted = if out.proved_empty {
-            Interval::bottom()
+        let slabs = if out.proved_empty {
+            Vec::new()
         } else {
-            c.env.get(&p.name).copied().unwrap_or(*orig)
+            split::merge_slabs(
+                Some(&p.def),
+                branch_envs
+                    .iter()
+                    .map(|env| env.get(&p.name).copied().unwrap_or(*orig))
+                    .collect(),
+            )
         };
+        let contracted = slabs
+            .iter()
+            .fold(Interval::bottom(), |acc, iv| acc.join(iv));
         let m_orig = measure(&p.def, orig);
-        let m_new = measure(&p.def, &contracted);
+        let m_new: f64 = slabs.iter().map(|s| measure(&p.def, s)).sum();
         if m_orig > 0.0 {
             fraction *= (m_new / m_orig).clamp(0.0, 1.0);
         } else if m_new == 0.0 {
@@ -328,15 +518,163 @@ pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
             name: p.name.clone(),
             original: *orig,
             contracted,
+            slabs,
             tightened,
         });
     }
     out.feasible_fraction = if out.proved_empty { 0.0 } else { fraction };
 
+    // Relational findings: pair bounds from the joined octagon that beat
+    // what the contracted boxes already imply.
+    if let Some(oct) = &joined_oct {
+        if !out.proved_empty {
+            out.relations = build_relations(oct, &out.params, &stated);
+        }
+    }
+
     // Monte-Carlo cross-check: only meaningful with at least one probe-able
     // constraint and a non-empty box.
     if !out.proved_empty && !expr_refs.is_empty() {
         out.mc_feasible = Some(mc_feasible_fraction(&param_refs, &expr_refs, MC_PROBES));
+    }
+    out
+}
+
+/// Canonical key for a directly-stated two-variable bound:
+/// `(lower-index param, higher-index param, kind, is-upper-bound)`.
+type StatedKey = (usize, usize, RelationKind, bool);
+
+/// Record a literally-stated (non-derived) two-variable atom in canonical
+/// form, keeping the tightest bound per direction. Used to distinguish
+/// *inferred* relations (reportable as `A006`) from restatements.
+fn record_stated(stated: &mut BTreeMap<StatedKey, f64>, atom: &OctAtom) {
+    let OctAtom::Two {
+        i,
+        si,
+        j,
+        sj,
+        c,
+        derived,
+    } = *atom
+    else {
+        return;
+    };
+    if derived {
+        return;
+    }
+    // si·x_i + sj·x_j ≤ c, canonicalised onto the (min, max) index pair.
+    let (p, q, kind, upper, bound) = match (si > 0, sj > 0) {
+        (true, true) => (i.min(j), i.max(j), RelationKind::Sum, true, c),
+        (false, false) => (i.min(j), i.max(j), RelationKind::Sum, false, -c),
+        (true, false) if i < j => (i, j, RelationKind::Diff, true, c),
+        (true, false) => (j, i, RelationKind::Diff, false, -c),
+        (false, true) if j < i => (j, i, RelationKind::Diff, true, c),
+        (false, true) => (i, j, RelationKind::Diff, false, -c),
+    };
+    let slot = stated.entry((p, q, kind, upper)).or_insert(if upper {
+        f64::INFINITY
+    } else {
+        f64::NEG_INFINITY
+    });
+    *slot = if upper {
+        slot.min(bound)
+    } else {
+        slot.max(bound)
+    };
+}
+
+/// One branch's octagon pass: encode the branch box and its octagonal
+/// atoms, close, and meet the derived per-variable intervals back into
+/// the interval environment. `None` when the octagon proves the branch
+/// empty.
+fn octagon_refine(
+    param_refs: &[(&str, &ParamDef)],
+    name_idx: &BTreeMap<&str, usize>,
+    exprs: &[&expr::Expr],
+    mut env: BTreeMap<String, Interval>,
+    stated: &mut BTreeMap<StatedKey, f64>,
+) -> Option<(BTreeMap<String, Interval>, Octagon)> {
+    let bounds: Vec<Interval> = param_refs
+        .iter()
+        .map(|(n, _)| env.get(*n).copied().unwrap_or_else(Interval::top))
+        .collect();
+    let mut oct = Octagon::from_box(&bounds);
+    for e in exprs {
+        for atom in octagonal_atoms(e, name_idx, &bounds) {
+            record_stated(stated, &atom);
+            oct.add_atom(&atom);
+        }
+    }
+    oct.close();
+    if oct.is_empty() {
+        return None;
+    }
+    for (k, (name, def)) in param_refs.iter().enumerate() {
+        if let Some(slot) = env.get_mut(*name) {
+            let refined = snap(def, slot.meet(&oct.var_interval(k)));
+            if refined.is_empty_range() {
+                return None;
+            }
+            *slot = refined;
+        }
+    }
+    Some((env, oct))
+}
+
+/// Relative tolerance for "strictly tighter" comparisons between derived
+/// and implied bounds (absorbs the outward soundness slack).
+fn rel_tol(x: f64) -> f64 {
+    1e-9 * x.abs().max(1.0)
+}
+
+/// Extract the pair relations of the joined octagon that are strictly
+/// tighter than the contracted per-variable boxes imply.
+fn build_relations(
+    oct: &Octagon,
+    params: &[ParamInterval],
+    stated: &BTreeMap<StatedKey, f64>,
+) -> Vec<Relation> {
+    let mut out = Vec::new();
+    let n = params.len().min(oct.vars());
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let (bp, bq) = (&params[p].contracted, &params[q].contracted);
+            if bp.is_empty_range() || bq.is_empty_range() {
+                continue;
+            }
+            let mut push = |kind: RelationKind, upper: bool, bound: f64, implied: f64| {
+                if !bound.is_finite() {
+                    return;
+                }
+                let tighter_than_implied = if upper {
+                    bound < implied - rel_tol(implied)
+                } else {
+                    bound > implied + rel_tol(implied)
+                };
+                if !tighter_than_implied {
+                    return;
+                }
+                let inferred = match stated.get(&(p, q, kind, upper)) {
+                    Some(s) if upper => bound < s - rel_tol(*s),
+                    Some(s) => bound > s + rel_tol(*s),
+                    None => true,
+                };
+                out.push(Relation {
+                    a: params[p].name.clone(),
+                    b: params[q].name.clone(),
+                    kind,
+                    upper,
+                    bound,
+                    inferred,
+                });
+            };
+            let sum = oct.sum_bound(p, q);
+            push(RelationKind::Sum, true, sum.hi, bp.hi + bq.hi);
+            push(RelationKind::Sum, false, sum.lo, bp.lo + bq.lo);
+            let diff = oct.diff_bound(p, q);
+            push(RelationKind::Diff, true, diff.hi, bp.hi - bq.lo);
+            push(RelationKind::Diff, false, diff.lo, bp.lo - bq.hi);
+        }
     }
     out
 }
@@ -672,6 +1010,192 @@ mod tests {
         // Deterministic: same bundle, same counts.
         let again = analyze_space(&b).mc_feasible.expect("probed");
         assert_eq!(mc, again);
+    }
+
+    #[test]
+    fn disjunctive_branching_recovers_slabs() {
+        // `a <= 1 || a >= 9` over {0..10}: the hull is vacuous, the slab
+        // union is the point. 4 of 11 values are feasible.
+        let b = bundle(
+            vec![param("a", ParamDef::Integer { lo: 0, hi: 10 })],
+            vec![constraint("gap", "a <= 1 || a >= 9")],
+        );
+        let s = analyze_space(&b);
+        assert_eq!(s.domain, Domain::Octagon);
+        assert_eq!(s.split_branches, 2);
+        assert!(!s.split_capped);
+        let a = &s.params[0];
+        assert_eq!((a.contracted.lo, a.contracted.hi), (0.0, 10.0), "hull");
+        assert_eq!(a.slabs.len(), 2, "{:?}", a.slabs);
+        assert_eq!((a.slabs[0].lo, a.slabs[0].hi), (0.0, 1.0));
+        assert_eq!((a.slabs[1].lo, a.slabs[1].hi), (9.0, 10.0));
+        assert!(
+            (s.feasible_fraction - 4.0 / 11.0).abs() < 1e-9,
+            "{}",
+            s.feasible_fraction
+        );
+        // The interval domain keeps the vacuous single slab.
+        let si = analyze_space_with(
+            &b,
+            &AnalysisOptions {
+                domain: Domain::Interval,
+                ..Default::default()
+            },
+        );
+        assert_eq!(si.params[0].slabs.len(), 1);
+        assert!((si.feasible_fraction - 1.0).abs() < 1e-9);
+        assert!(si.relations.is_empty());
+    }
+
+    #[test]
+    fn octagon_tightens_per_var_beyond_interval() {
+        // a + b <= 10 and a - b <= 2 imply a <= 6; HC4 stops at a <= 10.
+        let b = bundle(
+            vec![
+                param("a", ParamDef::Integer { lo: 0, hi: 100 }),
+                param("b", ParamDef::Integer { lo: 0, hi: 100 }),
+            ],
+            vec![
+                constraint("sum", "a + b <= 10"),
+                constraint("diff", "a - b <= 2"),
+            ],
+        );
+        let s = analyze_space(&b);
+        assert_eq!(s.params[0].contracted.hi, 6.0, "octagon closure");
+        let si = analyze_space_with(
+            &b,
+            &AnalysisOptions {
+                domain: Domain::Interval,
+                ..Default::default()
+            },
+        );
+        assert_eq!(si.params[0].contracted.hi, 10.0, "interval hull");
+    }
+
+    #[test]
+    fn octagon_proves_joint_emptiness_interval_cannot() {
+        // x - y <= -10 and y - x <= -10: a negative cycle. The interval
+        // fixpoint shrinks the box 20 units per pass and gives up at
+        // ITER_CAP; the octagon closure detects it instantly.
+        let b = bundle(
+            vec![
+                param(
+                    "x",
+                    ParamDef::Integer {
+                        lo: 0,
+                        hi: 1_000_000_000,
+                    },
+                ),
+                param(
+                    "y",
+                    ParamDef::Integer {
+                        lo: 0,
+                        hi: 1_000_000_000,
+                    },
+                ),
+            ],
+            vec![
+                constraint("fwd", "x - y <= -10"),
+                constraint("bwd", "y - x <= -10"),
+            ],
+        );
+        let s = analyze_space(&b);
+        assert!(s.proved_empty, "octagon proves the negative cycle");
+        assert_eq!(s.feasible_fraction, 0.0);
+        let si = analyze_space_with(
+            &b,
+            &AnalysisOptions {
+                domain: Domain::Interval,
+                ..Default::default()
+            },
+        );
+        assert!(!si.proved_empty, "interval domain cannot prove this");
+    }
+
+    #[test]
+    fn x_minus_x_regression() {
+        // The motivating unsoundness-adjacent weakness: intervals forget
+        // that both `a`s are the same variable, so `a - a` evaluates to
+        // the hull [-w, w] and `a - a >= 1` stays contingent. (On a small
+        // box HC4 happens to grind the hull empty one unit per pass; the
+        // wide box here defeats that, which is exactly the failure mode.)
+        // The octagon domain normalises the constraint to `0 >= 1` and
+        // kills it regardless of box width.
+        let b = bundle(
+            vec![param(
+                "a",
+                ParamDef::Integer {
+                    lo: 0,
+                    hi: 1_000_000,
+                },
+            )],
+            vec![constraint("impossible", "a - a >= 1")],
+        );
+        let s = analyze_space(&b);
+        assert!(s.proved_empty, "octagon: a - a is exactly [0, 0]");
+        let si = analyze_space_with(
+            &b,
+            &AnalysisOptions {
+                domain: Domain::Interval,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !si.proved_empty,
+            "interval hull: a - a in [-100, 100], still contingent"
+        );
+        // Forward classification documents the hull behaviour.
+        assert_eq!(si.constraints[0].class, ConstraintClass::Contingent);
+    }
+
+    #[test]
+    fn product_relaxation_yields_inferred_relation() {
+        // The exemplar residency shape: g1 * zc <= 16384 over [32,1024]^2
+        // contracts both vars to [32, 512] (exact projection) and infers
+        // g1 + zc <= 544 — strictly below the box-implied 1024.
+        let b = bundle(
+            vec![
+                param("g1", ParamDef::Integer { lo: 32, hi: 1024 }),
+                param("zc", ParamDef::Integer { lo: 32, hi: 1024 }),
+            ],
+            vec![constraint("residency", "g1 * zc <= 16384")],
+        );
+        let s = analyze_space(&b);
+        assert_eq!(s.params[0].contracted.hi, 512.0);
+        assert_eq!(s.params[1].contracted.hi, 512.0);
+        let rel = s
+            .relations
+            .iter()
+            .find(|r| r.kind == RelationKind::Sum && r.upper)
+            .expect("sum relation present");
+        assert!(
+            (rel.bound - 544.0).abs() < 1e-6,
+            "relational bound {} != 544",
+            rel.bound
+        );
+        assert!(rel.inferred, "the relaxation is inferred, not restated");
+        assert!(rel.to_string().contains("<="), "{rel}");
+    }
+
+    #[test]
+    fn restated_linear_relation_is_not_inferred() {
+        // `a + b <= 10` is already octagonal: the joined octagon carries
+        // it (tighter than the box-implied 20) but it is a restatement,
+        // so A006 must not fire on it.
+        let b = bundle(
+            vec![
+                param("a", ParamDef::Integer { lo: 0, hi: 10 }),
+                param("b", ParamDef::Integer { lo: 0, hi: 10 }),
+            ],
+            vec![constraint("budget", "a + b <= 10")],
+        );
+        let s = analyze_space(&b);
+        let rel = s
+            .relations
+            .iter()
+            .find(|r| r.kind == RelationKind::Sum && r.upper)
+            .expect("sum relation recorded");
+        assert!(!rel.inferred, "restated bound must not count as inferred");
     }
 
     #[test]

@@ -1,0 +1,677 @@
+//! The octagon relational domain: conjunctions of `±x ± y ≤ c`
+//! constraints represented as a difference-bound matrix (DBM).
+//!
+//! ## Encoding
+//!
+//! Each variable `x_i` contributes two vertices: `V_{2i} = +x_i` and
+//! `V_{2i+1} = -x_i`. Entry `m[u][v] = c` asserts `V_v - V_u ≤ c`
+//! (absent bounds are `+∞`). Every octagonal constraint becomes one or
+//! two matrix entries:
+//!
+//! * `x_i ≤ hi`            → `m[2i+1][2i] = 2·hi` (since `x_i - (-x_i) = 2x_i`)
+//! * `x_i ≥ lo`            → `m[2i][2i+1] = -2·lo`
+//! * `x_i - x_j ≤ c`       → `m[2j][2i] = c` (and the coherent mirror)
+//! * `x_i + x_j ≤ c`       → `m[2j+1][2i] = c` (and the mirror)
+//! * `-x_i - x_j ≤ c`      → `m[2j][2i+1] = c` (and the mirror)
+//!
+//! ## Closure
+//!
+//! [`Octagon::close`] runs Floyd–Warshall shortest paths followed by the
+//! octagonal *strengthening* step `m[u][v] ← min(m[u][v],
+//! (m[u][ū] + m[v̄][v]) / 2)`, iterated to a fixpoint (the combination
+//! propagates unary bounds through binary relations and vice versa). A
+//! negative diagonal entry after closure proves the octagon empty — a
+//! negative-weight cycle means some `V_u - V_u < 0`.
+//!
+//! ## Floating-point soundness
+//!
+//! Closure arithmetic rounds to nearest, which can tighten a bound by a
+//! fraction of an ulp below its real-arithmetic value. All *derived*
+//! constants handed back to the interval layer ([`Octagon::var_interval`],
+//! [`Octagon::sum_bound`], [`Octagon::diff_bound`]) and all constants
+//! computed during atom extraction (divisions, the product relaxation) are
+//! therefore widened outward by the same relative slack the backward
+//! interval transfer functions use.
+
+use super::contract::slack_up;
+use super::interval::Interval;
+use crate::expr::{BinOp, Expr};
+use std::collections::BTreeMap;
+
+/// Closure sweeps cap. Each sweep is a full Floyd–Warshall plus a
+/// strengthening pass; entries only ever decrease, and on real workloads
+/// the fixpoint lands in one or two sweeps. The cap only bounds work on
+/// adversarial inputs — stopping early is sound (just less precise).
+const CLOSE_CAP: usize = 8;
+
+/// One octagonal constraint over variable *indices* (the caller maps
+/// names to indices). Signs are `+1` / `-1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OctAtom {
+    /// `s·x_i ≤ c`.
+    One { i: usize, s: i8, c: f64 },
+    /// `si·x_i + sj·x_j ≤ c` with `i ≠ j`. `derived` marks bounds the
+    /// extractor *inferred* (e.g. the product relaxation) rather than
+    /// restated from a literal linear constraint; the `A006` diagnostic
+    /// only reports genuinely inferred relations.
+    Two {
+        i: usize,
+        si: i8,
+        j: usize,
+        sj: i8,
+        c: f64,
+        derived: bool,
+    },
+    /// The constraint folds to a constant falsehood (e.g. `a - a >= 1`):
+    /// the whole box is infeasible.
+    False,
+}
+
+/// A difference-bound matrix over `2n` vertices (see module docs).
+#[derive(Debug, Clone)]
+pub struct Octagon {
+    n: usize,
+    m: Vec<f64>,
+}
+
+impl Octagon {
+    /// The top octagon over `n` variables: no constraints.
+    pub fn top(n: usize) -> Octagon {
+        let d = 2 * n;
+        let mut m = vec![f64::INFINITY; d * d];
+        for u in 0..d {
+            m[u * d + u] = 0.0;
+        }
+        Octagon { n, m }
+    }
+
+    /// An octagon holding the box constraints of `bounds` (one interval
+    /// per variable, in index order). An already-empty interval poisons
+    /// the octagon.
+    pub fn from_box(bounds: &[Interval]) -> Octagon {
+        let mut o = Octagon::top(bounds.len());
+        for (i, iv) in bounds.iter().enumerate() {
+            if iv.is_empty_range() {
+                o.poison();
+                continue;
+            }
+            o.add_atom(&OctAtom::One { i, s: 1, c: iv.hi });
+            o.add_atom(&OctAtom::One {
+                i,
+                s: -1,
+                c: -iv.lo,
+            });
+        }
+        o
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn at(&self, u: usize, v: usize) -> usize {
+        u * 2 * self.n + v
+    }
+
+    /// Record `V_v - V_u ≤ c` if it tightens the current entry.
+    /// Non-finite constants are ignored (`+∞` is a no-op and `-∞`/NaN
+    /// would poison the arithmetic).
+    fn tighten(&mut self, u: usize, v: usize, c: f64) {
+        if c.is_finite() {
+            let k = self.at(u, v);
+            if c < self.m[k] {
+                self.m[k] = c;
+            }
+        }
+    }
+
+    /// Force emptiness (a self-loop of negative weight).
+    fn poison(&mut self) {
+        if self.n > 0 {
+            let k = self.at(0, 0);
+            self.m[k] = -1.0;
+        }
+    }
+
+    /// Add one octagonal constraint.
+    pub fn add_atom(&mut self, a: &OctAtom) {
+        match *a {
+            OctAtom::One { i, s, c } => {
+                if i >= self.n {
+                    return;
+                }
+                // s·x_i ≤ c  ⇔  V_a - V_ā ≤ 2c with V_a = s·x_i.
+                let va = if s > 0 { 2 * i } else { 2 * i + 1 };
+                self.tighten(va ^ 1, va, 2.0 * c);
+            }
+            OctAtom::Two {
+                i, si, j, sj, c, ..
+            } => {
+                if i >= self.n || j >= self.n || i == j {
+                    return;
+                }
+                // si·x_i + sj·x_j ≤ c  ⇔  V_a - V_b ≤ c with
+                // V_a = si·x_i and V_b = -sj·x_j.
+                let va = if si > 0 { 2 * i } else { 2 * i + 1 };
+                let vb = if sj > 0 { 2 * j + 1 } else { 2 * j };
+                self.tighten(vb, va, c);
+                self.tighten(va ^ 1, vb ^ 1, c);
+            }
+            OctAtom::False => self.poison(),
+        }
+    }
+
+    /// Shortest-path closure with octagonal strengthening (see module
+    /// docs). Idempotent up to the sweep cap; sound at any cut-off.
+    pub fn close(&mut self) {
+        let d = 2 * self.n;
+        for _ in 0..CLOSE_CAP {
+            let mut changed = false;
+            // Floyd–Warshall.
+            for k in 0..d {
+                for u in 0..d {
+                    let muk = self.m[self.at(u, k)];
+                    if !muk.is_finite() {
+                        continue; // +∞ never shortens; -∞ only on negative cycles
+                    }
+                    for v in 0..d {
+                        let cand = muk + self.m[self.at(k, v)];
+                        let slot = self.at(u, v);
+                        if cand < self.m[slot] {
+                            self.m[slot] = cand;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Strengthening: combine the two unary bounds on a path
+            // u → ū and v̄ → v. (A NaN candidate — only reachable via
+            // ±∞ mixtures — compares false and is skipped.)
+            for u in 0..d {
+                for v in 0..d {
+                    let cand = (self.m[self.at(u, u ^ 1)] + self.m[self.at(v ^ 1, v)]) / 2.0;
+                    let slot = self.at(u, v);
+                    if cand < self.m[slot] {
+                        self.m[slot] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed || self.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Is the octagon empty? Meaningful after [`Octagon::close`] (a
+    /// negative diagonal entry is a negative-weight cycle).
+    pub fn is_empty(&self) -> bool {
+        let d = 2 * self.n;
+        (0..d).any(|u| self.m[self.at(u, u)] < 0.0)
+    }
+
+    /// The interval implied for `x_i`, outward-widened for float
+    /// soundness. Meaningful after [`Octagon::close`].
+    pub fn var_interval(&self, i: usize) -> Interval {
+        if i >= self.n {
+            return Interval::top();
+        }
+        let hi = self.m[self.at(2 * i + 1, 2 * i)] / 2.0;
+        let lo = -self.m[self.at(2 * i, 2 * i + 1)] / 2.0;
+        Interval::new(-slack_up(-lo), slack_up(hi))
+    }
+
+    /// Bounds on `x_i + x_j` (outward-widened). `[-∞, +∞]` when nothing
+    /// is known.
+    pub fn sum_bound(&self, i: usize, j: usize) -> Interval {
+        if i >= self.n || j >= self.n || i == j {
+            return Interval::top();
+        }
+        let hi = self.m[self.at(2 * j + 1, 2 * i)];
+        let lo = -self.m[self.at(2 * j, 2 * i + 1)];
+        Interval::new(-slack_up(-lo), slack_up(hi))
+    }
+
+    /// Bounds on `x_i - x_j` (outward-widened). For `i == j` the DBM
+    /// diagonal yields exactly `[0, 0]` — the relational answer the
+    /// interval domain cannot give.
+    pub fn diff_bound(&self, i: usize, j: usize) -> Interval {
+        if i >= self.n || j >= self.n {
+            return Interval::top();
+        }
+        if i == j {
+            return Interval::point(0.0);
+        }
+        let hi = self.m[self.at(2 * j, 2 * i)];
+        let lo = -self.m[self.at(2 * i, 2 * j)];
+        Interval::new(-slack_up(-lo), slack_up(hi))
+    }
+
+    /// In-place join (least upper bound): entrywise max. Both octagons
+    /// should be closed; the result over-approximates their union.
+    pub fn join_with(&mut self, other: &Octagon) {
+        debug_assert_eq!(self.n, other.n);
+        if self.n != other.n {
+            return;
+        }
+        for (a, b) in self.m.iter_mut().zip(&other.m) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+}
+
+/// A linear form `Σ coeff_k · x_k + c` over variable indices.
+/// `None` when the expression is not (recognisably) linear.
+fn linear_form(e: &Expr, idx: &BTreeMap<&str, usize>) -> Option<(BTreeMap<usize, f64>, f64)> {
+    match e {
+        Expr::Num(x) => x.is_finite().then(|| (BTreeMap::new(), *x)),
+        Expr::Var(n) => {
+            let i = idx.get(n.as_str())?;
+            Some(([(*i, 1.0)].into_iter().collect(), 0.0))
+        }
+        Expr::Neg(inner) => {
+            let (mut coeffs, c) = linear_form(inner, idx)?;
+            for v in coeffs.values_mut() {
+                *v = -*v;
+            }
+            Some((coeffs, -c))
+        }
+        Expr::Bin(BinOp::Add, a, b) | Expr::Bin(BinOp::Sub, a, b) => {
+            let (mut ca, ka) = linear_form(a, idx)?;
+            let (cb, kb) = linear_form(b, idx)?;
+            let sign = if matches!(e, Expr::Bin(BinOp::Add, _, _)) {
+                1.0
+            } else {
+                -1.0
+            };
+            for (i, v) in cb {
+                *ca.entry(i).or_insert(0.0) += sign * v;
+            }
+            ca.retain(|_, v| *v != 0.0);
+            Some((ca, ka + sign * kb))
+        }
+        Expr::Bin(BinOp::Mul, a, b) => {
+            let fa = linear_form(a, idx);
+            let fb = linear_form(b, idx);
+            match (fa, fb) {
+                (Some((ca, ka)), Some((cb, kb))) if ca.is_empty() => scale(cb, kb, ka),
+                (Some((ca, ka)), Some((cb, kb))) if cb.is_empty() => scale(ca, ka, kb),
+                _ => None,
+            }
+        }
+        Expr::Bin(BinOp::Div, a, b) => {
+            let (ca, ka) = linear_form(a, idx)?;
+            let (cb, kb) = linear_form(b, idx)?;
+            if cb.is_empty() && kb != 0.0 && kb.is_finite() {
+                scale(ca, ka, 1.0 / kb)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn scale(mut coeffs: BTreeMap<usize, f64>, k: f64, s: f64) -> Option<(BTreeMap<usize, f64>, f64)> {
+    if !s.is_finite() {
+        return None;
+    }
+    for v in coeffs.values_mut() {
+        *v *= s;
+    }
+    coeffs.retain(|_, v| *v != 0.0);
+    let c = k * s;
+    c.is_finite().then_some((coeffs, c))
+}
+
+/// Push `Σ coeffs·x ≤ bound` as octagonal atoms. Coefficients must have
+/// equal magnitude for a two-variable atom; anything wider is skipped.
+fn emit(coeffs: &BTreeMap<usize, f64>, bound: f64, out: &mut Vec<OctAtom>) {
+    if !bound.is_finite() && bound != f64::INFINITY {
+        return; // NaN or -∞ constants carry no usable information
+    }
+    let entries: Vec<(usize, f64)> = coeffs.iter().map(|(i, v)| (*i, *v)).collect();
+    match entries.as_slice() {
+        // 0 ≤ bound: constant truth or falsehood. A small slack keeps
+        // constant-folding rounding from fabricating an infeasibility.
+        [] if bound < -(1e-9 * bound.abs().max(1.0)) => out.push(OctAtom::False),
+        [] => {}
+        [(i, a)] => {
+            if *a > 0.0 {
+                out.push(OctAtom::One {
+                    i: *i,
+                    s: 1,
+                    c: slack_up(bound / a),
+                });
+            } else if *a < 0.0 {
+                out.push(OctAtom::One {
+                    i: *i,
+                    s: -1,
+                    c: slack_up(bound / -a),
+                });
+            }
+        }
+        [(i, a), (j, b)] if a.abs() == b.abs() && *a != 0.0 => {
+            out.push(OctAtom::Two {
+                i: *i,
+                si: if *a > 0.0 { 1 } else { -1 },
+                j: *j,
+                sj: if *b > 0.0 { 1 } else { -1 },
+                c: slack_up(bound / a.abs()),
+                derived: false,
+            });
+        }
+        _ => {}
+    }
+}
+
+/// McCormick-style relaxation of `x·y ≤ c` over a box with non-negative
+/// lower bounds `lx, ly` (with `min(lx, ly) > 0`):
+///
+/// `(x - lx)(y - ly) ≥ 0` gives `ly·x + lx·y ≤ c + lx·ly`, and since
+/// `min(lx, ly) ≤ lx, ly` with `x, y ≥ 0`, this weakens to
+/// `x + y ≤ (c + lx·ly) / min(lx, ly)` — a *relational* bound no single
+/// interval can express.
+fn product_relaxation(
+    a: &Expr,
+    b: &Expr,
+    c: f64,
+    idx: &BTreeMap<&str, usize>,
+    bounds: &[Interval],
+) -> Option<OctAtom> {
+    let (Expr::Var(na), Expr::Var(nb)) = (a, b) else {
+        return None;
+    };
+    let i = *idx.get(na.as_str())?;
+    let j = *idx.get(nb.as_str())?;
+    if i == j || !c.is_finite() {
+        return None;
+    }
+    let (lx, ly) = (bounds.get(i)?.lo, bounds.get(j)?.lo);
+    let mn = lx.min(ly);
+    if !(lx >= 0.0 && ly >= 0.0 && mn > 0.0 && lx.is_finite() && ly.is_finite()) {
+        return None;
+    }
+    Some(OctAtom::Two {
+        i,
+        si: 1,
+        j,
+        sj: 1,
+        c: slack_up((c + lx * ly) / mn),
+        derived: true,
+    })
+}
+
+/// Extract the octagonal atoms implied by asserting `e` true. Handles
+/// conjunctions, linear comparisons (strict comparisons relax to their
+/// closed forms — sound for contraction), equalities (both directions)
+/// and the product relaxation for `x·y ≤ c` shapes. `Or` nodes contribute
+/// nothing here — the branch-and-prune splitter owns disjunctions.
+pub fn octagonal_atoms(e: &Expr, idx: &BTreeMap<&str, usize>, bounds: &[Interval]) -> Vec<OctAtom> {
+    let mut out = Vec::new();
+    collect_atoms(e, idx, bounds, &mut out);
+    out
+}
+
+fn collect_atoms(
+    e: &Expr,
+    idx: &BTreeMap<&str, usize>,
+    bounds: &[Interval],
+    out: &mut Vec<OctAtom>,
+) {
+    let Expr::Bin(op, a, b) = e else {
+        return;
+    };
+    match op {
+        BinOp::And => {
+            collect_atoms(a, idx, bounds, out);
+            collect_atoms(b, idx, bounds, out);
+        }
+        BinOp::Le | BinOp::Lt | BinOp::Ge | BinOp::Gt | BinOp::Eq => {
+            let la = linear_form(a, idx);
+            let lb = linear_form(b, idx);
+            if let (Some((ca, ka)), Some((cb, kb))) = (la, lb) {
+                // lhs ≤ rhs  ⇔  Σ(ca - cb)·x ≤ kb - ka.
+                let mut diff = ca;
+                for (i, v) in cb {
+                    *diff.entry(i).or_insert(0.0) -= v;
+                }
+                diff.retain(|_, v| *v != 0.0);
+                let neg = |m: &BTreeMap<usize, f64>| m.iter().map(|(i, v)| (*i, -*v)).collect();
+                match op {
+                    BinOp::Le | BinOp::Lt => emit(&diff, kb - ka, out),
+                    BinOp::Ge | BinOp::Gt => emit(&neg(&diff), ka - kb, out),
+                    BinOp::Eq => {
+                        emit(&diff, kb - ka, out);
+                        emit(&neg(&diff), ka - kb, out);
+                    }
+                    _ => {}
+                }
+            } else {
+                // Not linear: try the product relaxation on `x*y ≤ c`
+                // (or its mirrored `c ≥ x*y`).
+                let upper = match op {
+                    BinOp::Le | BinOp::Lt => const_product(a, b, idx),
+                    BinOp::Ge | BinOp::Gt => const_product(b, a, idx),
+                    _ => None,
+                };
+                if let Some((x, y, c)) = upper {
+                    if let Some(atom) = product_relaxation(x, y, c, idx, bounds) {
+                        out.push(atom);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Match `lhs = x*y` against a constant-valued `rhs`, returning the two
+/// factors and the folded constant.
+fn const_product<'e>(
+    lhs: &'e Expr,
+    rhs: &Expr,
+    idx: &BTreeMap<&str, usize>,
+) -> Option<(&'e Expr, &'e Expr, f64)> {
+    let Expr::Bin(BinOp::Mul, x, y) = lhs else {
+        return None;
+    };
+    let (coeffs, c) = linear_form(rhs, idx)?;
+    coeffs.is_empty().then_some((x.as_ref(), y.as_ref(), c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse;
+
+    fn idx(names: &[&'static str]) -> BTreeMap<&'static str, usize> {
+        names.iter().enumerate().map(|(i, n)| (*n, i)).collect()
+    }
+
+    fn boxed(bounds: &[(f64, f64)]) -> Vec<Interval> {
+        bounds
+            .iter()
+            .map(|(lo, hi)| Interval::new(*lo, *hi))
+            .collect()
+    }
+
+    #[test]
+    fn x_minus_x_is_exactly_zero() {
+        // The relational answer the interval domain cannot give: the DBM
+        // diagonal pins x - x to [0, 0] with no closure needed.
+        let o = Octagon::from_box(&boxed(&[(0.0, 100.0)]));
+        let d = o.diff_bound(0, 0);
+        assert_eq!((d.lo, d.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn x_minus_x_constraint_folds_to_false() {
+        // `a - a >= 1` normalises to `0 ≥ 1`: constant falsehood.
+        let e = parse("a - a >= 1").unwrap();
+        let atoms = octagonal_atoms(&e, &idx(&["a"]), &boxed(&[(0.0, 10.0)]));
+        assert_eq!(atoms, vec![OctAtom::False]);
+        let mut o = Octagon::from_box(&boxed(&[(0.0, 10.0)]));
+        for a in &atoms {
+            o.add_atom(a);
+        }
+        o.close();
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn closure_combines_sum_and_difference() {
+        // a + b <= 10 and a - b <= 2 imply 2a <= 12, i.e. a <= 6 — a
+        // bound HC4 cannot reach (it sees a <= 10 at best).
+        let names = idx(&["a", "b"]);
+        let bounds = boxed(&[(0.0, 100.0), (0.0, 100.0)]);
+        let mut o = Octagon::from_box(&bounds);
+        for src in ["a + b <= 10", "a - b <= 2"] {
+            for atom in octagonal_atoms(&parse(src).unwrap(), &names, &bounds) {
+                o.add_atom(&atom);
+            }
+        }
+        o.close();
+        assert!(!o.is_empty());
+        let a = o.var_interval(0);
+        assert!(a.hi >= 6.0 && a.hi < 6.0 + 1e-6, "a.hi ~ 6, got {}", a.hi);
+    }
+
+    #[test]
+    fn negative_cycle_proves_empty() {
+        // x - y <= -10 and y - x <= -10: a negative cycle the interval
+        // fixpoint can only chase by shrinking 20 units per pass.
+        let names = idx(&["x", "y"]);
+        let bounds = boxed(&[(0.0, 1e9), (0.0, 1e9)]);
+        let mut o = Octagon::from_box(&bounds);
+        for src in ["x - y <= -10", "y - x <= -10"] {
+            for atom in octagonal_atoms(&parse(src).unwrap(), &names, &bounds) {
+                o.add_atom(&atom);
+            }
+        }
+        o.close();
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn product_relaxation_matches_hand_computation() {
+        // g1 * zc <= 16384 over [32, 512]^2: the relaxation gives
+        // g1 + zc <= (16384 + 32*32) / 32 = 544 — far below the
+        // box-implied 1024.
+        let names = idx(&["g1", "zc"]);
+        let bounds = boxed(&[(32.0, 512.0), (32.0, 512.0)]);
+        let e = parse("g1 * zc <= 16384").unwrap();
+        let atoms = octagonal_atoms(&e, &names, &bounds);
+        assert_eq!(atoms.len(), 1);
+        let mut o = Octagon::from_box(&bounds);
+        o.add_atom(&atoms[0]);
+        o.close();
+        let s = o.sum_bound(0, 1);
+        assert!(s.hi >= 544.0 && s.hi < 544.0 + 1e-6, "sum hi {}", s.hi);
+        assert!(matches!(atoms[0], OctAtom::Two { derived: true, .. }));
+    }
+
+    #[test]
+    fn product_relaxation_requires_positive_lower_bounds() {
+        let names = idx(&["x", "y"]);
+        let e = parse("x * y <= 100").unwrap();
+        // Zero lower bound: relaxation unavailable (division by min = 0).
+        assert!(octagonal_atoms(&e, &names, &boxed(&[(0.0, 10.0), (1.0, 10.0)])).is_empty());
+        // Negative lower bound: the sign argument breaks down.
+        assert!(octagonal_atoms(&e, &names, &boxed(&[(-1.0, 10.0), (1.0, 10.0)])).is_empty());
+    }
+
+    #[test]
+    fn linear_extraction_handles_scaling_and_conjunction() {
+        let names = idx(&["a", "b"]);
+        let bounds = boxed(&[(0.0, 100.0), (0.0, 100.0)]);
+        // Scaled two-var form: 2a + 2b <= 20 normalises to a + b <= 10.
+        let e = parse("2 * a + 2 * b <= 20").unwrap();
+        let atoms = octagonal_atoms(&e, &names, &bounds);
+        assert_eq!(atoms.len(), 1);
+        match atoms[0] {
+            OctAtom::Two {
+                si, sj, c, derived, ..
+            } => {
+                assert_eq!((si, sj), (1, 1));
+                assert!((c - 10.0).abs() < 1e-9, "c = {c}");
+                assert!(!derived);
+            }
+            other => panic!("expected Two, got {other:?}"),
+        }
+        // Conjunctions split into their atoms.
+        let e = parse("a <= 5 && a - b >= 1").unwrap();
+        assert_eq!(octagonal_atoms(&e, &names, &bounds).len(), 2);
+        // Unequal coefficient magnitudes are not octagonal.
+        let e = parse("a + 2 * b <= 10").unwrap();
+        assert!(octagonal_atoms(&e, &names, &bounds).is_empty());
+        // Disjunctions are the splitter's business.
+        let e = parse("a <= 1 || a >= 9").unwrap();
+        assert!(octagonal_atoms(&e, &names, &bounds).is_empty());
+    }
+
+    #[test]
+    fn strict_comparisons_relax_to_closed_bounds() {
+        let names = idx(&["a"]);
+        let bounds = boxed(&[(0.0, 10.0)]);
+        let e = parse("a < 4").unwrap();
+        let atoms = octagonal_atoms(&e, &names, &bounds);
+        match atoms.as_slice() {
+            [OctAtom::One { s: 1, c, .. }] => assert!(*c >= 4.0 && *c < 4.0 + 1e-9),
+            other => panic!("unexpected atoms {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_emits_both_directions() {
+        let names = idx(&["a", "b"]);
+        let bounds = boxed(&[(0.0, 10.0), (0.0, 10.0)]);
+        let e = parse("a - b == 3").unwrap();
+        let atoms = octagonal_atoms(&e, &names, &bounds);
+        assert_eq!(atoms.len(), 2);
+        let mut o = Octagon::from_box(&bounds);
+        for a in &atoms {
+            o.add_atom(a);
+        }
+        o.close();
+        let d = o.diff_bound(0, 1);
+        assert!(
+            (d.lo - 3.0).abs() < 1e-6 && (d.hi - 3.0).abs() < 1e-6,
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn join_encloses_both_operands() {
+        let bounds = boxed(&[(0.0, 10.0)]);
+        let mut a = Octagon::from_box(&bounds);
+        a.add_atom(&OctAtom::One { i: 0, s: 1, c: 1.0 }); // x <= 1
+        a.close();
+        let mut b = Octagon::from_box(&bounds);
+        b.add_atom(&OctAtom::One {
+            i: 0,
+            s: -1,
+            c: -9.0,
+        }); // x >= 9
+        b.close();
+        a.join_with(&b);
+        let iv = a.var_interval(0);
+        assert!(iv.lo <= 0.0 && iv.hi >= 10.0 - 1e-9, "{iv}");
+    }
+
+    #[test]
+    fn var_interval_tightens_through_closure() {
+        // Box [0, 100] plus x <= 7 via atom: closure keeps the tighter.
+        let bounds = boxed(&[(0.0, 100.0)]);
+        let mut o = Octagon::from_box(&bounds);
+        o.add_atom(&OctAtom::One { i: 0, s: 1, c: 7.0 });
+        o.close();
+        let iv = o.var_interval(0);
+        assert!(iv.hi >= 7.0 && iv.hi < 7.0 + 1e-9, "{iv}");
+        assert!(iv.lo <= 0.0 && iv.lo > -1e-9, "{iv}");
+    }
+}

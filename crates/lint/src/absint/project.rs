@@ -1,0 +1,282 @@
+//! Per-constraint interval projection: the feasible interval (or slab
+//! union) of one parameter *given a partial assignment of the others*.
+//!
+//! This is what turns rejection sampling into construction: a sampler
+//! walks the parameters in order, asks the projector for the feasible
+//! slabs of the next coordinate under the coordinates already fixed, and
+//! draws from those slabs directly. The projector pre-splits the
+//! constraint set into disjunctive branches (see [`super::split`]) and
+//! pre-contracts each branch once at build time; each query then pins the
+//! fixed coordinates as point intervals, re-contracts the branch, and
+//! unions the per-branch results.
+//!
+//! Projection is an *over-approximation* (HC4 + snapping is sound, not
+//! complete): every feasible value lies inside the returned slabs, but a
+//! returned slab may contain infeasible points when constraints are
+//! non-octagonal and deeply coupled. Constructive samplers therefore keep
+//! a final concrete validity check.
+
+use super::contract::{contract, contract_from, initial_interval, snap};
+use super::interval::Interval;
+use super::split::{dnf_branches, merge_slabs, SPLIT_CAP};
+use crate::bundle::PlanBundle;
+use crate::expr::{self, Expr};
+use cets_space::ParamDef;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A pre-split, pre-contracted view of a plan's constraint system,
+/// supporting conditional feasibility queries.
+#[derive(Debug, Clone)]
+pub struct Projector {
+    defs: Vec<(String, ParamDef)>,
+    branches: Vec<ProjBranch>,
+    /// Constraints skipped at build time (unparseable or with unknown
+    /// references); the projector is still usable, just blind to them.
+    pub skipped_constraints: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ProjBranch {
+    exprs: Vec<Expr>,
+    env: BTreeMap<String, Interval>,
+}
+
+impl Projector {
+    /// Build a projector from a bundle. `None` in `S001`/`S002` territory
+    /// (duplicate parameter names or invalid domains), mirroring
+    /// [`super::analyze_space`]'s bail-out. Unparseable or unknown-ref
+    /// constraints are skipped and counted.
+    pub fn from_bundle(bundle: &PlanBundle) -> Option<Projector> {
+        let mut seen = BTreeSet::new();
+        for p in &bundle.params {
+            if !seen.insert(p.name.as_str()) || initial_interval(&p.def).is_none() {
+                return None;
+            }
+        }
+        let defs: Vec<(String, ParamDef)> = bundle
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.def.clone()))
+            .collect();
+        let mut skipped = 0usize;
+        let mut exprs: Vec<Expr> = Vec::new();
+        for c in &bundle.constraints {
+            match expr::parse(&c.expr) {
+                Ok(e) if e.vars().iter().all(|v| bundle.has_param(v)) => exprs.push(e),
+                _ => skipped += 1,
+            }
+        }
+        let expr_refs: Vec<&Expr> = exprs.iter().collect();
+        let (raw_branches, _capped) = dnf_branches(&expr_refs, SPLIT_CAP);
+        let param_refs: Vec<(&str, &ParamDef)> =
+            defs.iter().map(|(n, d)| (n.as_str(), d)).collect();
+        let mut branches = Vec::new();
+        for br in raw_branches {
+            let refs: Vec<&Expr> = br.iter().collect();
+            let c = contract(&param_refs, &refs);
+            if c.proved_empty {
+                continue;
+            }
+            branches.push(ProjBranch {
+                exprs: br,
+                env: c.env,
+            });
+        }
+        Some(Projector {
+            defs,
+            branches,
+            skipped_constraints: skipped,
+        })
+    }
+
+    /// Declared parameter names, in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.defs.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The declared domain of `name`.
+    pub fn def(&self, name: &str) -> Option<&ParamDef> {
+        self.defs.iter().find(|(n, _)| n == name).map(|(_, d)| d)
+    }
+
+    /// Were all branches pruned at build time (the constraint system is
+    /// statically empty)?
+    pub fn proved_empty(&self) -> bool {
+        self.branches.is_empty() && !self.defs.is_empty()
+    }
+
+    /// The feasible slabs of `var` given `fixed` (numeric values on the
+    /// constraint scale: ordinals by value, categoricals by index).
+    /// Sorted, disjoint, domain-snapped; empty when no branch admits the
+    /// partial assignment.
+    pub fn project_slabs(&self, var: &str, fixed: &BTreeMap<String, f64>) -> Vec<Interval> {
+        let Some(def) = self.def(var) else {
+            return Vec::new();
+        };
+        let param_refs: Vec<(&str, &ParamDef)> =
+            self.defs.iter().map(|(n, d)| (n.as_str(), d)).collect();
+        let mut slabs = Vec::new();
+        for br in &self.branches {
+            let mut env = br.env.clone();
+            let mut feasible = true;
+            for (name, value) in fixed {
+                if let Some(slot) = env.get_mut(name) {
+                    let pinned = slot.meet(&Interval::point(*value));
+                    if pinned.is_empty_range() {
+                        feasible = false;
+                        break;
+                    }
+                    *slot = pinned;
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let refs: Vec<&Expr> = br.exprs.iter().collect();
+            let c = contract_from(env, &param_refs, &refs);
+            if c.proved_empty {
+                continue;
+            }
+            if let Some(iv) = c.env.get(var) {
+                let snapped = snap(def, *iv);
+                if !snapped.is_empty_range() {
+                    slabs.push(snapped);
+                }
+            }
+        }
+        merge_slabs(Some(def), slabs)
+    }
+
+    /// The feasible interval of `var` given `fixed`: the hull of
+    /// [`Projector::project_slabs`]. Bottom when nothing is feasible.
+    pub fn project(&self, var: &str, fixed: &BTreeMap<String, f64>) -> Interval {
+        self.project_slabs(var, fixed)
+            .into_iter()
+            .fold(Interval::bottom(), |acc, iv| acc.join(&iv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{ConstraintSpec, ParamSpec};
+
+    fn bundle(params: Vec<(&str, ParamDef)>, constraints: Vec<&str>) -> PlanBundle {
+        PlanBundle {
+            params: params
+                .into_iter()
+                .map(|(n, def)| ParamSpec {
+                    name: n.into(),
+                    def,
+                    default: None,
+                })
+                .collect(),
+            constraints: constraints
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| ConstraintSpec {
+                    name: format!("c{i}"),
+                    expr: e.into(),
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    fn fix(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn unconstrained_projection_is_the_declared_box() {
+        let b = bundle(vec![("a", ParamDef::Integer { lo: 0, hi: 9 })], vec![]);
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        let iv = p.project("a", &BTreeMap::new());
+        assert_eq!((iv.lo, iv.hi), (0.0, 9.0));
+    }
+
+    #[test]
+    fn projection_conditions_on_fixed_coordinates() {
+        // a + b <= 10: with a = 7, b projects to [0, 3].
+        let b = bundle(
+            vec![
+                ("a", ParamDef::Integer { lo: 0, hi: 10 }),
+                ("b", ParamDef::Integer { lo: 0, hi: 10 }),
+            ],
+            vec!["a + b <= 10"],
+        );
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        let iv = p.project("b", &fix(&[("a", 7.0)]));
+        assert_eq!((iv.lo, iv.hi), (0.0, 3.0));
+    }
+
+    #[test]
+    fn disjunctive_projection_returns_both_slabs() {
+        let b = bundle(
+            vec![("a", ParamDef::Integer { lo: 0, hi: 10 })],
+            vec!["a <= 1 || a >= 9"],
+        );
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        let slabs = p.project_slabs("a", &BTreeMap::new());
+        assert_eq!(slabs.len(), 2, "{slabs:?}");
+        assert_eq!((slabs[0].lo, slabs[0].hi), (0.0, 1.0));
+        assert_eq!((slabs[1].lo, slabs[1].hi), (9.0, 10.0));
+        // The hull is the vacuous answer; the slabs are the point.
+        let hull = p.project("a", &BTreeMap::new());
+        assert_eq!((hull.lo, hull.hi), (0.0, 10.0));
+    }
+
+    #[test]
+    fn infeasible_pin_yields_no_slabs() {
+        let b = bundle(
+            vec![
+                ("a", ParamDef::Integer { lo: 0, hi: 10 }),
+                ("b", ParamDef::Integer { lo: 0, hi: 10 }),
+            ],
+            vec!["a + b <= 10", "a >= 8"],
+        );
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        // a is pinned outside its feasible range.
+        assert!(p.project_slabs("b", &fix(&[("a", 2.0)])).is_empty());
+    }
+
+    #[test]
+    fn product_constraint_projects_conditionally() {
+        // g1 * zc <= 16384: with zc = 512, g1 projects to [32, 32].
+        let b = bundle(
+            vec![
+                ("g1", ParamDef::Integer { lo: 32, hi: 1024 }),
+                ("zc", ParamDef::Integer { lo: 32, hi: 1024 }),
+            ],
+            vec!["g1 * zc <= 16384"],
+        );
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        let iv = p.project("g1", &fix(&[("zc", 512.0)]));
+        assert_eq!((iv.lo, iv.hi), (32.0, 32.0));
+        let iv = p.project("g1", &fix(&[("zc", 32.0)]));
+        assert_eq!((iv.lo, iv.hi), (32.0, 512.0));
+    }
+
+    #[test]
+    fn malformed_bundles_yield_no_projector() {
+        let b = bundle(
+            vec![
+                ("a", ParamDef::Real { lo: 0.0, hi: 1.0 }),
+                ("a", ParamDef::Real { lo: 0.0, hi: 1.0 }),
+            ],
+            vec![],
+        );
+        assert!(Projector::from_bundle(&b).is_none());
+    }
+
+    #[test]
+    fn statically_empty_system_is_flagged() {
+        let b = bundle(
+            vec![("a", ParamDef::Integer { lo: 0, hi: 10 })],
+            vec!["a >= 9", "a <= 1"],
+        );
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        assert!(p.proved_empty());
+        assert!(p.project_slabs("a", &BTreeMap::new()).is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Disjunctive branch-and-prune: expand the `Or` structure of a
+//! constraint set into a bounded set of conjunctive branches.
+//!
+//! HC4-revise handles `a <= 1 || a >= 9` with the vacuous hull — neither
+//! side is refutable, so nothing narrows. Branch-and-prune instead
+//! rewrites the constraint set into (bounded) disjunctive normal form:
+//! each branch is a plain conjunction, contracts to its own fixpoint, and
+//! the per-parameter results join into a *union of slabs* whose hull is
+//! still sound but whose structure the samplers can exploit.
+//!
+//! The expansion is capped at [`SPLIT_CAP`] branches. A constraint whose
+//! expansion would blow the cap stays un-split inside every existing
+//! branch — sound (the weak `Or` contraction still applies), just less
+//! precise — and the driver reports the cap via diagnostic `A008`.
+
+use super::interval::Interval;
+use crate::expr::{BinOp, Expr};
+use cets_space::ParamDef;
+
+/// Default maximum number of disjunctive branches explored per analysis.
+/// Every branch pays a full interval fixpoint plus an octagon closure, so
+/// the cap bounds analysis cost on adversarial `Or` towers.
+pub const SPLIT_CAP: usize = 16;
+
+/// Expand `exprs` into conjunctive branches (bounded DNF). Returns the
+/// branch list and whether any expansion hit the cap. With no `Or` nodes
+/// the result is the single original conjunction.
+pub fn dnf_branches(exprs: &[&Expr], cap: usize) -> (Vec<Vec<Expr>>, bool) {
+    let cap = cap.max(1);
+    let mut branches: Vec<Vec<Expr>> = vec![Vec::new()];
+    let mut capped = false;
+    for e in exprs {
+        let (alts, c) = alternatives(e, cap);
+        capped |= c;
+        if alts.len() <= 1 || branches.len() * alts.len() > cap {
+            if alts.len() > 1 {
+                capped = true;
+            }
+            for b in &mut branches {
+                b.push((*e).clone());
+            }
+            continue;
+        }
+        let mut next = Vec::with_capacity(branches.len() * alts.len());
+        for b in &branches {
+            for alt in &alts {
+                let mut nb = b.clone();
+                nb.extend(alt.iter().cloned());
+                next.push(nb);
+            }
+        }
+        branches = next;
+    }
+    (branches, capped)
+}
+
+/// The alternative conjunctions of one constraint: DNF of its `Or`/`And`
+/// shell, with leaves kept opaque. Capped; a sub-expression whose
+/// expansion exceeds `cap` collapses back to itself as a single opaque
+/// alternative.
+fn alternatives(e: &Expr, cap: usize) -> (Vec<Vec<Expr>>, bool) {
+    match e {
+        Expr::Bin(BinOp::Or, a, b) => {
+            let (mut la, ca) = alternatives(a, cap);
+            let (lb, cb) = alternatives(b, cap);
+            if la.len() + lb.len() > cap {
+                return (vec![vec![e.clone()]], true);
+            }
+            la.extend(lb);
+            (la, ca || cb)
+        }
+        Expr::Bin(BinOp::And, a, b) => {
+            let (la, ca) = alternatives(a, cap);
+            let (lb, cb) = alternatives(b, cap);
+            if la.len() * lb.len() > cap {
+                return (vec![vec![e.clone()]], true);
+            }
+            let mut out = Vec::with_capacity(la.len() * lb.len());
+            for x in &la {
+                for y in &lb {
+                    let mut v = x.clone();
+                    v.extend(y.iter().cloned());
+                    out.push(v);
+                }
+            }
+            (out, ca || cb)
+        }
+        _ => (vec![vec![e.clone()]], false),
+    }
+}
+
+/// Merge a list of per-branch intervals into a minimal sorted union of
+/// disjoint slabs. Merging is domain-aware: two integer (or categorical
+/// index) slabs separated by a gap smaller than one representable value
+/// are contiguous, and two ordinal slabs merge when no declared value
+/// lies strictly between them — so the slab list never fabricates a gap
+/// that contains no representable point.
+pub(crate) fn merge_slabs(def: Option<&ParamDef>, mut ivs: Vec<Interval>) -> Vec<Interval> {
+    ivs.retain(|iv| !iv.is_empty_range());
+    ivs.sort_by(|a, b| a.lo.total_cmp(&b.lo).then(a.hi.total_cmp(&b.hi)));
+    let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+    for iv in ivs {
+        match out.last_mut() {
+            Some(last) if !gap_has_point(def, last.hi, iv.lo) => {
+                if iv.hi > last.hi {
+                    *last = Interval::new(last.lo, iv.hi);
+                }
+            }
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+/// Is there a representable value strictly between `hi` and `lo` (the gap
+/// between two candidate slabs)? When not, the slabs are contiguous.
+fn gap_has_point(def: Option<&ParamDef>, hi: f64, lo: f64) -> bool {
+    if lo <= hi {
+        return false; // overlapping or touching
+    }
+    match def {
+        Some(ParamDef::Integer { .. }) | Some(ParamDef::Categorical { .. }) => {
+            // Snapped integer slabs have integral endpoints; a gap is real
+            // only if it contains an integer strictly between them.
+            lo - hi > 1.0 + 1e-9
+        }
+        Some(ParamDef::Ordinal { values }) => values.iter().any(|v| *v > hi && *v < lo),
+        _ => true, // reals: any positive gap is real
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse;
+
+    fn branches_of(srcs: &[&str], cap: usize) -> (Vec<Vec<Expr>>, bool) {
+        let exprs: Vec<Expr> = srcs.iter().map(|s| parse(s).unwrap()).collect();
+        let refs: Vec<&Expr> = exprs.iter().collect();
+        dnf_branches(&refs, cap)
+    }
+
+    #[test]
+    fn no_or_yields_single_branch() {
+        let (b, capped) = branches_of(&["a <= 1", "b >= 2"], 16);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].len(), 2);
+        assert!(!capped);
+    }
+
+    #[test]
+    fn simple_or_splits_in_two() {
+        let (b, capped) = branches_of(&["a <= 1 || a >= 9"], 16);
+        assert_eq!(b.len(), 2);
+        assert!(!capped);
+    }
+
+    #[test]
+    fn ors_multiply_across_constraints() {
+        let (b, capped) = branches_of(&["a <= 1 || a >= 9", "b <= 2 || b >= 8"], 16);
+        assert_eq!(b.len(), 4);
+        assert!(!capped);
+    }
+
+    #[test]
+    fn and_distributes_over_or() {
+        // (p || q) && r  →  {p, r}, {q, r}.
+        let (b, capped) = branches_of(&["(a <= 1 || a >= 9) && b <= 5"], 16);
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(|br| br.len() == 2));
+        assert!(!capped);
+    }
+
+    #[test]
+    fn cap_keeps_constraint_unsplit() {
+        // 2 * 2 * 2 = 8 branches would exceed a cap of 4: the third
+        // disjunction stays opaque in all four branches.
+        let (b, capped) = branches_of(
+            &["a <= 1 || a >= 9", "b <= 1 || b >= 9", "c <= 1 || c >= 9"],
+            4,
+        );
+        assert_eq!(b.len(), 4);
+        assert!(capped);
+        assert!(b.iter().all(|br| br.len() == 3));
+    }
+
+    #[test]
+    fn merge_slabs_joins_touching_and_keeps_gaps() {
+        let slabs = merge_slabs(
+            None,
+            vec![
+                Interval::new(9.0, 10.0),
+                Interval::new(0.0, 1.0),
+                Interval::new(0.5, 2.0),
+            ],
+        );
+        assert_eq!(slabs.len(), 2);
+        assert_eq!((slabs[0].lo, slabs[0].hi), (0.0, 2.0));
+        assert_eq!((slabs[1].lo, slabs[1].hi), (9.0, 10.0));
+    }
+
+    #[test]
+    fn merge_slabs_is_domain_aware() {
+        let int = ParamDef::Integer { lo: 0, hi: 10 };
+        // {0..1} and {2..5} are contiguous integers: one slab.
+        let slabs = merge_slabs(
+            Some(&int),
+            vec![Interval::new(0.0, 1.0), Interval::new(2.0, 5.0)],
+        );
+        assert_eq!(slabs.len(), 1);
+        // {0..1} and {9..10} are not.
+        let slabs = merge_slabs(
+            Some(&int),
+            vec![Interval::new(0.0, 1.0), Interval::new(9.0, 10.0)],
+        );
+        assert_eq!(slabs.len(), 2);
+        // Ordinal: no declared value between 4 and 16 → contiguous.
+        let ord = ParamDef::Ordinal {
+            values: vec![1.0, 2.0, 4.0, 16.0, 32.0],
+        };
+        let slabs = merge_slabs(
+            Some(&ord),
+            vec![Interval::new(1.0, 4.0), Interval::new(16.0, 32.0)],
+        );
+        assert_eq!(slabs.len(), 1);
+    }
+}

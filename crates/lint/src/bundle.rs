@@ -114,6 +114,10 @@ pub struct PlanBundle {
     pub plan: Option<PlanSpec>,
     /// Names that failed to resolve at load time.
     pub unresolved: Vec<UnresolvedRef>,
+    /// Byte spans of the source file's parameters / constraints, when
+    /// loaded from JSON (empty for bundles assembled in memory). The
+    /// registry uses this to attach physical locations to diagnostics.
+    pub spans: crate::span::SpanTable,
 }
 
 impl Default for PlanBundle {
@@ -129,6 +133,7 @@ impl Default for PlanBundle {
             kernel: None,
             plan: None,
             unresolved: Vec::new(),
+            spans: crate::span::SpanTable::default(),
         }
     }
 }

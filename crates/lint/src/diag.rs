@@ -107,6 +107,11 @@ pub struct Diagnostic {
     pub message: String,
     /// Optional fix-it hint.
     pub help: Option<String>,
+    /// Physical source region of [`Diagnostic::location`], when the
+    /// bundle came from a file whose spans were indexed. Attached
+    /// centrally by [`crate::registry::Registry::run`]; rules never set
+    /// it themselves.
+    pub span: Option<crate::span::Span>,
 }
 
 impl Diagnostic {
@@ -118,6 +123,7 @@ impl Diagnostic {
             location,
             message: message.into(),
             help: None,
+            span: None,
         }
     }
 
@@ -129,6 +135,7 @@ impl Diagnostic {
             location,
             message: message.into(),
             help: None,
+            span: None,
         }
     }
 
@@ -140,12 +147,19 @@ impl Diagnostic {
             location,
             message: message.into(),
             help: None,
+            span: None,
         }
     }
 
     /// Attach a fix-it hint.
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attach a physical source span.
+    pub fn with_span(mut self, span: crate::span::Span) -> Self {
+        self.span = Some(span);
         self
     }
 }

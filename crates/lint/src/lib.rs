@@ -15,11 +15,13 @@
 //! | `S0xx` | search **s**pace   | `S001` duplicates, `S002` invalid domains, `S003` defaults outside domains, `S004` unsatisfiable-looking constraints, `S005` unknown references |
 //! | `G0xx` | influence **g**raph / plan | `G001` dependency cycles, `G002` cut-off-orphaned tuned parameters, `G003` dimension cap violations, `G004` shared-parameter ownership |
 //! | `N0xx` | **n**umerics | `N001` PSD-fragile kernels, `N002` non-finite inputs, `N003` zero-variance dimensions |
-//! | `A0xx` | **a**bstract interpretation | `A001` proved-unsat plans, `A002` tautological constraints, `A003` rejection-sampling thrash risk, `A004` contractible bounds, `A005` contraction not converged |
+//! | `A0xx` | **a**bstract interpretation | `A001` proved-unsat plans, `A002` tautological constraints, `A003` rejection-sampling thrash risk, `A004` contractible bounds, `A005` contraction not converged, `A006` inferred relational bounds, `A007` disjoint feasible slabs, `A008` disjunctive split cap |
 //!
-//! The `A`-codes come from the interval-analysis engine in [`absint`]
-//! (forward constraint classification + HC4-revise backward bound
-//! contraction) and are opt-in: [`analyze`] /
+//! The `A`-codes come from the relational analysis engine in [`absint`]
+//! (forward constraint classification, HC4-revise backward bound
+//! contraction, an octagon domain for two-parameter relations, and
+//! disjunctive branch-and-prune over `or` constraints) and are opt-in:
+//! [`analyze`] /
 //! [`Registry::with_analysis_rules`] run them, the plain [`lint`] entry
 //! point does not — `A004` is advice about *optimizable* bounds, not a
 //! defect, so the default gate stays quiet about it.
@@ -63,9 +65,11 @@ pub mod loader;
 pub mod registry;
 pub mod reporter;
 pub mod rules;
+pub mod span;
 
 pub use absint::{
-    analyze_space, apply_contraction, wilson_interval, ConstraintClass, Interval, McFeasibility,
+    analyze_space, analyze_space_with, apply_contraction, wilson_interval, AnalysisOptions,
+    ConstraintClass, Domain, Interval, McFeasibility, Projector, Relation, RelationKind,
     SpaceAnalysis,
 };
 pub use bundle::{
@@ -73,5 +77,6 @@ pub use bundle::{
 };
 pub use diag::{Diagnostic, Location, Severity};
 pub use loader::{load_path, load_str, rewrite_contracted};
-pub use registry::{analyze, lint, Lint, Registry, Report};
+pub use registry::{analyze, analyze_with, lint, Lint, Registry, Report};
 pub use reporter::{render_human, render_json, render_sarif};
+pub use span::{index_spans, Span, SpanTable};

@@ -47,14 +47,20 @@ use serde::Value;
 /// semantic dangling references are deferred to the `S005` lint.
 pub fn load_str(src: &str) -> Result<PlanBundle, String> {
     let v = serde_json::parse_value(src).map_err(|e| format!("invalid JSON: {e}"))?;
-    from_value(&v)
+    let mut b = from_value(&v)?;
+    b.spans = crate::span::index_spans(src);
+    Ok(b)
 }
 
-/// Read and parse a plan file from disk.
+/// Read and parse a plan file from disk. Unlike [`load_str`], the
+/// resulting bundle's spans carry the file path, so diagnostics render
+/// with `file:line:col` physical locations.
 pub fn load_path(path: &std::path::Path) -> Result<PlanBundle, String> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    load_str(&src)
+    let mut b = load_str(&src)?;
+    b.spans.file = Some(path.display().to_string());
+    Ok(b)
 }
 
 fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, String> {

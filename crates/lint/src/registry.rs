@@ -106,8 +106,17 @@ impl Registry {
     /// fires on any plan whose bounds are not already statically minimal,
     /// which is advice, not a defect.
     pub fn with_analysis_rules() -> Self {
+        Registry::with_analysis_rules_for(crate::absint::AnalysisOptions::default())
+    }
+
+    /// Like [`Registry::with_analysis_rules`], but with explicit
+    /// [`crate::absint::AnalysisOptions`] — `cets analyze --domain
+    /// interval` uses this to fall back to the non-relational domain.
+    pub fn with_analysis_rules_for(options: crate::absint::AnalysisOptions) -> Self {
         let mut r = Registry::with_default_rules();
-        r.register(Box::new(crate::rules::feasibility::Feasibility));
+        r.register(Box::new(
+            crate::rules::feasibility::Feasibility::with_options(options),
+        ));
         r
     }
 
@@ -121,11 +130,19 @@ impl Registry {
         self.rules.iter().map(|r| r.name()).collect()
     }
 
-    /// Run every rule over `bundle`.
+    /// Run every rule over `bundle`. Physical spans are attached
+    /// centrally here: rules only name bundle locations, and any
+    /// location the bundle's span table knows gains its `file:line:col`
+    /// region (for SARIF `physicalLocation`s and the human `-->` arrow).
     pub fn run(&self, bundle: &PlanBundle) -> Report {
         let mut diagnostics = Vec::new();
         for rule in &self.rules {
             rule.check(bundle, &mut diagnostics);
+        }
+        for d in &mut diagnostics {
+            if d.span.is_none() {
+                d.span = bundle.spans.lookup(&d.location);
+            }
         }
         Report { diagnostics }
     }
@@ -146,6 +163,12 @@ pub fn lint(bundle: &PlanBundle) -> Report {
 /// `A`-codes) over a bundle. This is `cets analyze`'s entry point.
 pub fn analyze(bundle: &PlanBundle) -> Report {
     Registry::with_analysis_rules().run(bundle)
+}
+
+/// Convenience: run the analysis registry under explicit
+/// [`crate::absint::AnalysisOptions`].
+pub fn analyze_with(bundle: &PlanBundle, options: crate::absint::AnalysisOptions) -> Report {
+    Registry::with_analysis_rules_for(options).run(bundle)
 }
 
 #[cfg(test)]
@@ -176,7 +199,9 @@ mod tests {
             .iter()
             .flat_map(|l| l.codes().iter().copied())
             .collect();
-        for c in ["A001", "A002", "A003", "A004", "A005"] {
+        for c in [
+            "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008",
+        ] {
             assert!(codes.contains(&c), "missing analysis rule for {c}");
         }
         // The default registry stays free of A-codes.

@@ -16,7 +16,15 @@ pub fn render_human(report: &Report) -> String {
     let mut s = String::new();
     for d in &report.diagnostics {
         let _ = writeln!(s, "{}[{}]: {}", d.severity, d.code, d.message);
-        let _ = writeln!(s, "  --> {}", d.location);
+        match &d.span {
+            Some(sp) => {
+                let file = sp.file.as_deref().unwrap_or("<plan>");
+                let _ = writeln!(s, "  --> {}:{}:{} ({})", file, sp.line, sp.col, d.location);
+            }
+            None => {
+                let _ = writeln!(s, "  --> {}", d.location);
+            }
+        }
         if let Some(h) = &d.help {
             let _ = writeln!(s, "  help: {h}");
         }
@@ -46,6 +54,17 @@ fn diagnostic_value(d: &Diagnostic) -> Value {
     ];
     if let Some(h) = &d.help {
         fields.push(("help".to_string(), Value::String(h.clone())));
+    }
+    if let Some(sp) = &d.span {
+        let mut span = Vec::new();
+        if let Some(f) = &sp.file {
+            span.push(("file".to_string(), Value::String(f.clone())));
+        }
+        span.push(("offset".to_string(), Value::UInt(sp.offset as u64)));
+        span.push(("len".to_string(), Value::UInt(sp.len as u64)));
+        span.push(("line".to_string(), Value::UInt(sp.line as u64)));
+        span.push(("col".to_string(), Value::UInt(sp.col as u64)));
+        fields.push(("span".to_string(), Value::Object(span)));
     }
     Value::Object(fields)
 }
@@ -88,6 +107,29 @@ fn sarif_result(d: &Diagnostic) -> Value {
         "fullyQualifiedName".to_string(),
         Value::String(d.location.to_string()),
     ));
+    let mut location = vec![(
+        "logicalLocations".to_string(),
+        Value::Array(vec![Value::Object(logical)]),
+    )];
+    if let Some(sp) = &d.span {
+        let mut physical = Vec::new();
+        if let Some(f) = &sp.file {
+            physical.push((
+                "artifactLocation".to_string(),
+                Value::Object(vec![("uri".to_string(), Value::String(f.clone()))]),
+            ));
+        }
+        physical.push((
+            "region".to_string(),
+            Value::Object(vec![
+                ("byteOffset".to_string(), Value::UInt(sp.offset as u64)),
+                ("byteLength".to_string(), Value::UInt(sp.len as u64)),
+                ("startLine".to_string(), Value::UInt(sp.line as u64)),
+                ("startColumn".to_string(), Value::UInt(sp.col as u64)),
+            ]),
+        ));
+        location.push(("physicalLocation".to_string(), Value::Object(physical)));
+    }
     let mut fields = vec![
         ("ruleId".to_string(), Value::String(d.code.into())),
         ("level".to_string(), Value::String(sarif_level(d).into())),
@@ -97,10 +139,7 @@ fn sarif_result(d: &Diagnostic) -> Value {
         ),
         (
             "locations".to_string(),
-            Value::Array(vec![Value::Object(vec![(
-                "logicalLocations".to_string(),
-                Value::Array(vec![Value::Object(logical)]),
-            )])]),
+            Value::Array(vec![Value::Object(location)]),
         ),
     ];
     if let Some(h) = &d.help {
@@ -276,6 +315,54 @@ mod tests {
             results[0].get_field("properties").get_field("help"),
             serde::Value::String(h) if h == "rename one"
         ));
+    }
+
+    #[test]
+    fn spans_render_as_physical_locations() {
+        use crate::span::Span;
+        let rep = Report {
+            diagnostics: vec![Diagnostic::warning(
+                "A004",
+                Location::Param("tb".into()),
+                "contractible",
+            )
+            .with_span(Span {
+                file: Some("plan.json".into()),
+                offset: 20,
+                len: 52,
+                line: 3,
+                col: 9,
+            })],
+        };
+        // Human rendering gains the file:line:col arrow.
+        let human = render_human(&rep);
+        assert!(human.contains("--> plan.json:3:9"), "{human}");
+        // SARIF rendering gains a physicalLocation region.
+        let v = serde_json::parse_value(&render_sarif(&rep)).unwrap();
+        let loc = v.get_field("runs").as_array().unwrap()[0]
+            .get_field("results")
+            .as_array()
+            .unwrap()[0]
+            .get_field("locations")
+            .as_array()
+            .unwrap()[0]
+            .clone();
+        let phys = loc.get_field("physicalLocation");
+        assert!(matches!(
+            phys.get_field("artifactLocation").get_field("uri"),
+            serde::Value::String(u) if u == "plan.json"
+        ));
+        let region = phys.get_field("region");
+        assert_eq!(region.get_field("byteOffset").as_u64().unwrap(), 20);
+        assert_eq!(region.get_field("byteLength").as_u64().unwrap(), 52);
+        assert_eq!(region.get_field("startLine").as_u64().unwrap(), 3);
+        // JSON rendering carries the span too.
+        let j = serde_json::parse_value(&render_json(&rep)).unwrap();
+        let d0 = j.get_field("diagnostics").as_array().unwrap()[0].clone();
+        assert_eq!(
+            d0.get_field("span").get_field("offset").as_u64().unwrap(),
+            20
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! `A001`–`A005`: abstract-interpretation feasibility findings.
+//! `A001`–`A008`: abstract-interpretation feasibility findings.
 //!
-//! This rule runs the interval analysis of [`crate::absint`] over the
+//! This rule runs the relational analysis of [`crate::absint`] over the
 //! bundle and reports what it proves:
 //!
 //! * `A001` (error) — a constraint is *proved unsatisfiable* over the
@@ -18,6 +18,17 @@
 //! * `A005` (info) — the contraction fixpoint hit its iteration cap
 //!   before converging; the reported intervals are sound but may be
 //!   looser than the true fixpoint.
+//! * `A006` (info) — the octagon closure *inferred* a two-parameter
+//!   relational bound (`x + y <= c` or `x - y <= c`) that is strictly
+//!   tighter than anything the contracted per-parameter boxes imply and
+//!   is not a restatement of a constraint already in the plan. Samplers
+//!   that only respect per-parameter bounds will overdraw this region.
+//! * `A007` (info) — disjunctive branch-and-prune recovered a *union of
+//!   disjoint slabs* for a parameter: the feasible set is not an
+//!   interval, and the hull reported by `A004` overstates it.
+//! * `A008` (info) — the disjunctive expansion hit the branch cap; some
+//!   `Or` constraints were kept un-split, so slab unions may be coarser
+//!   (hull-shaped) than the true feasible set. Sound, like `A005`.
 //!
 //! The rule is **not** part of the default `cets lint` registry: `A004`
 //! fires on any plan whose bounds are not already statically minimal,
@@ -28,7 +39,7 @@
 //! invalid domains) are skipped entirely — interval analysis over a
 //! malformed box proves nothing.
 
-use crate::absint::{analyze_space, ConstraintClass};
+use crate::absint::{analyze_space_with, AnalysisOptions, ConstraintClass};
 use crate::bundle::PlanBundle;
 use crate::diag::{Diagnostic, Location};
 use crate::registry::Lint;
@@ -37,7 +48,23 @@ use crate::registry::Lint;
 pub const THRASH_THRESHOLD: f64 = 1e-3;
 
 /// See the module docs.
-pub struct Feasibility;
+#[derive(Default)]
+pub struct Feasibility {
+    options: AnalysisOptions,
+}
+
+impl Feasibility {
+    /// The rule under the default (octagon, relational) analysis.
+    pub fn new() -> Self {
+        Feasibility::default()
+    }
+
+    /// The rule under explicit [`AnalysisOptions`] — e.g. the plain
+    /// interval domain for `cets analyze --domain interval`.
+    pub fn with_options(options: AnalysisOptions) -> Self {
+        Feasibility { options }
+    }
+}
 
 impl Lint for Feasibility {
     fn name(&self) -> &'static str {
@@ -45,11 +72,13 @@ impl Lint for Feasibility {
     }
 
     fn codes(&self) -> &'static [&'static str] {
-        &["A001", "A002", "A003", "A004", "A005"]
+        &[
+            "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008",
+        ]
     }
 
     fn check(&self, bundle: &PlanBundle, out: &mut Vec<Diagnostic>) {
-        let analysis = analyze_space(bundle);
+        let analysis = analyze_space_with(bundle, &self.options);
         if !analysis.analyzed {
             return;
         }
@@ -176,6 +205,64 @@ impl Lint for Feasibility {
                 ),
             ));
         }
+
+        if !analysis.proved_empty {
+            for rel in analysis.relations.iter().filter(|r| r.inferred) {
+                out.push(
+                    Diagnostic::info(
+                        "A006",
+                        Location::Plan,
+                        format!(
+                            "octagon closure infers the relational bound `{rel}`, strictly \
+                             tighter than the per-parameter boxes imply",
+                        ),
+                    )
+                    .with_help(
+                        "per-parameter bounds cannot express this; samplers that ignore the \
+                         constraints will overdraw the excluded corner",
+                    ),
+                );
+            }
+
+            for p in analysis.params.iter().filter(|p| p.slabs.len() > 1) {
+                let slabs = p
+                    .slabs
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ∪ ");
+                out.push(
+                    Diagnostic::info(
+                        "A007",
+                        Location::Param(p.name.clone()),
+                        format!(
+                            "the feasible set of `{}` is a union of {} disjoint slabs: {}; \
+                             the interval hull {} overstates it",
+                            p.name,
+                            p.slabs.len(),
+                            slabs,
+                            p.contracted
+                        ),
+                    )
+                    .with_help(
+                        "constructive samplers draw from the slab union directly; plain \
+                         rejection over the hull discards the gap",
+                    ),
+                );
+            }
+
+            if analysis.split_capped {
+                out.push(Diagnostic::info(
+                    "A008",
+                    Location::Plan,
+                    format!(
+                        "disjunctive expansion hit the branch cap ({} branches explored); \
+                         un-split `or` constraints fall back to the sound interval hull",
+                        analysis.split_branches
+                    ),
+                ));
+            }
+        }
     }
 }
 
@@ -203,7 +290,7 @@ mod tests {
 
     fn run(b: &PlanBundle) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        Feasibility.check(b, &mut out);
+        Feasibility::new().check(b, &mut out);
         out
     }
 
@@ -304,6 +391,73 @@ mod tests {
         };
         let out = run(&b2);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn inferred_relation_is_a006_info() {
+        // McCormick relaxation of the product constraint infers
+        // g1 + zc <= 544, which no per-parameter box expresses.
+        let b = PlanBundle {
+            params: vec![param("g1", 32, 1024), param("zc", 32, 1024)],
+            constraints: vec![constraint("residency", "g1 * zc <= 16384")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A006").expect("A006");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("g1 + zc <= 544"), "{}", d.message);
+        // Under the interval domain there is no relational machinery.
+        let mut out = Vec::new();
+        Feasibility::with_options(AnalysisOptions {
+            domain: crate::absint::Domain::Interval,
+            ..Default::default()
+        })
+        .check(&b, &mut out);
+        assert!(out.iter().all(|d| d.code != "A006"), "{out:?}");
+    }
+
+    #[test]
+    fn restated_linear_bound_stays_quiet() {
+        // `a + b <= 10` is octagonal already: reporting it back as an
+        // "inferred" relation would be noise.
+        let b = PlanBundle {
+            params: vec![param("a", 0, 10), param("b", 0, 10)],
+            constraints: vec![constraint("budget", "a + b <= 10")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        assert!(out.iter().all(|d| d.code != "A006"), "{out:?}");
+    }
+
+    #[test]
+    fn disjoint_slabs_are_a007_info() {
+        let b = PlanBundle {
+            params: vec![param("a", 0, 10)],
+            constraints: vec![constraint("gap", "a <= 1 || a >= 9")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A007").expect("A007");
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.location, Location::Param("a".into()));
+        assert!(d.message.contains("2 disjoint slabs"), "{}", d.message);
+    }
+
+    #[test]
+    fn split_cap_is_a008_info() {
+        // Five two-way disjunctions want 32 branches; the cap is 16.
+        let params: Vec<ParamSpec> = (0..5).map(|i| param(&format!("p{i}"), 0, 10)).collect();
+        let constraints: Vec<ConstraintSpec> = (0..5)
+            .map(|i| constraint(&format!("c{i}"), &format!("p{i} <= 1 || p{i} >= 9")))
+            .collect();
+        let b = PlanBundle {
+            params,
+            constraints,
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A008").expect("A008");
+        assert_eq!(d.severity, Severity::Info);
     }
 
     #[test]

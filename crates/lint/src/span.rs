@@ -1,0 +1,421 @@
+//! Physical source spans for plan files.
+//!
+//! The JSON loader ([`crate::loader`]) parses into plain data and loses
+//! all source positions; this module recovers them with a second,
+//! *structural* pass over the raw text. [`index_spans`] walks the byte
+//! stream with a tiny lossless scanner and records the byte range of
+//! every object in the top-level `params` and `constraints` arrays, keyed
+//! by the same names the loader assigns (`name` field, or `c{i}` for an
+//! unnamed constraint). The result powers `physicalLocation` regions in
+//! the SARIF reporter and `--> file:line:col` arrows in the human one.
+//!
+//! The scanner is total and best-effort: on any byte it does not
+//! understand it stops and returns whatever it has indexed so far — a
+//! diagnostic without a span still renders, it just loses the precise
+//! file region. It never panics and never allocates proportionally to
+//! nesting depth beyond the recursion guard.
+
+use crate::diag::Location;
+use std::collections::BTreeMap;
+
+/// A byte region of the plan source, with 1-based line/column of its
+/// start for editors that want positions instead of offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Source path, when the bundle was loaded from disk.
+    pub file: Option<String>,
+    /// Byte offset of the region start.
+    pub offset: usize,
+    /// Region length in bytes.
+    pub len: usize,
+    /// 1-based line of the region start.
+    pub line: usize,
+    /// 1-based column (in bytes) of the region start.
+    pub col: usize,
+}
+
+/// Spans of the named entities of one plan file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    /// Source path attached to every looked-up span (set by
+    /// [`crate::loader::load_path`]).
+    pub file: Option<String>,
+    params: BTreeMap<String, Span>,
+    constraints: BTreeMap<String, Span>,
+}
+
+impl SpanTable {
+    /// No spans recorded at all?
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty() && self.constraints.is_empty()
+    }
+
+    /// The span for a diagnostic location, when the source region is
+    /// known. Only parameter and constraint locations map to file
+    /// regions; plan-level findings have no natural anchor.
+    pub fn lookup(&self, loc: &Location) -> Option<Span> {
+        let span = match loc {
+            Location::Param(n) => self.params.get(n),
+            Location::Constraint(n) => self.constraints.get(n),
+            _ => None,
+        }?;
+        let mut s = span.clone();
+        s.file = self.file.clone();
+        Some(s)
+    }
+}
+
+/// Index the `params` / `constraints` object spans of `src`.
+pub fn index_spans(src: &str) -> SpanTable {
+    let mut table = SpanTable::default();
+    let mut sc = Scanner {
+        b: src.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    sc.scan_top(&mut table);
+    finish_lines(src, &mut table);
+    table
+}
+
+/// Fill in line/col for every recorded span in one pass over `src`.
+fn finish_lines(src: &str, table: &mut SpanTable) {
+    let mut offsets: Vec<usize> = table
+        .params
+        .values()
+        .chain(table.constraints.values())
+        .map(|s| s.offset)
+        .collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    let mut pos: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    let (mut line, mut col) = (1usize, 1usize);
+    let mut next = offsets.iter().peekable();
+    for (i, ch) in src.bytes().enumerate() {
+        while let Some(&&o) = next.peek() {
+            if o == i {
+                pos.insert(o, (line, col));
+                next.next();
+            } else {
+                break;
+            }
+        }
+        if next.peek().is_none() {
+            break;
+        }
+        if ch == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    for s in table
+        .params
+        .values_mut()
+        .chain(table.constraints.values_mut())
+    {
+        if let Some(&(l, c)) = pos.get(&s.offset) {
+            s.line = l;
+            s.col = c;
+        }
+    }
+}
+
+/// Recursion guard: deeper nesting than any sane plan file uses.
+const MAX_DEPTH: usize = 128;
+
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: usize,
+}
+
+impl Scanner<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a string literal (cursor on the opening quote), returning
+    /// its raw contents. `None` on malformed input or when the string
+    /// contains escapes — names with escapes just lose their span.
+    fn string(&mut self) -> Option<Option<String>> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let start = self.i;
+        let mut escaped = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    let raw = &self.b[start..self.i];
+                    self.i += 1;
+                    return Some(if escaped {
+                        None
+                    } else {
+                        std::str::from_utf8(raw).ok().map(str::to_string)
+                    });
+                }
+                b'\\' => {
+                    escaped = true;
+                    self.i += 1;
+                    if self.peek().is_some() {
+                        self.i += 1;
+                    }
+                }
+                _ => self.i += 1,
+            }
+        }
+        None // unterminated
+    }
+
+    /// Skip any JSON value. `None` aborts the whole scan (best-effort).
+    fn skip_value(&mut self) -> Option<()> {
+        if self.depth >= MAX_DEPTH {
+            return None;
+        }
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => self.string().map(|_| ()),
+            b'{' => self.skip_delimited(b'{', b'}'),
+            b'[' => self.skip_delimited(b'[', b']'),
+            _ => {
+                // number / true / false / null: consume the token.
+                while let Some(c) = self.peek() {
+                    if matches!(c, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                        break;
+                    }
+                    self.i += 1;
+                }
+                Some(())
+            }
+        }
+    }
+
+    fn skip_delimited(&mut self, open: u8, close: u8) -> Option<()> {
+        if !self.eat(open) {
+            return None;
+        }
+        self.depth += 1;
+        loop {
+            self.skip_ws();
+            match self.peek()? {
+                c if c == close => {
+                    self.i += 1;
+                    self.depth -= 1;
+                    return Some(());
+                }
+                b',' | b':' => self.i += 1,
+                b'"' => {
+                    self.string()?;
+                }
+                _ => self.skip_value()?,
+            }
+        }
+    }
+
+    /// Skip one object while capturing its `"name"` string field.
+    fn object_capturing_name(&mut self) -> Option<Option<String>> {
+        self.skip_ws();
+        if !self.eat(b'{') {
+            return None;
+        }
+        self.depth += 1;
+        let mut name = None;
+        loop {
+            self.skip_ws();
+            match self.peek()? {
+                b'}' => {
+                    self.i += 1;
+                    self.depth -= 1;
+                    return Some(name);
+                }
+                b',' => self.i += 1,
+                b'"' => {
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(b':') {
+                        return None;
+                    }
+                    self.skip_ws();
+                    if key.as_deref() == Some("name") && self.peek() == Some(b'"') {
+                        name = self.string()?;
+                    } else {
+                        self.skip_value()?;
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Walk the top-level object, indexing `params` / `constraints`.
+    fn scan_top(&mut self, table: &mut SpanTable) -> Option<()> {
+        self.skip_ws();
+        if !self.eat(b'{') {
+            return None;
+        }
+        self.depth += 1;
+        loop {
+            self.skip_ws();
+            match self.peek()? {
+                b'}' => return Some(()),
+                b',' => self.i += 1,
+                b'"' => {
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(b':') {
+                        return None;
+                    }
+                    match key.as_deref() {
+                        Some(k @ ("params" | "constraints")) => {
+                            self.indexed_array(k == "params", table)?
+                        }
+                        _ => self.skip_value()?,
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Index one entity array: record each element object's byte span.
+    fn indexed_array(&mut self, is_params: bool, table: &mut SpanTable) -> Option<()> {
+        self.skip_ws();
+        if !self.eat(b'[') {
+            return None;
+        }
+        self.depth += 1;
+        let mut idx = 0usize;
+        loop {
+            self.skip_ws();
+            match self.peek()? {
+                b']' => {
+                    self.i += 1;
+                    self.depth -= 1;
+                    return Some(());
+                }
+                b',' => self.i += 1,
+                b'{' => {
+                    let start = self.i;
+                    let name = self.object_capturing_name()?;
+                    let span = Span {
+                        file: None,
+                        offset: start,
+                        len: self.i - start,
+                        line: 0,
+                        col: 0,
+                    };
+                    let key = match (name, is_params) {
+                        (Some(n), _) => Some(n),
+                        (None, false) => Some(format!("c{idx}")),
+                        (None, true) => None, // unnamed param: loader rejects it anyway
+                    };
+                    if let Some(k) = key {
+                        let map = if is_params {
+                            &mut table.params
+                        } else {
+                            &mut table.constraints
+                        };
+                        map.entry(k).or_insert(span);
+                    }
+                    idx += 1;
+                }
+                _ => {
+                    self.skip_value()?;
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"{
+    "params": [
+        {"name": "tb", "kind": "integer", "lo": 1, "hi": 32},
+        {"name": "lr", "kind": "real", "lo": 0.0, "hi": 1.0}
+    ],
+    "constraints": [
+        {"name": "smem", "expr": "tb * 64 <= 2048"},
+        {"expr": "lr <= 0.5"}
+    ]
+}"#;
+
+    #[test]
+    fn indexes_params_and_constraints_by_name() {
+        let t = index_spans(SRC);
+        let tb = t.lookup(&Location::Param("tb".into())).expect("tb span");
+        assert_eq!(
+            &SRC[tb.offset..tb.offset + tb.len],
+            r#"{"name": "tb", "kind": "integer", "lo": 1, "hi": 32}"#
+        );
+        assert_eq!(tb.line, 3);
+        let smem = t
+            .lookup(&Location::Constraint("smem".into()))
+            .expect("smem span");
+        assert!(SRC[smem.offset..smem.offset + smem.len].contains("tb * 64"));
+        // Unnamed constraints get the loader's fallback key.
+        let c1 = t
+            .lookup(&Location::Constraint("c1".into()))
+            .expect("c1 span");
+        assert!(SRC[c1.offset..c1.offset + c1.len].contains("lr <= 0.5"));
+    }
+
+    #[test]
+    fn non_entity_locations_have_no_span() {
+        let t = index_spans(SRC);
+        assert!(t.lookup(&Location::Plan).is_none());
+        assert!(t.lookup(&Location::Param("ghost".into())).is_none());
+    }
+
+    #[test]
+    fn scanner_is_total_on_garbage() {
+        for src in ["", "not json", "{", r#"{"params": [{"name": "a""#, "[1,2]"] {
+            let _ = index_spans(src); // must not panic
+        }
+        // Partial input still yields the spans scanned before the break.
+        let t = index_spans(r#"{"params": [{"name": "a", "kind": "real"}], "constraints": ["#);
+        assert!(t.lookup(&Location::Param("a".into())).is_some());
+    }
+
+    #[test]
+    fn escaped_names_lose_their_span_gracefully() {
+        let t = index_spans(r#"{"params": [{"name": "a\"b", "kind": "real"}]}"#);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn file_is_attached_on_lookup() {
+        let mut t = index_spans(SRC);
+        t.file = Some("plan.json".into());
+        let s = t.lookup(&Location::Param("tb".into())).unwrap();
+        assert_eq!(s.file.as_deref(), Some("plan.json"));
+    }
+
+    #[test]
+    fn strings_with_brackets_do_not_confuse_the_scanner() {
+        let t = index_spans(
+            r#"{"params": [{"name": "a", "kind": "categorical", "options": ["x{y", "z]w"]}]}"#,
+        );
+        assert!(t.lookup(&Location::Param("a".into())).is_some());
+    }
+}

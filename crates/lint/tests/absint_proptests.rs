@@ -310,3 +310,140 @@ proptest! {
         prop_assert!(s1.iterations <= cets_lint::absint::ITER_CAP);
     }
 }
+
+/// Octagonal / disjunctive constraint strings — the shapes the relational
+/// domain targets (unary bounds, ±x±y differences, products, slab unions).
+fn relational_constraint(rng: &mut Mix) -> String {
+    let x = NAMES[rng.below(NAMES.len())];
+    let y = NAMES[rng.below(NAMES.len())];
+    let consts = [-150.0, -50.0, -10.0, 0.0, 5.0, 10.0, 50.0, 200.0];
+    let c = consts[rng.below(consts.len())];
+    match rng.below(8) {
+        0 => format!("{x} <= {c}"),
+        1 => format!("{x} >= {c}"),
+        2 => format!("{x} + {y} <= {c}"),
+        3 => format!("{x} - {y} <= {c}"),
+        4 => format!("{x} + {y} >= {c}"),
+        5 => format!("{x} - {y} >= {c}"),
+        6 => format!("{x} * {y} <= {c}"),
+        _ => {
+            let c2 = consts[rng.below(consts.len())];
+            format!("{x} <= {c} || {x} >= {c2}")
+        }
+    }
+}
+
+/// A bundle over `NAMES` with relational constraint strings; returns the
+/// parsed constraints alongside so points can be checked concretely.
+fn relational_bundle(rng: &mut Mix) -> (Vec<(String, ParamDef)>, Vec<Expr>, PlanBundle) {
+    let params = arbitrary_box(rng);
+    let constraints: Vec<String> = (0..rng.below(3) + 1)
+        .map(|_| relational_constraint(rng))
+        .collect();
+    let parsed: Vec<Expr> = constraints
+        .iter()
+        .map(|e| cets_lint::expr::parse(e).expect("generated constraints parse"))
+        .collect();
+    let bundle = PlanBundle {
+        params: params
+            .iter()
+            .map(|(n, d)| ParamSpec {
+                name: n.clone(),
+                def: d.clone(),
+                default: None,
+            })
+            .collect(),
+        constraints: constraints
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ConstraintSpec {
+                name: format!("c{i}"),
+                expr: e.clone(),
+            })
+            .collect(),
+        ..Default::default()
+    };
+    (params, parsed, bundle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Octagon soundness: the relational analysis (closure, branch-and-
+    /// prune, slab merging) never drops a satisfying point — neither from
+    /// the contracted hull nor from the slab union, and never by proving
+    /// a satisfiable system empty. The slab containment check is exactly
+    /// "the branch join encloses every branch's feasible points".
+    #[test]
+    fn octagon_analysis_excludes_no_satisfying_point(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let (params, parsed, bundle) = relational_bundle(&mut rng);
+        let oct = cets_lint::analyze_space(&bundle);
+        prop_assert!(oct.analyzed);
+
+        for _ in 0..64 {
+            let point: BTreeMap<String, f64> = params
+                .iter()
+                .map(|(n, d)| (n.clone(), sample_value(d, &mut rng)))
+                .collect();
+            let sat = parsed.iter().all(|e| {
+                e.satisfied(&|n| point.get(n).copied()).unwrap_or(false)
+            });
+            if !sat {
+                continue;
+            }
+            prop_assert!(
+                !oct.proved_empty,
+                "proved empty but {point:?} satisfies {parsed:?}"
+            );
+            for (i, (n, _)) in params.iter().enumerate() {
+                let p = &oct.params[i];
+                let v = point[n];
+                prop_assert!(
+                    p.contracted.contains(v),
+                    "{n}={v} outside hull {} (constraints {parsed:?})",
+                    p.contracted
+                );
+                prop_assert!(
+                    p.slabs.iter().any(|s| s.contains(v)),
+                    "{n}={v} dropped from every slab {:?} (constraints {parsed:?})",
+                    p.slabs
+                );
+            }
+        }
+    }
+
+    /// The octagon domain refines the interval domain: per-parameter
+    /// octagon hulls are never looser than interval hulls on the same
+    /// system, and proved emptiness is monotone (interval-empty implies
+    /// octagon-empty).
+    #[test]
+    fn octagon_is_at_least_as_tight_as_intervals(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let (_, _, bundle) = relational_bundle(&mut rng);
+        let oct = cets_lint::analyze_space(&bundle);
+        let ivl = cets_lint::analyze_space_with(
+            &bundle,
+            &cets_lint::AnalysisOptions {
+                domain: cets_lint::Domain::Interval,
+                ..Default::default()
+            },
+        );
+        prop_assert!(oct.analyzed && ivl.analyzed);
+        if ivl.proved_empty {
+            prop_assert!(oct.proved_empty, "interval-empty must stay empty relationally");
+        }
+        if oct.proved_empty {
+            return Ok(());
+        }
+        for (po, pi) in oct.params.iter().zip(ivl.params.iter()) {
+            prop_assert!(
+                po.contracted.lo >= pi.contracted.lo - 1e-9
+                    && po.contracted.hi <= pi.contracted.hi + 1e-9,
+                "octagon {} looser than interval {}",
+                po.contracted,
+                pi.contracted
+            );
+        }
+    }
+}

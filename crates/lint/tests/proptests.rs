@@ -195,6 +195,7 @@ fn arbitrary_bundle(seed: u64) -> PlanBundle {
                 name: rng.name(),
             })
             .collect(),
+        spans: Default::default(),
     }
 }
 

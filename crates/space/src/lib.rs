@@ -41,7 +41,7 @@ mod subspace;
 
 pub use constraint::Constraint;
 pub use param::{ParamDef, ParamValue};
-pub use sample::Sampler;
+pub use sample::{map_slabs, Sampler};
 pub use space::{Config, SearchSpace, SearchSpaceBuilder};
 pub use subspace::Subspace;
 

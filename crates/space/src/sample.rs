@@ -18,6 +18,7 @@ pub struct Sampler<'a> {
     space: &'a SearchSpace,
     max_attempts: usize,
     unit_box: Option<Vec<(f64, f64)>>,
+    unit_slabs: Option<Vec<Vec<(f64, f64)>>>,
 }
 
 impl<'a> Sampler<'a> {
@@ -27,6 +28,7 @@ impl<'a> Sampler<'a> {
             space,
             max_attempts: 10_000,
             unit_box: None,
+            unit_slabs: None,
         }
     }
 
@@ -61,9 +63,44 @@ impl<'a> Sampler<'a> {
         self.unit_box.as_deref()
     }
 
-    /// Map a raw `[0, 1)` draw for dimension `j` into the unit box.
+    /// Restrict draws to a *union of slabs* per dimension — the
+    /// disjunctive contraction-aware path.
+    ///
+    /// `slabs[j]` lists the unit-coordinate intervals dimension `j` may
+    /// take, as produced by branch-and-prune over `or` constraints
+    /// (`cets-lint`'s slab analysis): a raw draw is mapped into the union
+    /// measure-proportionally, so `a <= 1 || a >= 9` draws from both
+    /// feasible islands and never lands in the infeasible gap between
+    /// them. A dimension with a single slab is mapped bit-identically to
+    /// [`Sampler::with_unit_box`] on that slab, so callers may pass
+    /// single-slab lists unconditionally. Malformed input (wrong arity,
+    /// an empty slab list, bounds outside `[0, 1]` or inverted) falls
+    /// back to the full cube — sound, just not narrowed. Takes precedence
+    /// over any installed unit box.
+    pub fn with_unit_slabs(mut self, slabs: Vec<Vec<(f64, f64)>>) -> Self {
+        let ok = slabs.len() == self.space.dim()
+            && slabs.iter().all(|dim| {
+                !dim.is_empty()
+                    && dim
+                        .iter()
+                        .all(|&(lo, hi)| (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0)
+            });
+        self.unit_slabs = ok.then_some(slabs);
+        self
+    }
+
+    /// The active unit slab union, when one was installed.
+    pub fn unit_slabs(&self) -> Option<&[Vec<(f64, f64)>]> {
+        self.unit_slabs.as_deref()
+    }
+
+    /// Map a raw `[0, 1)` draw for dimension `j` into the unit box or
+    /// slab union.
     #[inline]
     fn map_unit(&self, j: usize, r: f64) -> f64 {
+        if let Some(s) = &self.unit_slabs {
+            return map_slabs(&s[j], r);
+        }
         match &self.unit_box {
             Some(b) => {
                 let (lo, hi) = b[j];
@@ -207,6 +244,32 @@ impl<'a> Sampler<'a> {
             attempts: self.max_attempts,
         })
     }
+}
+
+/// Map a raw `[0, 1)` draw into a union of unit-space slabs,
+/// measure-proportionally. The single-slab fast path reproduces the
+/// unit-box affine map (`lo + r * (hi - lo)`) bit-for-bit; a zero-measure
+/// union (all point slabs) collapses onto the first slab's point. Public
+/// so search loops that draw raw unit coordinates themselves (e.g. the
+/// BO candidate loop in `cets-core`) can share the exact mapping the
+/// [`Sampler`] uses.
+pub fn map_slabs(slabs: &[(f64, f64)], r: f64) -> f64 {
+    if let [(lo, hi)] = slabs {
+        return lo + r * (hi - lo);
+    }
+    let total: f64 = slabs.iter().map(|(lo, hi)| hi - lo).sum();
+    if total <= 0.0 {
+        return slabs[0].0;
+    }
+    let mut t = r * total;
+    for &(lo, hi) in slabs {
+        let w = hi - lo;
+        if t <= w {
+            return (lo + t).min(hi);
+        }
+        t -= w;
+    }
+    slabs[slabs.len() - 1].1
 }
 
 /// First 25 primes — Halton bases for up to 25 dimensions (cycled after).
@@ -389,6 +452,78 @@ mod tests {
             .with_unit_box(vec![(0.1, 0.9); 3])
             .unit_box()
             .is_some());
+    }
+
+    #[test]
+    fn unit_slabs_draw_from_both_islands_and_skip_the_gap() {
+        let s = SearchSpace::builder().integer("a", 0, 10).build();
+        // Unit-space image of the integer slabs {0..1} ∪ {9..10}: bin k
+        // maps from [k/11, (k+1)/11).
+        let sam =
+            Sampler::new(&s).with_unit_slabs(vec![vec![(0.0, 2.0 / 11.0), (9.0 / 11.0, 1.0)]]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let c = sam.uniform(&mut rng).unwrap();
+            let a = s.get_i64(&c, "a").unwrap();
+            assert!(a <= 1 || a >= 9, "draw {a} landed in the gap");
+            seen.insert(a);
+        }
+        assert!(seen.contains(&0) || seen.contains(&1), "low island unseen");
+        assert!(
+            seen.contains(&9) || seen.contains(&10),
+            "high island unseen"
+        );
+    }
+
+    #[test]
+    fn single_slab_is_bit_identical_to_unit_box() {
+        let s = space();
+        let boxed = Sampler::new(&s).with_unit_box(vec![(0.25, 0.5); 3]);
+        let slabbed = Sampler::new(&s).with_unit_slabs(vec![vec![(0.25, 0.5)]; 3]);
+        let mut r1 = StdRng::seed_from_u64(21);
+        let mut r2 = StdRng::seed_from_u64(21);
+        assert_eq!(
+            boxed.uniform_n(20, &mut r1).unwrap(),
+            slabbed.uniform_n(20, &mut r2).unwrap(),
+            "single-slab unions must reproduce the unit-box path exactly"
+        );
+    }
+
+    #[test]
+    fn malformed_unit_slabs_are_ignored() {
+        let s = space();
+        // Wrong arity, an empty per-dimension list, and out-of-range
+        // bounds all fall back to the full cube.
+        assert!(Sampler::new(&s)
+            .with_unit_slabs(vec![vec![(0.0, 1.0)]])
+            .unit_slabs()
+            .is_none());
+        let mut dims = vec![vec![(0.0, 1.0)]; 3];
+        dims[1].clear();
+        assert!(Sampler::new(&s)
+            .with_unit_slabs(dims)
+            .unit_slabs()
+            .is_none());
+        assert!(Sampler::new(&s)
+            .with_unit_slabs(vec![vec![(0.2, 1.4)]; 3])
+            .unit_slabs()
+            .is_none());
+        assert!(Sampler::new(&s)
+            .with_unit_slabs(vec![vec![(0.2, 0.4), (0.6, 0.8)]; 3])
+            .unit_slabs()
+            .is_some());
+    }
+
+    #[test]
+    fn map_slabs_is_measure_proportional() {
+        let slabs = [(0.0, 0.1), (0.8, 0.9)];
+        // Half the raw mass lands in each equal-measure slab.
+        assert!(map_slabs(&slabs, 0.25) < 0.1);
+        assert!(map_slabs(&slabs, 0.75) > 0.8);
+        assert!(map_slabs(&slabs, 0.999) <= 0.9);
+        // Degenerate all-point union collapses deterministically.
+        assert_eq!(map_slabs(&[(0.3, 0.3), (0.7, 0.7)], 0.5), 0.3);
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl Summary {
             return Err(StatsError::Degenerate("NaN in sample".into()));
         }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Summary {
             n: xs.len(),
             mean: vecops::mean(xs),

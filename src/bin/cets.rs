@@ -6,7 +6,7 @@
 //!                    [--db out.json]
 //! cets lint <plan.json> [--format human|json|sarif] [--deny-warnings]
 //! cets analyze <plan.json> [--format human|json|sarif] [--deny-warnings]
-//!                          [--contract [out.json]]
+//!                          [--domain interval|octagon] [--contract [out.json]]
 //! cets help
 //! ```
 //!
@@ -17,12 +17,16 @@
 //! without evaluating anything; exit code 0 means the plan passed, 1 means
 //! diagnostics denied it, 2 means the file could not be read or parsed.
 //! `cets analyze` additionally runs the abstract-interpretation
-//! feasibility engine (diagnostic codes `A001`–`A005`): it proves
+//! feasibility engine (diagnostic codes `A001`–`A008`): it proves
 //! constraints unsatisfiable or tautological over the declared domains and
-//! contracts the box bounds to the feasible region. With `--contract` the
-//! rewritten plan (tightened bounds applied) is printed to stdout — or
-//! written to a file when the flag is given a path — while the report
-//! moves to stderr.
+//! contracts the box bounds to the feasible region. The default `octagon`
+//! domain is relational — it tracks `±x ± y <= c` differences and sums,
+//! splits `or` constraints into branches, and reports inferred relational
+//! bounds (`A006`), disjoint feasible slabs (`A007`) and split caps
+//! (`A008`); `--domain interval` falls back to the plain per-parameter
+//! interval analysis. With `--contract` the rewritten plan (tightened
+//! bounds applied) is printed to stdout — or written to a file when the
+//! flag is given a path — while the report moves to stderr.
 
 use cets::core::{
     render_markdown, BoConfig, FaultPlan, FaultyObjective, Methodology, MethodologyConfig,
@@ -102,6 +106,9 @@ fn usage() {
     eprintln!("LINT / ANALYZE OPTIONS:");
     eprintln!("  --format <human|json|sarif>  output format (default human)");
     eprintln!("  --deny-warnings              exit non-zero on warnings, not just errors");
+    eprintln!("  --domain <interval|octagon>  (analyze) abstract domain: relational octagon");
+    eprintln!("                               with disjunctive splitting (default), or the");
+    eprintln!("                               plain interval analysis");
     eprintln!("  --contract [out.json]        (analyze) emit the plan with statically");
     eprintln!("                               contracted bounds applied");
 }
@@ -319,7 +326,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: cets {cmd} <plan.json> [--format human|json|sarif] [--deny-warnings]{}",
                     if analyze_mode {
-                        " [--contract [out.json]]"
+                        " [--domain interval|octagon] [--contract [out.json]]"
                     } else {
                         ""
                     }
@@ -334,14 +341,28 @@ fn main() -> ExitCode {
                 }
             };
             let bundle = match cets::lint::load_str(&src) {
-                Ok(b) => b,
+                Ok(mut b) => {
+                    b.spans.file = Some(path.clone());
+                    b
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::from(2);
                 }
             };
+            let options = match args.get_str("domain").unwrap_or("octagon") {
+                "octagon" => cets::lint::AnalysisOptions::default(),
+                "interval" => cets::lint::AnalysisOptions {
+                    domain: cets::lint::Domain::Interval,
+                    ..Default::default()
+                },
+                other => {
+                    eprintln!("unknown --domain {other} (expected interval or octagon)");
+                    return ExitCode::from(2);
+                }
+            };
             let report = if analyze_mode {
-                cets::lint::analyze(&bundle)
+                cets::lint::analyze_with(&bundle, options)
             } else {
                 cets::lint::lint(&bundle)
             };
@@ -357,7 +378,7 @@ fn main() -> ExitCode {
             match analyze_mode.then(|| args.get_str("contract")).flatten() {
                 None => println!("{rendered}"),
                 Some(out_path) => {
-                    let analysis = cets::lint::analyze_space(&bundle);
+                    let analysis = cets::lint::analyze_space_with(&bundle, &options);
                     let contracted = match cets::lint::rewrite_contracted(&src, &analysis) {
                         Ok(c) => c,
                         Err(e) => {
