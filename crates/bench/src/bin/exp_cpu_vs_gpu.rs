@@ -62,7 +62,7 @@ fn main() {
         cfg = sim
             .space()
             .with_value(&cfg, "nstb", cets_space::ParamValue::Int(4))
-            .unwrap();
+            .unwrap_or(cfg);
         let gpu = sim.simulate(&cfg);
         println!(
             "GPU offload (untuned, nstb=4):        total {:>8.3}s   ({:.2}x vs best CPU within allocation)",

@@ -87,11 +87,11 @@ impl<'a> ConstructiveSampler<'a> {
         let mut fixed: BTreeMap<String, f64> = BTreeMap::new();
         let mut unit = Vec::with_capacity(self.space.dim());
         for (name, def) in self.space.names().iter().zip(self.space.defs()) {
-            let slabs = self.projector.project_slabs(name, &fixed);
+            let (slabs, stride) = self.projector.project_slabs_stride(name, &fixed);
             if slabs.is_empty() {
                 return None;
             }
-            let (value, u) = draw_in_slabs(def, &slabs, rng.random::<f64>())?;
+            let (value, u) = draw_in_slabs(def, &slabs, stride, rng.random::<f64>())?;
             fixed.insert(name.clone(), value);
             unit.push(u);
         }
@@ -110,7 +110,18 @@ impl<'a> ConstructiveSampler<'a> {
 /// for discrete kinds). Returns the value on the *constraint scale*
 /// (ordinals by declared value, categoricals by option index) plus the
 /// unit-cube coordinate that decodes to it.
-fn draw_in_slabs(def: &ParamDef, slabs: &[Interval], r: f64) -> Option<(f64, f64)> {
+///
+/// An integer `stride` (`m`, `r`) restricts the counting measure to the
+/// residue grid `mℤ + r`: on `n % 256 == 0` the walk enumerates the 390
+/// multiples instead of rejecting 99.6% of uniform draws. Either way the
+/// draw consumes exactly one uniform variate, so spaces without
+/// congruence facts sample bit-identically to before.
+fn draw_in_slabs(
+    def: &ParamDef,
+    slabs: &[Interval],
+    stride: Option<(u64, u64)>,
+    r: f64,
+) -> Option<(f64, f64)> {
     match def {
         ParamDef::Real { lo, hi } => {
             let total: f64 = slabs.iter().map(Interval::width).sum();
@@ -133,23 +144,48 @@ fn draw_in_slabs(def: &ParamDef, slabs: &[Interval], r: f64) -> Option<(f64, f64
             Some((v, (v - lo) / (hi - lo)))
         }
         ParamDef::Integer { lo, hi } => {
-            let counts: Vec<(i64, i64)> = slabs
-                .iter()
-                .filter_map(|s| {
-                    let a = (s.lo.ceil() as i64).max(*lo);
-                    let b = (s.hi.floor() as i64).min(*hi);
-                    (a <= b).then_some((a, b))
-                })
-                .collect();
-            let total: i64 = counts.iter().map(|(a, b)| b - a + 1).sum();
+            // Per-slab (first member, member count, step): the whole
+            // slab without a stride, the congruent points under one.
+            let (step, counts): (i64, Vec<(i64, i64)>) = match stride {
+                Some((m, rr)) => {
+                    let m = m as i64;
+                    let rr = rr as i64;
+                    (
+                        m,
+                        slabs
+                            .iter()
+                            .filter_map(|s| {
+                                let a = (s.lo.ceil() as i64).max(*lo);
+                                let b = (s.hi.floor() as i64).min(*hi);
+                                if a > b {
+                                    return None;
+                                }
+                                let first = a + (rr - a).rem_euclid(m);
+                                (first <= b).then(|| (first, (b - first) / m + 1))
+                            })
+                            .collect(),
+                    )
+                }
+                None => (
+                    1,
+                    slabs
+                        .iter()
+                        .filter_map(|s| {
+                            let a = (s.lo.ceil() as i64).max(*lo);
+                            let b = (s.hi.floor() as i64).min(*hi);
+                            (a <= b).then_some((a, b - a + 1))
+                        })
+                        .collect(),
+                ),
+            };
+            let total: i64 = counts.iter().map(|(_, n)| n).sum();
             if total <= 0 {
                 return None;
             }
             let mut t = pick_index(total as usize, r) as i64;
-            for (a, b) in &counts {
-                let n = b - a + 1;
-                if t < n {
-                    let k = a + t;
+            for (first, n) in &counts {
+                if t < *n {
+                    let k = first + t * step;
                     let bins = (hi - lo + 1) as f64;
                     return Some((k as f64, ((k - lo) as f64 + 0.5) / bins));
                 }
@@ -280,6 +316,54 @@ mod tests {
             let cfg = sam.sample(&mut rng).expect("constructed draw");
             assert!(space.is_valid(&cfg));
             assert!(space.get_f64(&cfg, "u").unwrap() <= 4.0);
+        }
+    }
+
+    #[test]
+    fn divisor_constraint_draws_on_the_grid() {
+        // Rejection keeps ~0.4% of uniform draws here; every constructed
+        // walk must land on the 390-point multiples grid directly.
+        let space = SearchSpace::builder()
+            .integer("n", 1, 100_000)
+            .constraint(Constraint::new("blk", "n % 256 == 0", |s, c| {
+                s.get_i64(c, "n").unwrap() % 256 == 0
+            }))
+            .build();
+        let sam = ConstructiveSampler::new(&space).expect("analyzable");
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo_seen = i64::MAX;
+        let mut hi_seen = i64::MIN;
+        for _ in 0..300 {
+            let cfg = sam.sample(&mut rng).expect("constructed draw");
+            let n = space.get_i64(&cfg, "n").unwrap();
+            assert_eq!(n % 256, 0, "off-grid n = {n}");
+            lo_seen = lo_seen.min(n);
+            hi_seen = hi_seen.max(n);
+        }
+        // The draws cover the grid, not just one corner of it.
+        assert!(lo_seen <= 20_000, "low end unreached: {lo_seen}");
+        assert!(hi_seen >= 80_000, "high end unreached: {hi_seen}");
+    }
+
+    #[test]
+    fn pinned_divisor_links_dividend_draws() {
+        // n % nb == 0 with nb ordinal: whichever block size the walk
+        // picks first, n lands on that grid.
+        let space = SearchSpace::builder()
+            .ordinal("nb", vec![128.0, 192.0, 256.0])
+            .integer("n", 1, 100_000)
+            .constraint(Constraint::new("blk", "n % nb == 0", |s, c| {
+                let nb = s.get_f64(c, "nb").unwrap() as i64;
+                s.get_i64(c, "n").unwrap() % nb == 0
+            }))
+            .build();
+        let sam = ConstructiveSampler::new(&space).expect("analyzable");
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let cfg = sam.sample(&mut rng).expect("constructed draw");
+            let nb = space.get_f64(&cfg, "nb").unwrap() as i64;
+            let n = space.get_i64(&cfg, "n").unwrap();
+            assert_eq!(n % nb, 0, "off-grid n = {n} for nb = {nb}");
         }
     }
 

@@ -73,19 +73,32 @@ pub(crate) fn space_bundle(space: &SearchSpace) -> PlanBundle {
 /// The per-dimension unit-coordinate *slab unions* proved to contain
 /// every feasible configuration, when disjunctive branch-and-prune found
 /// genuinely disjoint structure (some parameter's feasible set is a union
-/// of ≥ 2 slabs — e.g. `a <= 1 || a >= 9`).
+/// of ≥ 2 slabs — e.g. `a <= 1 || a >= 9`) or the finite-set pass proved
+/// some declared ordinal/categorical choices dead (the surviving bins
+/// form the union, holes and all).
 ///
 /// Returns `None` when the analysis is unavailable, the system is proved
-/// empty, or every parameter's feasible set is a single interval — the
-/// plain [`contracted_unit_box`] hull path already covers those, and
-/// keeping the single-interval case on the box path keeps the default
-/// sampling behavior bit-identical.
+/// empty, or every parameter's feasible set is a single interval with no
+/// finite-set pruning — the plain [`contracted_unit_box`] hull path
+/// already covers those, and keeping that case on the box path keeps the
+/// default sampling behavior bit-identical.
 pub fn contracted_unit_slabs(space: &SearchSpace) -> Option<Vec<Vec<(f64, f64)>>> {
     let analysis = analyze_space(&space_bundle(space));
     if !analysis.analyzed || analysis.proved_empty {
         return None;
     }
-    if !analysis.params.iter().any(|p| p.slabs.len() > 1) {
+    let pruned = |p: &cets_lint::absint::ParamInterval, def: &ParamDef| {
+        p.kept
+            .as_ref()
+            .zip(def.cardinality())
+            .is_some_and(|(idx, n)| !idx.is_empty() && idx.len() < n)
+    };
+    if !analysis
+        .params
+        .iter()
+        .zip(space.defs())
+        .any(|(p, def)| p.slabs.len() > 1 || pruned(p, def))
+    {
         return None;
     }
     let dims: Vec<Vec<(f64, f64)>> = analysis
@@ -93,6 +106,13 @@ pub fn contracted_unit_slabs(space: &SearchSpace) -> Option<Vec<Vec<(f64, f64)>>
         .iter()
         .zip(space.defs())
         .map(|(p, def)| {
+            // Finite-set facts are exact: the surviving choices' unit
+            // bins (contiguous runs merged) are the tightest sound union.
+            if pruned(p, def) {
+                if let Some(bins) = kept_unit_bins(def, p.kept.as_deref().unwrap_or(&[])) {
+                    return bins;
+                }
+            }
             let slabs: Vec<(f64, f64)> = p.slabs.iter().map(|iv| unit_bounds(def, iv)).collect();
             // `unit_bounds` answers the full `(0, 1)` cube both for "spans
             // everything" and for "not expressible in this domain kind";
@@ -106,6 +126,20 @@ pub fn contracted_unit_slabs(space: &SearchSpace) -> Option<Vec<Vec<(f64, f64)>>
         })
         .collect();
     Some(dims)
+}
+
+/// The unit bins of the surviving choice indices, with contiguous runs
+/// merged into one slab. `None` for non-finite kinds or an empty set.
+fn kept_unit_bins(def: &ParamDef, kept: &[usize]) -> Option<Vec<(f64, f64)>> {
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for &k in kept {
+        let (lo, hi) = def.unit_bin(k)?;
+        match out.last_mut() {
+            Some(last) if (last.1 - lo).abs() < 1e-12 => last.1 = hi,
+            _ => out.push((lo, hi)),
+        }
+    }
+    (!out.is_empty()).then_some(out)
 }
 
 /// Map a contracted domain interval into the unit bin coordinates of
@@ -313,6 +347,30 @@ mod tests {
         assert!((dims[0][1].1 - 1.0).abs() < 1e-12);
         // x is unconstrained: exactly one full slab.
         assert_eq!(dims[1], vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn dead_categorical_options_become_slab_holes() {
+        // `mode != 1` punches a hole in the option bins: the slab union
+        // is [0, 1/3) ∪ [2/3, 1) and the sampler never draws option 1.
+        let s = SearchSpace::builder()
+            .categorical("mode", vec!["row".into(), "col".into(), "tile".into()])
+            .constraint(Constraint::new("hole", "mode != 1", |s, c| {
+                s.get_f64(c, "mode").unwrap() as usize != 1
+            }))
+            .build();
+        let dims = contracted_unit_slabs(&s).expect("finite-set facts yield slabs");
+        assert_eq!(dims[0].len(), 2, "{:?}", dims[0]);
+        assert!((dims[0][0].0 - 0.0).abs() < 1e-12);
+        assert!((dims[0][0].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((dims[0][1].0 - 2.0 / 3.0).abs() < 1e-12);
+        let sam = contraction_aware_sampler(&s);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let cfg = sam.uniform(&mut rng).expect("holes sample fine");
+            let mode = s.get_f64(&cfg, "mode").unwrap() as usize;
+            assert_ne!(mode, 1, "dead option drawn");
+        }
     }
 
     #[test]

@@ -110,6 +110,58 @@ fn both_slabs_are_visited_in_measure_proportion() {
     assert!((share - 0.5).abs() < 0.07, "low-slab share {share}");
 }
 
+fn divisor_space() -> SearchSpace {
+    SearchSpace::builder()
+        .integer("n", 1, 100_000)
+        .constraint(Constraint::new("aligned", "n % 256 == 0", |s, c| {
+            s.get_i64(c, "n").unwrap() % 256 == 0
+        }))
+        .build()
+}
+
+#[test]
+fn divisor_constraint_defeats_rejection_but_not_construction() {
+    // Acceptance criterion for the congruence domain: on `n % 256 == 0`
+    // over [1, 100000] only 390 of 100000 values are feasible, so blind
+    // rejection discards ≈ 99.6 % of its draws — while the stride-aware
+    // constructive walk snaps every draw onto the grid.
+    let space = divisor_space();
+
+    let mut rng = StdRng::seed_from_u64(0xA11D);
+    let mut rejected = 0usize;
+    let n = 5000usize;
+    for _ in 0..n {
+        let u: Vec<f64> = (0..space.dim()).map(|_| rng.random::<f64>()).collect();
+        let cfg = space.decode(&u).unwrap();
+        if !space.is_valid(&cfg) {
+            rejected += 1;
+        }
+    }
+    let discard = rejected as f64 / n as f64;
+    assert!(
+        discard > 0.99,
+        "fixture must be rejection-hostile, discard rate {discard}"
+    );
+
+    let sam = ConstructiveSampler::new(&space).expect("space is analyzable");
+    let mut rng = StdRng::seed_from_u64(0x9B1D);
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for i in 0..1000 {
+        let cfg = sam
+            .sample(&mut rng)
+            .unwrap_or_else(|| panic!("draw {i} failed"));
+        let v = space.get_i64(&cfg, "n").unwrap();
+        assert_eq!(v % 256, 0, "draw {i} off the grid: {v}");
+        assert!((1..=100_000).contains(&v), "draw {i} out of bounds: {v}");
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    // The whole grid is reachable, not just one end of it.
+    assert!(lo <= 10_240, "low grid points never drawn (min {lo})");
+    assert!(hi >= 89_600, "high grid points never drawn (max {hi})");
+}
+
 #[test]
 fn ordinal_default_stays_ordinal_in_construction() {
     // An ordinal whose feasible values are non-contiguous in index space:

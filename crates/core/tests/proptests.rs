@@ -403,4 +403,46 @@ proptest! {
         }
         prop_assert_eq!(draw(seed), draw(seed));
     }
+
+    /// Stride-aware constructive sampling: for a random modulus/residue
+    /// divisor constraint over a random integer box, every draw lands
+    /// exactly on the congruence grid (no rejection involved), stays in
+    /// bounds, and the stream is bit-deterministic under a fixed seed.
+    #[test]
+    fn stride_aware_draws_land_on_the_grid(
+        seed in 0u64..u64::MAX,
+        m in 2i64..64,
+        r_raw in 0i64..64,
+        lo in 0i64..1000,
+        span in 200i64..20_000,
+    ) {
+        use cets_space::Constraint;
+        use rand::SeedableRng;
+
+        let r = r_raw % m;
+        let hi = lo + span;
+        // span ≥ 200 > 3·m guarantees at least one grid member in the box.
+        let space = SearchSpace::builder()
+            .integer("n", lo, hi)
+            .constraint(Constraint::new(
+                "grid",
+                format!("n % {m} == {r}"),
+                move |s, c| s.get_i64(c, "n").unwrap() % m == r,
+            ))
+            .build();
+
+        let sam = cets_core::ConstructiveSampler::new(&space)
+            .expect("a grid member exists in the box");
+        let draw = |s: u64| -> Vec<Option<cets_space::Config>> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+            (0..50).map(|_| sam.sample(&mut rng)).collect()
+        };
+        for (i, cfg) in draw(seed).into_iter().enumerate() {
+            let cfg = cfg.unwrap_or_else(|| panic!("draw {i} failed"));
+            let v = space.get_i64(&cfg, "n").unwrap();
+            prop_assert!(v % m == r, "draw {} = {} off the grid {}ℤ+{}", i, v, m, r);
+            prop_assert!((lo..=hi).contains(&v), "draw {} = {} out of bounds", i, v);
+        }
+        prop_assert_eq!(draw(seed), draw(seed));
+    }
 }

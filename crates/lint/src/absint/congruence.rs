@@ -1,0 +1,821 @@
+//! The congruence abstract domain (Granger): `x ≡ r (mod m)` lattice
+//! over the integers, run as a reduced product with the interval
+//! analysis.
+//!
+//! ## Elements
+//!
+//! * `Top` — no congruence information (any real value, even NaN).
+//! * `Point(p)` — the value is exactly the integer `p`.
+//! * `Grid { m, r }` — the value lies on the arithmetic progression
+//!   `mℤ + r` (with `m ≥ 1` and `0 ≤ r < m`). `Grid { m: 1, r: 0 }`
+//!   is "some integer".
+//! * `Bottom` — no value satisfies the accumulated congruences.
+//!
+//! ## Where facts come from
+//!
+//! The constraint language's `%` is IEEE `fmod` (truncated remainder):
+//! for any real `x` and nonzero `c`, `x % c == k` forces
+//! `x = c·trunc(x/c) + k`, i.e. `x ∈ cℤ + k` — the quotient is an
+//! integer even when `x` is real-valued. [`constraint_facts`] scans a
+//! constraint for `sub % d == k` conjuncts whose divisor and target
+//! evaluate to exact integer points under the current interval
+//! environment (so a divisor *pinned* by another constraint, like
+//! `nb == 256`, works), and pushes the resulting grid down the
+//! subexpression through `+`, `-`, unary `-` and `*`-by-constant.
+//!
+//! ## Reduction with intervals
+//!
+//! [`Congruence::tighten`] snaps interval endpoints inward to the
+//! nearest congruent point — exact integer arithmetic, no rounding
+//! slack needed because the snap only ever moves bounds *inward to a
+//! member of the grid*, never past one — and proves emptiness when no
+//! residue fits the interval. [`refine_branch`] runs the loop
+//! facts → tighten → re-contract to a small fixpoint.
+//!
+//! ## Soundness notes
+//!
+//! * Division by a constant ([`Congruence::div_exact`], the backward
+//!   inverse of `*`) assumes an *integer-valued* operand; the real
+//!   solutions of `c·x ≡ r (mod m)` need not be integers. Facts are
+//!   therefore only *applied* (tightened) to `Integer`-kind parameters;
+//!   grids pushed through `+`/`-` alone are sound for reals too, but the
+//!   uniform rule keeps the reduction obviously safe.
+//! * All arithmetic is exact `i64`/`i128`; anything that could exceed
+//!   2^53 (the f64-exact range) or overflow widens to `Top`.
+
+use super::contract::contract_from;
+use super::interval::Interval;
+use crate::expr::{BinOp, Expr};
+use cets_space::ParamDef;
+use std::collections::BTreeMap;
+
+/// Largest integer magnitude we trust to round-trip through `f64`.
+const MAX_EXACT: i64 = 1 << 53;
+
+/// Fixpoint rounds for the facts → tighten → re-contract loop.
+const CONG_ROUNDS: usize = 4;
+
+/// One element of the congruence lattice. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Congruence {
+    /// No congruence information.
+    Top,
+    /// Exactly the integer `p`.
+    Point(i64),
+    /// The progression `mℤ + r` with `m ≥ 1`, `0 ≤ r < m`.
+    Grid {
+        /// Modulus (stride of the progression), at least 1.
+        m: u64,
+        /// Residue, strictly less than `m`.
+        r: u64,
+    },
+    /// Unsatisfiable.
+    Bottom,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended Euclid on non-negative inputs: returns `(g, x, y)` with
+/// `a·x + b·y = g = gcd(a, b)`.
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Modular inverse of `a` mod `m` (requires `gcd(a, m) == 1`, `m >= 2`).
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    let (g, x, _) = ext_gcd(a as i128, m as i128);
+    if g != 1 {
+        return None;
+    }
+    Some(x.rem_euclid(m as i128) as u64)
+}
+
+impl Congruence {
+    /// Canonical grid constructor: normalizes the residue, collapses
+    /// `m == 0` (a degenerate "progression" with a single member) to a
+    /// point.
+    pub fn grid(m: u64, r: i64) -> Congruence {
+        if m == 0 {
+            return Congruence::Point(r);
+        }
+        if m > MAX_EXACT as u64 {
+            return Congruence::Top; // residue arithmetic would overflow
+        }
+        Congruence::Grid {
+            m,
+            r: r.rem_euclid(m as i64) as u64,
+        }
+    }
+
+    /// The congruence of a known constant: a `Point` when the value is
+    /// an exactly-representable integer, `Top` otherwise.
+    pub fn constant(v: f64) -> Congruence {
+        if v.is_finite() && v.fract() == 0.0 && v.abs() < MAX_EXACT as f64 {
+            Congruence::Point(v as i64)
+        } else {
+            Congruence::Top
+        }
+    }
+
+    /// `(m, r)` when this is a grid with a non-trivial stride.
+    pub fn as_stride(&self) -> Option<(u64, u64)> {
+        match self {
+            Congruence::Grid { m, r } if *m >= 2 => Some((*m, *r)),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound (sound for set union).
+    pub fn join(&self, other: &Congruence) -> Congruence {
+        use Congruence::*;
+        match (*self, *other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (Top, _) | (_, Top) => Top,
+            (Point(a), Point(b)) => {
+                if a == b {
+                    Point(a)
+                } else {
+                    Congruence::grid(a.abs_diff(b), a)
+                }
+            }
+            (Point(p), Grid { m, r }) | (Grid { m, r }, Point(p)) => {
+                let d = (p - r as i64).unsigned_abs();
+                Congruence::grid(gcd(m, d), r as i64)
+            }
+            (Grid { m: m1, r: r1 }, Grid { m: m2, r: r2 }) => {
+                let d = (r1 as i64).abs_diff(r2 as i64);
+                Congruence::grid(gcd(gcd(m1, m2), d), r1 as i64)
+            }
+        }
+    }
+
+    /// Greatest lower bound (CRT). On modulus overflow the meet returns
+    /// `self` unchanged — an over-approximation of the true
+    /// intersection, which is sound.
+    pub fn meet(&self, other: &Congruence) -> Congruence {
+        use Congruence::*;
+        match (*self, *other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Top, x) | (x, Top) => x,
+            (Point(a), Point(b)) => {
+                if a == b {
+                    Point(a)
+                } else {
+                    Bottom
+                }
+            }
+            (Point(p), Grid { m, r }) | (Grid { m, r }, Point(p)) => {
+                if p.rem_euclid(m as i64) as u64 == r {
+                    Point(p)
+                } else {
+                    Bottom
+                }
+            }
+            (Grid { m: m1, r: r1 }, Grid { m: m2, r: r2 }) => {
+                // Solve x ≡ r1 (mod m1), x ≡ r2 (mod m2).
+                let g = gcd(m1, m2);
+                if (r1 as i64 - r2 as i64).rem_euclid(g as i64) != 0 {
+                    return Bottom;
+                }
+                let Some(l) = (m1 / g).checked_mul(m2) else {
+                    return *self;
+                };
+                if l > MAX_EXACT as u64 {
+                    return *self;
+                }
+                // x = r1 + m1·t where m1·t ≡ r2 - r1 (mod m2), i.e.
+                // (m1/g)·t ≡ (r2-r1)/g (mod m2/g).
+                let mg = m2 / g;
+                if mg == 1 {
+                    return Congruence::grid(l, r1 as i64);
+                }
+                let a = (m1 / g) % mg;
+                let Some(inv) = mod_inverse(a, mg) else {
+                    return *self;
+                };
+                let diff = ((r2 as i128 - r1 as i128) / g as i128).rem_euclid(mg as i128) as u128;
+                let t = (diff * inv as u128 % mg as u128) as i128;
+                let r = (r1 as i128 + m1 as i128 * t).rem_euclid(l as i128) as i64;
+                Congruence::grid(l, r)
+            }
+        }
+    }
+
+    /// Unary negation.
+    pub fn neg(&self) -> Congruence {
+        use Congruence::*;
+        match *self {
+            Top => Top,
+            Bottom => Bottom,
+            Point(p) => p.checked_neg().map_or(Top, Point),
+            Grid { m, r } => Congruence::grid(m, -(r as i64)),
+        }
+    }
+
+    fn combine_linear(&self, other: &Congruence, sub: bool) -> Congruence {
+        use Congruence::*;
+        let rhs = if sub { other.neg() } else { *other };
+        match (*self, rhs) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Top, _) | (_, Top) => Top,
+            (Point(a), Point(b)) => a.checked_add(b).map_or(Top, Point),
+            (Point(p), Grid { m, r }) | (Grid { m, r }, Point(p)) => {
+                if p.checked_add(r as i64).is_none() {
+                    return Top;
+                }
+                Congruence::grid(m, p.wrapping_add(r as i64))
+            }
+            (Grid { m: m1, r: r1 }, Grid { m: m2, r: r2 }) => {
+                Congruence::grid(gcd(m1, m2), r1 as i64 + r2 as i64)
+            }
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Congruence) -> Congruence {
+        self.combine_linear(other, false)
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Congruence) -> Congruence {
+        self.combine_linear(other, true)
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Congruence) -> Congruence {
+        use Congruence::*;
+        match (*self, *other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Point(0), _) | (_, Point(0)) => {
+                // 0·x is 0 for every finite x; an infinite operand gives
+                // NaN, which only Top covers — but the operands of `%`
+                // facts flow through intervals that exclude NaN before a
+                // grid is ever applied, so Point(0) stays sound there.
+                // Keep the conservative answer for unknown operands.
+                if matches!((*self, *other), (Top, _) | (_, Top)) {
+                    Top
+                } else {
+                    Point(0)
+                }
+            }
+            (Top, _) | (_, Top) => Top,
+            (Point(a), Point(b)) => a.checked_mul(b).map_or(Top, Point),
+            (Point(c), Grid { m, r }) | (Grid { m, r }, Point(c)) => {
+                let mm = m.checked_mul(c.unsigned_abs());
+                let rr = (r as i64).checked_mul(c);
+                match (mm, rr) {
+                    (Some(mm), Some(rr)) if mm <= MAX_EXACT as u64 => Congruence::grid(mm, rr),
+                    _ => Top,
+                }
+            }
+            (Grid { m: m1, r: r1 }, Grid { m: m2, r: r2 }) => {
+                // (m1s + r1)(m2t + r2) ≡ r1·r2 (mod gcd(m1·m2, m1·r2, m2·r1))
+                fn gcd128(mut a: u128, mut b: u128) -> u128 {
+                    while b != 0 {
+                        let t = a % b;
+                        a = b;
+                        b = t;
+                    }
+                    a
+                }
+                let g = gcd128(
+                    gcd128(m1 as u128 * m2 as u128, m1 as u128 * r2 as u128),
+                    m2 as u128 * r1 as u128,
+                );
+                if g > MAX_EXACT as u128 {
+                    return Top;
+                }
+                let rr = (r1 as i128 * r2 as i128).rem_euclid(g as i128) as i64;
+                Congruence::grid(g as u64, rr)
+            }
+        }
+    }
+
+    /// Remainder by a point divisor: `x % c` with `x ≡ r (mod m)` is
+    /// congruent to `r` modulo `gcd(m, |c|)` (truncated remainder
+    /// subtracts a multiple of `c`). Non-point divisors yield `Top`.
+    pub fn rem(&self, other: &Congruence) -> Congruence {
+        use Congruence::*;
+        match (*self, *other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Point(a), Point(c)) if c != 0 => Point(a % c),
+            (Grid { m, r }, Point(c)) if c != 0 => {
+                Congruence::grid(gcd(m, c.unsigned_abs()), r as i64)
+            }
+            _ => Top,
+        }
+    }
+
+    /// Division: float division only preserves the lattice for exact
+    /// integer quotients of known points; everything else is `Top`.
+    pub fn div(&self, other: &Congruence) -> Congruence {
+        use Congruence::*;
+        match (*self, *other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Point(a), Point(c)) if c != 0 && a % c == 0 => Point(a / c),
+            _ => Top,
+        }
+    }
+
+    /// Backward inverse of multiplication by the constant `c`: the
+    /// congruence of integer `x` given `c·x` satisfies `self`.
+    /// **Only sound for integer-valued `x`** (the real solutions of
+    /// `c·x ≡ r (mod m)` form a finer, possibly non-integer grid).
+    pub fn div_exact(&self, c: i64) -> Option<Congruence> {
+        use Congruence::*;
+        if c == 0 {
+            return None;
+        }
+        match *self {
+            Top => Some(Top),
+            Bottom => Some(Bottom),
+            Point(p) => Some(if p % c == 0 { Point(p / c) } else { Bottom }),
+            Grid { m, r } => {
+                // Solve c·x ≡ r (mod m) over the integers.
+                let cm = (c as i128).rem_euclid(m as i128) as u64;
+                if cm == 0 {
+                    // m | c: c·x ≡ 0, solvable iff r == 0, any integer x.
+                    return Some(if r == 0 {
+                        Congruence::grid(1, 0)
+                    } else {
+                        Bottom
+                    });
+                }
+                let g = gcd(cm, m);
+                if r % g != 0 {
+                    return Some(Bottom);
+                }
+                let mg = m / g;
+                if mg == 1 {
+                    return Some(Congruence::grid(1, 0));
+                }
+                let inv = mod_inverse(cm / g, mg)?;
+                let rr = ((r / g) as u128 * inv as u128 % mg as u128) as i64;
+                Some(Congruence::grid(mg, rr))
+            }
+        }
+    }
+
+    /// Reduce an interval by this congruence: snap both endpoints
+    /// inward to the nearest grid member; an inverted result proves no
+    /// member fits. Endpoints outside the f64-exact integer range are
+    /// left untouched (snapping them could round past a member).
+    pub fn tighten(&self, iv: &Interval) -> Interval {
+        use Congruence::*;
+        if iv.is_empty_range() {
+            return *iv;
+        }
+        match *self {
+            Top => *iv,
+            Bottom => Interval::bottom().with_nan(iv.maybe_nan),
+            Point(p) => iv.meet(&Interval::point(p as f64)).with_nan(iv.maybe_nan),
+            Grid { m, r } => {
+                if m <= 1 {
+                    // "Some integer": snap like an integer domain.
+                    let lo = iv.lo.ceil();
+                    let hi = iv.hi.floor();
+                    return Interval::new(lo, hi).with_nan(iv.maybe_nan);
+                }
+                let mut lo = iv.lo;
+                let mut hi = iv.hi;
+                if lo.is_finite() && lo.abs() < MAX_EXACT as f64 {
+                    let l = lo.ceil() as i64;
+                    let up = (r as i64 - l).rem_euclid(m as i64);
+                    if let Some(s) = l.checked_add(up) {
+                        if s.abs() < MAX_EXACT {
+                            lo = s as f64;
+                        }
+                    }
+                }
+                if hi.is_finite() && hi.abs() < MAX_EXACT as f64 {
+                    let h = hi.floor() as i64;
+                    let down = (h - r as i64).rem_euclid(m as i64);
+                    if let Some(s) = h.checked_sub(down) {
+                        if s.abs() < MAX_EXACT {
+                            hi = s as f64;
+                        }
+                    }
+                }
+                Interval::new(lo, hi).with_nan(iv.maybe_nan)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Congruence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Congruence::Top => f.write_str("⊤"),
+            Congruence::Bottom => f.write_str("⊥"),
+            Congruence::Point(p) => write!(f, "{{{p}}}"),
+            Congruence::Grid { m, r } => write!(f, "{m}ℤ+{r}"),
+        }
+    }
+}
+
+/// Forward congruence evaluation of an arithmetic expression over a
+/// congruence environment. Comparison and boolean nodes are not
+/// number-valued in any useful congruence sense and evaluate to `Top`.
+pub fn eval_cong(e: &Expr, env: &BTreeMap<String, Congruence>) -> Congruence {
+    match e {
+        Expr::Num(x) => Congruence::constant(*x),
+        Expr::Var(n) => env.get(n).copied().unwrap_or(Congruence::Top),
+        Expr::Neg(inner) => eval_cong(inner, env).neg(),
+        Expr::Bin(op, a, b) => {
+            let x = eval_cong(a, env);
+            let y = eval_cong(b, env);
+            match op {
+                BinOp::Add => x.add(&y),
+                BinOp::Sub => x.sub(&y),
+                BinOp::Mul => x.mul(&y),
+                BinOp::Div => x.div(&y),
+                BinOp::Rem => x.rem(&y),
+                _ => Congruence::Top,
+            }
+        }
+    }
+}
+
+/// The exact integer point of a forward interval evaluation, if any.
+pub(crate) fn int_point(iv: &Interval) -> Option<i64> {
+    if iv.is_empty_range() || iv.maybe_nan || iv.lo != iv.hi {
+        return None;
+    }
+    let v = iv.lo;
+    if v.fract() == 0.0 && v.abs() < MAX_EXACT as f64 {
+        Some(v as i64)
+    } else {
+        None
+    }
+}
+
+/// Push a required congruence down an expression to its variable
+/// leaves. Descends through `+`/`-`/unary-`-` when the sibling operand
+/// is a known integer point, and through `*`-by-constant via
+/// [`Congruence::div_exact`].
+fn push_need(
+    e: &Expr,
+    need: Congruence,
+    env: &BTreeMap<String, Interval>,
+    out: &mut Vec<(String, Congruence)>,
+) {
+    use super::contract::eval_expr;
+    match e {
+        Expr::Num(_) => {}
+        Expr::Var(n) => out.push((n.clone(), need)),
+        Expr::Neg(inner) => push_need(inner, need.neg(), env, out),
+        Expr::Bin(op, a, b) => match op {
+            BinOp::Add => {
+                if let Some(c) = int_point(&eval_expr(b, env)) {
+                    push_need(a, need.sub(&Congruence::Point(c)), env, out);
+                } else if let Some(c) = int_point(&eval_expr(a, env)) {
+                    push_need(b, need.sub(&Congruence::Point(c)), env, out);
+                }
+            }
+            BinOp::Sub => {
+                if let Some(c) = int_point(&eval_expr(b, env)) {
+                    push_need(a, need.add(&Congruence::Point(c)), env, out);
+                } else if let Some(c) = int_point(&eval_expr(a, env)) {
+                    push_need(b, Congruence::Point(c).sub(&need), env, out);
+                }
+            }
+            BinOp::Mul => {
+                let (var_side, konst) = if let Some(c) = int_point(&eval_expr(b, env)) {
+                    (a, c)
+                } else if let Some(c) = int_point(&eval_expr(a, env)) {
+                    (b, c)
+                } else {
+                    return;
+                };
+                if let Some(x) = need.div_exact(konst) {
+                    push_need(var_side, x, env, out);
+                }
+            }
+            _ => {}
+        },
+    }
+}
+
+/// Scan a constraint for congruence facts under the current interval
+/// environment: top-level conjuncts of the form `sub % d == k` (either
+/// orientation) with integer-point `d` and `k` become grid requirements
+/// on `sub`'s variables; plain `sub == k` becomes a point requirement.
+pub fn constraint_facts(
+    e: &Expr,
+    env: &BTreeMap<String, Interval>,
+    out: &mut Vec<(String, Congruence)>,
+) {
+    use super::contract::eval_expr;
+    match e {
+        Expr::Bin(BinOp::And, a, b) => {
+            constraint_facts(a, env, out);
+            constraint_facts(b, env, out);
+        }
+        Expr::Bin(BinOp::Eq, a, b) => {
+            let (target, kside) = if int_point(&eval_expr(b, env)).is_some() {
+                (a, b)
+            } else if int_point(&eval_expr(a, env)).is_some() {
+                (b, a)
+            } else {
+                return;
+            };
+            let Some(k) = int_point(&eval_expr(kside, env)) else {
+                return;
+            };
+            if let Expr::Bin(BinOp::Rem, sub, d) = &**target {
+                let Some(c) = int_point(&eval_expr(d, env)) else {
+                    return;
+                };
+                if c == 0 {
+                    return; // x % 0 is NaN; never equal to k
+                }
+                // x % c == k ⇒ x ∈ cℤ + k (see module docs). |k| ≥ |c|
+                // is unsatisfiable for a remainder, but leave that to
+                // the interval transfer; the grid below still encloses.
+                push_need(sub, Congruence::grid(c.unsigned_abs(), k), env, out);
+            } else {
+                push_need(target, Congruence::Point(k), env, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Run the congruence reduction on one (already interval-contracted)
+/// branch: extract facts, tighten `Integer`-kind parameters, re-contract
+/// the intervals, repeat to a small fixpoint. Returns the accumulated
+/// per-parameter facts, or `None` when the branch is proved empty.
+pub fn refine_branch(
+    params: &[(&str, &ParamDef)],
+    exprs: &[&Expr],
+    env: &mut BTreeMap<String, Interval>,
+) -> Option<BTreeMap<String, Congruence>> {
+    let mut facts: BTreeMap<String, Congruence> = BTreeMap::new();
+    if exprs.is_empty() {
+        return Some(facts);
+    }
+    for _ in 0..CONG_ROUNDS {
+        let mut found = Vec::new();
+        for e in exprs {
+            constraint_facts(e, env, &mut found);
+        }
+        let mut facts_moved = false;
+        for (name, c) in found {
+            let slot = facts.entry(name).or_insert(Congruence::Top);
+            let met = slot.meet(&c);
+            if met != *slot {
+                *slot = met;
+                facts_moved = true;
+            }
+        }
+        let mut env_moved = false;
+        for (name, def) in params {
+            if !matches!(def, ParamDef::Integer { .. }) {
+                continue;
+            }
+            let Some(c) = facts.get(*name) else { continue };
+            let Some(iv) = env.get(*name).copied() else {
+                continue;
+            };
+            let t = c.tighten(&iv);
+            if t.is_empty_range() {
+                return None; // no integer of the grid fits the interval
+            }
+            if t != iv {
+                env.insert((*name).to_string(), t);
+                env_moved = true;
+            }
+        }
+        if env_moved {
+            let c = contract_from(env.clone(), params, exprs);
+            if c.proved_empty {
+                return None;
+            }
+            *env = c.env;
+        } else if !facts_moved {
+            break;
+        }
+    }
+    Some(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse;
+
+    fn grid(m: u64, r: i64) -> Congruence {
+        Congruence::grid(m, r)
+    }
+
+    #[test]
+    fn constructors_normalize() {
+        assert_eq!(grid(4, -1), Congruence::Grid { m: 4, r: 3 });
+        assert_eq!(grid(0, 7), Congruence::Point(7));
+        assert_eq!(Congruence::constant(256.0), Congruence::Point(256));
+        assert_eq!(Congruence::constant(0.5), Congruence::Top);
+        assert_eq!(Congruence::constant(f64::NAN), Congruence::Top);
+    }
+
+    #[test]
+    fn join_is_gcd() {
+        assert_eq!(Congruence::Point(3).join(&Congruence::Point(7)), grid(4, 3));
+        assert_eq!(grid(8, 2).join(&grid(12, 6)), grid(4, 2));
+        assert_eq!(grid(6, 1).join(&Congruence::Point(7)), grid(6, 1));
+        assert_eq!(Congruence::Bottom.join(&grid(5, 2)), grid(5, 2));
+        assert_eq!(Congruence::Top.join(&grid(5, 2)), Congruence::Top);
+    }
+
+    #[test]
+    fn meet_is_crt() {
+        // x ≡ 2 (mod 3), x ≡ 3 (mod 5) ⇒ x ≡ 8 (mod 15).
+        assert_eq!(grid(3, 2).meet(&grid(5, 3)), grid(15, 8));
+        // Incompatible residues mod the gcd.
+        assert_eq!(grid(4, 1).meet(&grid(6, 2)), Congruence::Bottom);
+        // Point membership.
+        assert_eq!(grid(4, 1).meet(&Congruence::Point(9)), Congruence::Point(9));
+        assert_eq!(grid(4, 1).meet(&Congruence::Point(8)), Congruence::Bottom);
+        // Same modulus.
+        assert_eq!(grid(4, 1).meet(&grid(4, 1)), grid(4, 1));
+        assert_eq!(grid(4, 1).meet(&grid(4, 2)), Congruence::Bottom);
+    }
+
+    #[test]
+    fn arithmetic_transfers() {
+        assert_eq!(grid(6, 2).add(&grid(4, 3)), grid(2, 1));
+        assert_eq!(grid(6, 2).add(&Congruence::Point(5)), grid(6, 1));
+        assert_eq!(grid(6, 2).sub(&Congruence::Point(2)), grid(6, 0));
+        assert_eq!(grid(6, 2).neg(), grid(6, 4));
+        assert_eq!(grid(6, 2).mul(&Congruence::Point(3)), grid(18, 6));
+        assert_eq!(
+            Congruence::Point(4).mul(&Congruence::Point(5)),
+            Congruence::Point(20)
+        );
+        // (4ℤ+2)(6ℤ+3) = 24st + 12s + 12t + 6 ≡ 6 (mod 12).
+        assert_eq!(grid(4, 2).mul(&grid(6, 3)), grid(12, 6));
+        assert_eq!(grid(12, 5).rem(&Congruence::Point(4)), grid(4, 1));
+        assert_eq!(
+            Congruence::Point(14).rem(&Congruence::Point(4)),
+            Congruence::Point(2)
+        );
+        assert_eq!(
+            Congruence::Point(-14).rem(&Congruence::Point(4)),
+            Congruence::Point(-2),
+            "truncated remainder keeps the dividend sign"
+        );
+        assert_eq!(
+            Congruence::Point(12).div(&Congruence::Point(4)),
+            Congruence::Point(3)
+        );
+        assert_eq!(
+            Congruence::Point(12).div(&Congruence::Point(5)),
+            Congruence::Top
+        );
+    }
+
+    #[test]
+    fn div_exact_inverts_mul() {
+        // 3x ≡ 6 (mod 12) over ℤ ⇔ x ≡ 2 (mod 4).
+        assert_eq!(grid(12, 6).div_exact(3), Some(grid(4, 2)));
+        // 2x ≡ 1 (mod 4): no integer solution.
+        assert_eq!(grid(4, 1).div_exact(2), Some(Congruence::Bottom));
+        // 4x ≡ 0 (mod 2): every integer works.
+        assert_eq!(grid(2, 0).div_exact(4), Some(grid(1, 0)));
+        assert_eq!(
+            Congruence::Point(12).div_exact(4),
+            Some(Congruence::Point(3))
+        );
+        assert_eq!(Congruence::Point(13).div_exact(4), Some(Congruence::Bottom));
+        assert_eq!(grid(4, 2).div_exact(0), None);
+    }
+
+    #[test]
+    fn tighten_snaps_and_proves_empty() {
+        let iv = Interval::new(1.0, 100_000.0);
+        let t = grid(256, 0).tighten(&iv);
+        assert_eq!((t.lo, t.hi), (256.0, 99_840.0));
+        // No multiple of 256 in [257, 511].
+        let t = grid(256, 0).tighten(&Interval::new(257.0, 511.0));
+        assert!(t.is_empty_range());
+        // Residue shifts the grid.
+        let t = grid(4, 3).tighten(&Interval::new(0.0, 10.0));
+        assert_eq!((t.lo, t.hi), (3.0, 7.0));
+        // Points and integers.
+        let t = Congruence::Point(5).tighten(&Interval::new(0.0, 10.0));
+        assert_eq!((t.lo, t.hi), (5.0, 5.0));
+        let t = grid(1, 0).tighten(&Interval::new(0.5, 2.5));
+        assert_eq!((t.lo, t.hi), (1.0, 2.0));
+        // Negative ranges.
+        let t = grid(3, 0).tighten(&Interval::new(-10.0, -1.0));
+        assert_eq!((t.lo, t.hi), (-9.0, -3.0));
+        // Unbounded endpoints pass through.
+        let t = grid(3, 0).tighten(&Interval::new(f64::NEG_INFINITY, 7.0));
+        assert_eq!((t.lo, t.hi), (f64::NEG_INFINITY, 6.0));
+    }
+
+    #[test]
+    fn tighten_is_idempotent() {
+        for (m, r, lo, hi) in [
+            (256u64, 0i64, 1.0, 100_000.0),
+            (7, 3, -100.0, 100.0),
+            (2, 1, 0.0, 9.0),
+            (5, 4, 3.0, 3.0),
+        ] {
+            let g = grid(m, r);
+            let once = g.tighten(&Interval::new(lo, hi));
+            let twice = g.tighten(&once);
+            assert_eq!(once, twice, "tighten must be idempotent for {g}");
+        }
+    }
+
+    #[test]
+    fn facts_from_rem_eq() {
+        let env: BTreeMap<String, Interval> = [
+            ("n".to_string(), Interval::new(1.0, 100_000.0)),
+            ("nb".to_string(), Interval::new(256.0, 256.0)),
+        ]
+        .into();
+        let e = parse("n % nb == 0").unwrap();
+        let mut out = Vec::new();
+        constraint_facts(&e, &env, &mut out);
+        assert_eq!(out, vec![("n".to_string(), grid(256, 0))]);
+        // Push-down through + and *: (2*n + 3) % 8 == 1 ⇒ 2n ≡ -2 ≡ 6
+        // (mod 8) ⇒ n ≡ 3 (mod 4).
+        let e = parse("(2 * n + 3) % 8 == 1").unwrap();
+        let mut out = Vec::new();
+        constraint_facts(&e, &env, &mut out);
+        assert_eq!(out, vec![("n".to_string(), grid(4, 3))]);
+        // Unpinned divisor: no fact.
+        let env2: BTreeMap<String, Interval> = [
+            ("n".to_string(), Interval::new(1.0, 100_000.0)),
+            ("nb".to_string(), Interval::new(96.0, 256.0)),
+        ]
+        .into();
+        let e = parse("n % nb == 0").unwrap();
+        let mut out = Vec::new();
+        constraint_facts(&e, &env2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn refine_branch_contracts_to_grid() {
+        use cets_space::ParamDef;
+        let dn = ParamDef::Integer { lo: 1, hi: 100_000 };
+        let dnb = ParamDef::Integer { lo: 32, hi: 1024 };
+        let pin = parse("nb == 256").unwrap();
+        let align = parse("n % nb == 0").unwrap();
+        let params: Vec<(&str, &ParamDef)> = vec![("n", &dn), ("nb", &dnb)];
+        let exprs = vec![&pin, &align];
+        let c = super::super::contract::contract(&params, &exprs);
+        assert!(!c.proved_empty);
+        let mut env = c.env;
+        let facts = refine_branch(&params, &exprs, &mut env).expect("feasible");
+        assert_eq!(facts.get("n"), Some(&grid(256, 0)));
+        let n = env["n"];
+        assert_eq!((n.lo, n.hi), (256.0, 99_840.0));
+    }
+
+    #[test]
+    fn refine_branch_proves_empty_grid() {
+        use cets_space::ParamDef;
+        let dn = ParamDef::Integer { lo: 257, hi: 511 };
+        let dnb = ParamDef::Integer { lo: 32, hi: 1024 };
+        let pin = parse("nb == 256").unwrap();
+        let align = parse("n % nb == 0").unwrap();
+        let params: Vec<(&str, &ParamDef)> = vec![("n", &dn), ("nb", &dnb)];
+        let exprs = vec![&pin, &align];
+        let c = super::super::contract::contract(&params, &exprs);
+        if c.proved_empty {
+            return; // already caught by the interval layer: fine
+        }
+        let mut env = c.env;
+        assert!(refine_branch(&params, &exprs, &mut env).is_none());
+    }
+
+    #[test]
+    fn eval_cong_forward() {
+        let env: BTreeMap<String, Congruence> = [
+            ("a".to_string(), grid(6, 2)),
+            ("b".to_string(), Congruence::Point(3)),
+        ]
+        .into();
+        let v = eval_cong(&parse("a + b * 2").unwrap(), &env);
+        assert_eq!(v, grid(6, 2)); // 6ℤ+2 + 6 = 6ℤ+2
+        let v = eval_cong(&parse("a % 4").unwrap(), &env);
+        assert_eq!(v, grid(2, 0));
+        let v = eval_cong(&parse("a <= b").unwrap(), &env);
+        assert_eq!(v, Congruence::Top);
+    }
+}

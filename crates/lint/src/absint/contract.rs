@@ -394,8 +394,31 @@ fn backward_in(
                     backward_in(a, na, env)?;
                     backward_in(b, nb, env)
                 }
-                // Remainder has no useful inverse; the meet above is all.
-                BinOp::Rem => Ok(()),
+                // Remainder: with an integer point divisor `c` and an
+                // exact integer required value `k`, the dividend lies
+                // on the grid `cℤ + k` — truncated remainder subtracts
+                // an *integer* multiple of the divisor, for real
+                // dividends too. Snapping the dividend range inward to
+                // the outermost grid members is exact integer
+                // arithmetic (no rounding slack needed); an empty snap
+                // proves the requirement unsatisfiable. Anything less
+                // pinned keeps the forward meet above.
+                BinOp::Rem => {
+                    use super::congruence::{int_point, Congruence};
+                    let fb = eval_expr(b, env);
+                    let (Some(c), Some(k)) = (int_point(&fb), int_point(&m)) else {
+                        return Ok(());
+                    };
+                    if c == 0 {
+                        return Err(Infeasible); // x % 0 is NaN, never equal to k
+                    }
+                    let fa = eval_expr(a, env);
+                    let na = Congruence::grid(c.unsigned_abs(), k).tighten(&fa);
+                    if na.is_empty_range() {
+                        return Err(Infeasible);
+                    }
+                    backward_in(a, Interval::new(na.lo, na.hi), env)
+                }
                 // Boolean-valued nodes: if the required range excludes
                 // zero the node must be *true*; propagate that. A
                 // required-false node is left alone (sound no-op).
@@ -693,6 +716,49 @@ mod tests {
         assert!(!c.proved_empty);
         let y = c.env["y"];
         assert_eq!(y.lo, 0.0, "y = 0 stays feasible (x/0 = inf > 1)");
+    }
+
+    #[test]
+    fn rem_backward_contracts_to_grid() {
+        let d = ParamDef::Integer { lo: 1, hi: 100_000 };
+        let e = parse("n % 256 == 0").unwrap();
+        let c = contract(&[("n", &d)], &[&e]);
+        assert!(!c.proved_empty);
+        let n = c.env["n"];
+        assert_eq!((n.lo, n.hi), (256.0, 99_840.0));
+    }
+
+    #[test]
+    fn rem_backward_applies_to_real_dividends() {
+        // x % 2 == 1 forces x onto 2ℤ+1 even for a real-valued x.
+        let d = ParamDef::Real { lo: 0.0, hi: 10.0 };
+        let e = parse("x % 2 == 1").unwrap();
+        let c = contract(&[("x", &d)], &[&e]);
+        assert!(!c.proved_empty);
+        let x = c.env["x"];
+        assert_eq!((x.lo, x.hi), (1.0, 9.0));
+    }
+
+    #[test]
+    fn rem_backward_proves_empty_between_multiples() {
+        let d = ParamDef::Integer { lo: 257, hi: 511 };
+        let e = parse("n % 256 == 0").unwrap();
+        let c = contract(&[("n", &d)], &[&e]);
+        assert!(c.proved_empty);
+    }
+
+    #[test]
+    fn rem_with_pinned_divisor_contracts() {
+        // The divisor is a variable pinned by a sibling constraint; the
+        // fixpoint loop makes it a point, after which the grid applies.
+        let dn = ParamDef::Integer { lo: 1, hi: 100_000 };
+        let db = ParamDef::Integer { lo: 32, hi: 1024 };
+        let pin = parse("nb == 256").unwrap();
+        let align = parse("n % nb == 0").unwrap();
+        let c = contract(&[("n", &dn), ("nb", &db)], &[&pin, &align]);
+        assert!(!c.proved_empty);
+        let n = c.env["n"];
+        assert_eq!((n.lo, n.hi), (256.0, 99_840.0));
     }
 
     #[test]

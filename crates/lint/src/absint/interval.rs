@@ -244,19 +244,34 @@ impl Interval {
 
     /// Remainder (`%`, IEEE `fmod`: sign of the dividend, `|r| < |y|`,
     /// `|r| <= |x|`). NaN arises from infinite dividends or zero divisors.
+    ///
+    /// Sign-aware: a non-negative dividend yields a non-negative
+    /// remainder (and symmetrically for non-positive), and each side is
+    /// further clipped by the dividend's own endpoint (`|r| <= |x|`).
+    /// For a *point* divisor with a one-signed dividend the transfer is
+    /// exact whenever the dividend range spans less than one period:
+    /// `fmod` is exact in IEEE arithmetic, so endpoint remainders whose
+    /// span equals the dividend span certify that no period boundary is
+    /// crossed and `[lo % c, hi % c]` is the exact image.
     pub fn rem(&self, other: &Interval) -> Interval {
         let nan = self.maybe_nan || other.maybe_nan || self.has_inf() || other.can_be_zero();
         if self.is_empty_range() || other.is_empty_range() {
             return Interval::bottom().with_nan(nan);
         }
         let m = self.max_abs().min(other.max_abs());
-        let (lo, hi) = if self.lo >= 0.0 {
-            (0.0, m)
-        } else if self.hi <= 0.0 {
-            (-m, 0.0)
+        let lo = if self.lo >= 0.0 {
+            0.0
         } else {
-            (-m, m)
+            (-m).max(self.lo)
         };
+        let hi = if self.hi <= 0.0 { 0.0 } else { m.min(self.hi) };
+        if !nan && other.lo == other.hi && (self.lo >= 0.0 || self.hi <= 0.0) {
+            let c = other.lo;
+            let (rl, rh) = (self.lo % c, self.hi % c);
+            if rl <= rh && rh - rl == self.hi - self.lo {
+                return Interval::new(rl, rh);
+            }
+        }
         Interval::new(lo, hi).with_nan(nan)
     }
 
@@ -475,6 +490,48 @@ mod tests {
             iv(0.0, f64::INFINITY).rem(&iv(1.0, 2.0)).maybe_nan,
             "inf % y is NaN"
         );
+    }
+
+    #[test]
+    fn rem_sign_boundaries() {
+        // Mixed-sign dividend, point divisor: the remainder keeps the
+        // dividend's sign, so the result spans both signs but stays
+        // within one period.
+        let r = iv(-5.0, 5.0).rem(&iv(3.0, 3.0));
+        assert_eq!((r.lo, r.hi), (-3.0, 3.0));
+        assert!(!r.maybe_nan);
+        // Divisor range touching zero: NaN-poisoned, range still bounded
+        // by the largest divisor magnitude.
+        let r = iv(0.0, 10.0).rem(&iv(0.0, 2.0));
+        assert_eq!((r.lo, r.hi), (0.0, 2.0));
+        assert!(r.maybe_nan, "x % 0 reachable");
+        // Non-positive dividend mirrors the non-negative case.
+        let r = iv(-10.0, 0.0).rem(&iv(1.0, 7.0));
+        assert_eq!((r.lo, r.hi), (-7.0, 0.0));
+        // |r| <= |x| clips tighter than the divisor when the dividend is
+        // small.
+        let r = iv(0.0, 3.0).rem(&iv(5.0, 5.0));
+        assert_eq!((r.lo, r.hi), (0.0, 3.0));
+        let r = iv(-2.0, 2.0).rem(&iv(100.0, 100.0));
+        assert_eq!((r.lo, r.hi), (-2.0, 2.0));
+    }
+
+    #[test]
+    fn rem_point_divisor_single_period_is_exact() {
+        // No period boundary crossed: exact image of the endpoints.
+        let r = iv(7.0, 8.0).rem(&iv(3.0, 3.0));
+        assert_eq!((r.lo, r.hi), (1.0, 2.0));
+        let r = iv(-8.0, -7.0).rem(&iv(3.0, 3.0));
+        assert_eq!((r.lo, r.hi), (-2.0, -1.0));
+        // fmod ignores the divisor's sign.
+        let r = iv(7.0, 8.0).rem(&iv(-3.0, -3.0));
+        assert_eq!((r.lo, r.hi), (1.0, 2.0));
+        // A boundary inside the range falls back to the sign-aware hull.
+        let r = iv(2.0, 4.0).rem(&iv(3.0, 3.0));
+        assert_eq!((r.lo, r.hi), (0.0, 3.0));
+        // Width exactly one period: wraps, falls back.
+        let r = iv(0.0, 3.0).rem(&iv(3.0, 3.0));
+        assert_eq!((r.lo, r.hi), (0.0, 3.0));
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! * [`octagon`] — the relational octagon domain (`±x ± y ≤ c`
 //!   difference-bound matrices with closure), which proves joint
 //!   emptiness and two-variable bounds the interval domain cannot see;
+//! * [`congruence`] — the Granger congruence domain (`x ≡ r mod m`),
+//!   reduced against the intervals so divisor constraints like
+//!   `n % nb == 0` snap bounds to the multiples grid;
+//! * the finite-set pass (this module) — exact feasible value subsets
+//!   for `Ordinal`/`Categorical` parameters, probing each declared
+//!   value against every disjunctive branch;
 //! * [`split`] — disjunctive branch-and-prune over `Or` nodes, joining
 //!   per-branch fixpoints into unions of feasible slabs;
 //! * [`project`] — conditional projection `project(var, fixed)` powering
@@ -25,15 +31,17 @@
 //!   [`ParamDef`]s for the `--contract` rewriting and the `cets-core`
 //!   pre-pass.
 //!
-//! The findings surface as diagnostics `A001`–`A008` via
+//! The findings surface as diagnostics `A001`–`A011` via
 //! [`crate::rules::feasibility`] and the `cets analyze` subcommand.
 
+pub mod congruence;
 pub mod contract;
 pub mod interval;
 pub mod octagon;
 pub mod project;
 pub mod split;
 
+pub use congruence::Congruence;
 pub use contract::{
     contract, contract_from, eval_expr, initial_interval, snap, Contraction, CONVERGENCE_EPS,
     ITER_CAP,
@@ -57,8 +65,12 @@ pub enum Domain {
     Interval,
     /// Relational analysis: interval contraction per disjunctive branch,
     /// refined by the octagon domain, joined into slab unions.
-    #[default]
     Octagon,
+    /// The reduced product: octagon-refined branches further reduced by
+    /// the congruence domain (divisor grids) and the finite-set pass
+    /// (exact ordinal/categorical value subsets).
+    #[default]
+    Product,
 }
 
 impl Domain {
@@ -67,14 +79,20 @@ impl Domain {
         match self {
             Domain::Interval => "interval",
             Domain::Octagon => "octagon",
+            Domain::Product => "product",
         }
+    }
+
+    /// Does this domain split disjunctions and run the octagon closure?
+    fn relational(&self) -> bool {
+        matches!(self, Domain::Octagon | Domain::Product)
     }
 }
 
 /// Knobs for [`analyze_space_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisOptions {
-    /// Abstract domain (default: [`Domain::Octagon`]).
+    /// Abstract domain (default: [`Domain::Product`]).
     pub domain: Domain,
     /// Branch cap for disjunctive splitting (default: [`SPLIT_CAP`]).
     pub split_cap: usize,
@@ -178,11 +196,25 @@ pub struct ParamInterval {
     /// empty.
     pub slabs: Vec<Interval>,
     /// A tightened domain definition, when the contraction strictly
-    /// narrowed this parameter *and* the narrowing is expressible
-    /// (categorical domains are never rewritten — slicing the option list
-    /// would renumber the indices constraints refer to; degenerate real
-    /// intervals cannot form a valid `Real` domain).
+    /// narrowed this parameter *and* the narrowing is expressible.
+    /// Ordinal value lists shrink to the exact surviving subset;
+    /// categorical option lists are only rewritten when the surviving
+    /// indices form a *prefix* of the declared list (dropping a tail
+    /// never renumbers the indices constraints refer to — anything else
+    /// would); degenerate real intervals cannot form a valid `Real`
+    /// domain.
     pub tightened: Option<ParamDef>,
+    /// Congruence fact proved for this (integer) parameter under
+    /// [`Domain::Product`]: the feasible values lie on the grid
+    /// `m·ℤ + r`, stride `m ≥ 2`. Drives the `A009` diagnostic and the
+    /// stride-aware constructive sampler.
+    pub stride: Option<(u64, u64)>,
+    /// Exact feasible value subset (indices into the declared
+    /// ordinal-value / categorical-option list) proved by the finite-set
+    /// pass under [`Domain::Product`]; `None` for non-finite kinds,
+    /// other domains, or lists past the probe cap. Drives `A010`/`A011`
+    /// and the set-restricted slab machinery.
+    pub kept: Option<Vec<usize>>,
 }
 
 impl ParamInterval {
@@ -303,9 +335,14 @@ fn measure(def: &ParamDef, iv: &Interval) -> f64 {
     }
 }
 
-/// Derive a tightened [`ParamDef`] from a contracted interval, when the
+/// Derive a tightened [`ParamDef`] from a contracted interval and (for
+/// finite kinds) the finite-set pass's surviving indices, when the
 /// narrowing is expressible. See [`ParamInterval::tightened`].
-fn tightened_def(def: &ParamDef, contracted: &Interval) -> Option<ParamDef> {
+fn tightened_def(
+    def: &ParamDef,
+    contracted: &Interval,
+    kept: Option<&[usize]>,
+) -> Option<ParamDef> {
     if contracted.is_empty_range() {
         return None;
     }
@@ -328,25 +365,70 @@ fn tightened_def(def: &ParamDef, contracted: &Interval) -> Option<ParamDef> {
             hi: contracted.hi as i64,
         }),
         ParamDef::Ordinal { values } => {
-            let kept: Vec<f64> = values
-                .iter()
-                .copied()
-                .filter(|v| contracted.contains(*v))
-                .collect();
-            if kept.is_empty() {
+            // Ordinal constraints are by *value*, so any subset is
+            // expressible: the exact surviving set when the finite-set
+            // pass ran, the contracted hull's members otherwise.
+            let survivors: Vec<f64> = match kept {
+                Some(idx) => idx.iter().filter_map(|&k| values.get(k).copied()).collect(),
+                None => values
+                    .iter()
+                    .copied()
+                    .filter(|v| contracted.contains(*v))
+                    .collect(),
+            };
+            if survivors.is_empty() {
                 None
             } else {
-                Some(ParamDef::Ordinal { values: kept })
+                Some(ParamDef::Ordinal { values: survivors })
             }
         }
-        // Slicing the option list would renumber indices that constraints
-        // refer to; categorical domains keep their declared definition.
-        ParamDef::Categorical { .. } => None,
+        // Categorical constraints are by option *index*: only dropping a
+        // suffix keeps the surviving indices stable, so rewrite exactly
+        // when the finite-set pass proved the survivors form a prefix.
+        ParamDef::Categorical { options } => {
+            let idx = kept?;
+            if idx.is_empty() || idx.len() >= options.len() {
+                return None;
+            }
+            if idx.iter().enumerate().any(|(pos, &k)| pos != k) {
+                return None; // holes would renumber survivors
+            }
+            Some(ParamDef::Categorical {
+                options: options[..idx.len()].to_vec(),
+            })
+        }
     }
 }
 
+/// Largest finite domain the finite-set pass probes exhaustively. Each
+/// value costs one contraction per branch; tuning enums are small, so a
+/// cap of 32 covers them all without risking quadratic blowup.
+pub const FINITE_PROBE_CAP: usize = 32;
+
+/// The declared value list of a finite parameter kind: ordinal values as
+/// written, categorical options as indices `0..k`. `None` for the
+/// unbounded kinds (Real, Integer).
+fn finite_values(def: &ParamDef) -> Option<Vec<f64>> {
+    match def {
+        ParamDef::Ordinal { values } => Some(values.clone()),
+        ParamDef::Categorical { options } => Some((0..options.len()).map(|i| i as f64).collect()),
+        ParamDef::Real { .. } | ParamDef::Integer { .. } => None,
+    }
+}
+
+/// Count the integers in `iv` congruent to `r` mod `m` — the counting
+/// measure of a strided integer slab.
+fn count_congruent(iv: &Interval, m: u64, r: u64) -> f64 {
+    let t = Congruence::Grid { m, r }.tighten(iv);
+    if t.is_empty_range() {
+        return 0.0;
+    }
+    ((t.hi - t.lo) / m as f64).floor() + 1.0
+}
+
 /// [`analyze_space_with`] under [`AnalysisOptions::default`] — the
-/// relational octagon domain with disjunctive branch-and-prune.
+/// reduced product of octagons, congruences, and finite sets, with
+/// disjunctive branch-and-prune.
 pub fn analyze_space(bundle: &PlanBundle) -> SpaceAnalysis {
     analyze_space_with(bundle, &AnalysisOptions::default())
 }
@@ -436,12 +518,13 @@ pub fn analyze_space_with(bundle: &PlanBundle, opts: &AnalysisOptions) -> SpaceA
     // empties the box at once; a branch that contracts to empty is
     // pruned; the survivors join into slab unions).
     let expr_refs: Vec<&expr::Expr> = exprs.iter().map(|(_, e)| e).collect();
-    let (branches, capped) = match opts.domain {
-        Domain::Octagon => split::dnf_branches(&expr_refs, opts.split_cap.max(1)),
-        Domain::Interval => (
+    let (branches, capped) = if opts.domain.relational() {
+        split::dnf_branches(&expr_refs, opts.split_cap.max(1))
+    } else {
+        (
             vec![expr_refs.iter().map(|e| (*e).clone()).collect::<Vec<_>>()],
             false,
-        ),
+        )
     };
     out.split_capped = capped;
     out.split_branches = branches.len();
@@ -452,7 +535,8 @@ pub fn analyze_space_with(bundle: &PlanBundle, opts: &AnalysisOptions) -> SpaceA
         .enumerate()
         .map(|(i, p)| (p.name.as_str(), i))
         .collect();
-    let mut branch_envs: Vec<BTreeMap<String, Interval>> = Vec::new();
+    let mut branch_data: Vec<(Vec<&expr::Expr>, BTreeMap<String, Interval>)> = Vec::new();
+    let mut branch_congs: Vec<BTreeMap<String, Congruence>> = Vec::new();
     let mut joined_oct: Option<Octagon> = None;
     let mut stated: BTreeMap<StatedKey, f64> = BTreeMap::new();
     let mut all_converged = true;
@@ -465,7 +549,7 @@ pub fn analyze_space_with(bundle: &PlanBundle, opts: &AnalysisOptions) -> SpaceA
             continue;
         }
         let mut env = c.env;
-        if opts.domain == Domain::Octagon {
+        if opts.domain.relational() {
             match octagon_refine(&param_refs, &name_idx, &refs, env, &mut stated) {
                 Some((refined, oct)) => {
                     env = refined;
@@ -477,40 +561,140 @@ pub fn analyze_space_with(bundle: &PlanBundle, opts: &AnalysisOptions) -> SpaceA
                 None => continue, // octagon proved the branch empty
             }
         }
-        branch_envs.push(env);
+        let congs = if opts.domain == Domain::Product {
+            match congruence::refine_branch(&param_refs, &refs, &mut env) {
+                Some(f) => f,
+                None => continue, // no residue fits the branch box
+            }
+        } else {
+            BTreeMap::new()
+        };
+        branch_congs.push(congs);
+        branch_data.push((refs, env));
     }
     out.converged = all_converged;
-    out.proved_empty = any_unsat || branch_envs.is_empty();
+    out.proved_empty = any_unsat || branch_data.is_empty();
+
+    // Finite-set pass (product domain only): probe every declared
+    // ordinal value / categorical option against every surviving branch.
+    // A value survives a branch when pinning it there neither empties
+    // the interval contraction nor the congruence reduction. A
+    // parameter left with no surviving value proves the space empty.
+    let mut kept_sets: Vec<Option<Vec<usize>>> = vec![None; bundle.params.len()];
+    if opts.domain == Domain::Product && !out.proved_empty {
+        for (pi, p) in bundle.params.iter().enumerate() {
+            let Some(values) = finite_values(&p.def) else {
+                continue;
+            };
+            if values.is_empty() || values.len() > FINITE_PROBE_CAP {
+                continue;
+            }
+            let referenced = exprs.iter().any(|(_, e)| e.vars().contains(&p.name));
+            let mut alive = vec![false; values.len()];
+            for (refs, env) in &branch_data {
+                let biv = env.get(&p.name).copied().unwrap_or_else(Interval::top);
+                for (k, &v) in values.iter().enumerate() {
+                    if alive[k] || !biv.contains(v) {
+                        continue;
+                    }
+                    if !referenced {
+                        alive[k] = true;
+                        continue;
+                    }
+                    let mut probe = env.clone();
+                    probe.insert(p.name.clone(), Interval::point(v));
+                    let c = contract_from(probe, &param_refs, refs);
+                    if c.proved_empty {
+                        continue;
+                    }
+                    let mut cenv = c.env;
+                    if congruence::refine_branch(&param_refs, refs, &mut cenv).is_none() {
+                        continue;
+                    }
+                    alive[k] = true;
+                }
+            }
+            let idx: Vec<usize> = (0..values.len()).filter(|&k| alive[k]).collect();
+            if idx.is_empty() {
+                out.proved_empty = true;
+            }
+            kept_sets[pi] = Some(idx);
+        }
+    }
 
     // Per-parameter outcomes + feasible fraction (slab-union measures:
     // disjoint slabs of one axis sum, so `a <= 1 || a >= 9` over {0..10}
     // measures 4/11, not the vacuous 1).
     let mut fraction = 1.0;
-    for (p, orig) in bundle.params.iter().zip(&initial) {
-        let slabs = if out.proved_empty {
+    for (pi, (p, orig)) in bundle.params.iter().zip(&initial).enumerate() {
+        let kept = if out.proved_empty {
+            None
+        } else {
+            kept_sets[pi].take()
+        };
+        let mut slabs = if out.proved_empty {
             Vec::new()
         } else {
             split::merge_slabs(
                 Some(&p.def),
-                branch_envs
+                branch_data
                     .iter()
-                    .map(|env| env.get(&p.name).copied().unwrap_or(*orig))
+                    .map(|(_, env)| env.get(&p.name).copied().unwrap_or(*orig))
                     .collect(),
             )
         };
+        // Set-restricted slabs: when strictly fewer values survive than
+        // the merged slabs admit, the feasible region is the union of
+        // the surviving points. (The strictness gate keeps analyses
+        // without finite-set facts producing byte-identical slabs.)
+        if let Some(idx) = &kept {
+            if let Some(values) = finite_values(&p.def) {
+                let admitted = values
+                    .iter()
+                    .filter(|v| slabs.iter().any(|s| s.contains(**v)))
+                    .count();
+                if idx.len() < admitted {
+                    slabs = split::merge_slabs(
+                        Some(&p.def),
+                        idx.iter().map(|&k| Interval::point(values[k])).collect(),
+                    );
+                }
+            }
+        }
         let contracted = slabs
             .iter()
             .fold(Interval::bottom(), |acc, iv| acc.join(iv));
+        // Congruence stride for integer parameters: the join of every
+        // surviving branch's fact (sound for the union of branches).
+        let stride = if matches!(p.def, ParamDef::Integer { .. }) && !out.proved_empty {
+            branch_congs
+                .iter()
+                .map(|f| f.get(&p.name).copied().unwrap_or(Congruence::Top))
+                .reduce(|a, b| a.join(&b))
+                .and_then(|c| c.as_stride())
+        } else {
+            None
+        };
         let m_orig = measure(&p.def, orig);
-        let m_new: f64 = slabs.iter().map(|s| measure(&p.def, s)).sum();
+        let m_new: f64 = match stride {
+            // A stride counts only the congruent points of each slab —
+            // `n % 256 == 0` over [1, 100000] measures 390, not 99585.
+            Some((m, r)) => slabs.iter().map(|s| count_congruent(s, m, r)).sum(),
+            None => slabs.iter().map(|s| measure(&p.def, s)).sum(),
+        };
         if m_orig > 0.0 {
             fraction *= (m_new / m_orig).clamp(0.0, 1.0);
         } else if m_new == 0.0 {
             fraction = 0.0;
         }
-        let tightened = if !out.proved_empty && (contracted.lo > orig.lo || contracted.hi < orig.hi)
+        let kept_strict = kept
+            .as_ref()
+            .zip(finite_values(&p.def))
+            .is_some_and(|(idx, values)| idx.len() < values.len());
+        let tightened = if !out.proved_empty
+            && ((contracted.lo > orig.lo || contracted.hi < orig.hi) || kept_strict)
         {
-            tightened_def(&p.def, &contracted)
+            tightened_def(&p.def, &contracted, kept.as_deref())
         } else {
             None
         };
@@ -520,6 +704,8 @@ pub fn analyze_space_with(bundle: &PlanBundle, opts: &AnalysisOptions) -> SpaceA
             contracted,
             slabs,
             tightened,
+            stride,
+            kept,
         });
     }
     out.feasible_fraction = if out.proved_empty { 0.0 } else { fraction };
@@ -920,7 +1106,9 @@ mod tests {
     }
 
     #[test]
-    fn categorical_not_rewritten() {
+    fn categorical_prefix_rewritten_holes_kept_unsliced() {
+        // `impl <= 1` kills a suffix: the survivors {0, 1} are a prefix,
+        // so the option list is sliced without renumbering anything.
         let b = bundle(
             vec![param(
                 "impl",
@@ -933,8 +1121,31 @@ mod tests {
         let s = analyze_space(&b);
         let p = &s.params[0];
         assert!(p.narrowed(), "index interval narrows");
-        assert!(p.tightened.is_none(), "but the option list is never sliced");
+        assert_eq!(p.kept.as_deref(), Some(&[0usize, 1][..]));
+        assert_eq!(
+            p.tightened,
+            Some(ParamDef::Categorical {
+                options: vec!["a".into(), "b".into()],
+            })
+        );
         assert!((s.feasible_fraction - 0.5).abs() < 1e-9);
+
+        // `impl != 1` punches a hole: slicing would renumber `c`/`d`,
+        // so the finite-set fact is reported but the def is untouched.
+        let b = bundle(
+            vec![param(
+                "impl",
+                ParamDef::Categorical {
+                    options: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+                },
+            )],
+            vec![constraint("hole", "impl != 1")],
+        );
+        let s = analyze_space(&b);
+        let p = &s.params[0];
+        assert_eq!(p.kept.as_deref(), Some(&[0usize, 2, 3][..]));
+        assert!(p.tightened.is_none(), "holes never slice the option list");
+        assert!((s.feasible_fraction - 0.75).abs() < 1e-9, "3 of 4 options");
     }
 
     #[test]
@@ -1021,7 +1232,7 @@ mod tests {
             vec![constraint("gap", "a <= 1 || a >= 9")],
         );
         let s = analyze_space(&b);
-        assert_eq!(s.domain, Domain::Octagon);
+        assert_eq!(s.domain, Domain::Product);
         assert_eq!(s.split_branches, 2);
         assert!(!s.split_capped);
         let a = &s.params[0];
@@ -1045,6 +1256,100 @@ mod tests {
         assert_eq!(si.params[0].slabs.len(), 1);
         assert!((si.feasible_fraction - 1.0).abs() < 1e-9);
         assert!(si.relations.is_empty());
+    }
+
+    #[test]
+    fn product_reports_stride_and_counts_congruent_points() {
+        // `n % 256 == 0` over [1, 100000]: the grid has 390 members and
+        // the bounds snap to the outermost multiples.
+        let b = bundle(
+            vec![param("n", ParamDef::Integer { lo: 1, hi: 100_000 })],
+            vec![constraint("blk", "n % 256 == 0")],
+        );
+        let s = analyze_space(&b);
+        let n = &s.params[0];
+        assert_eq!(n.stride, Some((256, 0)));
+        assert_eq!((n.contracted.lo, n.contracted.hi), (256.0, 99_840.0));
+        assert_eq!(
+            n.tightened,
+            Some(ParamDef::Integer {
+                lo: 256,
+                hi: 99_840,
+            })
+        );
+        assert!(
+            (s.feasible_fraction - 390.0 / 100_000.0).abs() < 1e-9,
+            "{}",
+            s.feasible_fraction
+        );
+        // The non-product domains see no stride and keep the full box.
+        let so = analyze_space_with(
+            &b,
+            &AnalysisOptions {
+                domain: Domain::Octagon,
+                ..Default::default()
+            },
+        );
+        assert_eq!(so.params[0].stride, None);
+    }
+
+    #[test]
+    fn product_proves_congruence_emptiness() {
+        // n ≡ 1 (mod 6) forces n odd while n ≡ 0 (mod 4) forces n even:
+        // the CRT meet is ⊥. Interval iteration shaves ~12 units per
+        // round and gives up at ITER_CAP on a 10^9 box; the octagon adds
+        // nothing relational. Only the congruence meet sees it.
+        let b = bundle(
+            vec![param(
+                "n",
+                ParamDef::Integer {
+                    lo: 0,
+                    hi: 1_000_000_000,
+                },
+            )],
+            vec![
+                constraint("six", "n % 6 == 1"),
+                constraint("four", "n % 4 == 0"),
+            ],
+        );
+        let s = analyze_space(&b);
+        assert!(s.proved_empty);
+        assert_eq!(s.feasible_fraction, 0.0);
+        let so = analyze_space_with(
+            &b,
+            &AnalysisOptions {
+                domain: Domain::Octagon,
+                ..Default::default()
+            },
+        );
+        assert!(!so.proved_empty, "octagon alone cannot prove this");
+    }
+
+    #[test]
+    fn finite_set_prunes_ordinal_values_on_divisor_link() {
+        // `n % nb == 0` with n pinned: only divisors of n survive in nb.
+        let b = bundle(
+            vec![
+                param("n", ParamDef::Integer { lo: 768, hi: 768 }),
+                param(
+                    "nb",
+                    ParamDef::Ordinal {
+                        values: vec![96.0, 128.0, 144.0, 192.0, 256.0],
+                    },
+                ),
+            ],
+            vec![constraint("blk", "n % nb == 0")],
+        );
+        let s = analyze_space(&b);
+        let nb = &s.params[1];
+        // 768 = 2^8 * 3: 96, 128, 192, 256 divide it; 144 does not.
+        assert_eq!(nb.kept.as_deref(), Some(&[0usize, 1, 3, 4][..]));
+        assert_eq!(
+            nb.tightened,
+            Some(ParamDef::Ordinal {
+                values: vec![96.0, 128.0, 192.0, 256.0],
+            })
+        );
     }
 
     #[test]

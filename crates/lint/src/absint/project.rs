@@ -16,6 +16,7 @@
 //! non-octagonal and deeply coupled. Constructive samplers therefore keep
 //! a final concrete validity check.
 
+use super::congruence::{self, Congruence};
 use super::contract::{contract, contract_from, initial_interval, snap};
 use super::interval::Interval;
 use super::split::{dnf_branches, merge_slabs, SPLIT_CAP};
@@ -110,12 +111,27 @@ impl Projector {
     /// Sorted, disjoint, domain-snapped; empty when no branch admits the
     /// partial assignment.
     pub fn project_slabs(&self, var: &str, fixed: &BTreeMap<String, f64>) -> Vec<Interval> {
+        self.project_slabs_stride(var, fixed).0
+    }
+
+    /// [`Projector::project_slabs`] plus the congruence fact the reduced
+    /// product proves for `var` under the same partial assignment: `Some
+    /// ((m, r))` when every feasible value of `var` is ≡ `r` (mod `m`).
+    /// Pinning divisors makes this conditional — with `nb = 256` fixed,
+    /// `n % nb == 0` yields stride 256 for `n`. Only `Integer`-kind
+    /// parameters carry strides (the grid is about integer points).
+    pub fn project_slabs_stride(
+        &self,
+        var: &str,
+        fixed: &BTreeMap<String, f64>,
+    ) -> (Vec<Interval>, Option<(u64, u64)>) {
         let Some(def) = self.def(var) else {
-            return Vec::new();
+            return (Vec::new(), None);
         };
         let param_refs: Vec<(&str, &ParamDef)> =
             self.defs.iter().map(|(n, d)| (n.as_str(), d)).collect();
         let mut slabs = Vec::new();
+        let mut cong: Option<Congruence> = None;
         for br in &self.branches {
             let mut env = br.env.clone();
             let mut feasible = true;
@@ -137,14 +153,28 @@ impl Projector {
             if c.proved_empty {
                 continue;
             }
-            if let Some(iv) = c.env.get(var) {
+            let mut env = c.env;
+            let Some(facts) = congruence::refine_branch(&param_refs, &refs, &mut env) else {
+                continue; // no residue fits this branch
+            };
+            let branch_cong = facts.get(var).copied().unwrap_or(Congruence::Top);
+            cong = Some(match cong {
+                Some(acc) => acc.join(&branch_cong),
+                None => branch_cong,
+            });
+            if let Some(iv) = env.get(var) {
                 let snapped = snap(def, *iv);
                 if !snapped.is_empty_range() {
                     slabs.push(snapped);
                 }
             }
         }
-        merge_slabs(Some(def), slabs)
+        let stride = if matches!(def, ParamDef::Integer { .. }) {
+            cong.and_then(|c| c.as_stride())
+        } else {
+            None
+        };
+        (merge_slabs(Some(def), slabs), stride)
     }
 
     /// The feasible interval of `var` given `fixed`: the hull of
@@ -255,6 +285,44 @@ mod tests {
         assert_eq!((iv.lo, iv.hi), (32.0, 32.0));
         let iv = p.project("g1", &fix(&[("zc", 32.0)]));
         assert_eq!((iv.lo, iv.hi), (32.0, 512.0));
+    }
+
+    #[test]
+    fn stride_projection_is_conditional_on_pinned_divisor() {
+        let b = bundle(
+            vec![
+                ("n", ParamDef::Integer { lo: 1, hi: 100_000 }),
+                (
+                    "nb",
+                    ParamDef::Ordinal {
+                        values: vec![128.0, 256.0],
+                    },
+                ),
+            ],
+            vec!["n % nb == 0"],
+        );
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        // Unpinned divisor: no single grid is sound.
+        let (_, stride) = p.project_slabs_stride("n", &BTreeMap::new());
+        assert_eq!(stride, None);
+        // Pinned divisor: the grid appears and the slabs snap to it.
+        let (slabs, stride) = p.project_slabs_stride("n", &fix(&[("nb", 256.0)]));
+        assert_eq!(stride, Some((256, 0)));
+        assert_eq!(slabs.len(), 1);
+        assert_eq!((slabs[0].lo, slabs[0].hi), (256.0, 99_840.0));
+    }
+
+    #[test]
+    fn unconstrained_projection_has_no_stride() {
+        let b = bundle(
+            vec![("a", ParamDef::Integer { lo: 0, hi: 9 })],
+            vec!["a >= 1"],
+        );
+        let p = Projector::from_bundle(&b).expect("valid bundle");
+        let (slabs, stride) = p.project_slabs_stride("a", &BTreeMap::new());
+        assert_eq!(stride, None);
+        assert_eq!(slabs.len(), 1);
+        assert_eq!((slabs[0].lo, slabs[0].hi), (1.0, 9.0));
     }
 
     #[test]

@@ -15,12 +15,13 @@
 //! | `S0xx` | search **s**pace   | `S001` duplicates, `S002` invalid domains, `S003` defaults outside domains, `S004` unsatisfiable-looking constraints, `S005` unknown references |
 //! | `G0xx` | influence **g**raph / plan | `G001` dependency cycles, `G002` cut-off-orphaned tuned parameters, `G003` dimension cap violations, `G004` shared-parameter ownership |
 //! | `N0xx` | **n**umerics | `N001` PSD-fragile kernels, `N002` non-finite inputs, `N003` zero-variance dimensions |
-//! | `A0xx` | **a**bstract interpretation | `A001` proved-unsat plans, `A002` tautological constraints, `A003` rejection-sampling thrash risk, `A004` contractible bounds, `A005` contraction not converged, `A006` inferred relational bounds, `A007` disjoint feasible slabs, `A008` disjunctive split cap |
+//! | `A0xx` | **a**bstract interpretation | `A001` proved-unsat plans, `A002` tautological constraints, `A003` rejection-sampling thrash risk, `A004` contractible bounds, `A005` contraction not converged, `A006` inferred relational bounds, `A007` disjoint feasible slabs, `A008` disjunctive split cap, `A009` congruence-contracted bounds, `A010` dead ordinal/categorical options, `A011` parameter forced to a single value |
 //!
 //! The `A`-codes come from the relational analysis engine in [`absint`]
 //! (forward constraint classification, HC4-revise backward bound
-//! contraction, an octagon domain for two-parameter relations, and
-//! disjunctive branch-and-prune over `or` constraints) and are opt-in:
+//! contraction, an octagon domain for two-parameter relations,
+//! disjunctive branch-and-prune over `or` constraints, and the reduced
+//! product with congruence and finite-set domains) and are opt-in:
 //! [`analyze`] /
 //! [`Registry::with_analysis_rules`] run them, the plain [`lint`] entry
 //! point does not — `A004` is advice about *optimizable* bounds, not a
@@ -60,6 +61,7 @@
 pub mod absint;
 pub mod bundle;
 pub mod diag;
+pub mod explain;
 pub mod expr;
 pub mod loader;
 pub mod registry;
@@ -67,6 +69,7 @@ pub mod reporter;
 pub mod rules;
 pub mod span;
 
+pub use absint::Congruence;
 pub use absint::{
     analyze_space, analyze_space_with, apply_contraction, wilson_interval, AnalysisOptions,
     ConstraintClass, Domain, Interval, McFeasibility, Projector, Relation, RelationKind,
@@ -76,6 +79,7 @@ pub use bundle::{
     ConstraintSpec, KernelSpec, ParamSpec, PlanBundle, PlanSpec, SearchSpec, UnresolvedRef,
 };
 pub use diag::{Diagnostic, Location, Severity};
+pub use explain::{explain, render_explain, CodeEntry, CODES};
 pub use loader::{load_path, load_str, rewrite_contracted};
 pub use registry::{analyze, analyze_with, lint, Lint, Registry, Report};
 pub use reporter::{render_human, render_json, render_sarif};

@@ -404,7 +404,15 @@ pub fn rewrite_contracted(
                             Value::Array(values.iter().copied().map(num_value).collect()),
                         );
                     }
-                    ParamDef::Categorical { .. } => {} // never rewritten
+                    // Only prefix-surviving sets reach here (suffix drops
+                    // never renumber the indices constraints refer to).
+                    ParamDef::Categorical { options } => {
+                        set_field(
+                            fields,
+                            "options",
+                            Value::Array(options.iter().cloned().map(Value::String).collect()),
+                        );
+                    }
                 }
             }
         }
@@ -489,6 +497,65 @@ mod tests {
             nb.params[0].def,
             cets_space::ParamDef::Integer { lo: 32, hi: 1024 },
             "domain kept: the tightened bounds exclude the declared default"
+        );
+    }
+
+    #[test]
+    fn rewrite_contracted_prunes_dead_options_and_values() {
+        // `bcast <= 1` kills the suffix of the option list; `nb` keeps
+        // only the divisors of the pinned `n`. Both rewrites must be
+        // idempotent under re-analysis.
+        let src = r#"{
+            "params": [
+                {"name": "n", "kind": "integer", "lo": 768, "hi": 768},
+                {"name": "nb", "kind": "ordinal", "values": [96, 128, 144, 192]},
+                {"name": "bcast", "kind": "categorical", "options": ["1rg", "1rM", "2rg", "Lng"]}
+            ],
+            "constraints": [
+                {"name": "blk", "expr": "n % nb == 0"},
+                {"name": "topo", "expr": "bcast <= 1"}
+            ]
+        }"#;
+        let bundle = load_str(src).unwrap();
+        let analysis = crate::absint::analyze_space(&bundle);
+        let out = rewrite_contracted(src, &analysis).expect("rewrites");
+        let nb = load_str(&out).expect("rewritten plan still loads");
+        assert_eq!(
+            nb.params[1].def,
+            cets_space::ParamDef::Ordinal {
+                values: vec![96.0, 128.0, 192.0], // 144 does not divide 768
+            }
+        );
+        assert_eq!(
+            nb.params[2].def,
+            cets_space::ParamDef::Categorical {
+                options: vec!["1rg".into(), "1rM".into()],
+            }
+        );
+        let again = crate::absint::analyze_space(&nb);
+        assert_eq!(rewrite_contracted(&out, &again).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn rewrite_contracted_keeps_options_that_would_orphan_the_default() {
+        // The declared default selects a dead option: pruning would
+        // strand the baseline, so the option list is kept.
+        let src = r#"{
+            "params": [
+                {"name": "bcast", "kind": "categorical",
+                 "options": ["1rg", "1rM", "2rg", "Lng"], "default": 3}
+            ],
+            "constraints": [{"name": "topo", "expr": "bcast <= 1"}]
+        }"#;
+        let bundle = load_str(src).unwrap();
+        let analysis = crate::absint::analyze_space(&bundle);
+        let out = rewrite_contracted(src, &analysis).unwrap();
+        let nb = load_str(&out).unwrap();
+        assert_eq!(
+            nb.params[0].def,
+            cets_space::ParamDef::Categorical {
+                options: vec!["1rg".into(), "1rM".into(), "2rg".into(), "Lng".into()],
+            }
         );
     }
 

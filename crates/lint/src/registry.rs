@@ -130,10 +130,25 @@ impl Registry {
         self.rules.iter().map(|r| r.name()).collect()
     }
 
+    /// Every diagnostic code a registered rule can emit, in registration
+    /// order (duplicates possible when rules share a family).
+    pub fn all_codes(&self) -> Vec<&'static str> {
+        self.rules
+            .iter()
+            .flat_map(|r| r.codes().iter().copied())
+            .collect()
+    }
+
     /// Run every rule over `bundle`. Physical spans are attached
     /// centrally here: rules only name bundle locations, and any
     /// location the bundle's span table knows gains its `file:line:col`
     /// region (for SARIF `physicalLocation`s and the human `-->` arrow).
+    ///
+    /// Identical findings are collapsed centrally too: a disjunctive
+    /// analysis that derives the same fact on several branches, or two
+    /// rules proving one defect, would otherwise repeat the finding
+    /// verbatim. The *first* emission survives (rule order is stable),
+    /// so counts and exit codes never double-bill one defect.
     pub fn run(&self, bundle: &PlanBundle) -> Report {
         let mut diagnostics = Vec::new();
         for rule in &self.rules {
@@ -144,6 +159,15 @@ impl Registry {
                 d.span = bundle.spans.lookup(&d.location);
             }
         }
+        let mut seen = std::collections::BTreeSet::new();
+        diagnostics.retain(|d| {
+            seen.insert((
+                d.code,
+                format!("{:?}", d.location),
+                d.message.clone(),
+                d.help.clone(),
+            ))
+        });
         Report { diagnostics }
     }
 }
@@ -200,7 +224,7 @@ mod tests {
             .flat_map(|l| l.codes().iter().copied())
             .collect();
         for c in [
-            "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008",
+            "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009", "A010", "A011",
         ] {
             assert!(codes.contains(&c), "missing analysis rule for {c}");
         }
@@ -218,6 +242,32 @@ mod tests {
         let report = lint(&PlanBundle::default());
         assert_eq!(report.errors(), 0, "{:?}", report.diagnostics);
         assert!(report.max_severity().is_none() || report.errors() == 0);
+    }
+
+    #[test]
+    fn identical_findings_are_collapsed() {
+        use crate::diag::Location;
+        struct Echo;
+        impl Lint for Echo {
+            fn name(&self) -> &'static str {
+                "echo"
+            }
+            fn codes(&self) -> &'static [&'static str] {
+                &["S999"]
+            }
+            fn check(&self, _: &PlanBundle, out: &mut Vec<Diagnostic>) {
+                for _ in 0..3 {
+                    out.push(Diagnostic::warning("S999", Location::Plan, "same defect"));
+                }
+                // Different payload survives next to the collapsed one.
+                out.push(Diagnostic::warning("S999", Location::Plan, "other defect"));
+            }
+        }
+        let mut r = Registry::new();
+        r.register(Box::new(Echo));
+        let rep = r.run(&PlanBundle::default());
+        assert_eq!(rep.diagnostics.len(), 2, "{:?}", rep.diagnostics);
+        assert_eq!(rep.warnings(), 2);
     }
 
     #[test]

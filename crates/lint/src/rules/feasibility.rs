@@ -1,4 +1,4 @@
-//! `A001`–`A008`: abstract-interpretation feasibility findings.
+//! `A001`–`A011`: abstract-interpretation feasibility findings.
 //!
 //! This rule runs the relational analysis of [`crate::absint`] over the
 //! bundle and reports what it proves:
@@ -29,6 +29,16 @@
 //! * `A008` (info) — the disjunctive expansion hit the branch cap; some
 //!   `Or` constraints were kept un-split, so slab unions may be coarser
 //!   (hull-shaped) than the true feasible set. Sound, like `A005`.
+//! * `A009` (info) — the congruence domain proved an integer parameter
+//!   lives on a residue grid (`n ≡ r mod m`): its bounds snap to the
+//!   outermost grid members, and only one point in `m` is feasible.
+//!   Samplers unaware of the stride reject the rest.
+//! * `A010` (warning) — the finite-set pass proved some declared ordinal
+//!   values / categorical options *dead*: no feasible point selects
+//!   them, yet the sampler keeps drawing them.
+//! * `A011` (warning) — a parameter is statically *forced* to a single
+//!   value: it is not a search dimension at all, only a constant the
+//!   constraints already determine.
 //!
 //! The rule is **not** part of the default `cets lint` registry: `A004`
 //! fires on any plan whose bounds are not already statically minimal,
@@ -43,6 +53,7 @@ use crate::absint::{analyze_space_with, AnalysisOptions, ConstraintClass};
 use crate::bundle::PlanBundle;
 use crate::diag::{Diagnostic, Location};
 use crate::registry::Lint;
+use cets_space::ParamDef;
 
 /// Feasible-fraction threshold below which `A003` fires.
 pub const THRASH_THRESHOLD: f64 = 1e-3;
@@ -73,7 +84,7 @@ impl Lint for Feasibility {
 
     fn codes(&self) -> &'static [&'static str] {
         &[
-            "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008",
+            "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009", "A010", "A011",
         ]
     }
 
@@ -261,6 +272,125 @@ impl Lint for Feasibility {
                         analysis.split_branches
                     ),
                 ));
+            }
+
+            for p in &analysis.params {
+                if let Some((m, r)) = p.stride {
+                    out.push(
+                        Diagnostic::info(
+                            "A009",
+                            Location::Param(p.name.clone()),
+                            format!(
+                                "`{}` is congruence-constrained to the grid {}ℤ+{} \
+                                 (stride {}): bounds snap to {}, and only one value in {} \
+                                 is feasible",
+                                p.name, m, r, m, p.contracted, m
+                            ),
+                        )
+                        .with_help(
+                            "the constructive sampler walks the residue grid directly; \
+                             plain rejection discards (m-1)/m of its draws",
+                        ),
+                    );
+                }
+
+                let Some(kept) = &p.kept else { continue };
+                let def = bundle.params.iter().find(|sp| sp.name == p.name);
+                let names: Vec<String> = match def.map(|sp| &sp.def) {
+                    Some(ParamDef::Categorical { options }) => options.clone(),
+                    Some(ParamDef::Ordinal { values }) => {
+                        values.iter().map(|v| v.to_string()).collect()
+                    }
+                    _ => continue,
+                };
+                if names.len() < 2 {
+                    continue; // a one-option parameter is declared, not forced
+                }
+                if kept.len() == 1 {
+                    let forced = names
+                        .get(kept[0])
+                        .cloned()
+                        .unwrap_or_else(|| kept[0].to_string());
+                    out.push(
+                        Diagnostic::warning(
+                            "A011",
+                            Location::Param(p.name.clone()),
+                            format!(
+                                "`{}` is statically forced to the single value `{}`: \
+                                 {} of its {} declared options are dead and it is not a \
+                                 search dimension",
+                                p.name,
+                                forced,
+                                names.len() - 1,
+                                names.len()
+                            ),
+                        )
+                        .with_help(
+                            "pin the parameter to this value and drop it from the search, \
+                             or relax the constraint that forces it",
+                        ),
+                    );
+                } else if kept.len() < names.len() {
+                    let dead: Vec<String> = (0..names.len())
+                        .filter(|k| !kept.contains(k))
+                        .map(|k| format!("`{}`", names[k]))
+                        .collect();
+                    let mut d = Diagnostic::warning(
+                        "A010",
+                        Location::Param(p.name.clone()),
+                        format!(
+                            "{} of the {} declared options of `{}` are statically dead: \
+                             {} can never be selected by a feasible point",
+                            dead.len(),
+                            names.len(),
+                            p.name,
+                            dead.join(", ")
+                        ),
+                    );
+                    d = if p.tightened.is_some() {
+                        d.with_help(
+                            "run `cets analyze --contract` to drop the dead options from \
+                             the plan",
+                        )
+                    } else {
+                        d.with_help(
+                            "dropping them would renumber surviving options referenced by \
+                             constraints; prune them manually",
+                        )
+                    };
+                    out.push(d);
+                }
+            }
+
+            // An unbounded-kind parameter contracted to one point is
+            // forced just the same (e.g. `n == 57600` via equality).
+            for p in &analysis.params {
+                let def = bundle.params.iter().find(|sp| sp.name == p.name);
+                let numeric = matches!(
+                    def.map(|sp| &sp.def),
+                    Some(ParamDef::Integer { .. } | ParamDef::Real { .. })
+                );
+                if numeric
+                    && p.narrowed()
+                    && p.contracted.lo == p.contracted.hi
+                    && p.contracted.lo.is_finite()
+                {
+                    out.push(
+                        Diagnostic::warning(
+                            "A011",
+                            Location::Param(p.name.clone()),
+                            format!(
+                                "`{}` is statically forced to the single value `{}`: \
+                                 it is not a search dimension",
+                                p.name, p.contracted.lo
+                            ),
+                        )
+                        .with_help(
+                            "pin the parameter to this value and drop it from the search, \
+                             or relax the constraint that forces it",
+                        ),
+                    );
+                }
             }
         }
     }
@@ -458,6 +588,84 @@ mod tests {
         let out = run(&b);
         let d = out.iter().find(|d| d.code == "A008").expect("A008");
         assert_eq!(d.severity, Severity::Info);
+    }
+
+    #[test]
+    fn stride_is_a009_info() {
+        let b = PlanBundle {
+            params: vec![param("n", 1, 100_000)],
+            constraints: vec![constraint("blk", "n % 256 == 0")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A009").expect("A009");
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.location, Location::Param("n".into()));
+        assert!(d.message.contains("stride 256"), "{}", d.message);
+        assert!(d.message.contains("[256, 99840]"), "{}", d.message);
+        // No congruence machinery under the plain interval domain.
+        let mut out = Vec::new();
+        Feasibility::with_options(AnalysisOptions {
+            domain: crate::absint::Domain::Interval,
+            ..Default::default()
+        })
+        .check(&b, &mut out);
+        assert!(out.iter().all(|d| d.code != "A009"), "{out:?}");
+    }
+
+    #[test]
+    fn dead_options_are_a010_warning() {
+        let b = PlanBundle {
+            params: vec![ParamSpec {
+                name: "bcast".into(),
+                def: ParamDef::Categorical {
+                    options: vec!["1rg".into(), "1rM".into(), "2rg".into(), "Lng".into()],
+                },
+                default: None,
+            }],
+            constraints: vec![constraint("topo", "bcast <= 1")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A010").expect("A010");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`2rg`"), "{}", d.message);
+        assert!(d.message.contains("`Lng`"), "{}", d.message);
+        assert!(
+            d.help.as_deref().unwrap_or_default().contains("--contract"),
+            "prefix survivors are rewritable: {:?}",
+            d.help
+        );
+    }
+
+    #[test]
+    fn forced_single_value_is_a011_warning() {
+        let b = PlanBundle {
+            params: vec![ParamSpec {
+                name: "mode".into(),
+                def: ParamDef::Categorical {
+                    options: vec!["left".into(), "crout".into(), "right".into()],
+                },
+                default: None,
+            }],
+            constraints: vec![constraint("pin", "mode == 2")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A011").expect("A011");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`right`"), "{}", d.message);
+        assert!(out.iter().all(|d| d.code != "A010"), "A011 subsumes A010");
+
+        // An integer squeezed to a point by an equality is forced too.
+        let b = PlanBundle {
+            params: vec![param("n", 0, 100_000)],
+            constraints: vec![constraint("pin", "n == 57600")],
+            ..Default::default()
+        };
+        let out = run(&b);
+        let d = out.iter().find(|d| d.code == "A011").expect("A011");
+        assert!(d.message.contains("57600"), "{}", d.message);
     }
 
     #[test]

@@ -228,6 +228,95 @@ fn octagon_unsat_fixture_is_denied_only_relationally() {
 }
 
 #[test]
+fn congruence_unsat_fixture_is_denied_only_by_the_product() {
+    // n ≡ 1 (mod 6) forces n odd while n ≡ 0 (mod 4) forces n even: the
+    // CRT meet in the congruence domain is ⊥. Neither interval iteration
+    // (the box is 10⁹ wide) nor the octagon closure (no two-parameter
+    // relation exists) can prove the conflict.
+    let bundle = load_path(&fixture_path("congruence_unsat.json")).expect("loads");
+    let product = analyze_space(&bundle);
+    assert!(
+        product.proved_empty,
+        "congruence CRT proves joint emptiness"
+    );
+    let r = analyze(&bundle);
+    assert_code(&r, "A001", Severity::Error);
+    assert!(r.errors() > 0, "analyze must deny the empty plan");
+
+    let octagon = analyze_space_with(
+        &bundle,
+        &AnalysisOptions {
+            domain: Domain::Octagon,
+            ..Default::default()
+        },
+    );
+    assert!(
+        !octagon.proved_empty,
+        "octagon + interval alone cannot see the modular conflict"
+    );
+}
+
+#[test]
+fn forced_fixture_reports_a011_for_the_single_surviving_option() {
+    let bundle = load_path(&fixture_path("forced.json")).expect("loads");
+    let analysis = analyze_space(&bundle);
+    let mode = analysis
+        .params
+        .iter()
+        .find(|p| p.name == "mode")
+        .expect("mode analyzed");
+    assert_eq!(mode.kept.as_deref(), Some(&[2usize][..]));
+    let r = fixture("forced.json");
+    assert_code(&r, "A011", Severity::Warning);
+    assert!(
+        !r.has_code("A010"),
+        "A011 subsumes A010 for a singleton survivor set"
+    );
+}
+
+#[test]
+fn hpl_exemplar_emits_stride_and_dead_option_findings() {
+    // Acceptance criteria for the shipped HPL-style exemplar: the
+    // congruence domain reports the block-alignment stride on `n` (A009)
+    // and the finite-set domain finds the dead broadcast variants (A010).
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/plans/hpl_plan.json");
+    let src = std::fs::read_to_string(path).expect("exemplar readable");
+    let bundle = load_str(&src).expect("exemplar loads");
+    let analysis = analyze_space(&bundle);
+    assert!(analysis.analyzed && !analysis.proved_empty);
+    let n = analysis
+        .params
+        .iter()
+        .find(|p| p.name == "n")
+        .expect("n analyzed");
+    assert_eq!(n.stride, Some((64, 0)), "block-aligned stride on n");
+    let bcast = analysis
+        .params
+        .iter()
+        .find(|p| p.name == "bcast")
+        .expect("bcast analyzed");
+    let kept = bcast.kept.as_deref().expect("bcast has a survivor set");
+    assert_eq!(kept, &[0, 1, 2, 3], "Lng/LnM are dead under bcast <= 3");
+
+    let r = analyze(&bundle);
+    assert_code(&r, "A009", Severity::Info);
+    assert_code(&r, "A010", Severity::Warning);
+    assert!(
+        r.errors() == 0,
+        "exemplar must not be denied:\n{}",
+        render_human(&r)
+    );
+
+    // `--contract` bakes the findings in and is idempotent: the rewritten
+    // plan re-analyzes with nothing left to prune.
+    let rewritten = rewrite_contracted(&src, &analysis).expect("rewrite succeeds");
+    let bundle2 = load_str(&rewritten).expect("contracted exemplar loads");
+    let analysis2 = analyze_space(&bundle2);
+    let rewritten2 = rewrite_contracted(&rewritten, &analysis2).expect("second rewrite succeeds");
+    assert_eq!(rewritten, rewritten2, "--contract must be idempotent");
+}
+
+#[test]
 fn octagon_pair_fixture_tightens_beyond_intervals() {
     // a + b ≤ 10 ∧ a − b ≤ 2 ⇒ 2a ≤ 12 ⇒ a ≤ 6; HC4 on either atom
     // alone leaves a at 10.

@@ -18,8 +18,9 @@
 //! shapes — division by zero-spanning intervals, `Rem`, nested boolean
 //! operators — are all reachable.
 
-use cets_lint::absint::{analyze_space, contract, eval_expr, initial_interval};
+use cets_lint::absint::{analyze_space, contract, eval_expr, initial_interval, Interval};
 use cets_lint::expr::{BinOp, Expr};
+use cets_lint::Congruence;
 use cets_lint::{analyze, render_human, ConstraintSpec, ParamSpec, PlanBundle};
 use cets_space::ParamDef;
 use proptest::prelude::*;
@@ -311,6 +312,173 @@ proptest! {
     }
 }
 
+/// A random congruence element biased toward grids (the interesting
+/// case), plus points, ⊤ and ⊥.
+fn arbitrary_cong(rng: &mut Mix) -> Congruence {
+    match rng.below(8) {
+        0 => Congruence::Top,
+        1 => Congruence::Bottom,
+        2 => Congruence::Point(rng.below(2001) as i64 - 1000),
+        _ => {
+            let m = rng.below(999) as u64 + 2;
+            Congruence::grid(m, rng.below(2001) as i64 - 1000)
+        }
+    }
+}
+
+/// Concretization test: is the integer `v` a member of `γ(c)`?
+fn cong_member(c: &Congruence, v: i64) -> bool {
+    match *c {
+        Congruence::Top => true,
+        Congruence::Bottom => false,
+        Congruence::Point(p) => v == p,
+        Congruence::Grid { m, r } => m == 1 || v.rem_euclid(m as i64) as u64 == r,
+    }
+}
+
+/// A concrete member of `γ(c)`, when one exists, near the origin.
+fn cong_sample(c: &Congruence, rng: &mut Mix) -> Option<i64> {
+    match *c {
+        Congruence::Top => Some(rng.below(2001) as i64 - 1000),
+        Congruence::Bottom => None,
+        Congruence::Point(p) => Some(p),
+        Congruence::Grid { m, r } => {
+            let k = rng.below(2001) as i64 - 1000;
+            Some(k * m as i64 + r as i64)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Congruence transfer soundness: for concrete members `x ∈ γ(a)` and
+    /// `y ∈ γ(b)`, every arithmetic result lands in the corresponding
+    /// abstract transfer's concretization, and the lattice operations
+    /// respect membership (join keeps both sides, meet keeps the
+    /// intersection).
+    #[test]
+    fn congruence_transfers_are_sound(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let a = arbitrary_cong(&mut rng);
+        let b = arbitrary_cong(&mut rng);
+        for _ in 0..16 {
+            let (Some(x), Some(y)) = (cong_sample(&a, &mut rng), cong_sample(&b, &mut rng))
+            else {
+                break;
+            };
+            prop_assert!(cong_member(&a.add(&b), x + y), "{x}+{y} ∉ {}", a.add(&b));
+            prop_assert!(cong_member(&a.sub(&b), x - y), "{x}-{y} ∉ {}", a.sub(&b));
+            prop_assert!(cong_member(&a.mul(&b), x * y), "{x}*{y} ∉ {}", a.mul(&b));
+            prop_assert!(cong_member(&a.neg(), -x), "-{x} ∉ {}", a.neg());
+            if y != 0 {
+                // Concrete `%` is the truncated remainder (f64 semantics).
+                prop_assert!(cong_member(&a.rem(&b), x % y), "{x}%{y} ∉ {}", a.rem(&b));
+            }
+            let j = a.join(&b);
+            prop_assert!(cong_member(&j, x), "join drops left member {x}: {j}");
+            prop_assert!(cong_member(&j, y), "join drops right member {y}: {j}");
+            let m = a.meet(&b);
+            prop_assert_eq!(
+                cong_member(&m, x),
+                cong_member(&b, x),
+                "meet membership of {} must equal both-sides membership ({} ∧ {})", x, a, b
+            );
+        }
+    }
+
+    /// Interval reduction by a congruence is sound (no congruent integer
+    /// inside the interval is dropped) and idempotent (snapping an
+    /// already-snapped interval is the identity).
+    #[test]
+    fn congruence_tighten_is_sound_and_idempotent(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let c = arbitrary_cong(&mut rng);
+        let lo = rng.below(20_001) as i64 - 10_000;
+        let w = rng.below(5000) as i64;
+        let iv = Interval::new(lo as f64, (lo + w) as f64);
+
+        let t = c.tighten(&iv);
+        // Soundness: every member of γ(c) inside `iv` survives.
+        for _ in 0..32 {
+            let v = lo + (rng.below(w as usize + 1) as i64);
+            if cong_member(&c, v) {
+                prop_assert!(
+                    t.contains(v as f64),
+                    "member {v} of {c} dropped: {iv} tightened to {t}"
+                );
+            }
+        }
+        // Idempotence: a second reduction changes nothing.
+        let t2 = c.tighten(&t);
+        prop_assert_eq!((t2.lo, t2.hi), (t.lo, t.hi), "tighten not idempotent for {}", c);
+    }
+
+    /// Finite-set soundness under the product domain: a satisfying point's
+    /// option/value index is never pruned from a `kept` survivor set, and
+    /// every surviving value lies inside the param's contracted interval
+    /// hull (finite-set ⊆ interval-hull reduction invariant).
+    #[test]
+    fn finite_set_survivors_are_sound_and_inside_the_hull(seed in 0u64..u64::MAX) {
+        let mut rng = Mix(seed);
+        let (params, parsed, bundle) = relational_bundle(&mut rng);
+        let out = analyze_space(&bundle);
+        prop_assert!(out.analyzed);
+
+        // Survivor values stay inside the contracted hull.
+        if !out.proved_empty {
+            for (i, (_, d)) in params.iter().enumerate() {
+                let p = &out.params[i];
+                let Some(kept) = p.kept.as_deref() else { continue };
+                prop_assert!(!kept.is_empty(), "empty survivor set must flip proved_empty");
+                for &k in kept {
+                    let img = match d {
+                        ParamDef::Ordinal { values } => values[k],
+                        ParamDef::Categorical { .. } => k as f64,
+                        _ => unreachable!("kept is only computed for finite domains"),
+                    };
+                    prop_assert!(
+                        p.contracted.contains(img),
+                        "survivor {img} of `{}` escapes hull {}",
+                        p.name,
+                        p.contracted
+                    );
+                }
+            }
+        }
+
+        // No satisfying point's index is pruned.
+        for _ in 0..64 {
+            let point: BTreeMap<String, f64> = params
+                .iter()
+                .map(|(n, d)| (n.clone(), sample_value(d, &mut rng)))
+                .collect();
+            let sat = parsed.iter().all(|e| {
+                e.satisfied(&|n| point.get(n).copied()).unwrap_or(false)
+            });
+            if !sat {
+                continue;
+            }
+            prop_assert!(!out.proved_empty, "{point:?} satisfies {parsed:?}");
+            for (i, (n, d)) in params.iter().enumerate() {
+                let Some(kept) = out.params[i].kept.as_deref() else { continue };
+                let idx = match d {
+                    ParamDef::Ordinal { values } => {
+                        values.iter().position(|v| *v == point[n]).expect("sampled value declared")
+                    }
+                    ParamDef::Categorical { .. } => point[n] as usize,
+                    _ => continue,
+                };
+                prop_assert!(
+                    kept.contains(&idx),
+                    "feasible index {idx} of `{n}` pruned (kept {kept:?}, point {point:?}, \
+                     constraints {parsed:?})"
+                );
+            }
+        }
+    }
+}
+
 /// Octagonal / disjunctive constraint strings — the shapes the relational
 /// domain targets (unary bounds, ±x±y differences, products, slab unions).
 fn relational_constraint(rng: &mut Mix) -> String {
@@ -318,7 +486,7 @@ fn relational_constraint(rng: &mut Mix) -> String {
     let y = NAMES[rng.below(NAMES.len())];
     let consts = [-150.0, -50.0, -10.0, 0.0, 5.0, 10.0, 50.0, 200.0];
     let c = consts[rng.below(consts.len())];
-    match rng.below(8) {
+    match rng.below(10) {
         0 => format!("{x} <= {c}"),
         1 => format!("{x} >= {c}"),
         2 => format!("{x} + {y} <= {c}"),
@@ -326,6 +494,13 @@ fn relational_constraint(rng: &mut Mix) -> String {
         4 => format!("{x} + {y} >= {c}"),
         5 => format!("{x} - {y} >= {c}"),
         6 => format!("{x} * {y} <= {c}"),
+        7 => {
+            // Divisibility — the congruence domain's home turf.
+            let m = [2, 3, 4, 8, 16][rng.below(5)];
+            let r = rng.below(m);
+            format!("{x} % {m} == {r}")
+        }
+        8 => format!("{x} % {y} == 0"),
         _ => {
             let c2 = consts[rng.below(consts.len())];
             format!("{x} <= {c} || {x} >= {c2}")

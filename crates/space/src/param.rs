@@ -115,6 +115,24 @@ impl ParamDef {
         }
     }
 
+    /// The unit-interval bin `[k/n, (k+1)/n)` of the `k`-th declared
+    /// value (ordinal) or option (categorical) — the exact pre-image of
+    /// that choice under [`ParamDef::decode`]. `None` for the unbounded
+    /// kinds, or when `k` is out of range. Set-restricted samplers use
+    /// this to draw from surviving choices only.
+    pub fn unit_bin(&self, k: usize) -> Option<(f64, f64)> {
+        let n = match self {
+            ParamDef::Ordinal { values } => values.len(),
+            ParamDef::Categorical { options } => options.len(),
+            ParamDef::Real { .. } | ParamDef::Integer { .. } => return None,
+        };
+        if k >= n {
+            return None;
+        }
+        let n = n as f64;
+        Some((k as f64 / n, (k + 1) as f64 / n))
+    }
+
     /// Map a domain value back to the **center** of its unit-interval bin.
     ///
     /// `decode(encode(v)) == v` for every in-domain value (round-trip tested
@@ -300,6 +318,23 @@ mod tests {
             .cardinality(),
             Some(4)
         );
+    }
+
+    #[test]
+    fn unit_bin_is_the_decode_preimage() {
+        let o = ParamDef::Ordinal {
+            values: vec![1.0, 2.0, 4.0, 8.0],
+        };
+        let (lo, hi) = o.unit_bin(2).unwrap();
+        assert_eq!((lo, hi), (0.5, 0.75));
+        assert_eq!(o.decode(lo), ParamValue::Real(4.0));
+        assert_eq!(o.decode(hi - 1e-9), ParamValue::Real(4.0));
+        let c = ParamDef::Categorical {
+            options: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(c.unit_bin(1), Some((0.5, 1.0)));
+        assert_eq!(c.unit_bin(2), None);
+        assert_eq!(ParamDef::Integer { lo: 0, hi: 9 }.unit_bin(0), None);
     }
 
     #[test]

@@ -298,12 +298,11 @@ impl Objective for SyntheticFunction {
         // x_i zero out the chain terms and are near-optimal), so it plays
         // the role of an honest untuned starting point. Values avoid 0
         // (for 1/x) and are deterministic.
-        let units: Vec<f64> = (0..20)
+        let units: Vec<f64> = (0..self.space.dim())
             .map(|i| 0.15 + 0.7 * (((i * 37 + 11) % 20) as f64 / 19.0))
             .collect();
-        self.space
-            .decode(&units)
-            .expect("20-dim unit point decodes")
+        // Arity matches by construction, so decode cannot fail.
+        self.space.decode(&units).unwrap_or_default()
     }
 }
 

@@ -6,7 +6,8 @@
 //!                    [--db out.json]
 //! cets lint <plan.json> [--format human|json|sarif] [--deny-warnings]
 //! cets analyze <plan.json> [--format human|json|sarif] [--deny-warnings]
-//!                          [--domain interval|octagon] [--contract [out.json]]
+//!                          [--domain interval|octagon|product] [--contract [out.json]]
+//! cets analyze --explain <CODE>
 //! cets help
 //! ```
 //!
@@ -17,16 +18,20 @@
 //! without evaluating anything; exit code 0 means the plan passed, 1 means
 //! diagnostics denied it, 2 means the file could not be read or parsed.
 //! `cets analyze` additionally runs the abstract-interpretation
-//! feasibility engine (diagnostic codes `A001`–`A008`): it proves
+//! feasibility engine (diagnostic codes `A001`–`A011`): it proves
 //! constraints unsatisfiable or tautological over the declared domains and
-//! contracts the box bounds to the feasible region. The default `octagon`
-//! domain is relational — it tracks `±x ± y <= c` differences and sums,
-//! splits `or` constraints into branches, and reports inferred relational
-//! bounds (`A006`), disjoint feasible slabs (`A007`) and split caps
-//! (`A008`); `--domain interval` falls back to the plain per-parameter
-//! interval analysis. With `--contract` the rewritten plan (tightened
-//! bounds applied) is printed to stdout — or written to a file when the
-//! flag is given a path — while the report moves to stderr.
+//! contracts the box bounds to the feasible region. The default `product`
+//! domain is the reduced product of the relational octagon (differences
+//! and sums `±x ± y <= c`, disjunctive branch-and-prune), a congruence
+//! domain (`n ≡ r mod m` residue grids from `%` constraints, `A009`), and
+//! a finite-set domain over ordinal/categorical parameters (dead options
+//! `A010`, forced values `A011`); `--domain octagon` drops the last two
+//! and `--domain interval` falls back to the plain per-parameter interval
+//! analysis. With `--contract` the rewritten plan (tightened bounds
+//! applied, dead options pruned) is printed to stdout — or written to a
+//! file when the flag is given a path — while the report moves to stderr.
+//! `cets analyze --explain <CODE>` prints the reference entry for any
+//! diagnostic code without needing a plan file.
 
 use cets::core::{
     render_markdown, BoConfig, FaultPlan, FaultyObjective, Methodology, MethodologyConfig,
@@ -106,11 +111,15 @@ fn usage() {
     eprintln!("LINT / ANALYZE OPTIONS:");
     eprintln!("  --format <human|json|sarif>  output format (default human)");
     eprintln!("  --deny-warnings              exit non-zero on warnings, not just errors");
-    eprintln!("  --domain <interval|octagon>  (analyze) abstract domain: relational octagon");
-    eprintln!("                               with disjunctive splitting (default), or the");
-    eprintln!("                               plain interval analysis");
+    eprintln!("  --domain <d>                 (analyze) abstract domain: `product` (default,");
+    eprintln!("                               octagon × congruence × finite sets), `octagon`");
+    eprintln!("                               (relational, disjunctive splitting), or the");
+    eprintln!("                               plain `interval` analysis");
     eprintln!("  --contract [out.json]        (analyze) emit the plan with statically");
-    eprintln!("                               contracted bounds applied");
+    eprintln!("                               contracted bounds applied and dead ordinal/");
+    eprintln!("                               categorical options pruned");
+    eprintln!("  --explain <CODE>             (analyze) print the reference entry for a");
+    eprintln!("                               diagnostic code (S/G/N/A) and exit");
 }
 
 fn run_pipeline<O: Objective>(
@@ -322,11 +331,26 @@ fn main() -> ExitCode {
         }
         "lint" | "analyze" => {
             let analyze_mode = cmd == "analyze";
+            if analyze_mode {
+                if let Some(code) = args.get_str("explain") {
+                    match cets::lint::explain(code) {
+                        Some(entry) => {
+                            print!("{}", cets::lint::render_explain(entry));
+                            return ExitCode::SUCCESS;
+                        }
+                        None => {
+                            eprintln!("unknown diagnostic code: {code:?} (expected S/G/N/A codes like A009)");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            }
             let Some(path) = raw.get(1).filter(|p| !p.starts_with("--")) else {
                 eprintln!(
                     "usage: cets {cmd} <plan.json> [--format human|json|sarif] [--deny-warnings]{}",
                     if analyze_mode {
-                        " [--domain interval|octagon] [--contract [out.json]]"
+                        " [--domain interval|octagon|product] [--contract [out.json]] \
+                         [--explain <CODE>]"
                     } else {
                         ""
                     }
@@ -350,14 +374,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let options = match args.get_str("domain").unwrap_or("octagon") {
-                "octagon" => cets::lint::AnalysisOptions::default(),
+            let options = match args.get_str("domain").unwrap_or("product") {
+                "product" => cets::lint::AnalysisOptions::default(),
+                "octagon" => cets::lint::AnalysisOptions {
+                    domain: cets::lint::Domain::Octagon,
+                    ..Default::default()
+                },
                 "interval" => cets::lint::AnalysisOptions {
                     domain: cets::lint::Domain::Interval,
                     ..Default::default()
                 },
                 other => {
-                    eprintln!("unknown --domain {other} (expected interval or octagon)");
+                    eprintln!("unknown --domain {other} (expected interval, octagon or product)");
                     return ExitCode::from(2);
                 }
             };

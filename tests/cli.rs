@@ -190,6 +190,104 @@ fn analyze_contracted_exemplar_passes_deny_warnings() {
     std::fs::remove_file(&path).ok();
 }
 
+const HPL: &str = "examples/plans/hpl_plan.json";
+const CONG_UNSAT: &str = "crates/lint/tests/fixtures/absint/congruence_unsat.json";
+
+#[test]
+fn analyze_hpl_exemplar_reports_stride_and_dead_options() {
+    let out = cets().args(["analyze", HPL]).output().expect("run cets");
+    assert!(
+        out.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("info[A009]"), "{text}");
+    assert!(text.contains("stride 64"), "{text}");
+    assert!(text.contains("warning[A010]"), "{text}");
+    assert!(text.contains("`Lng`"), "{text}");
+}
+
+#[test]
+fn analyze_congruence_unsat_fixture_is_denied_under_product_only() {
+    let out = cets()
+        .args(["analyze", CONG_UNSAT])
+        .output()
+        .expect("run cets");
+    assert_eq!(out.status.code(), Some(1), "product domain denies the plan");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[A001]"));
+
+    // The octagon domain alone cannot see the modular conflict.
+    let oct = cets()
+        .args(["analyze", CONG_UNSAT, "--domain", "octagon"])
+        .output()
+        .expect("run cets");
+    let text = String::from_utf8_lossy(&oct.stdout);
+    assert!(!text.contains("error[A001]"), "{text}");
+}
+
+#[test]
+fn analyze_contract_hpl_is_idempotent() {
+    let out = cets()
+        .args(["analyze", HPL, "--contract"])
+        .output()
+        .expect("run cets");
+    assert!(out.status.success());
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "cets_cli_hpl_contracted_{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, &out.stdout).expect("write contracted plan");
+    let again = cets()
+        .args(["analyze", path.to_str().unwrap(), "--contract"])
+        .output()
+        .expect("run cets");
+    assert!(again.status.success());
+    assert_eq!(
+        out.stdout, again.stdout,
+        "--contract must be a fixpoint on its own output"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_known_code_prints_entry() {
+    let out = cets()
+        .args(["analyze", "--explain", "A009"])
+        .output()
+        .expect("run cets");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("A009"), "{text}");
+    assert!(text.contains("congruence"), "{text}");
+    assert!(text.contains("remediation"), "{text}");
+}
+
+#[test]
+fn explain_is_case_insensitive() {
+    let out = cets()
+        .args(["analyze", "--explain", "a010"])
+        .output()
+        .expect("run cets");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("A010"));
+}
+
+#[test]
+fn explain_unknown_code_exits_2() {
+    let out = cets()
+        .args(["analyze", "--explain", "Z999"])
+        .output()
+        .expect("run cets");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Z999"));
+}
+
 #[test]
 fn analyze_missing_file_exits_2() {
     let out = cets()
