@@ -55,7 +55,13 @@ fn main() {
         "Search", "valid rate", "attempts/valid", "fail rate @8 attempts"
     );
     for (name, params) in searches {
-        let sub = Subspace::new(space, &params, sim.default_config()).expect("subspace");
+        let sub = match Subspace::new(space, &params, sim.default_config()) {
+            Ok(sub) => sub,
+            Err(e) => {
+                eprintln!("X3: subspace `{name}`: {e}");
+                std::process::exit(1);
+            }
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let mut valid = 0usize;
         for _ in 0..trials {

@@ -22,7 +22,7 @@
 //! every mode re-reads and validates the JSON it wrote before exiting 0.
 
 use cets_core::{BoConfig, BoSearch, Methodology, MethodologyConfig, Objective, VariationPolicy};
-use cets_gp::{Gp, GpConfig, Kernel, KernelKind};
+use cets_gp::{select_inducing, Gp, GpConfig, Kernel, KernelKind, SparseGp, Surrogate, TierPolicy};
 use cets_space::{SearchSpace, Subspace};
 use cets_synthetic::{SyntheticCase, SyntheticFunction};
 use rand::rngs::StdRng;
@@ -90,6 +90,9 @@ struct Measure {
     /// What one "eval" means for this benchmark.
     eval_unit: &'static str,
     reps: usize,
+    /// Benchmark-specific extra fields merged into the JSON entry (e.g. the
+    /// sparse-tier benches record the exact-GP cost extrapolation they beat).
+    extra: Vec<(&'static str, Value)>,
 }
 
 fn median_ms(samples: &mut [f64]) -> f64 {
@@ -140,6 +143,7 @@ fn bench_gp_train(id: &'static str, n: usize, reps: usize) -> BenchResult<Measur
         evals_per_sec: lml_evals / (med / 1e3),
         eval_unit: "lml_evals (budget upper bound)",
         reps,
+        extra: Vec::new(),
     })
 }
 
@@ -167,6 +171,7 @@ fn bench_gp_predict(id: &'static str, n: usize, m: usize, reps: usize) -> BenchR
         evals_per_sec: m as f64 / (med / 1e3),
         eval_unit: "predictions",
         reps,
+        extra: Vec::new(),
     })
 }
 
@@ -190,7 +195,9 @@ fn bench_propose(id: &'static str, n: usize, reps: usize) -> BenchResult<Measure
     let (_space, sub) = unit_subspace()?;
     let (xs, ys) = dataset(n, 0xACE ^ n as u64);
     let kernel = Kernel::with_params(KernelKind::Matern52, 1.0, vec![0.3; DIM]);
-    let gp = Gp::fit(&xs, &ys, kernel, 1e-6).map_err(|e| format!("{id}: gp fit: {e}"))?;
+    let gp = Surrogate::Exact(
+        Gp::fit(&xs, &ys, kernel, 1e-6).map_err(|e| format!("{id}: gp fit: {e}"))?,
+    );
     let best = ys.iter().copied().fold(f64::INFINITY, f64::min);
     let bo = BoSearch::new(BoConfig::default());
     let pool = (bo.config.n_candidates + bo.config.n_local) as f64;
@@ -211,6 +218,93 @@ fn bench_propose(id: &'static str, n: usize, reps: usize) -> BenchResult<Measure
         evals_per_sec: pool / (med / 1e3),
         eval_unit: "candidates scored",
         reps,
+        extra: Vec::new(),
+    })
+}
+
+/// Time `Surrogate::train` with the sparse (SGPR) tier forced at size `n`.
+///
+/// When `exact_ref = Some((n0, ms0))` — the measured `Gp::train` cost at a
+/// size the exact tier can still afford — the entry also records
+/// `exact_extrapolated_ms = ms0 * (n / n0)^3` (the O(N^3) cost the exact
+/// tier would pay at this `n`) and `speedup_vs_exact_extrapolation`, the
+/// ratio the issue's acceptance bar is judged against.
+fn bench_sparse_train(
+    id: &'static str,
+    n: usize,
+    reps: usize,
+    exact_ref: Option<(usize, f64)>,
+) -> BenchResult<Measure> {
+    let (xs, ys) = dataset(n, 0xC0FFEE ^ n as u64);
+    let cfg = GpConfig {
+        tier: TierPolicy::Sparse,
+        ..GpConfig::default()
+    };
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let s = Surrogate::train(&xs, &ys, &cfg).map_err(|e| format!("{id}: sparse train: {e}"))?;
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(s.evidence().is_finite());
+    }
+    let med = median_ms(&mut samples);
+    let elbo_evals = (cfg.sparse.n_restarts.max(1) * cfg.sparse.nm.max_evals) as f64;
+    let mut extra = vec![(
+        "m_inducing",
+        Value::Int(cfg.sparse.m_inducing.min(n) as i64),
+    )];
+    if let Some((n0, ms0)) = exact_ref {
+        let extrapolated = ms0 * (n as f64 / n0 as f64).powi(3);
+        extra.push(("exact_extrapolated_ms", Value::Float(extrapolated)));
+        extra.push((
+            "speedup_vs_exact_extrapolation",
+            Value::Float(extrapolated / med),
+        ));
+    }
+    Ok(Measure {
+        id,
+        median_ms: med,
+        evals_per_sec: elbo_evals / (med / 1e3),
+        eval_unit: "elbo_evals (budget upper bound)",
+        reps,
+        extra,
+    })
+}
+
+/// Time one acquisition-optimization step against a sparse-tier surrogate
+/// with `n` observations (fixed kernel, so only the proposal is timed).
+fn bench_propose_sparse(id: &'static str, n: usize, m: usize, reps: usize) -> BenchResult<Measure> {
+    let (_space, sub) = unit_subspace()?;
+    let (xs, ys) = dataset(n, 0xACE ^ n as u64);
+    let kernel = Kernel::with_params(KernelKind::Matern52, 1.0, vec![0.3; DIM]);
+    let z: Vec<Vec<f64>> = select_inducing(&xs, m)
+        .into_iter()
+        .map(|i| xs[i].clone())
+        .collect();
+    let gp = Surrogate::Sparse(
+        SparseGp::fit(&xs, &ys, z, kernel, 1e-6).map_err(|e| format!("{id}: sparse fit: {e}"))?,
+    );
+    let best = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let bo = BoSearch::new(BoConfig::default());
+    let pool = (bo.config.n_candidates + bo.config.n_local) as f64;
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(rep as u64);
+        let t = Instant::now();
+        let u = bo
+            .propose(&sub, &gp, best, None, &mut rng)
+            .map_err(|e| format!("{id}: propose: {e}"))?;
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(u.len(), DIM);
+    }
+    let med = median_ms(&mut samples);
+    Ok(Measure {
+        id,
+        median_ms: med,
+        evals_per_sec: pool / (med / 1e3),
+        eval_unit: "candidates scored",
+        reps,
+        extra: Vec::new(),
     })
 }
 
@@ -247,6 +341,7 @@ fn bench_methodology(
         evals_per_sec: exec.total_evals as f64 / (ms / 1e3),
         eval_unit: "objective evals",
         reps: 1,
+        extra: Vec::new(),
     })
 }
 
@@ -255,6 +350,8 @@ fn run_benches(smoke: bool) -> BenchResult<Vec<Measure>> {
     if smoke {
         out.push(bench_gp_train("gp_train_n16", 16, 1)?);
         out.push(bench_gp_train("gp_train_n32", 32, 1)?);
+        let exact32 = out.last().map(|m| (32usize, m.median_ms));
+        out.push(bench_sparse_train("gp_train_sparse_n256", 256, 1, exact32)?);
         out.push(bench_gp_predict("gp_predict_n32_m64", 32, 64, 2)?);
         out.push(bench_propose("propose_n32", 32, 2)?);
         out.push(bench_methodology("methodology_run_smoke", 2, 5)?);
@@ -262,10 +359,24 @@ fn run_benches(smoke: bool) -> BenchResult<Vec<Measure>> {
         out.push(bench_gp_train("gp_train_n50", 50, 5)?);
         out.push(bench_gp_train("gp_train_n200", 200, 3)?);
         out.push(bench_gp_train("gp_train_n500", 500, 1)?);
+        let exact500 = out.last().map(|m| (500usize, m.median_ms));
+        out.push(bench_sparse_train(
+            "gp_train_sparse_n2000",
+            2000,
+            1,
+            exact500,
+        )?);
+        out.push(bench_sparse_train(
+            "gp_train_sparse_n10000",
+            10_000,
+            1,
+            exact500,
+        )?);
         out.push(bench_gp_predict("gp_predict_n200_m512", 200, 512, 5)?);
         out.push(bench_propose("propose_n50", 50, 7)?);
         out.push(bench_propose("propose_n200", 200, 5)?);
         out.push(bench_propose("propose_n500", 500, 3)?);
+        out.push(bench_propose_sparse("propose_sparse_n2000", 2000, 48, 3)?);
         out.push(bench_methodology("methodology_run", 10, 10)?);
     }
     Ok(out)
@@ -275,15 +386,14 @@ fn measures_to_json(ms: &[Measure]) -> Value {
     Value::Object(
         ms.iter()
             .map(|m| {
-                (
-                    m.id.to_string(),
-                    obj(vec![
-                        ("median_ms", Value::Float(m.median_ms)),
-                        ("evals_per_sec", Value::Float(m.evals_per_sec)),
-                        ("eval_unit", Value::String(m.eval_unit.to_string())),
-                        ("reps", Value::Int(m.reps as i64)),
-                    ]),
-                )
+                let mut fields = vec![
+                    ("median_ms", Value::Float(m.median_ms)),
+                    ("evals_per_sec", Value::Float(m.evals_per_sec)),
+                    ("eval_unit", Value::String(m.eval_unit.to_string())),
+                    ("reps", Value::Int(m.reps as i64)),
+                ];
+                fields.extend(m.extra.iter().cloned());
+                (m.id.to_string(), obj(fields))
             })
             .collect(),
     )

@@ -13,7 +13,7 @@ use crate::checkpoint::BoCheckpoint;
 use crate::normal;
 use crate::resilience::{splitmix64, EvalError, EvalOutcome, EvalRecord, FailedEval};
 use crate::{CoreError, Result};
-use cets_gp::{Gp, GpConfig};
+use cets_gp::{GpConfig, Surrogate};
 use cets_space::{Config, SpaceError, Subspace};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -99,9 +99,20 @@ pub struct BoConfig {
     pub n_candidates: usize,
     /// Local-refinement proposals around the best candidate.
     pub n_local: usize,
-    /// Re-optimize GP hyperparameters every this many evaluations (between
-    /// re-trainings the previous kernel is refit, which is `O(N³)` but
-    /// avoids the inner Nelder–Mead).
+    /// Re-optimize GP hyperparameters every this many evaluations; between
+    /// re-trainings the cached surrogate absorbs each new observation
+    /// through its incremental append fast path (`O(n²)` on the exact
+    /// tier, `O(m²)` on the sparse tier) instead of re-running the inner
+    /// Nelder–Mead.
+    ///
+    /// This is also the **refit contract** for append conditioning:
+    /// appends extend the cached factorization without re-examining it, so
+    /// a kernel-matrix conditioning drift (new points landing ever closer
+    /// to old ones) is only corrected at retrain boundaries. Keep
+    /// `retrain_every` modest (the default 5 is fine) so the cached
+    /// factorization cannot creep past
+    /// [`cets_gp::APPEND_CONDITION_LIMIT`] between boundaries; debug
+    /// builds assert on the estimate at every append.
     pub retrain_every: usize,
     /// RNG seed.
     pub seed: u64,
@@ -109,9 +120,9 @@ pub struct BoConfig {
     pub checkpoint_path: Option<PathBuf>,
     /// Score the candidate pool across threads. The candidate pool is
     /// pre-sampled single-threadedly and scored through the chunk-invariant
-    /// [`Gp::predict_batch`], so the proposal (and thus the whole search
-    /// trajectory) is **bit-identical** to the sequential path for the same
-    /// seed — this switch only changes wall-clock time.
+    /// [`Surrogate::predict_batch`], so the proposal (and thus the whole
+    /// search trajectory) is **bit-identical** to the sequential path for
+    /// the same seed — this switch only changes wall-clock time.
     pub parallel: bool,
     /// Worker threads for parallel scoring; `0` means use
     /// [`std::thread::available_parallelism`].
@@ -267,7 +278,9 @@ impl BoSearch {
             let y = f(&cfg_full);
             history.push((u.to_vec(), y));
             if let Some(path) = &self.config.checkpoint_path {
-                BoCheckpoint::from_history(self.config.seed, history).save(path)?;
+                BoCheckpoint::from_history(self.config.seed, history)
+                    .with_tier(self.config.gp.tier.tag())
+                    .save(path)?;
             }
             Ok(y)
         };
@@ -306,19 +319,22 @@ impl BoSearch {
             }
         }
 
-        // BO loop. Between full hyperparameter retrainings the cached GP
-        // absorbs new observations via the O(n²) bordered-Cholesky update;
-        // every `retrain_every` evaluations the hyperparameters are
-        // re-optimized from scratch (the O(N³)-per-LML-evaluation cost the
-        // paper's search-time analysis describes).
-        let mut gp_cache: Option<Gp> = None;
+        // BO loop. Between full hyperparameter retrainings the cached
+        // surrogate absorbs new observations via its incremental update
+        // (O(n²) bordered Cholesky on the exact tier, O(m²) rank-one on the
+        // sparse tier); every `retrain_every` evaluations the
+        // hyperparameters are re-optimized from scratch. The tier itself is
+        // re-selected at each retraining from [`GpConfig::tier`], so a
+        // search that outgrows the exact tier's O(N³) wall escalates to the
+        // sparse tier automatically.
+        let mut cache: Option<Surrogate> = None;
         while history.len() < cfg.max_evals {
             let best = history
                 .iter()
                 .map(|(_, y)| *y)
                 .fold(f64::INFINITY, f64::min);
 
-            let can_append = gp_cache
+            let can_append = cache
                 .as_ref()
                 .is_some_and(|g| g.n_train() + 1 == history.len());
             // With a prior mean, the GP models the residual y − prior(u).
@@ -329,19 +345,19 @@ impl BoSearch {
                 }
             };
             let retrain = history.len().is_multiple_of(cfg.retrain_every.max(1)) || !can_append;
-            let gp: &Gp = if retrain {
+            let model: &Surrogate = if retrain {
                 let xs: Vec<Vec<f64>> = history.iter().map(|(u, _)| u.clone()).collect();
                 let ys: Vec<f64> = history.iter().map(|(u, y)| target(u, *y)).collect();
                 let mut gp_cfg = cfg.gp.clone();
                 gp_cfg.seed = cfg.seed.wrapping_add(history.len() as u64);
-                gp_cache.insert(Gp::train(&xs, &ys, &gp_cfg)?)
+                cache.insert(Surrogate::train(&xs, &ys, &gp_cfg)?)
             } else {
                 // Incremental path: the cache holds all but the newest
                 // observation; append it, falling back to a full refit if
-                // the bordered update loses definiteness. `can_append`
+                // the incremental update loses definiteness. `can_append`
                 // guarantees both the cache and a last observation exist.
                 let (Some(cache), Some((u_last, y_last))) =
-                    (gp_cache.as_mut(), history.last().cloned())
+                    (cache.as_mut(), history.last().cloned())
                 else {
                     return Err(CoreError::SearchStalled(
                         "incremental GP update without a cached model".into(),
@@ -351,14 +367,12 @@ impl BoSearch {
                 if cache.append(u_last, r_last).is_err() {
                     let xs: Vec<Vec<f64>> = history.iter().map(|(u, _)| u.clone()).collect();
                     let ys: Vec<f64> = history.iter().map(|(u, y)| target(u, *y)).collect();
-                    let kernel = cache.kernel().clone();
-                    let noise = cache.noise();
-                    *cache = Gp::fit(&xs, &ys, kernel, noise)?;
+                    *cache = cache.refit(&xs, &ys)?;
                 }
                 cache
             };
 
-            let u_next = self.propose_impl(subspace, &uslabs, gp, best, prior, &mut rng)?;
+            let u_next = self.propose_impl(subspace, &uslabs, model, best, prior, &mut rng)?;
             evaluate(&u_next, &mut history)?;
         }
 
@@ -372,7 +386,25 @@ impl BoSearch {
         f: impl Fn(&Config) -> f64,
         checkpoint: &BoCheckpoint,
     ) -> Result<SearchOutcome> {
+        self.check_tier(checkpoint)?;
         self.run_with_history(subspace, f, checkpoint.history())
+    }
+
+    /// Reject a checkpoint recorded under a different surrogate
+    /// tier policy: the resumed search re-derives every per-iteration tier
+    /// decision from [`GpConfig::tier`] and the record count, so a
+    /// mismatched policy would silently diverge from the interrupted
+    /// trajectory instead of continuing it. Checkpoints from before the
+    /// tier layer carry no tag and resume unchecked.
+    fn check_tier(&self, checkpoint: &BoCheckpoint) -> Result<()> {
+        let ours = self.config.gp.tier.tag();
+        match &checkpoint.tier {
+            Some(tag) if *tag != ours => Err(CoreError::Checkpoint(format!(
+                "checkpoint tier policy `{tag}` does not match search tier policy `{ours}` — \
+                 resuming would diverge from the interrupted trajectory"
+            ))),
+            _ => Ok(()),
+        }
     }
 
     fn sample_valid_unit(
@@ -405,23 +437,26 @@ impl BoSearch {
     /// Public so benchmark harnesses (`perf_suite`) and alternative search
     /// loops can time/reuse the exact proposal step the BO loop runs; the
     /// candidate pool is drawn from `rng` exactly as in [`BoSearch::run`].
+    /// Takes the tiered [`Surrogate`]; wrap a bare [`cets_gp::Gp`] in
+    /// [`Surrogate::Exact`] to reproduce the pre-tier behavior
+    /// bit-for-bit.
     pub fn propose(
         &self,
         subspace: &Subspace,
-        gp: &Gp,
+        model: &Surrogate,
         best: f64,
         prior: Option<PriorMean<'_>>,
         rng: &mut StdRng,
     ) -> Result<Vec<f64>> {
         let uslabs = crate::contraction::active_unit_slabs(subspace);
-        self.propose_impl(subspace, &uslabs, gp, best, prior, rng)
+        self.propose_impl(subspace, &uslabs, model, best, prior, rng)
     }
 
     fn propose_impl(
         &self,
         subspace: &Subspace,
         uslabs: &[Vec<(f64, f64)>],
-        gp: &Gp,
+        model: &Surrogate,
         best: f64,
         prior: Option<PriorMean<'_>>,
         rng: &mut StdRng,
@@ -441,7 +476,7 @@ impl BoSearch {
 
         // Score the pool through the chunk-invariant batched predictor —
         // sequentially or across threads, the results are bit-identical.
-        let scores = self.score_pool(gp, &pool, best, prior);
+        let scores = self.score_pool(model, &pool, best, prior);
 
         // Fixed-order argmax (strict `>`, first occurrence wins) so the
         // champion never depends on chunking or thread count.
@@ -468,7 +503,7 @@ impl BoSearch {
             if !subspace.is_valid_active(&u_try) {
                 continue;
             }
-            let (m, v) = gp.predict_batch(std::slice::from_ref(&u_try))[0];
+            let (m, v) = model.predict_batch(std::slice::from_ref(&u_try))[0];
             let m = match prior {
                 Some(m0) => m + m0(&u_try),
                 None => m,
@@ -486,19 +521,20 @@ impl BoSearch {
     ///
     /// With [`BoConfig::parallel`] the pool is split into contiguous chunks
     /// scored by scoped worker threads writing disjoint slices of the
-    /// output; because [`Gp::predict_batch`] is chunk-invariant and the
-    /// acquisition is a pure per-candidate function, the resulting scores
-    /// are bit-identical to the sequential path regardless of worker count.
+    /// output; because [`Surrogate::predict_batch`] is chunk-invariant (on
+    /// both tiers) and the acquisition is a pure per-candidate function,
+    /// the resulting scores are bit-identical to the sequential path
+    /// regardless of worker count.
     fn score_pool(
         &self,
-        gp: &Gp,
+        model: &Surrogate,
         pool: &[Vec<f64>],
         best: f64,
         prior: Option<PriorMean<'_>>,
     ) -> Vec<f64> {
         let cfg = &self.config;
         let score_chunk = |chunk: &[Vec<f64>], out: &mut [f64]| {
-            let preds = gp.predict_batch(chunk);
+            let preds = model.predict_batch(chunk);
             for ((s, (m, v)), u) in out.iter_mut().zip(preds).zip(chunk) {
                 let m = match prior {
                     Some(m0) => m + m0(u),
@@ -597,37 +633,70 @@ impl FailurePolicy {
         n_ok as f64 + self.budget_fraction * n_failed as f64
     }
 
+    /// The training value [`Imputation::WorstPlusMargin`] assigns to
+    /// failed attempts given an attempt history: `worst + margin × spread`
+    /// over the finite successful observations (degenerating to
+    /// `worst + margin` when they all share one value), with the same
+    /// screening as [`FailurePolicy::training_data`]. `None` under
+    /// [`Imputation::Exclude`], or when no finite success exists to derive
+    /// it from.
+    ///
+    /// Exposed separately so the incremental surrogate cache can detect
+    /// when a new observation *moves* the imputed value — which silently
+    /// invalidates every previously-imputed training point and must force
+    /// a full refit instead of an append.
+    pub fn imputed_value(&self, records: &[EvalRecord]) -> Option<f64> {
+        let Imputation::WorstPlusMargin { margin } = self.imputation else {
+            return None;
+        };
+        let margin = if margin.is_finite() {
+            margin.max(0.0)
+        } else {
+            0.0
+        };
+        let mut worst = f64::NEG_INFINITY;
+        let mut best = f64::INFINITY;
+        let mut any = false;
+        for r in records {
+            let Some(y) = r.y() else { continue };
+            if !(y.is_finite() && r.u.iter().all(|v| v.is_finite())) {
+                continue;
+            }
+            any = true;
+            worst = worst.max(y);
+            best = best.min(y);
+        }
+        if !any {
+            return None;
+        }
+        let spread = worst - best;
+        Some(if spread > 0.0 {
+            worst + margin * spread
+        } else {
+            worst + margin
+        })
+    }
+
     /// GP training data for an attempt history. **Every returned value is
     /// finite** — non-finite successes are screened out (defense in depth;
     /// [`BoSearch::run_resilient`] never records them) and imputed values
     /// are derived from finite observations with a sanitized margin. This
     /// is the boundary that guarantees no NaN/Inf ever reaches
-    /// [`Gp::train`].
+    /// [`cets_gp::Gp::train`].
     pub fn training_data(&self, records: &[EvalRecord]) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let ok: Vec<(&[f64], f64)> = records
-            .iter()
-            .filter_map(|r| r.y().map(|y| (r.u.as_slice(), y)))
-            .filter(|(u, y)| y.is_finite() && u.iter().all(|v| v.is_finite()))
-            .collect();
         match self.imputation {
-            Imputation::Exclude => ok.iter().map(|(u, y)| (u.to_vec(), *y)).unzip(),
-            Imputation::WorstPlusMargin { margin } => {
-                if ok.is_empty() {
-                    // Nothing to impute from: no training data at all.
+            Imputation::Exclude => records
+                .iter()
+                .filter_map(|r| r.y().map(|y| (r.u.as_slice(), y)))
+                .filter(|(u, y)| y.is_finite() && u.iter().all(|v| v.is_finite()))
+                .map(|(u, y)| (u.to_vec(), y))
+                .unzip(),
+            Imputation::WorstPlusMargin { .. } => {
+                // `imputed_value` screens exactly like the arm below, so it
+                // is `None` precisely when there is no finite success —
+                // nothing to impute from, no training data at all.
+                let Some(imputed) = self.imputed_value(records) else {
                     return (Vec::new(), Vec::new());
-                }
-                let margin = if margin.is_finite() {
-                    margin.max(0.0)
-                } else {
-                    0.0
-                };
-                let worst = ok.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
-                let best = ok.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
-                let spread = worst - best;
-                let imputed = if spread > 0.0 {
-                    worst + margin * spread
-                } else {
-                    worst + margin
                 };
                 records
                     .iter()
@@ -662,6 +731,22 @@ pub struct ResilientOutcome {
 /// per-iteration proposal streams).
 const LHS_SALT: u64 = 0x4c48_535f_4445_5347;
 
+/// Cached surrogate state of the failure-aware loop.
+///
+/// The invariant maintained by [`BoSearch::update_resilient_model`]: after
+/// processing a record prefix of length `n_records`, this state is a
+/// **pure function of that prefix** — so an interrupted search can rebuild
+/// it exactly by replaying from the last retrain boundary.
+struct ResilientModel {
+    surrogate: Surrogate,
+    /// The imputed value baked into the training set, when any failure
+    /// point is present under [`Imputation::WorstPlusMargin`]; `None` when
+    /// the training set contains no imputed points.
+    imputed: Option<f64>,
+    /// Length of the record prefix this state reflects.
+    n_records: usize,
+}
+
 impl BoSearch {
     /// Minimize under failures: the evaluation callback returns a typed
     /// [`EvalOutcome`] (wrap your objective in
@@ -670,15 +755,26 @@ impl BoSearch {
     /// failed attempts are recorded and handled per `policy`, and **no
     /// non-finite value ever reaches the GP**.
     ///
-    /// Unlike [`BoSearch::run`], the trajectory is a *pure function of the
-    /// accumulated records*: the initial design is derived from the seed
-    /// alone, each iteration reseeds its RNG from
-    /// `seed + attempts-so-far`, and the GP is retrained from scratch
-    /// every iteration (required anyway under imputation, whose values
-    /// shift as the observed worst evolves). A search interrupted at *any*
-    /// attempt therefore resumes **bit-for-bit** via
-    /// [`BoSearch::resume_resilient`] — a stronger contract than the plain
-    /// path, bought by forgoing the incremental-GP fast path.
+    /// Like [`BoSearch::run`], the surrogate is cached between
+    /// hyperparameter retrainings: every [`BoConfig::retrain_every`]
+    /// attempts it is retrained from the policy's training data, and in
+    /// between, new records are absorbed through the incremental append
+    /// fast path. Imputation is handled exactly — appending is only legal
+    /// while the imputed training value is unchanged, so an observation
+    /// that moves the observed worst/best (and with it every
+    /// previously-imputed training point) triggers a full retraining
+    /// instead ([`FailurePolicy::imputed_value`]).
+    ///
+    /// The trajectory is still a *pure function of the accumulated
+    /// records*: the initial design is derived from the seed alone, each
+    /// iteration reseeds its RNG from `seed + attempts-so-far`, and the
+    /// cached surrogate after `ℓ` recorded attempts is itself a pure
+    /// function of the record prefix (retrain boundaries rebuild it from
+    /// scratch, so a resumed search replays only the short
+    /// boundary-to-crash segment to reconstruct the identical cache). A
+    /// search interrupted at *any* attempt therefore resumes
+    /// **bit-for-bit** via [`BoSearch::resume_resilient`] — a stronger
+    /// contract than the plain path.
     ///
     /// The callback's second argument is the attempt ordinal (for keying
     /// retry backoff jitter).
@@ -706,6 +802,7 @@ impl BoSearch {
                 checkpoint.seed, self.config.seed
             )));
         }
+        self.check_tier(checkpoint)?;
         self.run_resilient_with_records(subspace, f, policy, checkpoint.records())
     }
 
@@ -748,7 +845,9 @@ impl BoSearch {
             };
             records.push(rec);
             if let Some(path) = &cfg.checkpoint_path {
-                BoCheckpoint::from_records(cfg.seed, records).save(path)?;
+                BoCheckpoint::from_records(cfg.seed, records)
+                    .with_tier(cfg.gp.tier.tag())
+                    .save(path)?;
             }
             Ok(())
         };
@@ -768,24 +867,38 @@ impl BoSearch {
             evaluate(&u, &mut records)?;
         }
 
-        // Failure-aware BO loop: retrain-from-records each iteration.
+        // Failure-aware BO loop. The cached surrogate after ℓ recorded
+        // attempts is a pure function of records[..ℓ] (see
+        // `update_resilient_model`), so a resumed run first replays the
+        // cache transitions from the last retrain boundary — boundaries
+        // rebuild the model from scratch regardless of the incoming state,
+        // which keeps the replay under `retrain_every` steps and makes its
+        // result identical to the uninterrupted run's cache.
+        let mut model: Option<ResilientModel> = None;
+        if records.len() > design.len() && within_budget(&records) {
+            let re = cfg.retrain_every.max(1);
+            let prev = records.len() - 1;
+            let from = ((prev / re) * re).max(design.len());
+            for len in from..=prev {
+                self.update_resilient_model(&mut model, &records[..len], policy)?;
+            }
+        }
         while records.len() >= design.len() && within_budget(&records) {
             let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(records.len() as u64));
-            let (xs, ys) = policy.training_data(&records);
-            let u_next = if xs.is_empty() {
+            self.update_resilient_model(&mut model, &records, policy)?;
+            let u_next = match &model {
                 // No successful observation yet: keep exploring at random
                 // until one lands (bounded by budget and max_failures).
-                self.sample_valid_unit(subspace, &uslabs, &mut rng)?
-            } else {
-                let mut gp_cfg = cfg.gp.clone();
-                gp_cfg.seed = cfg.seed.wrapping_add(records.len() as u64);
-                let gp = Gp::train(&xs, &ys, &gp_cfg)?;
-                // Incumbent over *observed* successes, never imputed values.
-                let best = records
-                    .iter()
-                    .filter_map(EvalRecord::y)
-                    .fold(f64::INFINITY, f64::min);
-                self.propose_impl(subspace, &uslabs, &gp, best, None, &mut rng)?
+                None => self.sample_valid_unit(subspace, &uslabs, &mut rng)?,
+                Some(m) => {
+                    // Incumbent over *observed* successes, never imputed
+                    // values.
+                    let best = records
+                        .iter()
+                        .filter_map(EvalRecord::y)
+                        .fold(f64::INFINITY, f64::min);
+                    self.propose_impl(subspace, &uslabs, &m.surrogate, best, None, &mut rng)?
+                }
             };
             evaluate(&u_next, &mut records)?;
         }
@@ -809,6 +922,102 @@ impl BoSearch {
             budget_spent: policy.budget_spent(&records),
             records,
         })
+    }
+
+    /// Advance the failure-aware loop's cached surrogate to reflect
+    /// `records` (one new record per call in the steady state). The
+    /// post-state is a **pure function of the record prefix**:
+    ///
+    /// * at retrain boundaries (`records.len()` divisible by
+    ///   [`BoConfig::retrain_every`]) the model is rebuilt from scratch
+    ///   regardless of the incoming state — this is what lets resume
+    ///   replay from the last boundary;
+    /// * otherwise the newest record is absorbed incrementally when legal:
+    ///   a success appends in `O(n²)`/`O(m²)`, a failure appends its
+    ///   imputed point under [`Imputation::WorstPlusMargin`] or is a no-op
+    ///   under [`Imputation::Exclude`];
+    /// * whenever the newest record *moves* the imputed value
+    ///   ([`FailurePolicy::imputed_value`]), every previously-imputed
+    ///   training point is stale and the model is rebuilt instead.
+    ///
+    /// The model is `None` while no finite successful observation exists.
+    fn update_resilient_model(
+        &self,
+        model: &mut Option<ResilientModel>,
+        records: &[EvalRecord],
+        policy: &FailurePolicy,
+    ) -> Result<()> {
+        let cfg = &self.config;
+        let finite_ok = |r: &EvalRecord| -> Option<f64> {
+            match r.y() {
+                Some(y) if y.is_finite() && r.u.iter().all(|v| v.is_finite()) => Some(y),
+                _ => None,
+            }
+        };
+        if !records.iter().any(|r| finite_ok(r).is_some()) {
+            *model = None;
+            return Ok(());
+        }
+        // The imputed value the training set should carry right now:
+        // `Some` iff imputation is on and at least one imputable failure
+        // (finite coordinates) is recorded. With a finite success present,
+        // `imputed_value` is always `Some` here.
+        let has_imputable = records
+            .iter()
+            .any(|r| !r.is_ok() && r.u.iter().all(|v| v.is_finite()));
+        let imputed_now = if has_imputable {
+            policy.imputed_value(records)
+        } else {
+            None
+        };
+
+        let boundary = records.len().is_multiple_of(cfg.retrain_every.max(1));
+        let can_append = !boundary
+            && model.as_ref().is_some_and(|m| {
+                m.n_records + 1 == records.len()
+                    && (m.imputed.is_none() || m.imputed == imputed_now)
+            });
+        if !can_append {
+            let (xs, ys) = policy.training_data(records);
+            let mut gp_cfg = cfg.gp.clone();
+            gp_cfg.seed = cfg.seed.wrapping_add(records.len() as u64);
+            let surrogate = Surrogate::train(&xs, &ys, &gp_cfg)?;
+            *model = Some(ResilientModel {
+                surrogate,
+                imputed: imputed_now,
+                n_records: records.len(),
+            });
+            return Ok(());
+        }
+        let (Some(m), Some(last)) = (model.as_mut(), records.last()) else {
+            return Err(CoreError::SearchStalled(
+                "incremental surrogate update without a cached model".into(),
+            ));
+        };
+        // Absorb the newest record. Records the policy screens out of
+        // training (non-finite values or coordinates) leave the training
+        // set untouched, as do failures under `Exclude` (where
+        // `imputed_now` is `None`).
+        let append = match (finite_ok(last), last.is_ok()) {
+            (Some(y), _) => Some((last.u.clone(), y)),
+            (None, true) => None,
+            (None, false) if last.u.iter().all(|v| v.is_finite()) => {
+                imputed_now.map(|iv| (last.u.clone(), iv))
+            }
+            (None, false) => None,
+        };
+        if let Some((u, y)) = append {
+            if m.surrogate.append(u, y).is_err() {
+                // The incremental update lost definiteness: refit the same
+                // hyperparameters on the full training set (deterministic,
+                // no optimizer) — the analogue of `run_inner`'s fallback.
+                let (xs, ys) = policy.training_data(records);
+                m.surrogate = m.surrogate.refit(&xs, &ys)?;
+            }
+        }
+        m.imputed = imputed_now;
+        m.n_records = records.len();
+        Ok(())
     }
 
     /// The resilient path's Latin-hypercube initial design, derived from
@@ -1187,6 +1396,12 @@ mod tests {
             )
             .unwrap();
 
+        // The run's own checkpoints carry the tier-policy tag.
+        assert_eq!(
+            BoCheckpoint::load(&path).unwrap().tier.as_deref(),
+            Some("auto:512")
+        );
+
         // Interrupted run: stop (panic out of the callback would be messy;
         // just stop calling) after k attempts by running with a tiny budget
         // crafted so exactly k attempts happen, then resume from the
@@ -1219,6 +1434,155 @@ mod tests {
         assert_eq!(resumed.outcome.history, full.outcome.history);
         assert_eq!(resumed.outcome.best_value, full.outcome.best_value);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilient_retrain_every_1_matches_always_retrain_reference() {
+        // `retrain_every = 1` makes every iteration a retrain boundary, so
+        // the incremental surrogate cache must reproduce the historical
+        // always-retrain loop bit for bit. The reference below replicates
+        // that loop verbatim: fresh `Gp::train` on the policy's training
+        // data every iteration, no cache, same per-iteration RNG streams.
+        use crate::resilience::{EvalOutcome, FaultKind, FaultPlan, FaultyObjective, VirtualClock};
+        use crate::Objective as _;
+        use cets_gp::Gp;
+        use std::sync::Arc;
+
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let names = obj.routine_names();
+        let policy = FailurePolicy::default();
+        let mut cfg = quick_config(22, 31);
+        cfg.retrain_every = 1;
+
+        // Every 4th attempt fails, so imputation is exercised too.
+        let plan = FaultPlan {
+            every_kth: Some((4, FaultKind::NonFinite)),
+            ..Default::default()
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let faulty = FaultyObjective::new(&obj, plan.clone(), clock);
+        let search = BoSearch::new(cfg.clone());
+        let out = search
+            .run_resilient(
+                &sub,
+                |c, _| EvalOutcome::screened(faulty.evaluate(c), &names),
+                &policy,
+            )
+            .unwrap();
+
+        let uslabs = crate::contraction::active_unit_slabs(&sub);
+        let clock2 = Arc::new(VirtualClock::new());
+        let faulty2 = FaultyObjective::new(&obj, plan, clock2);
+        let design = search.resilient_design(&sub, &uslabs).unwrap();
+        let mut records: Vec<EvalRecord> = Vec::new();
+        let evaluate = |u: &[f64], records: &mut Vec<EvalRecord>| {
+            let cfg_full = sub.lift(u).unwrap();
+            let rec = match EvalOutcome::screened(faulty2.evaluate(&cfg_full), &names) {
+                EvalOutcome::Ok(obs) => EvalRecord::ok(u.to_vec(), obs.total),
+                EvalOutcome::Failed(e) => {
+                    EvalRecord::failed(u.to_vec(), FailedEval::from_error(&e))
+                }
+            };
+            records.push(rec);
+        };
+        let within =
+            |records: &[EvalRecord]| policy.budget_spent(records) + 1e-9 < cfg.max_evals as f64;
+        while records.len() < design.len() && within(&records) {
+            let u = design[records.len()].clone();
+            evaluate(&u, &mut records);
+        }
+        while within(&records) {
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(records.len() as u64));
+            let (xs, ys) = policy.training_data(&records);
+            let u_next = if xs.is_empty() {
+                search.sample_valid_unit(&sub, &uslabs, &mut rng).unwrap()
+            } else {
+                let mut gp_cfg = cfg.gp.clone();
+                gp_cfg.seed = cfg.seed.wrapping_add(records.len() as u64);
+                let gp = Surrogate::Exact(Gp::train(&xs, &ys, &gp_cfg).unwrap());
+                let best = records
+                    .iter()
+                    .filter_map(EvalRecord::y)
+                    .fold(f64::INFINITY, f64::min);
+                search
+                    .propose_impl(&sub, &uslabs, &gp, best, None, &mut rng)
+                    .unwrap()
+            };
+            evaluate(&u_next, &mut records);
+        }
+        assert_eq!(
+            out.records, records,
+            "incremental loop diverged from the always-retrain reference"
+        );
+    }
+
+    #[test]
+    fn imputed_value_matches_training_data_arithmetic() {
+        use crate::resilience::{FailedEval, FailureKind};
+        let fail = |u: Vec<f64>| {
+            EvalRecord::failed(
+                u,
+                FailedEval {
+                    kind: FailureKind::Crashed,
+                    message: String::new(),
+                },
+            )
+        };
+        let records = vec![
+            EvalRecord::ok(vec![0.1], 2.0),
+            fail(vec![0.5]),
+            EvalRecord::ok(vec![0.9], 5.0),
+        ];
+        let wpm = FailurePolicy {
+            imputation: Imputation::WorstPlusMargin { margin: 0.5 },
+            ..Default::default()
+        };
+        // worst=5, best=2, spread=3 → 5 + 0.5·3 = 6.5, matching the value
+        // training_data bakes into the failure point.
+        assert_eq!(wpm.imputed_value(&records), Some(6.5));
+        let (_, ys) = wpm.training_data(&records);
+        assert!(ys.contains(&6.5));
+
+        // Degenerate spread → worst + margin.
+        let flat = vec![EvalRecord::ok(vec![0.1], 3.0), fail(vec![0.5])];
+        assert_eq!(wpm.imputed_value(&flat), Some(3.5));
+
+        // Nothing to derive from, and Exclude never imputes.
+        assert_eq!(wpm.imputed_value(&[fail(vec![0.5])]), None);
+        let exclude = FailurePolicy {
+            imputation: Imputation::Exclude,
+            ..Default::default()
+        };
+        assert_eq!(exclude.imputed_value(&records), None);
+    }
+
+    #[test]
+    fn resume_rejects_tier_mismatch() {
+        use crate::resilience::EvalOutcome;
+        let obj = SplitSphere::new();
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let search = BoSearch::new(quick_config(10, 1)); // tier tag: auto:512
+        let cp =
+            BoCheckpoint::from_history(1, &[(vec![0.1, 0.2, 0.3], 1.0)]).with_tier("sparse".into());
+        let err = search
+            .resume(&sub, |c| obj.evaluate(c).total, &cp)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint(_)), "{err}");
+        let err = search
+            .resume_resilient(
+                &sub,
+                |c, _| EvalOutcome::Ok(obj.evaluate(c)),
+                &FailurePolicy::default(),
+                &cp,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint(_)), "{err}");
+        // Checkpoints from before the tier layer carry no tag and resume.
+        let cp_old = BoCheckpoint::from_history(1, &[(vec![0.1, 0.2, 0.3], 1.0)]);
+        assert!(search
+            .resume(&sub, |c| obj.evaluate(c).total, &cp_old)
+            .is_ok());
     }
 
     #[test]

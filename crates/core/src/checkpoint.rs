@@ -17,11 +17,21 @@
 //! {
 //!   "version": 2,
 //!   "seed": 42,
+//!   "tier": "auto:512",
 //!   "x_unit": [[0.1, 0.9], [0.4, 0.2]],
 //!   "y": [3.5, 0.0],
 //!   "failed": [null, {"kind": "crashed", "message": "..."}]
 //! }
 //! ```
+//!
+//! `tier` is the surrogate tier-policy tag
+//! ([`cets_gp::TierPolicy::tag`]) the search ran with. Resume re-derives
+//! every per-iteration tier decision from the policy and the record
+//! count, so a mismatched policy would silently diverge from the
+//! interrupted trajectory — [`crate::BoSearch::resume`] and
+//! [`crate::BoSearch::resume_resilient`] reject it instead. Files
+//! written before the tier layer existed carry no `tier` field and
+//! resume without the check.
 //!
 //! `y[i]` holds `0.0` as a placeholder where `failed[i]` is non-null (JSON
 //! cannot encode NaN); imputation happens at GP-train time from the failure
@@ -53,6 +63,11 @@ pub struct BoCheckpoint {
     pub y: Vec<f64>,
     /// Per-attempt failure record; `None` marks a successful evaluation.
     pub failed: Vec<Option<FailedEval>>,
+    /// Surrogate tier-policy tag the search ran with
+    /// ([`cets_gp::TierPolicy::tag`]); `None` for files written before the
+    /// tier layer existed. Resume rejects a mismatching tag rather than
+    /// silently diverging from the interrupted trajectory.
+    pub tier: Option<String>,
 }
 
 impl BoCheckpoint {
@@ -63,6 +78,7 @@ impl BoCheckpoint {
             x_unit: history.iter().map(|(u, _)| u.clone()).collect(),
             y: history.iter().map(|(_, y)| *y).collect(),
             failed: vec![None; history.len()],
+            tier: None,
         }
     }
 
@@ -76,7 +92,14 @@ impl BoCheckpoint {
                 .iter()
                 .map(|r| r.value.as_ref().err().cloned())
                 .collect(),
+            tier: None,
         }
+    }
+
+    /// Record the surrogate tier-policy tag the search is running with.
+    pub fn with_tier(mut self, tag: String) -> Self {
+        self.tier = Some(tag);
+        self
     }
 
     /// Rebuild the `(point, value)` history of **successful** evaluations.
@@ -188,13 +211,17 @@ impl Serialize for BoCheckpoint {
     fn serialize(&self) -> Value {
         // `y` placeholders for failed entries are already finite (0.0), so
         // the JSON never contains nulls in the value array.
-        Value::Object(vec![
+        let mut fields = vec![
             ("version".into(), Value::Int(CHECKPOINT_VERSION)),
             ("seed".into(), self.seed.serialize()),
-            ("x_unit".into(), self.x_unit.serialize()),
-            ("y".into(), self.y.serialize()),
-            ("failed".into(), self.failed.serialize()),
-        ])
+        ];
+        if let Some(tag) = &self.tier {
+            fields.push(("tier".into(), Value::String(tag.clone())));
+        }
+        fields.push(("x_unit".into(), self.x_unit.serialize()));
+        fields.push(("y".into(), self.y.serialize()));
+        fields.push(("failed".into(), self.failed.serialize()));
+        Value::Object(fields)
     }
 }
 
@@ -225,11 +252,18 @@ impl Deserialize for BoCheckpoint {
         } else {
             vec![None; y.len()]
         };
+        // Optional in every version: absent in files written before the
+        // sparse-GP tier layer existed.
+        let tier: Option<String> = match v.get_field("tier") {
+            Value::Null => None,
+            other => Some(String::deserialize(other).map_err(|e| DeError(format!("tier: {e}")))?),
+        };
         Ok(BoCheckpoint {
             seed,
             x_unit,
             y,
             failed,
+            tier,
         })
     }
 }
@@ -307,6 +341,24 @@ mod tests {
             loaded.history(),
             vec![(vec![0.1, 0.2], 3.0), (vec![0.9, 0.4], 1.0)]
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tier_tag_roundtrips_and_defaults_to_none() {
+        let cp = BoCheckpoint::from_history(3, &[(vec![0.1], 1.0)]).with_tier("auto:512".into());
+        let path = tmp_path("tier");
+        cp.save(&path).unwrap();
+        let loaded = BoCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded.tier.as_deref(), Some("auto:512"));
+        assert_eq!(loaded, cp);
+        // A file without the field (older writer) loads as `None`.
+        std::fs::write(
+            &path,
+            r#"{"version":2,"seed":3,"x_unit":[[0.1]],"y":[1.0],"failed":[null]}"#,
+        )
+        .unwrap();
+        assert_eq!(BoCheckpoint::load(&path).unwrap().tier, None);
         std::fs::remove_file(&path).ok();
     }
 

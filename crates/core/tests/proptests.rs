@@ -309,13 +309,15 @@ proptest! {
             .collect();
         let y: Vec<f64> = x.iter().map(|u| u[0] - 2.0 * u[1]).collect();
         let best = y.iter().cloned().fold(f64::INFINITY, f64::min);
-        let gp = cets_gp::Gp::fit(
-            &x,
-            &y,
-            cets_gp::Kernel::new(cets_gp::KernelKind::Matern52, 2),
-            1e-6,
-        )
-        .unwrap();
+        let gp = cets_gp::Surrogate::Exact(
+            cets_gp::Gp::fit(
+                &x,
+                &y,
+                cets_gp::Kernel::new(cets_gp::KernelKind::Matern52, 2),
+                1e-6,
+            )
+            .unwrap(),
+        );
 
         let run = |parallel: bool, n_workers: usize| {
             let search = BoSearch::new(BoConfig {
@@ -444,5 +446,63 @@ proptest! {
             prop_assert!((lo..=hi).contains(&v), "draw {} = {} out of bounds", i, v);
         }
         prop_assert_eq!(draw(seed), draw(seed));
+    }
+}
+
+proptest! {
+    // Full double-BO-runs per case: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn tier_selection_deterministic_under_checkpoint_resume(
+        seed in 0u64..20,
+        threshold in 6usize..12,
+        k in 5usize..12,
+    ) {
+        // The surrogate tier is re-derived at every retraining from the
+        // policy and the training-set size. With an Auto threshold inside
+        // the run's budget the search *switches tiers mid-run*; a resume
+        // interrupted at any attempt k must re-derive the exact same
+        // decisions and continue bit-for-bit through the switch.
+        use cets_core::EvalOutcome;
+
+        let obj = Linear::new(vec![1.0, -2.0]);
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let mut gp = cets_gp::GpConfig {
+            tier: cets_gp::TierPolicy::Auto { threshold },
+            ..Default::default()
+        };
+        gp.sparse.m_inducing = 8;
+        let cfg = BoConfig {
+            n_init: 4,
+            max_evals: 14,
+            n_candidates: 24,
+            n_local: 4,
+            retrain_every: 3,
+            seed,
+            gp,
+            ..Default::default()
+        };
+        let policy = FailurePolicy::default();
+        let search = BoSearch::new(cfg);
+        let full = search
+            .run_resilient(&sub, |c, _| EvalOutcome::Ok(obj.evaluate(c)), &policy)
+            .unwrap();
+        prop_assert!(full.records.len() >= threshold, "run never crossed the threshold");
+
+        let k = k.min(full.records.len() - 1).max(1);
+        let cp = BoCheckpoint::from_records(seed, &full.records[..k])
+            .with_tier(search.config.gp.tier.tag());
+        let resumed = search
+            .resume_resilient(&sub, |c, _| EvalOutcome::Ok(obj.evaluate(c)), &policy, &cp)
+            .unwrap();
+        prop_assert_eq!(resumed.records, full.records);
+
+        // A different tier policy must be rejected, not silently diverged.
+        let mut other = search.clone();
+        other.config.gp.tier = cets_gp::TierPolicy::Exact;
+        prop_assert!(other
+            .resume_resilient(&sub, |c, _| EvalOutcome::Ok(obj.evaluate(c)), &policy, &cp)
+            .is_err());
     }
 }

@@ -25,6 +25,14 @@ pub struct GpConfig {
     pub optimize_noise: bool,
     /// Inner Nelder–Mead options.
     pub nm: NelderMeadOptions,
+    /// Surrogate tier policy consulted by [`crate::Surrogate::train`]:
+    /// exact GP below a training-set-size threshold, sparse (SGPR) at or
+    /// above it, or an explicit override. Direct [`Gp::train`] calls
+    /// ignore it.
+    pub tier: crate::TierPolicy,
+    /// Sparse-tier (SGPR) options, used when the tier policy selects the
+    /// sparse surrogate.
+    pub sparse: crate::SparseOptions,
 }
 
 impl Default for GpConfig {
@@ -36,9 +44,19 @@ impl Default for GpConfig {
             noise_floor: 1e-6,
             optimize_noise: true,
             nm: NelderMeadOptions::default(),
+            tier: crate::TierPolicy::default(),
+            sparse: crate::SparseOptions::default(),
         }
     }
 }
+
+/// Conditioning ceiling for the incremental-update path: when
+/// [`Gp::chol_condition_estimate`] crosses this after a [`Gp::append`],
+/// debug builds assert. The value matches the "living off jitter" rule of
+/// thumb documented on [`Gp::kernel_condition_number`]; legitimate BO
+/// appends stay orders of magnitude below it (the noise floor keeps every
+/// pivot at `√noise` or larger).
+pub const APPEND_CONDITION_LIMIT: f64 = 1e12;
 
 /// A fitted Gaussian process.
 ///
@@ -334,6 +352,29 @@ impl Gp {
         }
     }
 
+    /// Cheap conditioning estimate from the existing Cholesky factor:
+    /// `(max_i L_ii / min_i L_ii)²`. A lower bound on
+    /// [`Gp::kernel_condition_number`] at `O(n)` cost instead of the
+    /// eigendecomposition's `O(n³)`, so it can run on every incremental
+    /// update. It is exactly the quantity [`Gp::append`] degrades: each
+    /// near-duplicate observation appends a tiny pivot to the factor's
+    /// diagonal, and the ratio explodes long before the factorization
+    /// fails outright.
+    pub fn chol_condition_estimate(&self) -> f64 {
+        let diag = self.chol.l().diag();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0_f64;
+        for v in diag {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo <= 0.0 {
+            return f64::INFINITY;
+        }
+        let r = hi / lo;
+        r * r
+    }
+
     /// Leave-one-out cross-validation residuals, computed in closed form
     /// from the existing factorization (Sundararajan & Keerthi): for each
     /// training point, `mu_i = y_i − α_i / [K⁻¹]_ii` and
@@ -391,6 +432,20 @@ impl Gp {
     /// conditioning). Fails when the bordered kernel matrix loses positive
     /// definiteness (e.g. a near-duplicate input); callers should fall
     /// back to a fresh [`Gp::fit`].
+    ///
+    /// **Refit contract.** Appends accumulate conditioning damage that a
+    /// successful return does not signal: each one freezes the
+    /// hyperparameters and standardization while adding a row to the
+    /// factor, so a run of appends near existing observations shrinks the
+    /// smallest Cholesky pivot monotonically. Callers must bound the
+    /// number of consecutive appends and refit periodically — the BO
+    /// loops do this via their `retrain_every` knob, retraining
+    /// hyperparameters from scratch every `retrain_every` observations.
+    /// Debug builds enforce the contract with an assertion on
+    /// [`Gp::chol_condition_estimate`] (threshold
+    /// [`APPEND_CONDITION_LIMIT`]); release builds skip the check, as a
+    /// degraded-but-PD factor still predicts, just with less trustworthy
+    /// uncertainties.
     pub fn append(&mut self, x_new: Vec<f64>, y_new: f64) -> Result<()> {
         if x_new.len() != self.kernel.dim() {
             return Err(GpError::BadShape(format!(
@@ -409,6 +464,15 @@ impl Gp {
         self.chol
             .append(&col, diag)
             .map_err(|e| GpError::Factorization(e.to_string()))?;
+        debug_assert!(
+            self.chol_condition_estimate() < APPEND_CONDITION_LIMIT,
+            "Gp::append: conditioning estimate {:.3e} exceeds {APPEND_CONDITION_LIMIT:.0e} \
+             after {} appended observations — the caller is appending past the refit \
+             contract (see Gp::append docs; retrain hyperparameters every \
+             `retrain_every` observations)",
+            self.chol_condition_estimate(),
+            self.x.len() + 1,
+        );
         self.x.push(x_new);
         self.ys.push((y_new - self.y_mean) / self.y_std);
         self.alpha = self.chol.solve_vec(&self.ys);
@@ -423,7 +487,7 @@ impl Gp {
 /// Reject NaN/infinite inputs or targets before they reach a factorization:
 /// a single poisoned entry spreads through the Cholesky and every
 /// subsequent prediction without tripping any error.
-fn check_finite(x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+pub(crate) fn check_finite(x: &[Vec<f64>], y: &[f64]) -> Result<()> {
     for (i, row) in x.iter().enumerate() {
         if row.iter().any(|v| !v.is_finite()) {
             return Err(GpError::NonFinite(format!(
@@ -439,7 +503,7 @@ fn check_finite(x: &[Vec<f64>], y: &[f64]) -> Result<()> {
     Ok(())
 }
 
-fn standardization(y: &[f64]) -> (f64, f64) {
+pub(crate) fn standardization(y: &[f64]) -> (f64, f64) {
     let mean = cets_linalg::vecops::mean(y);
     let std = cets_linalg::vecops::std_dev(y);
     (mean, if std > 1e-12 { std } else { 1.0 })
@@ -473,13 +537,13 @@ fn gram(x: &[Vec<f64>], kernel: &Kernel) -> Matrix {
 /// those evaluations, only the length-scale weights do. The
 /// dimension-major layout turns the per-evaluation reduction
 /// `r²_p = Σ_k w_k · data[k][p]` into `d` contiguous axpy sweeps.
-struct PairTensor {
+pub(crate) struct PairTensor {
     data: Vec<f64>,
     n: usize,
 }
 
 impl PairTensor {
-    fn new(x: &[Vec<f64>]) -> Self {
+    pub(crate) fn new(x: &[Vec<f64>]) -> Self {
         let n = x.len();
         let d = x.first().map_or(0, |r| r.len());
         let np = n * (n - 1) / 2;
@@ -498,12 +562,12 @@ impl PairTensor {
         PairTensor { data, n }
     }
 
-    fn n_pairs(&self) -> usize {
+    pub(crate) fn n_pairs(&self) -> usize {
         self.n * (self.n - 1) / 2
     }
 
     /// `acc[p] = Σ_k w[k] · data[k][p]` — the fused multiply-add pass.
-    fn weighted_r2(&self, w: &[f64], acc: &mut [f64]) {
+    pub(crate) fn weighted_r2(&self, w: &[f64], acc: &mut [f64]) {
         acc.fill(0.0);
         let np = acc.len();
         if np == 0 {
@@ -756,6 +820,40 @@ mod tests {
             gp.append(vec![0.1, 0.2], 1.0),
             Err(GpError::BadShape(_))
         ));
+    }
+
+    #[test]
+    fn chol_condition_estimate_tracks_conditioning() {
+        let kernel = Kernel::new(KernelKind::SquaredExp, 1);
+        // Well-separated points: benign estimate, far under the limit.
+        let x = grid_1d(6);
+        let y: Vec<f64> = x.iter().map(|v| v[0]).collect();
+        let good = Gp::fit(&x, &y, kernel.clone(), 1e-4).unwrap();
+        let ge = good.chol_condition_estimate();
+        assert!(ge < 1e6, "benign estimate {ge}");
+        // The O(n) estimate is a lower bound on the O(n³) spectral number.
+        assert!(ge <= good.kernel_condition_number() * (1.0 + 1e-9));
+        // Near-duplicates with tiny noise: the estimate explodes too.
+        let x2 = vec![vec![0.5], vec![0.5 + 1e-7], vec![0.9]];
+        let y2 = vec![1.0, 1.0, 2.0];
+        let bad = Gp::fit(&x2, &y2, kernel, 1e-12).unwrap();
+        let be = bad.chol_condition_estimate();
+        assert!(be > 1e6, "degenerate estimate {be}");
+        assert!(be <= bad.kernel_condition_number() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "refit contract")]
+    fn append_past_conditioning_limit_asserts_in_debug() {
+        // Two well-separated points with near-zero noise factorize
+        // cleanly; appending an all-but-duplicate observation leaves the
+        // factor PD (so `append` itself succeeds) with a pivot around
+        // √1e-13 — an estimate of ~1e13, past APPEND_CONDITION_LIMIT.
+        let x = vec![vec![0.2], vec![0.8]];
+        let y = vec![1.0, 2.0];
+        let mut gp = Gp::fit(&x, &y, Kernel::new(KernelKind::SquaredExp, 1), 1e-13).unwrap();
+        let _ = gp.append(vec![0.2 + 1e-8], 1.0);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   marginal likelihood;
 //! * [`GpConfig`] / [`Gp::train`] — maximum-likelihood hyperparameter
 //!   selection via multi-start Nelder–Mead in log-space;
+//! * [`SparseGp`] / [`Surrogate`] — the inducing-point (SGPR) tier and the
+//!   tier-selection layer over it: `O(N·m²)` training against the
+//!   variational ELBO, `O(m)`/`O(m²)` predictions, automatic escalation
+//!   past a configurable training-set size ([`TierPolicy`]);
 //! * [`nelder_mead`] — the derivative-free simplex optimizer, exposed for
 //!   reuse.
 //!
@@ -33,10 +37,12 @@
 mod gp;
 mod kernel;
 mod optimize;
+mod sparse;
 
-pub use gp::{Gp, GpConfig};
+pub use gp::{Gp, GpConfig, APPEND_CONDITION_LIMIT};
 pub use kernel::{Kernel, KernelKind};
 pub use optimize::{nelder_mead, NelderMeadOptions};
+pub use sparse::{select_inducing, SparseGp, SparseOptions, Surrogate, SurrogateTier, TierPolicy};
 
 /// Errors from GP fitting.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,6 +1,10 @@
-//! Property-based tests for kernels, GP regression and Nelder–Mead.
+//! Property-based tests for kernels, GP regression, the sparse (SGPR)
+//! tier and Nelder–Mead.
 
-use cets_gp::{nelder_mead, Gp, Kernel, KernelKind, NelderMeadOptions};
+use cets_gp::{
+    nelder_mead, Gp, GpConfig, Kernel, KernelKind, NelderMeadOptions, SparseGp, Surrogate,
+    SurrogateTier, TierPolicy,
+};
 use proptest::prelude::*;
 
 fn kinds() -> impl Strategy<Value = KernelKind> {
@@ -150,6 +154,91 @@ proptest! {
         // Bit-identical, not merely close: the parallel acquisition
         // scorer's determinism contract rests on this.
         prop_assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn surrogate_exact_tier_bit_identical_to_gp_train(seed in 0u64..50, n in 5usize..25) {
+        // The tier-layer oracle: below the Auto threshold, Surrogate::train
+        // must be Gp::train — not merely close, BIT-identical — so enabling
+        // the tier layer cannot perturb any existing small-N search.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (3.0 * v[0]).sin() + v[1]).collect();
+        let cfg = GpConfig::default(); // TierPolicy::Auto { threshold: 512 }
+        let sur = Surrogate::train(&x, &y, &cfg).unwrap();
+        prop_assert_eq!(sur.tier(), SurrogateTier::Exact);
+        let gp = Gp::train(&x, &y, &cfg).unwrap();
+        prop_assert_eq!(sur.evidence(), gp.lml());
+        for _ in 0..3 {
+            let probe = vec![rng.random::<f64>(), rng.random::<f64>()];
+            prop_assert_eq!(sur.predict(&probe), gp.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn sparse_with_full_inducing_set_matches_exact(seed in 0u64..100, kind in kinds()) {
+        // Convergence as m → N: with Z = X the variational bound is tight,
+        // so SGPR reproduces the exact posterior and the ELBO meets the LML.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 18;
+        // Separated along dim 0 so the inducing Gram matrix stays far from
+        // singular for every seed.
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 + 0.01 * rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (4.0 * v[0]).sin() + 0.5 * v[1]).collect();
+        let kernel = Kernel::with_params(kind, 1.0, vec![0.4, 0.4]);
+        let noise = 1e-3;
+        let exact = Gp::fit(&x, &y, kernel.clone(), noise).unwrap();
+        let sparse = SparseGp::fit(&x, &y, x.clone(), kernel, noise).unwrap();
+        for _ in 0..4 {
+            let probe = vec![rng.random::<f64>(), rng.random::<f64>()];
+            let (me, ve) = exact.predict(&probe);
+            let (ms, vs) = sparse.predict(&probe);
+            prop_assert!((me - ms).abs() < 5e-4, "mean {me} vs {ms}");
+            prop_assert!((ve - vs).abs() < 5e-4, "var {ve} vs {vs}");
+        }
+        prop_assert!(
+            (exact.lml() - sparse.elbo()).abs() < 5e-3,
+            "lml {} vs elbo {}", exact.lml(), sparse.elbo()
+        );
+        // And with a proper subset the bound stays a lower bound.
+        let idx = cets_gp::select_inducing(&x, 6);
+        let z: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+        let sub = SparseGp::fit(&x, &y, z, exact.kernel().clone(), noise).unwrap();
+        prop_assert!(sub.elbo() <= exact.lml() + 1e-6);
+    }
+
+    #[test]
+    fn sparse_train_trace_is_monotone_nondecreasing(seed in 0u64..60) {
+        // The optimizer's running-best ELBO never decreases, and its final
+        // value is the ELBO of the model actually returned.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (3.0 * v[0]).sin() + v[1] * v[1]).collect();
+        let cfg = GpConfig {
+            tier: TierPolicy::Sparse,
+            seed,
+            ..Default::default()
+        };
+        let (sp, trace) = SparseGp::train_traced(&x, &y, &cfg).unwrap();
+        prop_assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            prop_assert!(w[1] >= w[0], "ELBO trace decreased: {} -> {}", w[0], w[1]);
+        }
+        let last = trace[trace.len() - 1];
+        prop_assert!(last.is_finite());
+        prop_assert!(
+            (last - sp.elbo()).abs() <= 1e-9 * (1.0 + last.abs()),
+            "trace best {last} vs fitted elbo {}", sp.elbo()
+        );
     }
 
     #[test]

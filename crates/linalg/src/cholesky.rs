@@ -496,6 +496,52 @@ impl Cholesky {
         self.l = grown;
         Ok(())
     }
+
+    /// Rank-one update in `O(n²)`: replace the factorization of `A` with
+    /// the factorization of `A + v vᵀ`.
+    ///
+    /// Uses the classic sequence of Givens-like plane rotations (Golub &
+    /// Van Loan §6.5.4). Adding `v vᵀ` to a positive-definite matrix keeps
+    /// it positive definite, so the update cannot fail for finite input;
+    /// non-finite pivots (overflow, NaN in `v`) are still reported. This
+    /// is the kernel behind the sparse GP's `O(m²)` absorption of one new
+    /// observation: the inner factor `B = I + A Aᵀ` gains `a aᵀ` per
+    /// appended point.
+    pub fn rank_one_update(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "rank_one_update: vector length {} != {n}",
+                v.len()
+            )));
+        }
+        let mut work = v.to_vec();
+        // Validate all pivots before committing any mutation, so a failed
+        // update leaves the factor untouched (mirrors `append`).
+        let mut trial = self.l.clone();
+        for k in 0..n {
+            let lkk = trial[(k, k)];
+            let wk = work[k];
+            let r = (lkk * lkk + wk * wk).sqrt();
+            if r <= 0.0 || !r.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite {
+                    last_jitter: self.jitter,
+                });
+            }
+            let c = r / lkk;
+            let s = wk / lkk;
+            trial[(k, k)] = r;
+            if s != 0.0 {
+                for i in (k + 1)..n {
+                    let lik = (trial[(i, k)] + s * work[i]) / c;
+                    work[i] = c * work[i] - s * lik;
+                    trial[(i, k)] = lik;
+                }
+            }
+        }
+        self.l = trial;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -736,6 +782,58 @@ mod tests {
                 assert!((f - g).abs() <= 1e-10 * g.abs().max(1.0), "{f} vs {g}");
             }
         }
+    }
+
+    #[test]
+    fn rank_one_update_matches_fresh_factorization() {
+        for n in [1, 3, 24, 70] {
+            let a = kernel_like(n);
+            let v: Vec<f64> = (0..n)
+                .map(|i| ((i * 7 + 3) % 11) as f64 / 11.0 - 0.4)
+                .collect();
+            let mut ch = Cholesky::new(&a).unwrap();
+            ch.rank_one_update(&v).unwrap();
+            let mut updated = a.clone();
+            for i in 0..n {
+                for j in 0..n {
+                    updated[(i, j)] += v[i] * v[j];
+                }
+            }
+            let fresh = Cholesky::new(&updated).unwrap();
+            assert!(
+                ch.l().approx_eq(fresh.l(), 1e-9),
+                "n={n}: rank-one update diverges from fresh factorization"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_one_update_with_zero_vector_is_identity() {
+        let a = kernel_like(12);
+        let mut ch = Cholesky::new(&a).unwrap();
+        let before = ch.l().clone();
+        ch.rank_one_update(&[0.0; 12]).unwrap();
+        for i in 0..12 {
+            for j in 0..12 {
+                assert_eq!(ch.l()[(i, j)], before[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_update_rejects_bad_input() {
+        let mut ch = Cholesky::new(&spd3()).unwrap();
+        assert!(matches!(
+            ch.rank_one_update(&[1.0]),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+        let before = ch.l().clone();
+        assert!(matches!(
+            ch.rank_one_update(&[f64::NAN, 0.0, 0.0]),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        // Factor unchanged after a failed update.
+        assert!(ch.l().approx_eq(&before, 0.0));
     }
 
     #[test]

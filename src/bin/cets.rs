@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! cets synthetic --case 3 [--cutoff 0.25] [--evals-per-dim 10] [--seed 0] [--report out.md]
+//!                [--gp-tier auto|exact|sparse|auto:N] [--inducing m]
 //! cets tddft --case 1 [--cutoff 0.10] [--evals-per-dim 10] [--seed 0] [--report out.md]
-//!                    [--db out.json]
+//!                    [--db out.json] [--gp-tier auto|exact|sparse|auto:N] [--inducing m]
 //! cets lint <plan.json> [--format human|json|sarif] [--deny-warnings]
 //! cets analyze <plan.json> [--format human|json|sarif] [--deny-warnings]
 //!                          [--domain interval|octagon|product] [--contract [out.json]]
@@ -107,6 +108,10 @@ fn usage() {
     eprintln!("  --inject-flaky <p>   (synthetic) deterministically inject faults (panics,");
     eprintln!("                       NaNs) into a fraction p of evaluations; implies");
     eprintln!("                       --resilient — a demo of graceful degradation");
+    eprintln!("  --gp-tier <t>        surrogate tier: `auto` (default; exact GP below the");
+    eprintln!("                       escalation threshold, sparse SGPR above), `auto:N`");
+    eprintln!("                       (auto with threshold N), `exact`, or `sparse`");
+    eprintln!("  --inducing <m>       (sparse tier) number of inducing points (default 48)");
     eprintln!();
     eprintln!("LINT / ANALYZE OPTIONS:");
     eprintln!("  --format <human|json|sarif>  output format (default human)");
@@ -193,6 +198,36 @@ fn main() -> ExitCode {
         },
     };
     let resilient = args.get_str("resilient").is_some() || flaky_rate.is_some();
+    let gp_cfg = {
+        let mut gp = cets::gp::GpConfig::default();
+        if let Some(v) = args.get_str("gp-tier") {
+            gp.tier = match v {
+                "auto" => cets::gp::TierPolicy::default(),
+                "exact" => cets::gp::TierPolicy::Exact,
+                "sparse" => cets::gp::TierPolicy::Sparse,
+                other => match other
+                    .strip_prefix("auto:")
+                    .and_then(|t| t.parse::<usize>().ok())
+                {
+                    Some(threshold) if threshold > 0 => cets::gp::TierPolicy::Auto { threshold },
+                    _ => {
+                        eprintln!("--gp-tier must be auto, exact, sparse or auto:<N>, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+        }
+        if let Some(v) = args.get_str("inducing") {
+            match v.parse::<usize>() {
+                Ok(m) if m > 0 => gp.sparse.m_inducing = m,
+                _ => {
+                    eprintln!("--inducing must be a positive integer, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        gp
+    };
 
     match cmd.as_str() {
         "synthetic" => {
@@ -215,6 +250,7 @@ fn main() -> ExitCode {
                 },
                 bo: BoConfig {
                     seed,
+                    gp: gp_cfg.clone(),
                     ..Default::default()
                 },
                 evals_per_dim,
@@ -314,6 +350,7 @@ fn main() -> ExitCode {
                 shared_params: TddftSimulator::shared_params(),
                 bo: BoConfig {
                     seed,
+                    gp: gp_cfg.clone(),
                     ..Default::default()
                 },
                 evals_per_dim,
