@@ -22,7 +22,7 @@ fn main() {
     );
     for case in SyntheticCase::all() {
         let f = SyntheticFunction::new(case);
-        let ins = gather_insights(
+        let ins = match gather_insights(
             &f,
             &InsightsConfig {
                 n_samples,
@@ -30,8 +30,13 @@ fn main() {
                 correlation_threshold: 0.0,
                 ..Default::default()
             },
-        )
-        .expect("insights");
+        ) {
+            Ok(ins) => ins,
+            Err(e) => {
+                eprintln!("X0: insights failed for {}: {e}", case.name());
+                std::process::exit(1);
+            }
+        };
 
         // Largest absolute pairwise correlation (paper: no linear deps —
         // the inputs are sampled independently, so this is a calibration

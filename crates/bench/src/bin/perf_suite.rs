@@ -23,6 +23,7 @@
 
 use cets_core::{BoConfig, BoSearch, Methodology, MethodologyConfig, Objective, VariationPolicy};
 use cets_gp::{select_inducing, Gp, GpConfig, Kernel, KernelKind, SparseGp, Surrogate, TierPolicy};
+use cets_linalg::ParConfig;
 use cets_space::{SearchSpace, Subspace};
 use cets_synthetic::{SyntheticCase, SyntheticFunction};
 use rand::rngs::StdRng;
@@ -90,6 +91,9 @@ struct Measure {
     /// What one "eval" means for this benchmark.
     eval_unit: &'static str,
     reps: usize,
+    /// Worker-thread budget the benchmark was pinned to (`ParConfig::fixed`);
+    /// results are bit-identical across values, only the timing changes.
+    threads_used: usize,
     /// Benchmark-specific extra fields merged into the JSON entry (e.g. the
     /// sparse-tier benches record the exact-GP cost extrapolation they beat).
     extra: Vec<(&'static str, Value)>,
@@ -122,10 +126,14 @@ fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     (xs, ys)
 }
 
-/// Time `Gp::train` (multi-start Nelder–Mead over the LML) at size `n`.
-fn bench_gp_train(id: &'static str, n: usize, reps: usize) -> BenchResult<Measure> {
+/// Time `Gp::train` (multi-start Nelder–Mead over the LML) at size `n`,
+/// pinned to a `threads`-worker budget.
+fn bench_gp_train(id: &'static str, n: usize, reps: usize, threads: usize) -> BenchResult<Measure> {
     let (xs, ys) = dataset(n, 0xC0FFEE ^ n as u64);
-    let cfg = GpConfig::default();
+    let cfg = GpConfig {
+        par: ParConfig::fixed(threads),
+        ..GpConfig::default()
+    };
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t = Instant::now();
@@ -143,6 +151,7 @@ fn bench_gp_train(id: &'static str, n: usize, reps: usize) -> BenchResult<Measur
         evals_per_sec: lml_evals / (med / 1e3),
         eval_unit: "lml_evals (budget upper bound)",
         reps,
+        threads_used: threads,
         extra: Vec::new(),
     })
 }
@@ -171,6 +180,7 @@ fn bench_gp_predict(id: &'static str, n: usize, m: usize, reps: usize) -> BenchR
         evals_per_sec: m as f64 / (med / 1e3),
         eval_unit: "predictions",
         reps,
+        threads_used: 1,
         extra: Vec::new(),
     })
 }
@@ -218,6 +228,7 @@ fn bench_propose(id: &'static str, n: usize, reps: usize) -> BenchResult<Measure
         evals_per_sec: pool / (med / 1e3),
         eval_unit: "candidates scored",
         reps,
+        threads_used: 1,
         extra: Vec::new(),
     })
 }
@@ -234,10 +245,12 @@ fn bench_sparse_train(
     n: usize,
     reps: usize,
     exact_ref: Option<(usize, f64)>,
+    threads: usize,
 ) -> BenchResult<Measure> {
     let (xs, ys) = dataset(n, 0xC0FFEE ^ n as u64);
     let cfg = GpConfig {
         tier: TierPolicy::Sparse,
+        par: ParConfig::fixed(threads),
         ..GpConfig::default()
     };
     let mut samples = Vec::with_capacity(reps);
@@ -267,6 +280,7 @@ fn bench_sparse_train(
         evals_per_sec: elbo_evals / (med / 1e3),
         eval_unit: "elbo_evals (budget upper bound)",
         reps,
+        threads_used: threads,
         extra,
     })
 }
@@ -304,16 +318,34 @@ fn bench_propose_sparse(id: &'static str, n: usize, m: usize, reps: usize) -> Be
         evals_per_sec: pool / (med / 1e3),
         eval_unit: "candidates scored",
         reps,
+        threads_used: 1,
         extra: Vec::new(),
     })
 }
 
+/// Platform-stable FNV-1a fingerprint (std's `DefaultHasher` is not
+/// guaranteed stable across releases, and the hash lands in committed JSON).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Time one full `Methodology::run` (analysis + lint + planned searches)
-/// on a synthetic 20-dim objective.
+/// on a synthetic 20-dim objective, pinned to a `threads`-worker budget.
+///
+/// The entry records `final_config_hash`, a fingerprint of the winning
+/// configuration and its exact objective bits — [`run_benches`] asserts the
+/// hash matches across thread counts, which is the tentpole determinism
+/// guarantee (and the CI bench-smoke gate's pass/fail condition).
 fn bench_methodology(
     id: &'static str,
     evals_per_dim: usize,
     max_dims: usize,
+    threads: usize,
 ) -> BenchResult<Measure> {
     let obj = SyntheticFunction::new(SyntheticCase::Case3);
     let owners = SyntheticFunction::owners();
@@ -327,7 +359,8 @@ fn bench_methodology(
             ..Default::default()
         },
         evals_per_dim,
-        parallel: false,
+        parallel: threads > 1,
+        par: ParConfig::fixed(threads),
         ..Default::default()
     });
     let t = Instant::now();
@@ -335,49 +368,123 @@ fn bench_methodology(
         .run(&obj, &pairs, &obj.default_config())
         .map_err(|e| format!("{id}: methodology run: {e}"))?;
     let ms = t.elapsed().as_secs_f64() * 1e3;
+    let hash = fnv1a(
+        format!(
+            "{:?}|{:016x}",
+            exec.final_config,
+            exec.final_value.to_bits()
+        )
+        .as_bytes(),
+    );
     Ok(Measure {
         id,
         median_ms: ms,
         evals_per_sec: exec.total_evals as f64 / (ms / 1e3),
         eval_unit: "objective evals",
         reps: 1,
-        extra: Vec::new(),
+        threads_used: threads,
+        extra: vec![
+            ("final_value", Value::Float(exec.final_value)),
+            ("final_config_hash", Value::String(format!("{hash:016x}"))),
+        ],
     })
+}
+
+/// Attach `single_thread_ms` and `speedup_vs_single_thread` to a multi-thread
+/// variant, referencing its single-thread twin's median.
+fn with_speedup(mut m: Measure, single_thread_ms: Option<f64>) -> Measure {
+    if let Some(ms1) = single_thread_ms {
+        m.extra.push(("single_thread_ms", Value::Float(ms1)));
+        m.extra
+            .push(("speedup_vs_single_thread", Value::Float(ms1 / m.median_ms)));
+    }
+    m
+}
+
+/// Fail the whole suite if two methodology runs at different thread counts
+/// reached different final configurations — the compute layer promises
+/// bit-identical results at any worker budget, so a mismatch is a bug, not
+/// a perf regression.
+fn check_deterministic(a: &Measure, b: &Measure) -> BenchResult<()> {
+    let hash = |m: &Measure| {
+        m.extra
+            .iter()
+            .find(|(k, _)| *k == "final_config_hash")
+            .map(|(_, v)| v.clone())
+    };
+    if hash(a) != hash(b) {
+        return Err(format!(
+            "determinism violation: {} (threads={}) and {} (threads={}) \
+             reached different final configurations",
+            a.id, a.threads_used, b.id, b.threads_used
+        ));
+    }
+    Ok(())
 }
 
 fn run_benches(smoke: bool) -> BenchResult<Vec<Measure>> {
     let mut out = Vec::new();
     if smoke {
-        out.push(bench_gp_train("gp_train_n16", 16, 1)?);
-        out.push(bench_gp_train("gp_train_n32", 32, 1)?);
+        out.push(bench_gp_train("gp_train_n16", 16, 1, 1)?);
+        out.push(bench_gp_train("gp_train_n32", 32, 1, 1)?);
         let exact32 = out.last().map(|m| (32usize, m.median_ms));
-        out.push(bench_sparse_train("gp_train_sparse_n256", 256, 1, exact32)?);
+        out.push(bench_sparse_train(
+            "gp_train_sparse_n256",
+            256,
+            1,
+            exact32,
+            1,
+        )?);
         out.push(bench_gp_predict("gp_predict_n32_m64", 32, 64, 2)?);
         out.push(bench_propose("propose_n32", 32, 2)?);
-        out.push(bench_methodology("methodology_run_smoke", 2, 5)?);
+        out.push(bench_methodology("methodology_run_smoke", 2, 5, 1)?);
+        let t1_ms = out.last().map(|m| m.median_ms);
+        out.push(with_speedup(
+            bench_methodology("methodology_run_smoke_t2", 2, 5, 2)?,
+            t1_ms,
+        ));
+        check_deterministic(&out[out.len() - 2], &out[out.len() - 1])?;
     } else {
-        out.push(bench_gp_train("gp_train_n50", 50, 5)?);
-        out.push(bench_gp_train("gp_train_n200", 200, 3)?);
-        out.push(bench_gp_train("gp_train_n500", 500, 1)?);
+        out.push(bench_gp_train("gp_train_n50", 50, 5, 1)?);
+        out.push(bench_gp_train("gp_train_n200", 200, 3, 1)?);
+        out.push(bench_gp_train("gp_train_n500", 500, 1, 1)?);
         let exact500 = out.last().map(|m| (500usize, m.median_ms));
+        let t1_ms = out.last().map(|m| m.median_ms);
+        out.push(with_speedup(
+            bench_gp_train("gp_train_n500_t4", 500, 1, 4)?,
+            t1_ms,
+        ));
         out.push(bench_sparse_train(
             "gp_train_sparse_n2000",
             2000,
             1,
             exact500,
+            1,
         )?);
         out.push(bench_sparse_train(
             "gp_train_sparse_n10000",
             10_000,
             1,
             exact500,
+            1,
         )?);
+        let t1_ms = out.last().map(|m| m.median_ms);
+        out.push(with_speedup(
+            bench_sparse_train("gp_train_sparse_n10000_t4", 10_000, 1, exact500, 4)?,
+            t1_ms,
+        ));
         out.push(bench_gp_predict("gp_predict_n200_m512", 200, 512, 5)?);
         out.push(bench_propose("propose_n50", 50, 7)?);
         out.push(bench_propose("propose_n200", 200, 5)?);
         out.push(bench_propose("propose_n500", 500, 3)?);
         out.push(bench_propose_sparse("propose_sparse_n2000", 2000, 48, 3)?);
-        out.push(bench_methodology("methodology_run", 10, 10)?);
+        out.push(bench_methodology("methodology_run", 10, 10, 1)?);
+        let t1_ms = out.last().map(|m| m.median_ms);
+        out.push(with_speedup(
+            bench_methodology("methodology_run_t4", 10, 10, 4)?,
+            t1_ms,
+        ));
+        check_deterministic(&out[out.len() - 2], &out[out.len() - 1])?;
     }
     Ok(out)
 }
@@ -391,6 +498,7 @@ fn measures_to_json(ms: &[Measure]) -> Value {
                     ("evals_per_sec", Value::Float(m.evals_per_sec)),
                     ("eval_unit", Value::String(m.eval_unit.to_string())),
                     ("reps", Value::Int(m.reps as i64)),
+                    ("threads_used", Value::Int(m.threads_used as i64)),
                 ];
                 fields.extend(m.extra.iter().cloned());
                 (m.id.to_string(), obj(fields))
@@ -474,12 +582,13 @@ fn run() -> BenchResult<()> {
     let measures = run_benches(args.smoke)?;
     for m in &measures {
         eprintln!(
-            "  {:<24} median {:>10.3} ms   {:>12.1} {}/s  (reps {})",
+            "  {:<24} median {:>10.3} ms   {:>12.1} {}/s  (reps {}, threads {})",
             m.id,
             m.median_ms,
             m.evals_per_sec,
             m.eval_unit.split(' ').next().unwrap_or("evals"),
-            m.reps
+            m.reps,
+            m.threads_used
         );
     }
     let benches = measures_to_json(&measures);
@@ -493,9 +602,8 @@ fn run() -> BenchResult<()> {
     let existing: Option<Value> = std::fs::read_to_string(&out_path)
         .ok()
         .and_then(|s| serde_json::parse_value(&s).ok());
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Fail-soft hardware probe (records 1 when the platform can't say).
+    let threads = cets_linalg::par::available_threads();
     let mut fields: Vec<(&str, Value)> = vec![
         ("schema", Value::String(SCHEMA.to_string())),
         ("mode", Value::String(mode.to_string())),

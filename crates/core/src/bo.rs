@@ -124,8 +124,9 @@ pub struct BoConfig {
     /// search trajectory) is **bit-identical** to the sequential path for
     /// the same seed — this switch only changes wall-clock time.
     pub parallel: bool,
-    /// Worker threads for parallel scoring; `0` means use
-    /// [`std::thread::available_parallelism`].
+    /// Worker threads for parallel scoring; `0` means use the process-wide
+    /// resolution (`--threads`, `CETS_THREADS`, then detected
+    /// parallelism — see [`cets_linalg::par::global_threads`]).
     pub n_workers: usize,
 }
 
@@ -566,9 +567,7 @@ impl BoSearch {
             return 1;
         }
         let requested = if self.config.n_workers == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
+            cets_linalg::par::global_threads()
         } else {
             self.config.n_workers
         };

@@ -9,6 +9,7 @@ use crate::resilience::{EvalOutcome, EvalRecord, ResilienceConfig, ResilientObje
 use crate::sensitivity::{routine_sensitivity, VariationPolicy};
 use crate::{CoreError, Result};
 use cets_graph::{InfluenceGraph, Partition};
+use cets_linalg::{par, ParConfig};
 use cets_space::{Config, Subspace};
 use cets_stats::SensitivityScores;
 use parking_lot::Mutex;
@@ -260,6 +261,11 @@ pub struct MethodologyConfig {
     pub evals_per_dim: usize,
     /// Run independent searches of one stage in parallel threads.
     pub parallel: bool,
+    /// Worker budget for the whole execution when [`Self::parallel`] is
+    /// on: stage searches share it, and each search's leftover goes to GP
+    /// training and candidate scoring (unless the [`Self::bo`] template
+    /// pins its own counts). Results are bit-identical at any budget.
+    pub par: ParConfig,
     /// How strictly the pre-execution linter gates [`Methodology::run`].
     pub lint: LintPolicy,
     /// Fault tolerance. `None` (default) keeps the legacy fail-fast
@@ -294,6 +300,7 @@ impl Default for MethodologyConfig {
             bo: BoConfig::default(),
             evals_per_dim: 10,
             parallel: true,
+            par: ParConfig::default(),
             lint: LintPolicy::default(),
             resilience: None,
             contract_bounds: false,
@@ -623,20 +630,20 @@ impl Methodology {
         objective: &O,
         report: &MethodologyReport,
     ) -> Result<PlanExecution> {
+        let workers = if self.config.parallel {
+            self.config.par.resolve()
+        } else {
+            1
+        };
         match &self.config.resilience {
-            Some(resilience) => execute_plan_resilient(
+            Some(resilience) => execute_plan_resilient_with(
                 objective,
                 &report.plan,
                 &self.config.bo,
-                self.config.parallel,
+                workers,
                 resilience,
             ),
-            None => execute_plan(
-                objective,
-                &report.plan,
-                &self.config.bo,
-                self.config.parallel,
-            ),
+            None => execute_plan_with(objective, &report.plan, &self.config.bo, workers),
         }
     }
 
@@ -689,15 +696,45 @@ pub fn build_graph<O: Objective + ?Sized>(
 }
 
 /// Execute an arbitrary [`SearchPlan`] against an objective: stages
-/// sequentially; within a stage, one thread per search when `parallel`.
-/// After each stage, every search's best values are frozen into the shared
-/// defaults used by later stages, and all searches' best values are folded
-/// into the final configuration.
+/// sequentially; within a stage, searches share a thread pool when
+/// `parallel`. After each stage, every search's best values are frozen
+/// into the shared defaults used by later stages, and all searches' best
+/// values are folded into the final configuration.
 pub fn execute_plan<O: Objective + ?Sized>(
     objective: &O,
     plan: &SearchPlan,
     bo_template: &BoConfig,
     parallel: bool,
+) -> Result<PlanExecution> {
+    let workers = if parallel { par::global_threads() } else { 1 };
+    execute_plan_with(objective, plan, bo_template, workers)
+}
+
+/// Split a stage's worker budget: up to `workers` concurrent searches,
+/// with each search's BO loop (GP training, candidate scoring) given the
+/// leftover `workers / used` — unless the template already pins explicit
+/// counts. Every split yields bit-identical trajectories; only wall-clock
+/// time changes.
+fn stage_budget(bo_template: &BoConfig, workers: usize, n_searches: usize) -> (usize, BoConfig) {
+    let used = workers.max(1).min(n_searches.max(1));
+    let inner = (workers.max(1) / used).max(1);
+    let mut bo = bo_template.clone();
+    if bo.n_workers == 0 {
+        bo.n_workers = inner;
+    }
+    if bo.gp.par == ParConfig::default() {
+        bo.gp.par = ParConfig::fixed(inner);
+    }
+    (used, bo)
+}
+
+/// [`execute_plan`] with an explicit worker budget (`1` = fully
+/// sequential; results are bit-identical at any budget).
+pub fn execute_plan_with<O: Objective + ?Sized>(
+    objective: &O,
+    plan: &SearchPlan,
+    bo_template: &BoConfig,
+    workers: usize,
 ) -> Result<PlanExecution> {
     let start = Instant::now();
     let space = objective.space();
@@ -727,11 +764,12 @@ pub fn execute_plan<O: Objective + ?Sized>(
             })
             .collect::<Result<Vec<_>>>()?;
 
+        let (used, bo_stage) = stage_budget(bo_template, workers, prepared.len());
         let run_one =
             |(i, s, idxs): &(usize, &PlannedSearch, Vec<usize>)| -> Result<SearchOutcome> {
                 let names: Vec<&str> = s.params.iter().map(|p| p.as_str()).collect();
                 let subspace = Subspace::new(space, &names, current.clone())?;
-                let mut bo_cfg = bo_template.clone();
+                let mut bo_cfg = bo_stage.clone();
                 bo_cfg.max_evals = s.budget;
                 bo_cfg.seed = bo_template
                     .seed
@@ -755,30 +793,10 @@ pub fn execute_plan<O: Objective + ?Sized>(
                 BoSearch::new(bo_cfg).run_with_history(&subspace, f, vec![(u0, y0)])
             };
 
-        let outcomes: Vec<Result<SearchOutcome>> = if parallel && prepared.len() > 1 {
-            let mut slots: Vec<Option<Result<SearchOutcome>>> =
-                (0..prepared.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (slot, item) in slots.iter_mut().zip(&prepared) {
-                    let run_one = &run_one;
-                    scope.spawn(move || {
-                        *slot = Some(run_one(item));
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|s| {
-                    s.unwrap_or_else(|| {
-                        Err(CoreError::SearchStalled(
-                            "a parallel search thread terminated without reporting".into(),
-                        ))
-                    })
-                })
-                .collect()
-        } else {
-            prepared.iter().map(run_one).collect()
-        };
+        // Fixed chunks + index-ordered results: the fold below visits
+        // searches in plan order regardless of the worker count.
+        let outcomes: Vec<Result<SearchOutcome>> =
+            par::map_indexed(used, prepared.len(), |idx| run_one(&prepared[idx]));
 
         for ((_, s, _), outcome) in prepared.iter().zip(outcomes) {
             let outcome = outcome?;
@@ -829,6 +847,19 @@ pub fn execute_plan_resilient<O: Objective + ?Sized>(
     parallel: bool,
     resilience: &ResilienceConfig,
 ) -> Result<PlanExecution> {
+    let workers = if parallel { par::global_threads() } else { 1 };
+    execute_plan_resilient_with(objective, plan, bo_template, workers, resilience)
+}
+
+/// [`execute_plan_resilient`] with an explicit worker budget (`1` = fully
+/// sequential; results are bit-identical at any budget).
+pub fn execute_plan_resilient_with<O: Objective + ?Sized>(
+    objective: &O,
+    plan: &SearchPlan,
+    bo_template: &BoConfig,
+    workers: usize,
+    resilience: &ResilienceConfig,
+) -> Result<PlanExecution> {
     let start = Instant::now();
     let space = objective.space();
     let routine_names = objective.routine_names();
@@ -859,6 +890,7 @@ pub fn execute_plan_resilient<O: Objective + ?Sized>(
 
         // One search under full protection. Returns the ledger entry along
         // with the outcome (or the degradation reason).
+        let (used, bo_stage) = stage_budget(bo_template, workers, prepared.len());
         let run_one = |(i, s, idxs): &(usize, &PlannedSearch, Vec<usize>)| -> (
             std::result::Result<crate::bo::ResilientOutcome, String>,
             usize, // attempts (only meaningful on the error side)
@@ -870,7 +902,7 @@ pub fn execute_plan_resilient<O: Objective + ?Sized>(
                 Arc::clone(&resilience.clock),
             );
             let attempt = |sub: &Subspace| -> Result<crate::bo::ResilientOutcome> {
-                let mut bo_cfg = bo_template.clone();
+                let mut bo_cfg = bo_stage.clone();
                 bo_cfg.max_evals = s.budget;
                 bo_cfg.seed = bo_template
                     .seed
@@ -921,31 +953,10 @@ pub fn execute_plan_resilient<O: Objective + ?Sized>(
             usize,
             usize,
         );
-        let outcomes: Vec<OneResult> = if parallel && prepared.len() > 1 {
-            let mut slots: Vec<Option<OneResult>> = (0..prepared.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (slot, item) in slots.iter_mut().zip(&prepared) {
-                    let run_one = &run_one;
-                    scope.spawn(move || {
-                        *slot = Some(run_one(item));
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.unwrap_or_else(|| {
-                        (
-                            Err("a parallel search thread terminated without reporting".into()),
-                            0,
-                            0,
-                        )
-                    })
-                })
-                .collect()
-        } else {
-            prepared.iter().map(run_one).collect()
-        };
+        // Fixed chunks + index-ordered results: the ledger fold below
+        // visits searches in plan order regardless of the worker count.
+        let outcomes: Vec<OneResult> =
+            par::map_indexed(used, prepared.len(), |idx| run_one(&prepared[idx]));
 
         for ((_, s, _), (result, attempts, failed_attempts)) in prepared.iter().zip(outcomes) {
             match result {

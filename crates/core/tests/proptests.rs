@@ -505,4 +505,43 @@ proptest! {
             .resume_resilient(&sub, |c, _| EvalOutcome::Ok(obj.evaluate(c)), &policy, &cp)
             .is_err());
     }
+
+    #[test]
+    fn bo_run_is_bit_identical_at_any_thread_count(seed in 0u64..30) {
+        // End-to-end determinism: a full BO search — GP training (both
+        // tiers, via an Auto threshold inside the budget), acquisition
+        // scoring, and proposal — produces a BIT-identical trajectory at
+        // every thread count.
+        let obj = Linear::new(vec![1.0, -2.0]);
+        let sub = Subspace::full(obj.space(), obj.default_config()).unwrap();
+        let run = |threads: usize| {
+            let mut gp = cets_gp::GpConfig {
+                tier: cets_gp::TierPolicy::Auto { threshold: 10 },
+                par: cets_gp::ParConfig::fixed(threads),
+                ..Default::default()
+            };
+            gp.sparse.m_inducing = 8;
+            let cfg = BoConfig {
+                n_init: 4,
+                max_evals: 14,
+                n_candidates: 24,
+                n_local: 4,
+                retrain_every: 3,
+                seed,
+                gp,
+                parallel: threads > 1,
+                n_workers: threads,
+                ..Default::default()
+            };
+            BoSearch::new(cfg).run(&sub, |c| obj.evaluate(c).total).unwrap()
+        };
+        let base = run(1);
+        for t in [2usize, 4] {
+            let out = run(t);
+            prop_assert_eq!(&out.history, &base.history, "history diverged at t={}", t);
+            prop_assert_eq!(&out.incumbent_trace, &base.incumbent_trace);
+            prop_assert_eq!(&out.best_config, &base.best_config);
+            prop_assert_eq!(out.best_value, base.best_value);
+        }
+    }
 }

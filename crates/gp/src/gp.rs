@@ -3,7 +3,7 @@
 use crate::kernel::{Kernel, KernelKind};
 use crate::optimize::{nelder_mead, NelderMeadOptions};
 use crate::{GpError, Result};
-use cets_linalg::{Cholesky, Matrix};
+use cets_linalg::{par, Cholesky, Matrix, ParConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -33,6 +33,12 @@ pub struct GpConfig {
     /// Sparse-tier (SGPR) options, used when the tier policy selects the
     /// sparse surrogate.
     pub sparse: crate::SparseOptions,
+    /// Worker budget for training. The budget is split across the two
+    /// parallel levels — Nelder–Mead restarts on the outside, kernel
+    /// builds and Cholesky panels on the inside — and every split
+    /// produces bit-identical hyperparameters (fixed partitioning,
+    /// fixed-order winner selection).
+    pub par: ParConfig,
 }
 
 impl Default for GpConfig {
@@ -46,6 +52,7 @@ impl Default for GpConfig {
             nm: NelderMeadOptions::default(),
             tier: crate::TierPolicy::default(),
             sparse: crate::SparseOptions::default(),
+            par: ParConfig::default(),
         }
     }
 }
@@ -142,48 +149,70 @@ impl Gp {
         let opt_noise = cfg.optimize_noise;
         let floor = cfg.noise_floor.max(1e-12);
 
+        // The worker budget splits across two levels: independent
+        // Nelder–Mead restarts on the outside (near-perfect scaling) and
+        // the per-evaluation kernel build / Cholesky inside each restart
+        // taking whatever is left over.
+        let threads = cfg.par.resolve();
+        let starts = cfg.n_restarts.max(1);
+        let ow = threads.min(starts);
+        let iw = (threads / ow).max(1);
+
         // The per-dimension pairwise squared differences do not depend on
         // the hyperparameters, so they are computed once here and shared
         // by every likelihood evaluation of every Nelder–Mead restart —
         // each evaluation then builds the kernel matrix with one fused
         // multiply-add pass over the tensor instead of recomputing all
         // O(n²d) distances through the generic kernel entry point.
-        let tensor = PairTensor::new(x);
-        let scratch = std::cell::RefCell::new(LmlScratch {
-            k: Matrix::zeros(n, n),
-            r2: vec![0.0; tensor.n_pairs()],
-        });
+        let tensor = PairTensor::new_with(x, threads);
 
-        // Negative LML of standardized targets as a function of log-params.
-        let neg_lml = |p: &[f64]| -> f64 {
-            let (kp, noise) = if opt_noise {
-                let (kp, np_) = p.split_at(p.len() - 1);
-                (kp, np_[0].clamp(-27.0, 3.0).exp().max(floor))
-            } else {
-                (p, floor)
+        // One restart: Nelder–Mead from `p0` over the negative LML of the
+        // standardized targets, with its own factorization scratch so
+        // restarts can run concurrently.
+        let run_start = |p0: &[f64]| -> (Vec<f64>, f64) {
+            let scratch = std::cell::RefCell::new(LmlScratch {
+                k: Matrix::zeros(n, n),
+                r2: vec![0.0; tensor.n_pairs()],
+            });
+            let neg_lml = |p: &[f64]| -> f64 {
+                let (kp, noise) = if opt_noise {
+                    let (kp, np_) = p.split_at(p.len() - 1);
+                    (kp, np_[0].clamp(-27.0, 3.0).exp().max(floor))
+                } else {
+                    (p, floor)
+                };
+                let kernel = Kernel::from_log_params(cfg.kernel, kp);
+                let mut s = scratch.borrow_mut();
+                match lml_cached(&tensor, &ys, &kernel, noise, &mut s, iw) {
+                    Some(v) => -v,
+                    None => f64::INFINITY,
+                }
             };
-            let kernel = Kernel::from_log_params(cfg.kernel, kp);
-            let mut s = scratch.borrow_mut();
-            match lml_cached(&tensor, &ys, &kernel, noise, &mut s) {
-                Some(v) => -v,
-                None => f64::INFINITY,
-            }
+            nelder_mead(neg_lml, p0, &cfg.nm)
         };
 
+        // Start points are pre-drawn from the single RNG stream in restart
+        // order (Nelder–Mead itself consumes no randomness), so the draws
+        // are identical to the sequential loop's; the winner fold below
+        // walks restarts in the same ascending order with the same strict
+        // comparison, making the result bit-identical at any worker count.
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut best: Option<(Vec<f64>, f64)> = None;
-        let starts = cfg.n_restarts.max(1);
-        for s in 0..starts {
-            let mut p0 = Kernel::new(cfg.kernel, d).to_log_params();
-            if opt_noise {
-                p0.push((1e-3_f64).ln());
-            }
-            if s > 0 {
-                for v in &mut p0 {
-                    *v += rng.random_range(-1.5..1.5);
+        let p0s: Vec<Vec<f64>> = (0..starts)
+            .map(|s| {
+                let mut p0 = Kernel::new(cfg.kernel, d).to_log_params();
+                if opt_noise {
+                    p0.push((1e-3_f64).ln());
                 }
-            }
-            let (p, f) = nelder_mead(neg_lml, &p0, &cfg.nm);
+                if s > 0 {
+                    for v in &mut p0 {
+                        *v += rng.random_range(-1.5..1.5);
+                    }
+                }
+                p0
+            })
+            .collect();
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        for (p, f) in par::map_indexed(ow, starts, |s| run_start(&p0s[s])) {
             if f.is_finite() && best.as_ref().is_none_or(|(_, bf)| f < *bf) {
                 best = Some((p, f));
             }
@@ -544,11 +573,21 @@ pub(crate) struct PairTensor {
 
 impl PairTensor {
     pub(crate) fn new(x: &[Vec<f64>]) -> Self {
+        Self::new_with(x, 1)
+    }
+
+    /// Build the tensor with up to `workers` threads. The dimension-major
+    /// layout makes each dimension's pair block a disjoint contiguous
+    /// slice, so dimensions split across workers with every element
+    /// keeping its single-write sequential arithmetic — bit-identical at
+    /// any worker count.
+    pub(crate) fn new_with(x: &[Vec<f64>], workers: usize) -> Self {
         let n = x.len();
         let d = x.first().map_or(0, |r| r.len());
         let np = n * (n - 1) / 2;
         let mut data = vec![0.0; d * np];
-        for (k, dk) in data.chunks_exact_mut(np.max(1)).enumerate() {
+        let block = np.max(1);
+        let fill_dim = |dk: &mut [f64], k: usize| {
             let mut p = 0;
             for i in 1..n {
                 let xik = x[i][k];
@@ -558,6 +597,24 @@ impl PairTensor {
                     p += 1;
                 }
             }
+        };
+        let w = workers.max(1).min(d.max(1));
+        if w <= 1 || np * d < 8192 {
+            for (k, dk) in data.chunks_exact_mut(block).enumerate() {
+                fill_dim(dk, k);
+            }
+        } else {
+            let per = d.div_ceil(w);
+            std::thread::scope(|scope| {
+                for (ci, chunk) in data.chunks_mut(block * per).enumerate() {
+                    let fill_dim = &fill_dim;
+                    scope.spawn(move || {
+                        for (kk, dk) in chunk.chunks_exact_mut(block).enumerate() {
+                            fill_dim(dk, ci * per + kk);
+                        }
+                    });
+                }
+            });
         }
         PairTensor { data, n }
     }
@@ -568,17 +625,38 @@ impl PairTensor {
 
     /// `acc[p] = Σ_k w[k] · data[k][p]` — the fused multiply-add pass.
     pub(crate) fn weighted_r2(&self, w: &[f64], acc: &mut [f64]) {
-        acc.fill(0.0);
+        self.weighted_r2_with(w, acc, 1);
+    }
+
+    /// [`PairTensor::weighted_r2`] with up to `workers` threads. Pair
+    /// chunks are disjoint in `acc` and each element's accumulation stays
+    /// ascending-`k`, so any chunking is bit-identical.
+    pub(crate) fn weighted_r2_with(&self, w: &[f64], acc: &mut [f64], workers: usize) {
         let np = acc.len();
         if np == 0 {
             return;
         }
-        for (k, &wk) in w.iter().enumerate() {
-            let dk = &self.data[k * np..(k + 1) * np];
-            for (a, &t) in acc.iter_mut().zip(dk) {
-                *a += wk * t;
+        let sweep = |chunk: &mut [f64], lo: usize| {
+            chunk.fill(0.0);
+            for (k, &wk) in w.iter().enumerate() {
+                let dk = &self.data[k * np + lo..k * np + lo + chunk.len()];
+                for (a, &t) in chunk.iter_mut().zip(dk) {
+                    *a += wk * t;
+                }
             }
+        };
+        let ww = if np < 8192 { 1 } else { workers.max(1) };
+        if ww <= 1 {
+            sweep(acc, 0);
+            return;
         }
+        let per = np.div_ceil(ww);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in acc.chunks_mut(per).enumerate() {
+                let sweep = &sweep;
+                scope.spawn(move || sweep(chunk, ci * per));
+            }
+        });
     }
 }
 
@@ -592,29 +670,59 @@ struct LmlScratch {
 
 /// Log marginal likelihood with the kernel matrix rebuilt from the cached
 /// distance tensor (one weighted reduction + one profile pass) instead of
-/// O(n²d) fresh distance computations.
+/// O(n²d) fresh distance computations, using up to `workers` threads for
+/// the rebuild and the factorization.
+///
+/// Only the lower triangle and diagonal are written: both Cholesky
+/// kernels read nothing above the diagonal, so mirroring would be pure
+/// overhead. Row `i`'s pairs are contiguous in the packed `r²` vector
+/// (base `i(i−1)/2`), so rows partition cleanly across workers and every
+/// entry is one independent profile evaluation — any row partition is
+/// bit-identical.
 fn lml_cached(
     tensor: &PairTensor,
     ys: &[f64],
     kernel: &Kernel,
     noise: f64,
     scratch: &mut LmlScratch,
+    workers: usize,
 ) -> Option<f64> {
     let n = tensor.n;
-    tensor.weighted_r2(&kernel.inv_sq_lengthscales(), &mut scratch.r2);
+    tensor.weighted_r2_with(&kernel.inv_sq_lengthscales(), &mut scratch.r2, workers);
     let k = &mut scratch.k;
     let diag = kernel.diag_value() + noise;
-    let mut p = 0;
-    for i in 0..n {
-        for j in 0..i {
-            let v = kernel.eval_r2(scratch.r2[p]);
-            k[(i, j)] = v;
-            k[(j, i)] = v;
-            p += 1;
+    let r2 = &scratch.r2;
+    let fill_rows = |krows: &mut [f64], lo: usize, hi: usize| {
+        for i in lo..hi {
+            let base = i * i.saturating_sub(1) / 2;
+            let row = &mut krows[(i - lo) * n..(i - lo) * n + i + 1];
+            for (rj, &t) in row[..i].iter_mut().zip(&r2[base..base + i]) {
+                *rj = kernel.eval_r2(t);
+            }
+            row[i] = diag;
         }
-        k[(i, i)] = diag;
+    };
+    let w = if n * n < 4096 {
+        1
+    } else {
+        workers.max(1).min(n)
+    };
+    if w <= 1 {
+        fill_rows(k.as_mut_slice(), 0, n);
+    } else {
+        // Row i costs i + 1 evaluations, so triangular ranges balance
+        // the profile work; chunks are whole rows, hence disjoint.
+        let mut rest: &mut [f64] = k.as_mut_slice();
+        std::thread::scope(|scope| {
+            for r in par::triangular_ranges(n, w) {
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * n);
+                rest = tail;
+                let fill_rows = &fill_rows;
+                scope.spawn(move || fill_rows(chunk, r.start, r.end));
+            }
+        });
     }
-    let chol = Cholesky::new_jittered(k).ok()?;
+    let chol = Cholesky::new_jittered_with(k, workers).ok()?;
     let alpha = chol.solve_vec(ys);
     let data_fit: f64 = ys.iter().zip(&alpha).map(|(&a, &b)| a * b).sum();
     Some(

@@ -39,6 +39,7 @@ mod kernel;
 mod optimize;
 mod sparse;
 
+pub use cets_linalg::{ParConfig, Threads};
 pub use gp::{Gp, GpConfig, APPEND_CONDITION_LIMIT};
 pub use kernel::{Kernel, KernelKind};
 pub use optimize::{nelder_mead, NelderMeadOptions};

@@ -51,7 +51,7 @@ use crate::gp::{check_finite, standardization, Gp, GpConfig, PairTensor};
 use crate::kernel::Kernel;
 use crate::optimize::nelder_mead;
 use crate::{GpError, Result};
-use cets_linalg::{Cholesky, Matrix};
+use cets_linalg::{par, Cholesky, Matrix};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -259,8 +259,10 @@ struct SgprData<'a> {
     n: usize,
 }
 
-/// Build all SGPR factors for fixed hyperparameters. `None` when a
-/// factorization fails (the optimizer treats that as `+∞`).
+/// Build all SGPR factors for fixed hyperparameters, using up to
+/// `workers` threads for the `O(n·m)`/`O(n·m²)` pieces (`K_mn` rebuild,
+/// forward solve, `VVᵀ`). `None` when a factorization fails (the
+/// optimizer treats that as `+∞`).
 fn sgpr_core(
     data: &SgprData<'_>,
     ys: &[f64],
@@ -268,13 +270,14 @@ fn sgpr_core(
     kernel: &Kernel,
     noise: f64,
     scratch: &mut SgprScratch,
+    workers: usize,
 ) -> Option<SgprCore> {
     let m = data.z.len();
     let n = data.n;
     let w = kernel.inv_sq_lengthscales();
     let kdiag = kernel.diag_value();
 
-    // K_mm from the cached inducing-pair tensor.
+    // K_mm from the cached inducing-pair tensor (m ≪ n: stays serial).
     data.z_tensor.weighted_r2(&w, &mut scratch.r2_mm);
     let kmm = &mut scratch.kmm;
     let mut p = 0;
@@ -287,36 +290,56 @@ fn sgpr_core(
         }
         kmm[(i, i)] = kdiag;
     }
-    let l_mm = Cholesky::new_jittered(kmm).ok()?;
+    let l_mm = Cholesky::new_jittered_with(kmm, workers).ok()?;
 
     // K_mn: d fused multiply-add sweeps over the dimension-major inputs,
-    // then one profile pass.
+    // then one profile pass. Inducing rows are disjoint in the row-major
+    // buffer and every entry accumulates ascending-k, so row chunks are
+    // bit-identical at any worker count.
     let kmn = &mut scratch.kmn;
-    kmn.as_mut_slice().fill(0.0);
-    for (k, &wk) in w.iter().enumerate() {
-        let xk = &data.xt[k * n..(k + 1) * n];
-        for (i, zi) in data.z.iter().enumerate() {
-            let zik = zi[k];
-            for (r, &xv) in kmn.row_mut(i).iter_mut().zip(xk) {
-                let dv = zik - xv;
-                *r += wk * dv * dv;
+    let fill_rows = |rows: &mut [f64], lo: usize| {
+        rows.fill(0.0);
+        for (k, &wk) in w.iter().enumerate() {
+            let xk = &data.xt[k * n..(k + 1) * n];
+            for (i, row) in rows.chunks_exact_mut(n).enumerate() {
+                let zik = data.z[lo + i][k];
+                for (r, &xv) in row.iter_mut().zip(xk) {
+                    let dv = zik - xv;
+                    *r += wk * dv * dv;
+                }
             }
         }
-    }
-    for r in kmn.as_mut_slice() {
-        *r = kernel.eval_r2(*r);
+        for r in rows.iter_mut() {
+            *r = kernel.eval_r2(*r);
+        }
+    };
+    let ww = if m * n < 16_384 {
+        1
+    } else {
+        workers.max(1).min(m)
+    };
+    if ww <= 1 {
+        fill_rows(kmn.as_mut_slice(), 0);
+    } else {
+        let rows_per = m.div_ceil(ww);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in kmn.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
+                let fill_rows = &fill_rows;
+                scope.spawn(move || fill_rows(chunk, ci * rows_per));
+            }
+        });
     }
 
     // V = L⁻¹K_mn in place; B = I + VVᵀ/σ² via the symmetric product.
-    l_mm.solve_lower_multi(kmn).ok()?;
+    l_mm.solve_lower_multi_with(kmn, workers).ok()?;
     let tr_g: f64 = kmn.as_slice().iter().map(|&v| v * v).sum();
-    let mut b = kmn.aat();
+    let mut b = kmn.aat_with(workers);
     let inv_noise = 1.0 / noise;
     for v in b.as_mut_slice() {
         *v *= inv_noise;
     }
     b.add_diag(1.0);
-    let l_b = Cholesky::new_jittered(&b).ok()?;
+    let l_b = Cholesky::new_jittered_with(&b, workers).ok()?;
 
     // g = Vỹ/σ², c = L_B⁻¹g.
     let mut g = kmn.mat_vec(ys);
@@ -370,6 +393,19 @@ impl SparseGp {
         kernel: Kernel,
         noise: f64,
     ) -> Result<Self> {
+        Self::fit_with(x, y, z, kernel, noise, par::global_threads())
+    }
+
+    /// [`SparseGp::fit`] with an explicit worker count (bit-identical at
+    /// any count).
+    fn fit_with(
+        x: &[Vec<f64>],
+        y: &[f64],
+        z: Vec<Vec<f64>>,
+        kernel: Kernel,
+        noise: f64,
+        workers: usize,
+    ) -> Result<Self> {
         let n = x.len();
         if n == 0 || y.len() != n {
             return Err(GpError::BadShape(format!(
@@ -409,9 +445,12 @@ impl SparseGp {
             xt: &xt,
             n,
         };
-        let core = sgpr_core(&data, &ys, yty, &kernel, noise, &mut scratch).ok_or_else(|| {
-            GpError::Factorization("SGPR factorization failed for the given hyperparameters".into())
-        })?;
+        let core =
+            sgpr_core(&data, &ys, yty, &kernel, noise, &mut scratch, workers).ok_or_else(|| {
+                GpError::Factorization(
+                    "SGPR factorization failed for the given hyperparameters".into(),
+                )
+            })?;
         Ok(SparseGp {
             z,
             kernel,
@@ -476,46 +515,71 @@ impl SparseGp {
             xt: &xt,
             n,
         };
-        let scratch = std::cell::RefCell::new(SgprScratch {
-            kmn: Matrix::zeros(m, n),
-            kmm: Matrix::zeros(m, m),
-            r2_mm: vec![0.0; z_tensor.n_pairs()],
-        });
-        let trace = std::cell::RefCell::new(Vec::new());
 
-        let neg_elbo = |p: &[f64]| -> f64 {
-            let (kp, noise) = if opt_noise {
-                let (kp, np_) = p.split_at(p.len() - 1);
-                (kp, np_[0].clamp(-27.0, 3.0).exp().max(floor))
-            } else {
-                (p, floor)
+        // Worker budget: ELBO restarts on the outside, the O(n·m²)
+        // linear algebra inside each restart (see `Gp::train`).
+        let threads = cfg.par.resolve();
+        let starts = cfg.sparse.n_restarts.max(1);
+        let ow = threads.min(starts);
+        let iw = (threads / ow).max(1);
+
+        // One restart: Nelder–Mead from `p0` with its own scratch and its
+        // own *raw* ELBO sequence, so restarts can run concurrently.
+        let run_start = |p0: &[f64]| -> ((Vec<f64>, f64), Vec<f64>) {
+            let scratch = std::cell::RefCell::new(SgprScratch {
+                kmn: Matrix::zeros(m, n),
+                kmm: Matrix::zeros(m, m),
+                r2_mm: vec![0.0; z_tensor.n_pairs()],
+            });
+            let raw = std::cell::RefCell::new(Vec::new());
+            let neg_elbo = |p: &[f64]| -> f64 {
+                let (kp, noise) = if opt_noise {
+                    let (kp, np_) = p.split_at(p.len() - 1);
+                    (kp, np_[0].clamp(-27.0, 3.0).exp().max(floor))
+                } else {
+                    (p, floor)
+                };
+                let kernel = Kernel::from_log_params(cfg.kernel, kp);
+                let mut s = scratch.borrow_mut();
+                let value = match sgpr_core(&data, &ys, yty, &kernel, noise, &mut s, iw) {
+                    Some(core) => -core.elbo,
+                    None => f64::INFINITY,
+                };
+                raw.borrow_mut().push(-value);
+                value
             };
-            let kernel = Kernel::from_log_params(cfg.kernel, kp);
-            let mut s = scratch.borrow_mut();
-            let value = match sgpr_core(&data, &ys, yty, &kernel, noise, &mut s) {
-                Some(core) => -core.elbo,
-                None => f64::INFINITY,
-            };
-            let mut t = trace.borrow_mut();
-            let best = t.last().copied().unwrap_or(f64::NEG_INFINITY);
-            t.push(best.max(-value));
-            value
+            let out = nelder_mead(neg_elbo, p0, &cfg.sparse.nm);
+            (out, raw.into_inner())
         };
 
+        // Start points are pre-drawn in restart order from the single RNG
+        // stream (Nelder–Mead consumes no randomness), and the public
+        // trace is rebuilt below as the running best over raw per-restart
+        // sequences concatenated in restart order — exactly what the
+        // shared sequential trace recorded. Both the trace and the winner
+        // fold are therefore bit-identical at any worker count.
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut best: Option<(Vec<f64>, f64)> = None;
-        let starts = cfg.sparse.n_restarts.max(1);
-        for s in 0..starts {
-            let mut p0 = Kernel::new(cfg.kernel, d).to_log_params();
-            if opt_noise {
-                p0.push((1e-3_f64).ln());
-            }
-            if s > 0 {
-                for v in &mut p0 {
-                    *v += rng.random_range(-1.5..1.5);
+        let p0s: Vec<Vec<f64>> = (0..starts)
+            .map(|s| {
+                let mut p0 = Kernel::new(cfg.kernel, d).to_log_params();
+                if opt_noise {
+                    p0.push((1e-3_f64).ln());
                 }
+                if s > 0 {
+                    for v in &mut p0 {
+                        *v += rng.random_range(-1.5..1.5);
+                    }
+                }
+                p0
+            })
+            .collect();
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut trace: Vec<f64> = Vec::new();
+        for ((p, f), raw) in par::map_indexed(ow, starts, |s| run_start(&p0s[s])) {
+            for v in raw {
+                let prev = trace.last().copied().unwrap_or(f64::NEG_INFINITY);
+                trace.push(prev.max(v));
             }
-            let (p, f) = nelder_mead(neg_elbo, &p0, &cfg.sparse.nm);
             if f.is_finite() && best.as_ref().is_none_or(|(_, bf)| f < *bf) {
                 best = Some((p, f));
             }
@@ -529,8 +593,8 @@ impl SparseGp {
             (p.as_slice(), floor)
         };
         let kernel = Kernel::from_log_params(cfg.kernel, kp);
-        let gp = Self::fit(x, y, z, kernel, noise)?;
-        Ok((gp, trace.into_inner()))
+        let gp = Self::fit_with(x, y, z, kernel, noise, threads)?;
+        Ok((gp, trace))
     }
 
     /// Predictive mean and variance (original units) at `x_star`.

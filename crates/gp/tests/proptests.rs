@@ -2,8 +2,8 @@
 //! tier and Nelder–Mead.
 
 use cets_gp::{
-    nelder_mead, Gp, GpConfig, Kernel, KernelKind, NelderMeadOptions, SparseGp, Surrogate,
-    SurrogateTier, TierPolicy,
+    nelder_mead, Gp, GpConfig, Kernel, KernelKind, NelderMeadOptions, ParConfig, SparseGp,
+    Surrogate, SurrogateTier, TierPolicy,
 };
 use proptest::prelude::*;
 
@@ -267,5 +267,69 @@ proptest! {
         });
         prop_assert!((x[0] - c[0]).abs() < 1e-2);
         prop_assert!((x[1] - c[1]).abs() < 1e-2);
+    }
+}
+
+// Full training runs are expensive (six per case); a handful of random
+// seeds is plenty to catch a determinism break, which would be systematic
+// rather than seed-specific.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_gp_train_is_bit_identical(seed in 0u64..30) {
+        // The deterministic-parallelism contract: Gp::train at any worker
+        // count returns BIT-identical hyperparameters and predictions —
+        // restarts are pre-seeded, partitions are fixed, and the winner
+        // fold runs in ascending restart order. n = 3 exercises inputs
+        // smaller than every chunk size.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for n in [3usize, 30] {
+            let x: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+                .collect();
+            let y: Vec<f64> = x.iter().map(|v| (3.0 * v[0]).sin() + v[1]).collect();
+            let base_cfg = GpConfig { seed, par: ParConfig::fixed(1), ..Default::default() };
+            let base = Gp::train(&x, &y, &base_cfg).unwrap();
+            let probe = vec![rng.random::<f64>(), rng.random::<f64>()];
+            for t in [2usize, 4] {
+                let cfg = GpConfig { par: ParConfig::fixed(t), ..base_cfg.clone() };
+                let gp = Gp::train(&x, &y, &cfg).unwrap();
+                prop_assert_eq!(gp.lml(), base.lml(), "n={} t={}", n, t);
+                prop_assert_eq!(gp.noise(), base.noise());
+                prop_assert_eq!(gp.kernel().lengthscales(), base.kernel().lengthscales());
+                prop_assert_eq!(gp.predict(&probe), base.predict(&probe));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sparse_train_is_bit_identical(seed in 0u64..12) {
+        // Same contract for the sparse tier, including the optimizer's
+        // ELBO trace (rebuilt from per-restart sequences in restart order).
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (3.0 * v[0]).sin() + v[1] * v[1]).collect();
+        let base_cfg = GpConfig {
+            tier: TierPolicy::Sparse,
+            seed,
+            par: ParConfig::fixed(1),
+            ..Default::default()
+        };
+        let (base, base_trace) = SparseGp::train_traced(&x, &y, &base_cfg).unwrap();
+        let probe = vec![rng.random::<f64>(), rng.random::<f64>()];
+        for t in [2usize, 4] {
+            let cfg = GpConfig { par: ParConfig::fixed(t), ..base_cfg.clone() };
+            let (sp, trace) = SparseGp::train_traced(&x, &y, &cfg).unwrap();
+            prop_assert_eq!(sp.elbo(), base.elbo(), "t={}", t);
+            prop_assert_eq!(sp.noise(), base.noise());
+            prop_assert_eq!(sp.kernel().lengthscales(), base.kernel().lengthscales());
+            prop_assert_eq!(sp.predict(&probe), base.predict(&probe));
+            prop_assert_eq!(trace, base_trace.clone());
+        }
     }
 }

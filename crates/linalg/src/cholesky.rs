@@ -1,6 +1,6 @@
 //! Cholesky factorization with automatic jitter escalation.
 
-use crate::{LinalgError, Matrix, Result};
+use crate::{par, LinalgError, Matrix, Result};
 
 /// Panel width of the blocked factorization (and the dispatch threshold:
 /// matrices below `2 * BLOCK` use the scalar kernel, whose loop overhead is
@@ -29,7 +29,7 @@ impl Cholesky {
     /// Factorize `a` without any jitter. Fails when `a` is not (numerically)
     /// positive definite.
     pub fn new(a: &Matrix) -> Result<Self> {
-        Self::with_jitter(a, 0.0)
+        Self::with_jitter(a, 0.0, par::global_threads())
     }
 
     /// Factorize `a + jitter * I`, retrying with jitter escalated by 10x up
@@ -39,9 +39,21 @@ impl Cholesky {
     /// GPTune's underlying models). Starts from `initial` (use `1e-10` of the
     /// mean diagonal as a sensible default via [`Cholesky::new_jittered`]).
     pub fn new_escalating(a: &Matrix, initial: f64, max_jitter: f64) -> Result<Self> {
+        Self::new_escalating_with(a, initial, max_jitter, par::global_threads())
+    }
+
+    /// [`Cholesky::new_escalating`] with an explicit worker count for the
+    /// blocked kernel's trailing update. The factor is bit-identical at
+    /// every worker count; `workers <= 1` takes the sequential path.
+    pub fn new_escalating_with(
+        a: &Matrix,
+        initial: f64,
+        max_jitter: f64,
+        workers: usize,
+    ) -> Result<Self> {
         let mut jitter = initial;
         loop {
-            match Self::with_jitter(a, jitter) {
+            match Self::with_jitter(a, jitter, workers) {
                 Ok(c) => return Ok(c),
                 Err(_) if jitter == 0.0 => jitter = max_jitter * 1e-8,
                 Err(_) if jitter < max_jitter => jitter = (jitter * 10.0).min(max_jitter),
@@ -57,13 +69,19 @@ impl Cholesky {
     /// Factorize with the default escalation policy: start at zero jitter,
     /// escalate to at most `1e-4 * mean(|diag|)`.
     pub fn new_jittered(a: &Matrix) -> Result<Self> {
+        Self::new_jittered_with(a, par::global_threads())
+    }
+
+    /// [`Cholesky::new_jittered`] with an explicit worker count (see
+    /// [`Cholesky::new_escalating_with`]).
+    pub fn new_jittered_with(a: &Matrix, workers: usize) -> Result<Self> {
         let n = a.rows().max(1);
         let mean_diag = a.diag().iter().map(|d| d.abs()).sum::<f64>() / n as f64;
         let max_jitter = (mean_diag * 1e-4).max(1e-12);
-        Self::new_escalating(a, 0.0, max_jitter)
+        Self::new_escalating_with(a, 0.0, max_jitter, workers)
     }
 
-    fn with_jitter(a: &Matrix, jitter: f64) -> Result<Self> {
+    fn with_jitter(a: &Matrix, jitter: f64, workers: usize) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -71,7 +89,7 @@ impl Cholesky {
             });
         }
         if a.rows() >= BLOCK * 2 {
-            Self::factor_blocked(a, jitter)
+            Self::factor_blocked(a, jitter, workers)
         } else {
             Self::factor_scalar(a, jitter)
         }
@@ -100,7 +118,7 @@ impl Cholesky {
                 cols: a.cols(),
             });
         }
-        Self::factor_blocked(a, 0.0)
+        Self::factor_blocked(a, 0.0, 1)
     }
 
     /// Classic scalar row-by-row factorization.
@@ -137,7 +155,11 @@ impl Cholesky {
     /// loop is a contiguous dot over the panel columns. Same flop count as
     /// the scalar kernel, but the trailing update (the `O(n³)` bulk) reads
     /// rows sequentially and reuses each panel row across a whole tile.
-    fn factor_blocked(a: &Matrix, jitter: f64) -> Result<Self> {
+    ///
+    /// With `workers > 1` the trailing update — the `O(n³)` bulk — is
+    /// split into contiguous row ranges across scoped threads; see
+    /// [`trailing_update_rows`] for why the factor stays bit-identical.
+    fn factor_blocked(a: &Matrix, jitter: f64, workers: usize) -> Result<Self> {
         let n = a.rows();
         // Work in-place on the lower triangle of `a` (+ jitter).
         let mut l = Matrix::zeros(n, n);
@@ -217,68 +239,31 @@ impl Cholesky {
                 }
             }
             // 3. Trailing SYRK update, micro-tiled: A' -= P Pᵀ where P is
-            //    the just-computed panel. Columns are register-blocked four
-            //    at a time: the four dot products share the `pan_i` loads
-            //    and run as independent accumulator chains, so the update
-            //    is throughput- rather than FP-latency-bound. Each
-            //    accumulator still sums in ascending panel order, so the
-            //    result is bit-identical to the unblocked-in-j form.
+            //    the just-computed panel (see `trailing_update_rows` for
+            //    the kernel). Trailing rows only read panel columns
+            //    (< tail) — which nothing writes during this phase — and
+            //    write trailing columns (>= tail) of their own row, so
+            //    disjoint row ranges run on separate workers with
+            //    bit-identical results. Tiles stay anchored to the `tail`
+            //    grid regardless of the partition.
             let tail = kb + b;
-            let mut ib = tail;
-            while ib < n {
-                let ie = (ib + TILE).min(n);
-                let mut jb = tail;
-                while jb <= ib {
-                    let je = (jb + TILE).min(ie);
-                    for i in ib..ie {
-                        let (before, from_i) = l.as_mut_slice().split_at_mut(i * n);
-                        let row_i = &mut from_i[..n];
-                        let jhi = je.min(i);
-                        let pan_lo = kb;
-                        let mut j = jb;
-                        while j + 4 <= jhi {
-                            let r0 = &before[j * n + pan_lo..j * n + pan_lo + b];
-                            let r1 = &before[(j + 1) * n + pan_lo..(j + 1) * n + pan_lo + b];
-                            let r2 = &before[(j + 2) * n + pan_lo..(j + 2) * n + pan_lo + b];
-                            let r3 = &before[(j + 3) * n + pan_lo..(j + 3) * n + pan_lo + b];
-                            let pan_i = &row_i[pan_lo..pan_lo + b];
-                            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                            for (k, &pi) in pan_i.iter().enumerate() {
-                                s0 += pi * r0[k];
-                                s1 += pi * r1[k];
-                                s2 += pi * r2[k];
-                                s3 += pi * r3[k];
-                            }
-                            row_i[j] -= s0;
-                            row_i[j + 1] -= s1;
-                            row_i[j + 2] -= s2;
-                            row_i[j + 3] -= s3;
-                            j += 4;
-                        }
-                        while j < jhi {
-                            let row_j = &before[j * n + pan_lo..j * n + pan_lo + b];
-                            let pan_i = &row_i[pan_lo..pan_lo + b];
-                            let mut s = 0.0;
-                            for (pi, pj) in pan_i.iter().zip(row_j) {
-                                s += pi * pj;
-                            }
-                            row_i[j] -= s;
-                            j += 1;
-                        }
-                        if (jb..je).contains(&i) {
-                            // Diagonal element: dot of the panel row with
-                            // itself.
-                            let pan_i = &row_i[pan_lo..pan_lo + b];
-                            let mut s = 0.0;
-                            for pi in pan_i {
-                                s += pi * pi;
-                            }
-                            row_i[i] -= s;
-                        }
-                    }
-                    jb += TILE;
-                }
-                ib += TILE;
+            if tail < n {
+                let span = n - tail;
+                // Below two tiles of trailing rows the update is too small
+                // to amortize a thread spawn.
+                let w = if span < 2 * TILE { 1 } else { workers };
+                let base = par::SendPtr::new(l.as_mut_slice().as_mut_ptr());
+                // Row i costs (i - tail + 1)·b flops, so triangular ranges
+                // balance the load where equal chunks would not.
+                par::for_each_range(par::triangular_ranges(span, w), |r| {
+                    // SAFETY: the ranges are disjoint, so rows
+                    // [tail + r.start, tail + r.end) are written by this
+                    // worker alone; panel columns are read-only for every
+                    // worker.
+                    unsafe {
+                        trailing_update_rows(base, n, kb, b, tail, tail + r.start, tail + r.end)
+                    };
+                });
             }
             kb += b;
         }
@@ -325,6 +310,16 @@ impl Cholesky {
     /// reuses each `L` row across a whole chunk; this is the batched
     /// kernel behind `Gp::predict_batch`.
     pub fn solve_lower_multi(&self, b: &mut Matrix) -> Result<()> {
+        self.solve_lower_multi_with(b, par::global_threads())
+    }
+
+    /// [`Cholesky::solve_lower_multi`] with an explicit worker count.
+    ///
+    /// Workers own disjoint contiguous column stripes; since each column's
+    /// forward substitution is independent and its arithmetic order does
+    /// not depend on the stripe boundaries, the result is bit-identical at
+    /// every worker count. `workers <= 1` takes the sequential path.
+    pub fn solve_lower_multi_with(&self, b: &mut Matrix, workers: usize) -> Result<()> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::ShapeMismatch(format!(
@@ -336,26 +331,67 @@ impl Cholesky {
         // Column chunking keeps the active window of B (n × chunk) hot;
         // per-column arithmetic is unaffected by the chunk boundaries.
         const CHUNK: usize = 64;
-        let mut j0 = 0;
-        while j0 < m {
-            let j1 = (j0 + CHUNK).min(m);
-            for i in 0..n {
-                let (done, rest) = b.as_mut_slice().split_at_mut(i * m);
-                let row_i = &mut rest[j0..j1];
-                for k in 0..i {
-                    let lik = self.l[(i, k)];
-                    let row_k = &done[k * m + j0..k * m + j1];
-                    for (bi, &bk) in row_i.iter_mut().zip(row_k) {
-                        *bi -= lik * bk;
+        // A stripe below one cache chunk per worker is not worth a spawn.
+        let w = workers.min(m.div_ceil(CHUNK));
+        if w <= 1 {
+            let mut j0 = 0;
+            while j0 < m {
+                let j1 = (j0 + CHUNK).min(m);
+                for i in 0..n {
+                    let (done, rest) = b.as_mut_slice().split_at_mut(i * m);
+                    let row_i = &mut rest[j0..j1];
+                    for k in 0..i {
+                        let lik = self.l[(i, k)];
+                        let row_k = &done[k * m + j0..k * m + j1];
+                        for (bi, &bk) in row_i.iter_mut().zip(row_k) {
+                            *bi -= lik * bk;
+                        }
+                    }
+                    let inv = self.l[(i, i)];
+                    for bi in row_i.iter_mut() {
+                        *bi /= inv;
                     }
                 }
-                let inv = self.l[(i, i)];
-                for bi in row_i.iter_mut() {
-                    *bi /= inv;
-                }
+                j0 = j1;
             }
-            j0 = j1;
+            return Ok(());
         }
+        let l = &self.l;
+        let base = par::SendPtr::new(b.as_mut_slice().as_mut_ptr());
+        par::for_each_chunk(w, m, |r| {
+            // Each worker reads and writes only its own column stripe
+            // [r.start, r.end) of B (plus the shared read-only factor L),
+            // running the same chunked sweep the sequential path runs.
+            let p = base.get();
+            let mut j0 = r.start;
+            while j0 < r.end {
+                let j1 = (j0 + CHUNK).min(r.end);
+                let width = j1 - j0;
+                for i in 0..n {
+                    // SAFETY: column stripes are disjoint across workers;
+                    // row `i` of the stripe is written only here, rows
+                    // `k < i` of the stripe were written by this worker
+                    // earlier in the sweep and are now read-only.
+                    let row_i = unsafe { std::slice::from_raw_parts_mut(p.add(i * m + j0), width) };
+                    for k in 0..i {
+                        let lik = l[(i, k)];
+                        // SAFETY: as above — an earlier row of this
+                        // worker's own stripe.
+                        let row_k = unsafe {
+                            std::slice::from_raw_parts(p.add(k * m + j0) as *const f64, width)
+                        };
+                        for (bi, &bk) in row_i.iter_mut().zip(row_k) {
+                            *bi -= lik * bk;
+                        }
+                    }
+                    let inv = l[(i, i)];
+                    for bi in row_i.iter_mut() {
+                        *bi /= inv;
+                    }
+                }
+                j0 = j1;
+            }
+        });
         Ok(())
     }
 
@@ -541,6 +577,104 @@ impl Cholesky {
         }
         self.l = trial;
         Ok(())
+    }
+}
+
+/// One worker's share of the blocked factorization's trailing SYRK
+/// update: `A'[i][j] -= Σ_k P[i][k] P[j][k]` for rows `lo..hi` (all of
+/// `tail..n` when sequential), where `P` is the panel `L[.., kb..kb+b]`.
+///
+/// Row and column tiles stay anchored to the `tail`-based `TILE` grid
+/// regardless of the worker's row range, and every output element
+/// receives exactly one ascending-`k` dot-product subtraction, so any
+/// row partition produces a bit-identical factor.
+///
+/// # Safety
+///
+/// `base` must point to the live `n × n` factor storage, with
+/// `tail == kb + b <= n` and `tail <= lo <= hi <= n`. For the duration of
+/// the call no other thread may write panel columns `[kb, kb + b)` of any
+/// row, and no other call may write rows `lo..hi` (this one writes only
+/// their trailing columns `>= tail`).
+unsafe fn trailing_update_rows(
+    base: par::SendPtr,
+    n: usize,
+    kb: usize,
+    b: usize,
+    tail: usize,
+    lo: usize,
+    hi: usize,
+) {
+    let p = base.get();
+    // First tail-anchored row tile overlapping the worker's range.
+    let mut ib = tail + (lo - tail) / TILE * TILE;
+    while ib < hi {
+        let ie = (ib + TILE).min(n);
+        let rlo = ib.max(lo);
+        let rhi = ie.min(hi);
+        let mut jb = tail;
+        while jb <= ib {
+            let je = (jb + TILE).min(ie);
+            for i in rlo..rhi {
+                // SAFETY: the panel segment of row `i` is read-only during
+                // the trailing phase; the trailing segment belongs to this
+                // worker alone. The two slices are disjoint (kb + b == tail).
+                let pan_i = unsafe { std::slice::from_raw_parts(p.add(i * n + kb), b) };
+                let tr_i = unsafe { std::slice::from_raw_parts_mut(p.add(i * n + tail), n - tail) };
+                let jhi = je.min(i);
+                let mut j = jb;
+                // Columns register-blocked four at a time: the four dot
+                // products share the `pan_i` loads and run as independent
+                // accumulator chains, so the update is throughput- rather
+                // than FP-latency-bound. Each accumulator still sums in
+                // ascending panel order, so the result is bit-identical
+                // to the unblocked-in-j form.
+                while j + 4 <= jhi {
+                    // SAFETY: rows `j..j+4` precede `i`; only their panel
+                    // columns are read, which no worker writes.
+                    let (r0, r1, r2, r3) = unsafe {
+                        (
+                            std::slice::from_raw_parts(p.add(j * n + kb), b),
+                            std::slice::from_raw_parts(p.add((j + 1) * n + kb), b),
+                            std::slice::from_raw_parts(p.add((j + 2) * n + kb), b),
+                            std::slice::from_raw_parts(p.add((j + 3) * n + kb), b),
+                        )
+                    };
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                    for (k, &pi) in pan_i.iter().enumerate() {
+                        s0 += pi * r0[k];
+                        s1 += pi * r1[k];
+                        s2 += pi * r2[k];
+                        s3 += pi * r3[k];
+                    }
+                    tr_i[j - tail] -= s0;
+                    tr_i[j + 1 - tail] -= s1;
+                    tr_i[j + 2 - tail] -= s2;
+                    tr_i[j + 3 - tail] -= s3;
+                    j += 4;
+                }
+                while j < jhi {
+                    // SAFETY: as above — panel columns of an earlier row.
+                    let row_j = unsafe { std::slice::from_raw_parts(p.add(j * n + kb), b) };
+                    let mut s = 0.0;
+                    for (pi, pj) in pan_i.iter().zip(row_j) {
+                        s += pi * pj;
+                    }
+                    tr_i[j - tail] -= s;
+                    j += 1;
+                }
+                if (jb..je).contains(&i) {
+                    // Diagonal element: dot of the panel row with itself.
+                    let mut s = 0.0;
+                    for pi in pan_i {
+                        s += pi * pi;
+                    }
+                    tr_i[i - tail] -= s;
+                }
+            }
+            jb += TILE;
+        }
+        ib += TILE;
     }
 }
 

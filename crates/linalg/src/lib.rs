@@ -37,6 +37,7 @@ mod cholesky;
 mod eigen;
 mod lu;
 mod matrix;
+pub mod par;
 mod qr;
 pub mod vecops;
 
@@ -44,6 +45,7 @@ pub use cholesky::Cholesky;
 pub use eigen::SymEigen;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use par::{ParConfig, Threads};
 pub use qr::Qr;
 
 /// Errors produced by factorizations and shape-checked operations.

@@ -1,6 +1,6 @@
 //! Dense row-major matrix.
 
-use crate::{LinalgError, Result};
+use crate::{par, LinalgError, Result};
 
 /// A dense, row-major `f64` matrix.
 ///
@@ -159,6 +159,17 @@ impl Matrix {
     /// terms in exactly the same order as the untiled loop — the results
     /// are bit-identical, tiled or not.
     pub fn mat_mul(&self, other: &Matrix) -> Result<Matrix> {
+        self.mat_mul_with(other, par::global_threads())
+    }
+
+    /// [`Matrix::mat_mul`] with an explicit worker count.
+    ///
+    /// Workers own disjoint contiguous ranges of output rows; every output
+    /// element still accumulates its terms in ascending `k`, so the product
+    /// is bit-identical at any worker count. `workers <= 1` (and any
+    /// product small enough to skip the tiling loops) takes the sequential
+    /// path.
+    pub fn mat_mul_with(&self, other: &Matrix, workers: usize) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch(format!(
                 "mat_mul: {}x{} * {}x{}",
@@ -171,47 +182,84 @@ impl Matrix {
         const T: usize = 96;
         let (n, kk, m) = (self.rows, self.cols, other.cols);
         if n.max(kk).max(m) <= T {
-            self.mat_mul_tile(other, &mut out, 0..n, 0..kk, 0..m);
+            self.mat_mul_rows(other, &mut out.data, 0, 0..n, 0..kk, 0..m);
             return Ok(out);
         }
-        let mut kb = 0;
-        while kb < kk {
-            let ke = (kb + T).min(kk);
-            let mut ib = 0;
-            while ib < n {
-                let ie = (ib + T).min(n);
-                let mut jb = 0;
-                while jb < m {
-                    let je = (jb + T).min(m);
-                    self.mat_mul_tile(other, &mut out, ib..ie, kb..ke, jb..je);
-                    jb = je;
+        let w = workers.min(n);
+        if w <= 1 {
+            let mut kb = 0;
+            while kb < kk {
+                let ke = (kb + T).min(kk);
+                let mut ib = 0;
+                while ib < n {
+                    let ie = (ib + T).min(n);
+                    let mut jb = 0;
+                    while jb < m {
+                        let je = (jb + T).min(m);
+                        self.mat_mul_rows(other, &mut out.data, 0, ib..ie, kb..ke, jb..je);
+                        jb = je;
+                    }
+                    ib = ie;
                 }
-                ib = ie;
+                kb = ke;
             }
-            kb = ke;
+            return Ok(out);
         }
+        // Each worker owns a contiguous chunk of output rows and runs the
+        // same k-i-j tile sweep restricted to them. `chunks_mut` hands out
+        // provably disjoint output slices, so this path is entirely safe
+        // code.
+        let rows_per = n.div_ceil(w);
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in out.data.chunks_mut(rows_per * m).enumerate() {
+                scope.spawn(move || {
+                    let lo = ci * rows_per;
+                    let hi = lo + out_chunk.len() / m;
+                    let mut kb = 0;
+                    while kb < kk {
+                        let ke = (kb + T).min(kk);
+                        let mut ib = lo;
+                        while ib < hi {
+                            let ie = (ib + T).min(hi);
+                            let mut jb = 0;
+                            while jb < m {
+                                let je = (jb + T).min(m);
+                                self.mat_mul_rows(other, out_chunk, lo, ib..ie, kb..ke, jb..je);
+                                jb = je;
+                            }
+                            ib = ie;
+                        }
+                        kb = ke;
+                    }
+                });
+            }
+        });
         Ok(out)
     }
 
-    /// One i-k-j tile of the product: `out[is, js] += self[is, ks] * other[ks, js]`.
+    /// One i-k-j tile of the product, accumulated into `out_rows` — the
+    /// storage of output rows `row0..row0 + out_rows.len() / other.cols`:
+    /// `out[is, js] += self[is, ks] * other[ks, js]`.
     #[inline]
-    fn mat_mul_tile(
+    fn mat_mul_rows(
         &self,
         other: &Matrix,
-        out: &mut Matrix,
+        out_rows: &mut [f64],
+        row0: usize,
         is: std::ops::Range<usize>,
         ks: std::ops::Range<usize>,
         js: std::ops::Range<usize>,
     ) {
         let m = other.cols;
         for i in is {
+            let o0 = (i - row0) * m;
             for k in ks.clone() {
                 let aik = self[(i, k)];
                 if aik == 0.0 {
                     continue;
                 }
                 let orow = &other.data[k * m + js.start..k * m + js.end];
-                let out_row = &mut out.data[i * m + js.start..i * m + js.end];
+                let out_row = &mut out_rows[o0 + js.start..o0 + js.end];
                 for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += aik * b;
                 }
@@ -229,11 +277,54 @@ impl Matrix {
     /// ascending `k`, so results are independent of the blocking. This is
     /// the SYRK behind the sparse GP's inner factor `B = I + A Aᵀ`.
     pub fn aat(&self) -> Matrix {
+        self.aat_with(par::global_threads())
+    }
+
+    /// [`Matrix::aat`] with an explicit worker count.
+    ///
+    /// Workers own disjoint contiguous ranges of output rows (triangularly
+    /// balanced, since row `i` costs `i·n` flops); every Gram entry is one
+    /// ascending-`k` dot product regardless of the partition or the pair
+    /// blocking, so the result is bit-identical at any worker count.
+    /// `workers <= 1` (and small Gram matrices) takes the sequential path.
+    pub fn aat_with(&self, workers: usize) -> Matrix {
         let (m, n) = (self.rows, self.cols);
         let mut out = Matrix::zeros(m, m);
-        let mut i = 0;
-        while i < m {
-            if i + 1 < m {
+        // Below ~16k multiply-adds a spawn costs more than it saves.
+        let w = if m * n < 16_384 {
+            1
+        } else {
+            workers.min(m.div_ceil(2))
+        };
+        if w <= 1 {
+            self.aat_rows(&mut out.data, 0, m);
+        } else {
+            let mut rest: &mut [f64] = &mut out.data;
+            std::thread::scope(|scope| {
+                for r in par::triangular_ranges(m, w) {
+                    let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * m);
+                    rest = tail;
+                    scope.spawn(move || self.aat_rows(chunk, r.start, r.end));
+                }
+            });
+        }
+        for r in 0..m {
+            for c in (r + 1)..m {
+                out[(r, c)] = out[(c, r)];
+            }
+        }
+        out
+    }
+
+    /// Lower-triangle rows `lo..hi` of the Gram matrix, written into
+    /// `out_rows` (the storage of output rows `lo..hi`). Rows are
+    /// register-blocked in pairs within the range; each entry is a single
+    /// ascending-`k` dot, so the pairing does not affect results.
+    fn aat_rows(&self, out_rows: &mut [f64], lo: usize, hi: usize) {
+        let (m, n) = (self.rows, self.cols);
+        let mut i = lo;
+        while i < hi {
+            if i + 1 < hi {
                 let row_i0 = self.row(i);
                 let row_i1 = self.row(i + 1);
                 for j in 0..=i {
@@ -243,15 +334,15 @@ impl Matrix {
                         s0 += row_i0[k] * bj;
                         s1 += row_i1[k] * bj;
                     }
-                    out[(i, j)] = s0;
-                    out[(i + 1, j)] = s1;
+                    out_rows[(i - lo) * m + j] = s0;
+                    out_rows[(i + 1 - lo) * m + j] = s1;
                 }
                 // The (i+1, i+1) diagonal entry is not covered by the pair.
                 let mut d = 0.0;
                 for &v in row_i1 {
                     d += v * v;
                 }
-                out[(i + 1, i + 1)] = d;
+                out_rows[(i + 1 - lo) * m + i + 1] = d;
                 i += 2;
             } else {
                 let row_i = self.row(i);
@@ -261,17 +352,11 @@ impl Matrix {
                     for (a, b) in row_i.iter().zip(row_j) {
                         s += a * b;
                     }
-                    out[(i, j)] = s;
+                    out_rows[(i - lo) * m + j] = s;
                 }
                 i += 1;
             }
         }
-        for r in 0..m {
-            for c in (r + 1)..m {
-                out[(r, c)] = out[(c, r)];
-            }
-        }
-        out
     }
 
     /// Matrix-vector product `self * x`.

@@ -222,3 +222,87 @@ proptest! {
         }
     }
 }
+
+/// A deterministic, well-conditioned SPD matrix shaped like a GP kernel
+/// Gram matrix, perturbed by `seed` so every proptest case differs.
+fn kernel_like(n: usize, seed: u64) -> Matrix {
+    // Squared-exponential Gram matrix (PSD by construction) plus a
+    // positive diagonal; the seed varies the length-scale and the nugget.
+    let scale = 6.0 + (seed % 7) as f64;
+    let nugget = 0.05 + (seed % 13) as f64 / 100.0;
+    Matrix::from_fn(n, n, |i, j| {
+        let d = (i as f64 - j as f64) / n.max(1) as f64;
+        (-scale * d * d).exp() + if i == j { nugget } else { 0.0 }
+    })
+}
+
+// Determinism contract of the parallel compute layer (`cets_linalg::par`):
+// every kernel is BIT-identical at any worker count. Sizes deliberately
+// include dimensions below the internal chunk/block sizes (so some workers
+// get nothing), just above the dispatch thresholds, and well above them.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_cholesky_is_bit_identical(seed in 0u64..1000) {
+        // 5/47: scalar kernel. 97: blocked, trailing span below the spawn
+        // grain. 181/230: blocked with parallel trailing updates.
+        for n in [5usize, 47, 97, 181, 230] {
+            let a = kernel_like(n, seed);
+            let base = Cholesky::new_jittered_with(&a, 1).unwrap();
+            for w in [2usize, 4] {
+                let p = Cholesky::new_jittered_with(&a, w).unwrap();
+                prop_assert_eq!(p.l().as_slice(), base.l().as_slice(), "n={} w={}", n, w);
+                prop_assert_eq!(p.jitter(), base.jitter());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mat_mul_is_bit_identical(seed in 0u64..1000) {
+        // (2,3,2): smaller than any chunk. (97,5,130): crosses the tile
+        // dispatch with a skinny inner dimension. (130,97,40): tall-thin.
+        for (n, k, m) in [(2usize, 3usize, 2usize), (97, 5, 130), (130, 97, 40)] {
+            let a = Matrix::from_fn(n, k, |i, j| (((i * 31 + j * 17) as u64 ^ seed) % 23) as f64 - 11.0);
+            let b = Matrix::from_fn(k, m, |i, j| (((i * 13 + j * 7) as u64 ^ seed) % 19) as f64 - 9.0);
+            let base = a.mat_mul_with(&b, 1).unwrap();
+            for w in [2usize, 4] {
+                let p = a.mat_mul_with(&b, w).unwrap();
+                prop_assert_eq!(p.as_slice(), base.as_slice(), "{}x{}x{} w={}", n, k, m, w);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solve_lower_multi_is_bit_identical(seed in 0u64..1000) {
+        let n = 70;
+        let a = kernel_like(n, seed);
+        let ch = Cholesky::new_jittered_with(&a, 1).unwrap();
+        // 3 columns: fewer than one cache chunk. 130/200: two to four
+        // column stripes.
+        for m in [3usize, 130, 200] {
+            let rhs = Matrix::from_fn(n, m, |i, j| (((i * 29 + j * 11) as u64 ^ seed) % 13) as f64 - 6.0);
+            let mut base = rhs.clone();
+            ch.solve_lower_multi_with(&mut base, 1).unwrap();
+            for w in [2usize, 4] {
+                let mut p = rhs.clone();
+                ch.solve_lower_multi_with(&mut p, w).unwrap();
+                prop_assert_eq!(p.as_slice(), base.as_slice(), "m={} w={}", m, w);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_aat_is_bit_identical(seed in 0u64..1000) {
+        // (3,5): tiny. (48,400): the sparse-GP shape, above the spawn
+        // grain. (9,2000): fewer rows than 2·workers.
+        for (m, n) in [(3usize, 5usize), (48, 400), (9, 2000)] {
+            let a = Matrix::from_fn(m, n, |i, j| (((i * 37 + j * 3) as u64 ^ seed) % 17) as f64 - 8.0);
+            let base = a.aat_with(1);
+            for w in [2usize, 4] {
+                let p = a.aat_with(w);
+                prop_assert_eq!(p.as_slice(), base.as_slice(), "m={} n={} w={}", m, n, w);
+            }
+        }
+    }
+}

@@ -100,6 +100,10 @@ fn usage() {
     eprintln!("  --cutoff <f>         influence cut-off (default: 0.25 synthetic, 0.10 tddft)");
     eprintln!("  --evals-per-dim <n>  BO budget per dimension (default 10)");
     eprintln!("  --seed <n>           RNG seed (default 0)");
+    eprintln!("  --threads <n>        worker threads for GP training, linear algebra and");
+    eprintln!("                       concurrent stage searches (default: CETS_THREADS env");
+    eprintln!("                       var, else all cores); results are bit-identical at");
+    eprintln!("                       any thread count — only wall-clock time changes");
     eprintln!("  --report <path>      also write the markdown report to a file");
     eprintln!("  --db <path>          (tddft) save the evaluation database as JSON");
     eprintln!("  --resilient          run execution under the fault-tolerant layer:");
@@ -187,6 +191,15 @@ fn main() -> ExitCode {
     let args = Args::parse(&raw[1..]);
     let evals_per_dim: usize = args.get("evals-per-dim", 10);
     let seed: u64 = args.get("seed", 0);
+    if let Some(v) = args.get_str("threads") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => cets::linalg::par::set_global_threads(n),
+            _ => {
+                eprintln!("--threads must be a positive integer, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let flaky_rate: Option<f64> = match args.get_str("inject-flaky") {
         None => None,
         Some(v) => match v.parse::<f64>() {
