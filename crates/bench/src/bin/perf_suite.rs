@@ -156,6 +156,71 @@ fn bench_gp_train(id: &'static str, n: usize, reps: usize, threads: usize) -> Be
     })
 }
 
+/// Time WAL recovery — frame decode, checksum verification, and service
+/// state replay — over a synthesized `n`-record campaign log. This is the
+/// cost a restarted `cets serve` pays before its first new evaluation, so
+/// it bounds the service's recovery latency per logged attempt.
+fn bench_wal_replay(id: &'static str, n: usize, reps: usize) -> BenchResult<Measure> {
+    use cets_serve::recovery::ServiceState;
+    use cets_serve::spec::CampaignSpec;
+    use cets_serve::wal::{encode_frame, read_frames, WalRecord, WAL_MAGIC};
+    let spec = CampaignSpec {
+        max_evals: n.max(1),
+        ..CampaignSpec::new("bench", "sphere", 1)
+    };
+    let mut bytes = WAL_MAGIC.to_vec();
+    let frame = |r: &WalRecord| encode_frame(r).map_err(|e| format!("{id}: encode: {e}"));
+    bytes.extend_from_slice(&frame(&WalRecord::CampaignSubmitted { spec })?);
+    let mut rng = StdRng::seed_from_u64(0x57A1);
+    for idx in 0..n {
+        let u: Vec<f64> = (0..3).map(|_| rng.random::<f64>()).collect();
+        let y = u.iter().map(|v| v * v).sum();
+        let rec = if idx % 16 == 7 {
+            WalRecord::EvalFailed {
+                id: "bench".into(),
+                stage: 0,
+                idx,
+                u,
+                kind: "crashed".into(),
+                message: "injected".into(),
+            }
+        } else {
+            WalRecord::EvalCompleted {
+                id: "bench".into(),
+                stage: 0,
+                idx,
+                u,
+                y,
+            }
+        };
+        bytes.extend_from_slice(&frame(&rec)?);
+    }
+    let mut samples = Vec::with_capacity(reps);
+    let mut checksum = 0usize;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (records, report) =
+            read_frames(&bytes).map_err(|e| format!("{id}: read_frames: {e}"))?;
+        let state = ServiceState::replay(&records).map_err(|e| format!("{id}: replay: {e}"))?;
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        if report.truncated.is_some() {
+            return Err(format!("{id}: clean log reported truncation"));
+        }
+        checksum += state.campaigns[0].total_attempts();
+    }
+    assert_eq!(checksum, n * reps);
+    let med = median_ms(&mut samples);
+    Ok(Measure {
+        id,
+        median_ms: med,
+        evals_per_sec: (n + 1) as f64 / (med / 1e3),
+        eval_unit: "wal_records",
+        reps,
+        threads_used: 1,
+        extra: vec![("log_bytes", Value::UInt(bytes.len() as u64))],
+    })
+}
+
 /// Time predicting `m` held-out points from a fixed-kernel GP of size `n`.
 fn bench_gp_predict(id: &'static str, n: usize, m: usize, reps: usize) -> BenchResult<Measure> {
     let (xs, ys) = dataset(n, 0xBEEF ^ n as u64);
@@ -437,6 +502,7 @@ fn run_benches(smoke: bool) -> BenchResult<Vec<Measure>> {
         )?);
         out.push(bench_gp_predict("gp_predict_n32_m64", 32, 64, 2)?);
         out.push(bench_propose("propose_n32", 32, 2)?);
+        out.push(bench_wal_replay("wal_replay_n200", 200, 3)?);
         out.push(bench_methodology("methodology_run_smoke", 2, 5, 1)?);
         let t1_ms = out.last().map(|m| m.median_ms);
         out.push(with_speedup(
@@ -478,6 +544,7 @@ fn run_benches(smoke: bool) -> BenchResult<Vec<Measure>> {
         out.push(bench_propose("propose_n200", 200, 5)?);
         out.push(bench_propose("propose_n500", 500, 3)?);
         out.push(bench_propose_sparse("propose_sparse_n2000", 2000, 48, 3)?);
+        out.push(bench_wal_replay("wal_replay_n5000", 5000, 5)?);
         out.push(bench_methodology("methodology_run", 10, 10, 1)?);
         let t1_ms = out.last().map(|m| m.median_ms);
         out.push(with_speedup(

@@ -805,13 +805,59 @@ impl BoSearch {
         self.run_resilient_with_records(subspace, f, policy, checkpoint.records())
     }
 
+    /// Rebuild the [`SearchOutcome`] implied by a record prefix without
+    /// re-running anything.
+    ///
+    /// The resilient loop's trajectory is a pure function of its record
+    /// history, so the best configuration, best value, and incumbent trace
+    /// are all recomputable from the records alone. Recovery layers (the
+    /// `cets serve` WAL replay) use this to reconstruct a finished search's
+    /// result from its log instead of re-evaluating anything; `wall_time`
+    /// is zero because no work is performed.
+    ///
+    /// Fails with [`CoreError::SearchStalled`] when no successful attempt
+    /// exists in `records`.
+    pub fn replay_outcome(subspace: &Subspace, records: &[EvalRecord]) -> Result<SearchOutcome> {
+        let history: Vec<(Vec<f64>, f64)> = records
+            .iter()
+            .filter_map(|r| r.y().map(|y| (r.u.clone(), y)))
+            .collect();
+        if history.is_empty() {
+            return Err(CoreError::SearchStalled(
+                "replay: no successful attempt in records".into(),
+            ));
+        }
+        SearchOutcome::from_history(subspace, history, Duration::ZERO)
+    }
+
     /// [`BoSearch::run_resilient`] starting from pre-recorded attempts.
     pub fn run_resilient_with_records(
         &self,
         subspace: &Subspace,
         f: impl Fn(&Config, usize) -> EvalOutcome,
         policy: &FailurePolicy,
+        records: Vec<EvalRecord>,
+    ) -> Result<ResilientOutcome> {
+        self.run_resilient_observed(subspace, f, policy, records, &mut |_| Ok(()))
+    }
+
+    /// [`BoSearch::run_resilient_with_records`] with a per-record observer.
+    ///
+    /// `on_record` fires exactly once for every **new** attempt, immediately
+    /// after it is appended to the record history (pre-recorded attempts
+    /// passed in via `records` are never re-observed). This is the hook a
+    /// durability layer needs to write each attempt to a log *before* the
+    /// search advances: an `Err` from the observer aborts the search at
+    /// that exact record boundary, which is how `cets serve` turns a failed
+    /// log append (or a simulated process kill) into a clean crash that
+    /// [`BoSearch::run_resilient_with_records`] can later resume bit-for-bit.
+    pub fn run_resilient_observed(
+        &self,
+        subspace: &Subspace,
+        f: impl Fn(&Config, usize) -> EvalOutcome,
+        policy: &FailurePolicy,
         mut records: Vec<EvalRecord>,
+        on_record: &mut dyn FnMut(&EvalRecord) -> Result<()>,
     ) -> Result<ResilientOutcome> {
         let cfg = &self.config;
         if cfg.max_evals == 0 {
@@ -825,31 +871,38 @@ impl BoSearch {
         let start = Instant::now();
         let uslabs = crate::contraction::active_unit_slabs(subspace);
 
-        let evaluate = |u: &[f64], records: &mut Vec<EvalRecord>| -> Result<()> {
-            let cfg_full = subspace.lift(u)?;
-            let rec = match f(&cfg_full, records.len()) {
-                // Defense in depth: even if the callback skipped screening,
-                // a non-finite total is recorded as a failure, never as an
-                // observation.
-                EvalOutcome::Ok(obs) if !obs.total.is_finite() => EvalRecord::failed(
-                    u.to_vec(),
-                    FailedEval::from_error(&EvalError::NonFinite {
-                        what: "total".into(),
-                    }),
-                ),
-                EvalOutcome::Ok(obs) => EvalRecord::ok(u.to_vec(), obs.total),
-                EvalOutcome::Failed(e) => {
-                    EvalRecord::failed(u.to_vec(), FailedEval::from_error(&e))
+        let mut evaluate =
+            |u: &[f64], records: &mut Vec<EvalRecord>| -> Result<()> {
+                let cfg_full = subspace.lift(u)?;
+                let rec = match f(&cfg_full, records.len()) {
+                    // Defense in depth: even if the callback skipped screening,
+                    // a non-finite total is recorded as a failure, never as an
+                    // observation.
+                    EvalOutcome::Ok(obs) if !obs.total.is_finite() => EvalRecord::failed(
+                        u.to_vec(),
+                        FailedEval::from_error(&EvalError::NonFinite {
+                            what: "total".into(),
+                        }),
+                    ),
+                    EvalOutcome::Ok(obs) => EvalRecord::ok(u.to_vec(), obs.total),
+                    EvalOutcome::Failed(e) => {
+                        EvalRecord::failed(u.to_vec(), FailedEval::from_error(&e))
+                    }
+                };
+                records.push(rec);
+                if let Some(path) = &cfg.checkpoint_path {
+                    BoCheckpoint::from_records(cfg.seed, records)
+                        .with_tier(cfg.gp.tier.tag())
+                        .save(path)?;
                 }
+                // Observe only after the record is durably part of the history
+                // (checkpoint written if configured): a crash in the observer
+                // leaves a resumable prefix, never a half-observed record.
+                on_record(records.last().ok_or_else(|| {
+                    CoreError::SearchStalled("record vanished after push".into())
+                })?)?;
+                Ok(())
             };
-            records.push(rec);
-            if let Some(path) = &cfg.checkpoint_path {
-                BoCheckpoint::from_records(cfg.seed, records)
-                    .with_tier(cfg.gp.tier.tag())
-                    .save(path)?;
-            }
-            Ok(())
-        };
 
         let n_failed = |records: &[EvalRecord]| records.iter().filter(|r| !r.is_ok()).count();
         let within_budget = |records: &[EvalRecord]| -> bool {

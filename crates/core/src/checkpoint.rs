@@ -20,9 +20,17 @@
 //!   "tier": "auto:512",
 //!   "x_unit": [[0.1, 0.9], [0.4, 0.2]],
 //!   "y": [3.5, 0.0],
-//!   "failed": [null, {"kind": "crashed", "message": "..."}]
+//!   "failed": [null, {"kind": "crashed", "message": "..."}],
+//!   "checksum": "fnv1a:a1b2c3d4e5f60718"
 //! }
 //! ```
+//!
+//! `checksum` is an FNV-1a hash of the semantic content (seed, tier, point
+//! and value bit patterns, failure records) verified on load; files written
+//! by older versions carry no field and load without the check. Writes are
+//! durable as well as atomic: the tmp file is fsynced before the rename and
+//! the parent directory after it, so a `kill -9` or power loss at any
+//! instant leaves either the previous checkpoint or the new one intact.
 //!
 //! `tier` is the surrogate tier-policy tag
 //! ([`cets_gp::TierPolicy::tag`]) the search ran with. Resume re-derives
@@ -136,16 +144,83 @@ impl BoCheckpoint {
         self.failed.iter().filter(|f| f.is_some()).count()
     }
 
-    /// Write atomically (write to `<path>.tmp`, then rename) so a crash
-    /// mid-write never corrupts the previous checkpoint.
+    /// Content checksum over the semantic payload (seed, tier tag, point
+    /// and value bit patterns, failure records), independent of JSON
+    /// formatting. Written into the v2 payload by [`BoCheckpoint::save`]
+    /// and verified on load, so silent storage corruption (a post-rename
+    /// power loss, a flipped bit) is diagnosed as a checksum mismatch
+    /// instead of surfacing as a confusing parse or validation error — or
+    /// worse, resuming from subtly wrong history.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.seed.to_le_bytes());
+        if let Some(tag) = &self.tier {
+            eat(&(tag.len() as u64).to_le_bytes());
+            eat(tag.as_bytes());
+        }
+        eat(&(self.x_unit.len() as u64).to_le_bytes());
+        for (i, u) in self.x_unit.iter().enumerate() {
+            eat(&(u.len() as u64).to_le_bytes());
+            for v in u {
+                eat(&v.to_bits().to_le_bytes());
+            }
+            match &self.failed.get(i) {
+                Some(Some(f)) => {
+                    eat(b"err");
+                    eat(f.kind.as_str().as_bytes());
+                    eat(&(f.message.len() as u64).to_le_bytes());
+                    eat(f.message.as_bytes());
+                }
+                _ => {
+                    eat(b"ok");
+                    eat(&self
+                        .y
+                        .get(i)
+                        .copied()
+                        .unwrap_or(0.0)
+                        .to_bits()
+                        .to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+
+    /// Write durably and atomically: serialize to `<path>.tmp`, `fsync` the
+    /// tmp file, rename over `path`, then `fsync` the parent directory so
+    /// the rename itself survives a power loss. A crash at any point leaves
+    /// either the previous checkpoint or the new one — never a torn file —
+    /// and the embedded [`BoCheckpoint::content_hash`] lets `load` diagnose
+    /// silent corruption that slips past those guarantees.
     pub fn save(&self, path: &Path) -> Result<()> {
+        use std::io::Write;
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| CoreError::Checkpoint(format!("serialize: {e}")))?;
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)
+        let mut f = std::fs::File::create(&tmp)
+            .map_err(|e| CoreError::Checkpoint(format!("create {}: {e}", tmp.display())))?;
+        f.write_all(json.as_bytes())
             .map_err(|e| CoreError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+        f.sync_all()
+            .map_err(|e| CoreError::Checkpoint(format!("fsync {}: {e}", tmp.display())))?;
+        drop(f);
         std::fs::rename(&tmp, path)
             .map_err(|e| CoreError::Checkpoint(format!("rename to {}: {e}", path.display())))?;
+        // Persist the rename: fsync the directory entry. Directory handles
+        // are a Unix notion; elsewhere the rename is as durable as it gets.
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let d = std::fs::File::open(dir)
+                .map_err(|e| CoreError::Checkpoint(format!("open dir {}: {e}", dir.display())))?;
+            d.sync_all()
+                .map_err(|e| CoreError::Checkpoint(format!("fsync dir {}: {e}", dir.display())))?;
+        }
         Ok(())
     }
 
@@ -221,6 +296,10 @@ impl Serialize for BoCheckpoint {
         fields.push(("x_unit".into(), self.x_unit.serialize()));
         fields.push(("y".into(), self.y.serialize()));
         fields.push(("failed".into(), self.failed.serialize()));
+        fields.push((
+            "checksum".into(),
+            Value::String(format!("fnv1a:{:016x}", self.content_hash())),
+        ));
         Value::Object(fields)
     }
 }
@@ -258,13 +337,30 @@ impl Deserialize for BoCheckpoint {
             Value::Null => None,
             other => Some(String::deserialize(other).map_err(|e| DeError(format!("tier: {e}")))?),
         };
-        Ok(BoCheckpoint {
+        let cp = BoCheckpoint {
             seed,
             x_unit,
             y,
             failed,
             tier,
-        })
+        };
+        // Verify the embedded content checksum when present (absent in
+        // files written by older versions — still accepted).
+        match v.get_field("checksum") {
+            Value::Null => {}
+            other => {
+                let stored =
+                    String::deserialize(other).map_err(|e| DeError(format!("checksum: {e}")))?;
+                let computed = format!("fnv1a:{:016x}", cp.content_hash());
+                if stored != computed {
+                    return Err(DeError(format!(
+                        "checksum mismatch: file says {stored}, content hashes to {computed} — \
+                         the checkpoint was corrupted after it was written"
+                    )));
+                }
+            }
+        }
+        Ok(cp)
     }
 }
 
@@ -467,6 +563,49 @@ mod tests {
             BoCheckpoint::load(&path),
             Err(CoreError::Checkpoint(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_detects_silent_corruption() {
+        let path = tmp_path("checksum");
+        let cp = BoCheckpoint::from_records(
+            11,
+            &[
+                EvalRecord::ok(vec![0.25, 0.75], 3.0),
+                EvalRecord::failed(
+                    vec![0.5, 0.5],
+                    FailedEval {
+                        kind: FailureKind::Timeout,
+                        message: "slow".into(),
+                    },
+                ),
+            ],
+        );
+        cp.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"checksum\""), "{text}");
+        // Flip one observed value without touching the stored checksum:
+        // structurally valid JSON, semantically corrupt.
+        let tampered = text.replacen("3.0", "3.5", 1);
+        assert_ne!(tampered, text);
+        std::fs::write(&path, tampered).unwrap();
+        let err = BoCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_field_absent_still_loads() {
+        // Files written before the checksum existed load without the check.
+        let path = tmp_path("nochecksum");
+        std::fs::write(
+            &path,
+            r#"{"version":2,"seed":5,"x_unit":[[0.3]],"y":[2.0],"failed":[null]}"#,
+        )
+        .unwrap();
+        let cp = BoCheckpoint::load(&path).unwrap();
+        assert_eq!(cp.seed, 5);
         std::fs::remove_file(&path).ok();
     }
 

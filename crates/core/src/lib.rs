@@ -70,9 +70,9 @@ pub use objective::{ContractedObjective, CountingObjective, Objective, Observati
 pub use random_search::{random_search, RandomSearchConfig};
 pub use report::render_markdown;
 pub use resilience::{
-    Clock, EvalError, EvalOutcome, EvalRecord, FailedEval, FailureKind, FaultKind, FaultPlan,
-    FaultyObjective, GuardPolicy, ResilienceConfig, ResilientObjective, RetryPolicy, SystemClock,
-    VirtualClock,
+    Clock, EvalError, EvalOutcome, EvalRecord, FailedEval, FailureKind, FailureStats, FaultKind,
+    FaultPlan, FaultyObjective, GuardPolicy, ResilienceConfig, ResilientObjective, RetryPolicy,
+    SystemClock, VirtualClock,
 };
 pub use sensitivity::{routine_sensitivity, VariationPolicy};
 pub use strategy::{run_strategy, Strategy, StrategyResult};

@@ -271,6 +271,71 @@ impl EvalRecord {
     }
 }
 
+/// Per-[`FailureKind`] evaluation accounting, aggregable across searches.
+///
+/// A single search's ledger entry counts failures in bulk; a long-running
+/// service supervises many searches and wants the breakdown (how many
+/// crashes vs. timeouts vs. screening rejections) rolled up per campaign
+/// and per service. `FailureStats` is that roll-up: build one per record
+/// stream with [`FailureStats::from_records`] and fold them together with
+/// [`FailureStats::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureStats {
+    /// Successful evaluations.
+    pub n_ok: usize,
+    /// Evaluations that panicked.
+    pub n_crashed: usize,
+    /// Evaluations killed by the watchdog.
+    pub n_timeout: usize,
+    /// Evaluations screened out for NaN/Inf results.
+    pub n_non_finite: usize,
+    /// Configurations rejected before evaluation.
+    pub n_invalid_config: usize,
+}
+
+impl FailureStats {
+    /// Tally one recorded attempt.
+    pub fn record(&mut self, r: &EvalRecord) {
+        match &r.value {
+            Ok(_) => self.n_ok += 1,
+            Err(f) => match f.kind {
+                FailureKind::Crashed => self.n_crashed += 1,
+                FailureKind::Timeout => self.n_timeout += 1,
+                FailureKind::NonFinite => self.n_non_finite += 1,
+                FailureKind::InvalidConfig => self.n_invalid_config += 1,
+            },
+        }
+    }
+
+    /// Aggregate a whole record stream.
+    pub fn from_records(records: &[EvalRecord]) -> Self {
+        let mut s = FailureStats::default();
+        for r in records {
+            s.record(r);
+        }
+        s
+    }
+
+    /// Fold another tally into this one (service-level aggregation).
+    pub fn merge(&mut self, other: &FailureStats) {
+        self.n_ok += other.n_ok;
+        self.n_crashed += other.n_crashed;
+        self.n_timeout += other.n_timeout;
+        self.n_non_finite += other.n_non_finite;
+        self.n_invalid_config += other.n_invalid_config;
+    }
+
+    /// Total failed attempts across all kinds.
+    pub fn n_failed(&self) -> usize {
+        self.n_crashed + self.n_timeout + self.n_non_finite + self.n_invalid_config
+    }
+
+    /// Total recorded attempts.
+    pub fn total(&self) -> usize {
+        self.n_ok + self.n_failed()
+    }
+}
+
 /// The typed result of evaluating one configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EvalOutcome {
@@ -347,6 +412,13 @@ impl RetryPolicy {
     /// +50% deterministic jitter derived from `(seed, eval_idx, retry)` —
     /// the same inputs always produce the same backoff, so virtual-clock
     /// tests are reproducible while real fleets still decorrelate.
+    ///
+    /// The jitter is a pure function of those three inputs, **never** a
+    /// draw from a shared stream: retries consumed by earlier evaluations
+    /// cannot shift later draws, which is what keeps crash-at-k resume
+    /// bit-for-bit even when retries fired before the kill (resumed runs
+    /// skip the recorded attempts and therefore replay none of their
+    /// backoff draws).
     pub fn backoff(&self, eval_idx: usize, retry: usize) -> Duration {
         let exp = retry.saturating_sub(1).min(32) as u32;
         let base = self

@@ -282,3 +282,78 @@ fn chaotic_execution_is_deterministic() {
     assert_eq!(a.ledger.total_failures(), b.ledger.total_failures());
     assert_eq!(a.ledger.n_degraded(), b.ledger.n_degraded());
 }
+
+/// Retry-backoff determinism: jitter draws are keyed by
+/// `(retry-seed, eval_idx, retry)` — never a shared stream — so retries
+/// that fired before a crash cannot perturb the trajectory of a resumed
+/// run. Resuming from every prefix of a retry-heavy record stream must
+/// reproduce the uninterrupted run bit-for-bit.
+#[test]
+fn crash_at_k_resume_is_bit_identical_with_retries_in_the_stream() {
+    quiet_panics();
+    let obj = Sphere::new();
+    let sub = cets_space::Subspace::full(obj.space(), obj.default_config()).unwrap();
+    let policy = FailurePolicy {
+        max_failures: 40,
+        ..Default::default()
+    };
+    let bo = cets_core::BoSearch::new(BoConfig {
+        max_evals: 14,
+        ..quick_bo(21)
+    });
+    let run_from = |records: Vec<cets_core::EvalRecord>| {
+        let clock = Arc::new(VirtualClock::new());
+        let faulty = FaultyObjective::new(&obj, FaultPlan::flaky(0.3, 4), clock.clone());
+        let guard = GuardPolicy {
+            retry: RetryPolicy {
+                max_retries: 2,
+                seed: 17,
+                ..Default::default()
+            },
+            watchdog: Some(Duration::from_secs(60)),
+            ..Default::default()
+        };
+        let clock_dyn: Arc<dyn cets_core::Clock> = clock;
+        let res = ResilientObjective::new(&faulty, guard, clock_dyn);
+        let out = bo
+            .run_resilient_with_records(&sub, |c, i| res.evaluate_outcome(c, i), &policy, records)
+            .unwrap();
+        (out, faulty.injected())
+    };
+    // Failure messages from the injector embed its process-local attempt
+    // counter (which legitimately differs across a resumed process); the
+    // determinism contract covers points, values and failure kinds.
+    let key = |rs: &[cets_core::EvalRecord]| -> Vec<(Vec<u64>, Result<u64, String>)> {
+        rs.iter()
+            .map(|r| {
+                (
+                    r.u.iter().map(|v| v.to_bits()).collect(),
+                    r.value
+                        .as_ref()
+                        .map(|y| y.to_bits())
+                        .map_err(|f| f.kind.to_string()),
+                )
+            })
+            .collect()
+    };
+    let (full, injected) = run_from(Vec::new());
+    // Retries really happened: the fault plan injected more faults than
+    // the record stream shows failures (each transient failure was
+    // re-attempted and, being config-keyed, failed again).
+    assert!(
+        injected > full.n_failed,
+        "{injected} injections vs {} recorded failures — no retries fired",
+        full.n_failed
+    );
+    assert!(full.n_failed > 0, "chaos injected nothing");
+    for k in 0..full.records.len() {
+        let (resumed, _) = run_from(full.records[..k].to_vec());
+        assert_eq!(
+            key(&resumed.records),
+            key(&full.records),
+            "resume from prefix {k} diverged"
+        );
+        assert_eq!(resumed.outcome.best_value, full.outcome.best_value);
+        assert_eq!(resumed.outcome.best_config, full.outcome.best_config);
+    }
+}

@@ -1,0 +1,381 @@
+//! Campaign-spec validation for the `cets serve` intake path.
+//!
+//! A campaign spec is the JSON job description dropped into the service's
+//! spool directory. Validation here is *syntactic* — shape, ranges, and
+//! the objective-reference grammar — and runs before the service touches
+//! its write-ahead log, so malformed submissions are rejected with stable
+//! `C0xx` diagnostic codes instead of failing deep inside the runtime.
+//! Semantic checks that need the instantiated objective (do the stage
+//! parameters exist in its search space?) happen in `cets-serve` when the
+//! objective is built; everything checkable from the JSON alone lives
+//! here, reusing the same [`Diagnostic`] model as the plan lints.
+//!
+//! The `C` family is documented in [`CAMPAIGN_CODES`] and served by
+//! `cets lint --explain` alongside the plan codes.
+
+use crate::diag::{Diagnostic, Location};
+use crate::explain::CodeEntry;
+use serde::Value;
+
+/// Objective families a campaign may reference, with their case ranges
+/// (`None` = the family takes no case suffix). This is the grammar the
+/// service implements; keep the two in sync.
+pub const OBJECTIVE_FAMILIES: &[(&str, Option<(usize, usize)>)] =
+    &[("sphere", None), ("synthetic", Some((1, 5)))];
+
+/// Ceiling on per-stage evaluation budgets: a spec asking for more than
+/// this is a typo, not a campaign.
+pub const MAX_STAGE_EVALS: usize = 1_000_000;
+
+/// Reference entries for the campaign-spec (`C`) diagnostic family.
+pub const CAMPAIGN_CODES: &[CodeEntry] = &[
+    CodeEntry {
+        code: "C001",
+        title: "missing or malformed campaign id",
+        description: "Every campaign needs a stable `id` string (1-64 characters from \
+                      [A-Za-z0-9._-]). The id keys the write-ahead log, dedupes spool \
+                      re-scans after a crash, and names the campaign in summaries; without \
+                      a well-formed id the service cannot track the campaign durably.",
+        example: "`{\"objective\": \"sphere\", \"seed\": 1}` (no `id` field)",
+        remediation: "add a unique `id` string using only letters, digits, `.`, `_`, `-`",
+    },
+    CodeEntry {
+        code: "C002",
+        title: "unknown objective reference",
+        description: "The `objective` field must name a built-in family, optionally with a \
+                      case suffix: `sphere` or `synthetic:1`..`synthetic:5`. Anything else \
+                      cannot be instantiated by the service.",
+        example: "`\"objective\": \"synthetic:9\"`",
+        remediation: "use one of the documented objective references",
+    },
+    CodeEntry {
+        code: "C003",
+        title: "invalid evaluation budget",
+        description: "`max_evals` (per stage) must be a positive integer no larger than \
+                      1,000,000, and `n_init` (initial design size, default 4) must be \
+                      positive and no larger than `max_evals` — otherwise a stage cannot \
+                      complete its initial design, or the request is likely a typo.",
+        example: "`\"max_evals\": 0`",
+        remediation: "set 1 <= n_init <= max_evals <= 1000000",
+    },
+    CodeEntry {
+        code: "C004",
+        title: "malformed stage list",
+        description: "`stages`, when present, must be a non-empty array of non-empty arrays \
+                      of parameter-name strings, with no parameter repeated within or \
+                      across stages. Each inner array becomes one sequential search over \
+                      that parameter group; duplicates would tune the same parameter twice \
+                      with conflicting results.",
+        example: "`\"stages\": [[\"x0\"], [\"x0\", \"x1\"]]` (x0 repeated)",
+        remediation: "list each parameter in exactly one stage, and no empty stages",
+    },
+    CodeEntry {
+        code: "C005",
+        title: "invalid fault or retry settings",
+        description: "`flaky_rate` (injected failure probability, default 0) must be a \
+                      finite number in [0, 1], and `max_retries` (default 1) an integer \
+                      no larger than 10. Values outside these ranges either make the \
+                      campaign unrunnable (every evaluation fails) or hammer a failing \
+                      objective with unbounded retries.",
+        example: "`\"flaky_rate\": 1.5`",
+        remediation: "keep 0 <= flaky_rate <= 1 and 0 <= max_retries <= 10",
+    },
+];
+
+/// Look up a `C`-family reference entry (case-insensitive).
+pub fn explain_campaign(code: &str) -> Option<&'static CodeEntry> {
+    CAMPAIGN_CODES
+        .iter()
+        .find(|e| e.code.eq_ignore_ascii_case(code.trim()))
+}
+
+fn err(code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::error(code, Location::Plan, message)
+}
+
+fn is_valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// Does `objective` match the [`OBJECTIVE_FAMILIES`] grammar?
+pub fn is_known_objective(objective: &str) -> bool {
+    let (family, case) = match objective.split_once(':') {
+        Some((f, c)) => (f, Some(c)),
+        None => (objective, None),
+    };
+    OBJECTIVE_FAMILIES
+        .iter()
+        .any(|(name, range)| match (range, case) {
+            _ if *name != family => false,
+            (None, None) => true,
+            (Some((lo, hi)), Some(c)) => c.parse::<usize>().is_ok_and(|n| n >= *lo && n <= *hi),
+            _ => false,
+        })
+}
+
+/// Validate a raw campaign-spec JSON value. Returns every finding; the
+/// intake path rejects the spec iff any finding is [`crate::Severity::Error`].
+pub fn validate_campaign(v: &Value) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !matches!(v, Value::Object(_)) {
+        out.push(err("C001", "campaign spec must be a JSON object".into()));
+        return out;
+    }
+
+    match v.get_field("id") {
+        Value::String(id) if is_valid_id(id) => {}
+        Value::String(id) => out.push(err(
+            "C001",
+            format!("campaign id `{id}` must be 1-64 characters from [A-Za-z0-9._-]"),
+        )),
+        Value::Null => out.push(err(
+            "C001",
+            "campaign spec is missing the `id` field".into(),
+        )),
+        _ => out.push(err("C001", "campaign `id` must be a string".into())),
+    }
+
+    match v.get_field("objective") {
+        Value::String(obj) if is_known_objective(obj) => {}
+        Value::String(obj) => out.push(err(
+            "C002",
+            format!(
+                "unknown objective `{obj}` (expected `sphere` or `synthetic:1`..`synthetic:5`)"
+            ),
+        )),
+        Value::Null => out.push(err(
+            "C002",
+            "campaign spec is missing the `objective` field".into(),
+        )),
+        _ => out.push(err("C002", "campaign `objective` must be a string".into())),
+    }
+
+    if v.get_field("seed").as_u64().is_err() {
+        out.push(err(
+            "C003",
+            "campaign `seed` must be a non-negative integer".into(),
+        ));
+    }
+
+    let max_evals = match v.get_field("max_evals").as_u64() {
+        Ok(n) if (1..=MAX_STAGE_EVALS as u64).contains(&n) => Some(n),
+        Ok(n) => {
+            out.push(err(
+                "C003",
+                format!("max_evals {n} outside 1..={MAX_STAGE_EVALS}"),
+            ));
+            None
+        }
+        Err(_) => {
+            out.push(err(
+                "C003",
+                "campaign `max_evals` must be a positive integer".into(),
+            ));
+            None
+        }
+    };
+    match v.get_field("n_init") {
+        Value::Null => {}
+        other => match (other.as_u64(), max_evals) {
+            (Ok(0), _) => out.push(err("C003", "n_init must be positive".into())),
+            (Ok(n), Some(me)) if n > me => out.push(err(
+                "C003",
+                format!("n_init {n} exceeds max_evals {me}: the initial design cannot complete"),
+            )),
+            (Ok(_), _) => {}
+            (Err(_), _) => out.push(err("C003", "n_init must be a positive integer".into())),
+        },
+    }
+
+    match v.get_field("stages") {
+        Value::Null => {}
+        stages => match stages.as_array() {
+            Err(_) => out.push(err("C004", "stages must be an array of arrays".into())),
+            Ok([]) => out.push(err(
+                "C004",
+                "stages, when present, must be non-empty".into(),
+            )),
+            Ok(list) => {
+                let mut seen: Vec<&str> = Vec::new();
+                for (si, stage) in list.iter().enumerate() {
+                    match stage.as_array() {
+                        Err(_) => out.push(err(
+                            "C004",
+                            format!("stage {si} must be an array of parameter names"),
+                        )),
+                        Ok([]) => out.push(err("C004", format!("stage {si} is empty"))),
+                        Ok(params) => {
+                            for p in params {
+                                match p {
+                                    Value::String(name) => {
+                                        if seen.contains(&name.as_str()) {
+                                            out.push(err(
+                                                "C004",
+                                                format!(
+                                                    "parameter `{name}` appears in more than \
+                                                     one stage entry"
+                                                ),
+                                            ));
+                                        } else {
+                                            seen.push(name);
+                                        }
+                                    }
+                                    _ => out.push(err(
+                                        "C004",
+                                        format!("stage {si} contains a non-string entry"),
+                                    )),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    }
+
+    match v.get_field("flaky_rate") {
+        Value::Null => {}
+        other => match other.as_f64() {
+            Ok(r) if r.is_finite() && (0.0..=1.0).contains(&r) => {}
+            _ => out.push(err(
+                "C005",
+                "flaky_rate must be a finite number in [0, 1]".into(),
+            )),
+        },
+    }
+    match v.get_field("max_retries") {
+        Value::Null => {}
+        other => match other.as_u64() {
+            Ok(n) if n <= 10 => {}
+            _ => out.push(err(
+                "C005",
+                "max_retries must be an integer no larger than 10".into(),
+            )),
+        },
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::from_str;
+
+    fn parse(s: &str) -> Value {
+        from_str::<Value>(s).unwrap()
+    }
+
+    fn codes(v: &Value) -> Vec<&'static str> {
+        let mut c: Vec<&'static str> = validate_campaign(v).iter().map(|d| d.code).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    #[test]
+    fn valid_spec_is_clean() {
+        let v = parse(
+            r#"{"id": "demo-1", "objective": "sphere", "seed": 7, "max_evals": 10,
+                "n_init": 4, "stages": [["x0", "x1"], ["x2"]],
+                "flaky_rate": 0.2, "max_retries": 2}"#,
+        );
+        assert!(validate_campaign(&v).is_empty());
+    }
+
+    #[test]
+    fn minimal_spec_is_clean() {
+        let v = parse(r#"{"id": "m", "objective": "synthetic:3", "seed": 0, "max_evals": 5}"#);
+        assert!(validate_campaign(&v).is_empty());
+    }
+
+    #[test]
+    fn each_code_fires_on_its_defect() {
+        let cases: Vec<(&str, &str)> = vec![
+            (
+                "C001",
+                r#"{"objective": "sphere", "seed": 1, "max_evals": 5}"#,
+            ),
+            (
+                "C001",
+                r#"{"id": "bad id!", "objective": "sphere", "seed": 1, "max_evals": 5}"#,
+            ),
+            (
+                "C002",
+                r#"{"id": "a", "objective": "synthetic:9", "seed": 1, "max_evals": 5}"#,
+            ),
+            (
+                "C002",
+                r#"{"id": "a", "objective": "sphere:1", "seed": 1, "max_evals": 5}"#,
+            ),
+            (
+                "C003",
+                r#"{"id": "a", "objective": "sphere", "seed": 1, "max_evals": 0}"#,
+            ),
+            (
+                "C003",
+                r#"{"id": "a", "objective": "sphere", "seed": 1, "max_evals": 5, "n_init": 9}"#,
+            ),
+            (
+                "C004",
+                r#"{"id": "a", "objective": "sphere", "seed": 1, "max_evals": 5,
+                    "stages": [["x0"], ["x0"]]}"#,
+            ),
+            (
+                "C004",
+                r#"{"id": "a", "objective": "sphere", "seed": 1, "max_evals": 5, "stages": [[]]}"#,
+            ),
+            (
+                "C005",
+                r#"{"id": "a", "objective": "sphere", "seed": 1, "max_evals": 5,
+                    "flaky_rate": 1.5}"#,
+            ),
+            (
+                "C005",
+                r#"{"id": "a", "objective": "sphere", "seed": 1, "max_evals": 5,
+                    "max_retries": 99}"#,
+            ),
+        ];
+        for (code, spec) in cases {
+            let found = codes(&parse(spec));
+            assert!(
+                found.contains(&code),
+                "{spec} should raise {code}, got {found:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_emitted_code_is_documented_and_unique() {
+        // Every code the validator can emit has a CAMPAIGN_CODES entry,
+        // entries are unique, and the family does not collide with the
+        // plan-lint catalogue.
+        let documented: Vec<&str> = CAMPAIGN_CODES.iter().map(|e| e.code).collect();
+        for e in CAMPAIGN_CODES {
+            assert!(e.code.starts_with('C'), "{} not in the C family", e.code);
+            assert!(
+                crate::explain::CODES.iter().all(|p| p.code != e.code),
+                "{} collides with the plan catalogue",
+                e.code
+            );
+        }
+        let mut uniq = documented.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), documented.len(), "duplicate campaign codes");
+        // Exercised codes (from the defect matrix above) are a subset.
+        for code in ["C001", "C002", "C003", "C004", "C005"] {
+            assert!(documented.contains(&code), "{code} undocumented");
+            assert!(explain_campaign(code).is_some());
+        }
+    }
+
+    #[test]
+    fn non_object_spec_rejected() {
+        assert_eq!(codes(&parse("[1, 2]")), vec!["C001"]);
+    }
+}

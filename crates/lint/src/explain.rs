@@ -223,11 +223,13 @@ pub const CODES: &[CodeEntry] = &[
     },
 ];
 
-/// Look up the reference entry for `code` (case-insensitive).
+/// Look up the reference entry for `code` (case-insensitive). Covers the
+/// plan-lint catalogue and the campaign-spec (`C`) family.
 pub fn explain(code: &str) -> Option<&'static CodeEntry> {
     CODES
         .iter()
         .find(|e| e.code.eq_ignore_ascii_case(code.trim()))
+        .or_else(|| crate::campaign::explain_campaign(code))
 }
 
 /// Render one entry as the `--explain` page.

@@ -60,6 +60,7 @@
 
 pub mod absint;
 pub mod bundle;
+pub mod campaign;
 pub mod diag;
 pub mod explain;
 pub mod expr;
@@ -78,6 +79,7 @@ pub use absint::{
 pub use bundle::{
     ConstraintSpec, KernelSpec, ParamSpec, PlanBundle, PlanSpec, SearchSpec, UnresolvedRef,
 };
+pub use campaign::{validate_campaign, CAMPAIGN_CODES};
 pub use diag::{Diagnostic, Location, Severity};
 pub use explain::{explain, render_explain, CodeEntry, CODES};
 pub use loader::{load_path, load_str, rewrite_contracted};

@@ -1,0 +1,213 @@
+//! Deterministic crash simulation.
+//!
+//! The recovery claim — *a `kill -9` at any instant loses nothing but the
+//! attempt in flight, and the restarted service converges to the
+//! bit-identical result* — is only worth making if it is tested at every
+//! kill point, not a sampled few. This module makes that cheap:
+//!
+//! * time is a `VirtualClock`, so restart backoffs cost nothing (the
+//!   evaluation guard always times against its own virtual clock — see
+//!   [`crate::supervisor::ServeConfig::watchdog`] — so the default
+//!   watchdog stays on and classifies injected stalls identically here
+//!   and in production);
+//! * the WAL runs `FsyncPolicy::Never` (the recovery path is what is
+//!   under test, not the disk);
+//! * kills are [`KillSpec`]s injected at the WAL append boundary, with
+//!   torn trailing writes at byte granularity;
+//! * one worker, so a simulated run is a pure function of (specs, kills).
+//!
+//! [`run_service`] plays a whole crash *schedule*: each kill spawns a
+//! fresh service incarnation over the same data directory (exactly a
+//! process restart after `kill -9`), and the final incarnation runs to
+//! completion. The crash-recovery suite sweeps `kills = [k]` for every
+//! `k` up to the uninterrupted record count and compares rendered
+//! summaries for equality.
+
+use crate::spec::CampaignSpec;
+use crate::supervisor::{ServeConfig, Service, ServiceSummary};
+use crate::wal::{FsyncPolicy, KillSpec, Wal, WAL_FILE_NAME};
+use crate::{Result, ServeError};
+use cets_core::VirtualClock;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The outcome of a simulated crash schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated kills that actually fired (a kill point beyond the end
+    /// of the run never trips).
+    pub crashes: usize,
+    /// Records in the WAL after the final (completed) incarnation.
+    pub records: usize,
+    /// Final service summary.
+    pub summary: ServiceSummary,
+}
+
+fn sim_config(data_dir: &Path, kill: Option<KillSpec>) -> ServeConfig {
+    ServeConfig {
+        spool_dir: None,
+        fsync: FsyncPolicy::Never,
+        workers: 1,
+        clock: Arc::new(VirtualClock::new()),
+        kill,
+        ..ServeConfig::new(data_dir.to_path_buf())
+    }
+}
+
+/// One service incarnation: open the directory (replaying whatever a
+/// previous incarnation left), submit any spec not yet in the log, and
+/// drain. Returns `Ok(Some(summary))` on completion, `Ok(None)` if the
+/// armed kill fired.
+fn incarnation(
+    data_dir: &Path,
+    specs: &[CampaignSpec],
+    kill: Option<KillSpec>,
+) -> Result<Option<ServiceSummary>> {
+    let mut svc = Service::open(sim_config(data_dir, kill))?;
+    for spec in specs {
+        if svc.state().campaign(&spec.id).is_none() {
+            match svc.submit(spec.clone()) {
+                Ok(()) => {}
+                Err(ServeError::SimulatedCrash { .. }) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    match svc.run_until_drained() {
+        Ok(summary) => Ok(Some(summary)),
+        Err(ServeError::SimulatedCrash { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Run `specs` to completion in `data_dir` under a crash schedule: the
+/// *i*-th incarnation dies per `kills[i]` (if it ever reaches that record
+/// count), and the incarnation after the schedule is exhausted runs
+/// uninterrupted.
+pub fn run_service(
+    data_dir: &Path,
+    specs: &[CampaignSpec],
+    kills: &[KillSpec],
+) -> Result<SimReport> {
+    let mut crashes = 0;
+    for kill in kills {
+        match incarnation(data_dir, specs, Some(*kill))? {
+            // Died as scheduled: next incarnation recovers.
+            None => crashes += 1,
+            // Kill point beyond the end of the run: already done.
+            Some(summary) => {
+                return Ok(SimReport {
+                    crashes,
+                    records: wal_records(data_dir)?,
+                    summary,
+                })
+            }
+        }
+    }
+    let summary = incarnation(data_dir, specs, None)?
+        .ok_or_else(|| ServeError::Corrupt("uninterrupted incarnation did not complete".into()))?;
+    Ok(SimReport {
+        crashes,
+        records: wal_records(data_dir)?,
+        summary,
+    })
+}
+
+/// Run `specs` with no kills at all — the golden trajectory interrupted
+/// runs are compared against.
+pub fn uninterrupted_baseline(data_dir: &Path, specs: &[CampaignSpec]) -> Result<SimReport> {
+    run_service(data_dir, specs, &[])
+}
+
+/// Count the valid records currently in a service directory's WAL.
+pub fn wal_records(data_dir: &Path) -> Result<usize> {
+    let (wal, _, _) = Wal::open(&data_dir.join(WAL_FILE_NAME), FsyncPolicy::Never)?;
+    Ok(wal.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cets_sim_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn specs() -> Vec<CampaignSpec> {
+        vec![
+            CampaignSpec {
+                max_evals: 5,
+                n_init: 3,
+                ..CampaignSpec::new("alpha", "sphere", 7)
+            },
+            CampaignSpec {
+                max_evals: 4,
+                n_init: 2,
+                stages: vec![vec!["x0".into(), "x1".into()], vec!["x2".into()]],
+                flaky_rate: 0.25,
+                max_retries: 1,
+                ..CampaignSpec::new("beta", "sphere", 21)
+            },
+        ]
+    }
+
+    #[test]
+    fn baseline_is_reproducible() {
+        let (da, db) = (tmp_dir("base_a"), tmp_dir("base_b"));
+        let a = uninterrupted_baseline(&da, &specs()).unwrap();
+        let b = uninterrupted_baseline(&db, &specs()).unwrap();
+        assert_eq!(a.summary.render(), b.summary.render());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.crashes, 0);
+        std::fs::remove_dir_all(&da).ok();
+        std::fs::remove_dir_all(&db).ok();
+    }
+
+    #[test]
+    fn killed_and_recovered_run_matches_baseline() {
+        let (da, db) = (tmp_dir("kill_a"), tmp_dir("kill_b"));
+        let baseline = uninterrupted_baseline(&da, &specs()).unwrap();
+        // Die twice — mid-run with a torn write, then a clean kill — and
+        // still converge to the identical summary.
+        let killed = run_service(
+            &db,
+            &specs(),
+            &[
+                KillSpec {
+                    after_records: baseline.records / 3,
+                    torn_bytes: 5,
+                },
+                KillSpec {
+                    after_records: 2 * baseline.records / 3,
+                    torn_bytes: 0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(killed.crashes, 2);
+        assert_eq!(killed.summary.render(), baseline.summary.render());
+        assert_eq!(killed.records, baseline.records);
+        std::fs::remove_dir_all(&da).ok();
+        std::fs::remove_dir_all(&db).ok();
+    }
+
+    #[test]
+    fn kill_beyond_the_end_never_fires() {
+        let d = tmp_dir("beyond");
+        let report = run_service(
+            &d,
+            &specs()[..1],
+            &[KillSpec {
+                after_records: 100_000,
+                torn_bytes: 0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(report.crashes, 0);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,397 @@
+//! Campaign specifications and the built-in objective registry.
+//!
+//! A campaign spec is the JSON job description dropped into the spool
+//! directory (or submitted programmatically). Syntactic validation is
+//! `cets_lint::validate_campaign` (the `C0xx` family); this module owns
+//! the typed struct, its (de)serialization, and the semantic step the
+//! lint layer cannot do — instantiating the objective and checking the
+//! stage parameters against its search space.
+//!
+//! The spec is embedded verbatim in the `CampaignSubmitted` WAL record,
+//! so recovery is independent of the spool: once accepted, a campaign is
+//! reconstructible from the log alone.
+
+use crate::{Result, ServeError};
+use cets_core::{Objective, Observation};
+use cets_space::{Config, ParamValue, SearchSpace};
+use cets_synthetic::{SyntheticCase, SyntheticFunction};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A tuning-campaign job description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Stable campaign id (`[A-Za-z0-9._-]{1,64}`): keys the WAL, dedupes
+    /// spool re-scans, names the campaign in summaries.
+    pub id: String,
+    /// Objective reference: `sphere` or `synthetic:1`..`synthetic:5`.
+    pub objective: String,
+    /// Master seed; every derived stream (LHS design, per-iteration RNG,
+    /// retry jitter, fault plan) is keyed off it.
+    pub seed: u64,
+    /// Evaluation budget **per stage** (including the initial design).
+    pub max_evals: usize,
+    /// Initial Latin-hypercube design size per stage.
+    pub n_init: usize,
+    /// Sequential parameter groups: each inner list is one search, its
+    /// best configuration folded into the defaults of later stages.
+    /// Empty ⇒ one stage over every parameter.
+    pub stages: Vec<Vec<String>>,
+    /// Injected failure probability (deterministic, config-keyed — see
+    /// `FaultPlan::flaky`); 0 disables fault injection.
+    pub flaky_rate: f64,
+    /// Retries per evaluation for transient failures.
+    pub max_retries: usize,
+}
+
+impl CampaignSpec {
+    /// A minimal spec with serve defaults (`n_init` 4, one stage over all
+    /// parameters, no faults, one retry).
+    pub fn new(id: impl Into<String>, objective: impl Into<String>, seed: u64) -> Self {
+        CampaignSpec {
+            id: id.into(),
+            objective: objective.into(),
+            seed,
+            max_evals: 10,
+            n_init: 4,
+            stages: Vec::new(),
+            flaky_rate: 0.0,
+            max_retries: 1,
+        }
+    }
+
+    /// The effective stage decomposition over `space`: the declared
+    /// stages, or one stage covering every parameter.
+    pub fn stage_params(&self, space: &SearchSpace) -> Vec<Vec<String>> {
+        if self.stages.is_empty() {
+            vec![space.names().iter().map(|n| n.to_string()).collect()]
+        } else {
+            self.stages.clone()
+        }
+    }
+
+    /// Number of stages (at least 1: empty `stages` means one stage over
+    /// every parameter).
+    pub fn n_stages(&self) -> usize {
+        if self.stages.is_empty() {
+            1
+        } else {
+            self.stages.len()
+        }
+    }
+
+    /// Full validation: the lint `C0xx` pass over the serialized form,
+    /// then objective instantiation and stage-parameter membership. The
+    /// error message carries the first diagnostic's code so rejections
+    /// are machine-greppable.
+    pub fn validate(&self) -> Result<()> {
+        let v = self.serialize();
+        let diags = cets_lint::validate_campaign(&v);
+        if let Some(d) = diags
+            .iter()
+            .find(|d| d.severity == cets_lint::Severity::Error)
+        {
+            return Err(ServeError::Spec(format!("{}: {}", d.code, d.message)));
+        }
+        let obj = build_objective(self)?;
+        let space = obj.space();
+        for (si, stage) in self.stages.iter().enumerate() {
+            for p in stage {
+                if !space.names().iter().any(|n| n == p) {
+                    return Err(ServeError::Spec(format!(
+                        "stage {si} references parameter `{p}` not present in objective \
+                         `{}`",
+                        self.objective
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for CampaignSpec {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), Value::String(self.id.clone())),
+            (
+                "objective".to_string(),
+                Value::String(self.objective.clone()),
+            ),
+            ("seed".to_string(), self.seed.serialize()),
+            ("max_evals".to_string(), self.max_evals.serialize()),
+            ("n_init".to_string(), self.n_init.serialize()),
+            ("flaky_rate".to_string(), self.flaky_rate.serialize()),
+            ("max_retries".to_string(), self.max_retries.serialize()),
+        ];
+        // Empty means "one stage over every parameter" and is spelled by
+        // *omitting* the field — the C004 rule rejects a literal `[]`.
+        if !self.stages.is_empty() {
+            fields.push(("stages".to_string(), self.stages.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for CampaignSpec {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        let id = String::deserialize(v.get_field("id")).map_err(|e| DeError(format!("id: {e}")))?;
+        let objective = String::deserialize(v.get_field("objective"))
+            .map_err(|e| DeError(format!("objective: {e}")))?;
+        let seed = v
+            .get_field("seed")
+            .as_u64()
+            .map_err(|e| DeError(format!("seed: {e}")))?;
+        let max_evals = v
+            .get_field("max_evals")
+            .as_u64()
+            .map_err(|e| DeError(format!("max_evals: {e}")))? as usize;
+        let n_init = match v.get_field("n_init") {
+            Value::Null => 4,
+            other => other
+                .as_u64()
+                .map_err(|e| DeError(format!("n_init: {e}")))? as usize,
+        };
+        let stages: Vec<Vec<String>> = match v.get_field("stages") {
+            Value::Null => Vec::new(),
+            other => {
+                Deserialize::deserialize(other).map_err(|e| DeError(format!("stages: {e}")))?
+            }
+        };
+        let flaky_rate = match v.get_field("flaky_rate") {
+            Value::Null => 0.0,
+            other => other
+                .as_f64()
+                .map_err(|e| DeError(format!("flaky_rate: {e}")))?,
+        };
+        let max_retries = match v.get_field("max_retries") {
+            Value::Null => 1,
+            other => other
+                .as_u64()
+                .map_err(|e| DeError(format!("max_retries: {e}")))? as usize,
+        };
+        Ok(CampaignSpec {
+            id,
+            objective,
+            seed,
+            max_evals,
+            n_init,
+            stages,
+            flaky_rate,
+            max_retries,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in objectives
+// ---------------------------------------------------------------------------
+
+/// The service's built-in demo objective: a separable sphere over three
+/// parameters in `[0, 4]` (minimum at the origin), with two routines
+/// `r0 = x0² + x1²` and `r1 = x2²`. Cheap, deterministic, and separable —
+/// the workhorse of the crash-simulation tests.
+#[derive(Debug)]
+pub struct SphereObjective {
+    space: SearchSpace,
+}
+
+impl SphereObjective {
+    /// Build the 3-parameter sphere.
+    pub fn new() -> Self {
+        SphereObjective {
+            space: SearchSpace::builder()
+                .real("x0", 0.0, 4.0)
+                .real("x1", 0.0, 4.0)
+                .real("x2", 0.0, 4.0)
+                .build(),
+        }
+    }
+}
+
+impl Default for SphereObjective {
+    fn default() -> Self {
+        SphereObjective::new()
+    }
+}
+
+impl Objective for SphereObjective {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+    fn routine_names(&self) -> Vec<String> {
+        vec!["r0".into(), "r1".into()]
+    }
+    fn evaluate(&self, cfg: &Config) -> Observation {
+        let (a, b, c) = (cfg[0].as_f64(), cfg[1].as_f64(), cfg[2].as_f64());
+        let (r0, r1) = (a * a + b * b, c * c);
+        Observation {
+            total: r0 + r1,
+            routines: vec![r0, r1],
+        }
+    }
+    fn default_config(&self) -> Config {
+        vec![
+            ParamValue::Real(1.0),
+            ParamValue::Real(1.0),
+            ParamValue::Real(1.0),
+        ]
+    }
+}
+
+/// A built-in objective instantiated from a spec reference.
+#[derive(Debug)]
+pub enum ServeObjective {
+    /// The demo sphere.
+    Sphere(SphereObjective),
+    /// One of the paper's five synthetic interdependence cases.
+    Synthetic(SyntheticFunction),
+}
+
+impl Objective for ServeObjective {
+    fn space(&self) -> &SearchSpace {
+        match self {
+            ServeObjective::Sphere(o) => o.space(),
+            ServeObjective::Synthetic(o) => o.space(),
+        }
+    }
+    fn routine_names(&self) -> Vec<String> {
+        match self {
+            ServeObjective::Sphere(o) => o.routine_names(),
+            ServeObjective::Synthetic(o) => o.routine_names(),
+        }
+    }
+    fn evaluate(&self, cfg: &Config) -> Observation {
+        match self {
+            ServeObjective::Sphere(o) => o.evaluate(cfg),
+            ServeObjective::Synthetic(o) => o.evaluate(cfg),
+        }
+    }
+    fn default_config(&self) -> Config {
+        match self {
+            ServeObjective::Sphere(o) => o.default_config(),
+            ServeObjective::Synthetic(o) => o.default_config(),
+        }
+    }
+    fn sample_valid(&self, rng: &mut dyn rand::Rng) -> Option<Config> {
+        match self {
+            ServeObjective::Sphere(o) => o.sample_valid(rng),
+            ServeObjective::Synthetic(o) => o.sample_valid(rng),
+        }
+    }
+}
+
+/// Instantiate the objective a spec references. The grammar mirrors
+/// `cets_lint::campaign::OBJECTIVE_FAMILIES`; anything the lint pass
+/// accepts instantiates here.
+pub fn build_objective(spec: &CampaignSpec) -> Result<ServeObjective> {
+    match spec.objective.as_str() {
+        "sphere" => Ok(ServeObjective::Sphere(SphereObjective::new())),
+        other => match other.split_once(':') {
+            Some(("synthetic", case)) => {
+                let n: usize = case.parse().map_err(|_| {
+                    ServeError::Spec(format!("bad synthetic case `{case}` in `{other}`"))
+                })?;
+                let case = *SyntheticCase::all()
+                    .get(n.wrapping_sub(1))
+                    .ok_or_else(|| ServeError::Spec(format!("synthetic case {n} outside 1..=5")))?;
+                Ok(ServeObjective::Synthetic(
+                    SyntheticFunction::new(case).with_seed(spec.seed),
+                ))
+            }
+            _ => Err(ServeError::Spec(format!(
+                "unknown objective `{}` (expected `sphere` or `synthetic:1`..`synthetic:5`)",
+                spec.objective
+            ))),
+        },
+    }
+}
+
+/// FNV-1a fingerprint of a full-space configuration, printed as
+/// `fnv1a:<16 hex digits>`. Bit-exact: reals hash their IEEE-754 bit
+/// patterns, so two configs hash equal iff they are identical to the last
+/// bit — this is the equality the CI `serve-chaos` gate compares across
+/// interrupted and uninterrupted runs.
+pub fn config_hash(cfg: &Config) -> String {
+    let mut bytes = Vec::with_capacity(cfg.len() * 9);
+    for p in cfg {
+        match p {
+            ParamValue::Real(x) => {
+                bytes.push(b'r');
+                bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            ParamValue::Int(i) => {
+                bytes.push(b'i');
+                bytes.extend_from_slice(&i.to_le_bytes());
+            }
+            ParamValue::Index(k) => {
+                bytes.push(b'k');
+                bytes.extend_from_slice(&(*k as u64).to_le_bytes());
+            }
+        }
+    }
+    format!("fnv1a:{:016x}", crate::wal::fnv1a(&bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::{from_str, to_string};
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = CampaignSpec {
+            stages: vec![vec!["x0".into(), "x1".into()], vec!["x2".into()]],
+            flaky_rate: 0.25,
+            max_retries: 2,
+            ..CampaignSpec::new("demo", "sphere", 7)
+        };
+        let json = to_string(&spec.serialize()).unwrap();
+        let back = CampaignSpec::deserialize(&from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn defaults_fill_in_for_missing_optional_fields() {
+        let v = from_str(r#"{"id":"m","objective":"sphere","seed":3,"max_evals":8}"#).unwrap();
+        let spec = CampaignSpec::deserialize(&v).unwrap();
+        assert_eq!(spec.n_init, 4);
+        assert!(spec.stages.is_empty());
+        assert_eq!(spec.flaky_rate, 0.0);
+        assert_eq!(spec.max_retries, 1);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_stage_param() {
+        let spec = CampaignSpec {
+            stages: vec![vec!["nope".into()]],
+            ..CampaignSpec::new("demo", "sphere", 7)
+        };
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_lint_errors_with_code() {
+        let spec = CampaignSpec::new("bad id!", "sphere", 7);
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("C001"), "{err}");
+    }
+
+    #[test]
+    fn objectives_instantiate_per_grammar() {
+        assert!(build_objective(&CampaignSpec::new("a", "sphere", 1)).is_ok());
+        for n in 1..=5 {
+            assert!(build_objective(&CampaignSpec::new("a", format!("synthetic:{n}"), 1)).is_ok());
+        }
+        assert!(build_objective(&CampaignSpec::new("a", "synthetic:6", 1)).is_err());
+        assert!(build_objective(&CampaignSpec::new("a", "nope", 1)).is_err());
+    }
+
+    #[test]
+    fn config_hash_is_bit_sensitive() {
+        let a = vec![ParamValue::Real(1.0), ParamValue::Int(3)];
+        let b = vec![ParamValue::Real(1.0 + f64::EPSILON), ParamValue::Int(3)];
+        assert_eq!(config_hash(&a), config_hash(&a));
+        assert_ne!(config_hash(&a), config_hash(&b));
+    }
+}

@@ -1,0 +1,762 @@
+//! The service write-ahead log.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! CETSWAL1                              8-byte magic, written at creation
+//! [u32 LE payload length]               per record
+//! [u64 LE FNV-1a of payload]
+//! [payload: one JSON object]
+//! ...
+//! ```
+//!
+//! Payloads are single-key JSON objects (`{"eval_completed": {...}}`) via
+//! the vendored serde facade, whose float formatting is shortest-roundtrip
+//! — values survive the log **bit-exactly**, which is what makes WAL
+//! replay equivalent to in-memory history.
+//!
+//! ## Recovery semantics
+//!
+//! [`read_frames`] scans the log and stops at the first bad frame — a
+//! truncated header, a length pointing past the end of the file (torn
+//! tail), a checksum mismatch (bit-flip), an oversized length, or an
+//! unparseable payload. Everything before the bad frame is returned as
+//! the valid prefix; nothing after it is trusted ("never fabricates a
+//! record"). [`Wal::open`] then *repairs* the file by truncating to the
+//! valid prefix before appending anything new, so a torn tail cannot
+//! corrupt later appends.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy::Always`] calls `sync_data` after every append: a record
+//! returned as durable survives `kill -9` and power loss. `Never` leaves
+//! flushing to the OS — faster, still crash-consistent (the reader
+//! truncates at the torn tail), but the last few records may be lost on
+//! power failure. Tests use `Never` plus [`KillSpec`] to simulate both.
+
+use crate::spec::CampaignSpec;
+use crate::{Result, ServeError};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Log file magic: identifies the format and its version.
+pub const WAL_MAGIC: &[u8; 8] = b"CETSWAL1";
+
+/// Conventional WAL file name inside a service data directory.
+pub const WAL_FILE_NAME: &str = "wal.log";
+
+/// Hard cap on a single record payload; a length beyond this is corruption,
+/// not a record.
+pub const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Bytes of frame header before the payload (length + checksum).
+const FRAME_HEADER: usize = 4 + 8;
+
+/// FNV-1a 64-bit hash (the WAL record checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `sync_data` after every append: durable against power loss.
+    Always,
+    /// Leave flushing to the OS: crash-consistent but the tail may be
+    /// lost on power failure. Used by tests and simulation.
+    Never,
+}
+
+/// A simulated process kill, injected at the WAL append boundary.
+///
+/// When the log holds `after_records` records and the next append
+/// arrives, the WAL writes only the first `torn_bytes` bytes of the new
+/// frame (simulating a write torn mid-frame by the crash) and returns
+/// [`ServeError::SimulatedCrash`]. Every subsequent append also fails, so
+/// the whole service winds down exactly as if the process had died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Kill once this many records are durable.
+    pub after_records: usize,
+    /// Bytes of the next frame that land on disk before "death" (torn
+    /// write). 0 = clean kill at the record boundary.
+    pub torn_bytes: usize,
+}
+
+/// One durable service event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A campaign passed intake validation; the spec is embedded so
+    /// recovery never needs the spool file again.
+    CampaignSubmitted {
+        /// The accepted job description.
+        spec: CampaignSpec,
+    },
+    /// A spool file failed validation (keyed by file name: re-scans skip
+    /// it without re-validating).
+    SpoolRejected {
+        /// Spool file name (not path).
+        file: String,
+        /// First validation error.
+        reason: String,
+    },
+    /// One successful evaluation attempt of a campaign stage.
+    EvalCompleted {
+        /// Campaign id.
+        id: String,
+        /// Stage ordinal the attempt belongs to.
+        stage: usize,
+        /// Attempt ordinal within the stage (dense, 0-based).
+        idx: usize,
+        /// Active-space unit point evaluated.
+        u: Vec<f64>,
+        /// Observed objective total.
+        y: f64,
+    },
+    /// One failed evaluation attempt (after any retries).
+    EvalFailed {
+        /// Campaign id.
+        id: String,
+        /// Stage ordinal the attempt belongs to.
+        stage: usize,
+        /// Attempt ordinal within the stage (dense, 0-based).
+        idx: usize,
+        /// Active-space unit point attempted.
+        u: Vec<f64>,
+        /// Stable failure-kind tag (`FailureKind::as_str`).
+        kind: String,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// A stage completed; its best configuration folds into the defaults
+    /// of every later stage.
+    StageAdvanced {
+        /// Campaign id.
+        id: String,
+        /// The stage that finished (0-based).
+        stage: usize,
+    },
+    /// The supervisor restarted a campaign after a campaign-level error.
+    CampaignRestarted {
+        /// Campaign id.
+        id: String,
+        /// Restart ordinal (1-based).
+        attempt: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// All stages finished.
+    CampaignFinished {
+        /// Campaign id.
+        id: String,
+        /// Best observed objective value across all stages.
+        best_value: f64,
+        /// [`crate::spec::config_hash`] of the final folded configuration.
+        config_hash: String,
+    },
+    /// The campaign exhausted its restart budget.
+    CampaignFailed {
+        /// Campaign id.
+        id: String,
+        /// Terminal error description.
+        reason: String,
+    },
+}
+
+impl WalRecord {
+    /// The campaign id this record belongs to, if any.
+    pub fn campaign_id(&self) -> Option<&str> {
+        match self {
+            WalRecord::CampaignSubmitted { spec } => Some(&spec.id),
+            WalRecord::SpoolRejected { .. } => None,
+            WalRecord::EvalCompleted { id, .. }
+            | WalRecord::EvalFailed { id, .. }
+            | WalRecord::StageAdvanced { id, .. }
+            | WalRecord::CampaignRestarted { id, .. }
+            | WalRecord::CampaignFinished { id, .. }
+            | WalRecord::CampaignFailed { id, .. } => Some(id),
+        }
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl Serialize for WalRecord {
+    fn serialize(&self) -> Value {
+        let (tag, body) = match self {
+            WalRecord::CampaignSubmitted { spec } => {
+                ("campaign_submitted", obj(vec![("spec", spec.serialize())]))
+            }
+            WalRecord::SpoolRejected { file, reason } => (
+                "spool_rejected",
+                obj(vec![
+                    ("file", Value::String(file.clone())),
+                    ("reason", Value::String(reason.clone())),
+                ]),
+            ),
+            WalRecord::EvalCompleted {
+                id,
+                stage,
+                idx,
+                u,
+                y,
+            } => (
+                "eval_completed",
+                obj(vec![
+                    ("id", Value::String(id.clone())),
+                    ("stage", stage.serialize()),
+                    ("idx", idx.serialize()),
+                    ("u", u.serialize()),
+                    ("y", y.serialize()),
+                ]),
+            ),
+            WalRecord::EvalFailed {
+                id,
+                stage,
+                idx,
+                u,
+                kind,
+                message,
+            } => (
+                "eval_failed",
+                obj(vec![
+                    ("id", Value::String(id.clone())),
+                    ("stage", stage.serialize()),
+                    ("idx", idx.serialize()),
+                    ("u", u.serialize()),
+                    ("kind", Value::String(kind.clone())),
+                    ("message", Value::String(message.clone())),
+                ]),
+            ),
+            WalRecord::StageAdvanced { id, stage } => (
+                "stage_advanced",
+                obj(vec![
+                    ("id", Value::String(id.clone())),
+                    ("stage", stage.serialize()),
+                ]),
+            ),
+            WalRecord::CampaignRestarted {
+                id,
+                attempt,
+                reason,
+            } => (
+                "campaign_restarted",
+                obj(vec![
+                    ("id", Value::String(id.clone())),
+                    ("attempt", attempt.serialize()),
+                    ("reason", Value::String(reason.clone())),
+                ]),
+            ),
+            WalRecord::CampaignFinished {
+                id,
+                best_value,
+                config_hash,
+            } => (
+                "campaign_finished",
+                obj(vec![
+                    ("id", Value::String(id.clone())),
+                    ("best_value", best_value.serialize()),
+                    ("config_hash", Value::String(config_hash.clone())),
+                ]),
+            ),
+            WalRecord::CampaignFailed { id, reason } => (
+                "campaign_failed",
+                obj(vec![
+                    ("id", Value::String(id.clone())),
+                    ("reason", Value::String(reason.clone())),
+                ]),
+            ),
+        };
+        Value::Object(vec![(tag.to_string(), body)])
+    }
+}
+
+impl Deserialize for WalRecord {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        let (tag, body) = v.as_variant()?;
+        let s = |field: &str| -> std::result::Result<String, DeError> {
+            String::deserialize(body.get_field(field))
+                .map_err(|e| DeError(format!("{tag}.{field}: {e}")))
+        };
+        let n = |field: &str| -> std::result::Result<usize, DeError> {
+            body.get_field(field)
+                .as_u64()
+                .map(|x| x as usize)
+                .map_err(|e| DeError(format!("{tag}.{field}: {e}")))
+        };
+        let f = |field: &str| -> std::result::Result<f64, DeError> {
+            let x = body
+                .get_field(field)
+                .as_f64()
+                .map_err(|e| DeError(format!("{tag}.{field}: {e}")))?;
+            if x.is_nan() && matches!(body.get_field(field), Value::Null) {
+                return Err(DeError(format!("{tag}.{field}: missing")));
+            }
+            Ok(x)
+        };
+        match tag {
+            "campaign_submitted" => Ok(WalRecord::CampaignSubmitted {
+                spec: CampaignSpec::deserialize(body.get_field("spec"))
+                    .map_err(|e| DeError(format!("{tag}.spec: {e}")))?,
+            }),
+            "spool_rejected" => Ok(WalRecord::SpoolRejected {
+                file: s("file")?,
+                reason: s("reason")?,
+            }),
+            "eval_completed" => Ok(WalRecord::EvalCompleted {
+                id: s("id")?,
+                stage: n("stage")?,
+                idx: n("idx")?,
+                u: Deserialize::deserialize(body.get_field("u"))
+                    .map_err(|e| DeError(format!("{tag}.u: {e}")))?,
+                y: f("y")?,
+            }),
+            "eval_failed" => Ok(WalRecord::EvalFailed {
+                id: s("id")?,
+                stage: n("stage")?,
+                idx: n("idx")?,
+                u: Deserialize::deserialize(body.get_field("u"))
+                    .map_err(|e| DeError(format!("{tag}.u: {e}")))?,
+                kind: s("kind")?,
+                message: s("message")?,
+            }),
+            "stage_advanced" => Ok(WalRecord::StageAdvanced {
+                id: s("id")?,
+                stage: n("stage")?,
+            }),
+            "campaign_restarted" => Ok(WalRecord::CampaignRestarted {
+                id: s("id")?,
+                attempt: n("attempt")?,
+                reason: s("reason")?,
+            }),
+            "campaign_finished" => Ok(WalRecord::CampaignFinished {
+                id: s("id")?,
+                best_value: f("best_value")?,
+                config_hash: s("config_hash")?,
+            }),
+            "campaign_failed" => Ok(WalRecord::CampaignFailed {
+                id: s("id")?,
+                reason: s("reason")?,
+            }),
+            other => Err(DeError(format!("unknown WAL record type `{other}`"))),
+        }
+    }
+}
+
+/// Encode one record as a framed byte sequence (header + JSON payload).
+pub fn encode_frame(rec: &WalRecord) -> Result<Vec<u8>> {
+    let payload = serde_json::to_string(&rec.serialize())
+        .map_err(|e| ServeError::Io(format!("encode WAL record: {e}")))?;
+    let payload = payload.as_bytes();
+    if payload.len() > MAX_RECORD_LEN as usize {
+        return Err(ServeError::Io(format!(
+            "record payload of {} bytes exceeds the {MAX_RECORD_LEN}-byte cap",
+            payload.len()
+        )));
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+/// What the recovery reader found in a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records in the valid prefix.
+    pub records: usize,
+    /// Byte length of the valid prefix (including the magic).
+    pub valid_bytes: u64,
+    /// Why scanning stopped before the end of the file, if it did. The
+    /// bytes past `valid_bytes` are untrusted and are truncated away by
+    /// [`Wal::open`].
+    pub truncated: Option<String>,
+}
+
+/// Decode every valid record from raw log bytes (magic included),
+/// stopping at the first torn or corrupt frame. Pure function of the
+/// bytes — the WAL-robustness proptests drive it directly.
+pub fn read_frames(bytes: &[u8]) -> Result<(Vec<WalRecord>, RecoveryReport)> {
+    if bytes.len() < WAL_MAGIC.len() {
+        // A file created but killed before the magic landed: treat as
+        // empty and let `Wal::open` re-initialize it.
+        return Ok((
+            Vec::new(),
+            RecoveryReport {
+                records: 0,
+                valid_bytes: 0,
+                truncated: (!bytes.is_empty()).then(|| "incomplete file magic".to_string()),
+            },
+        ));
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        // A complete-but-wrong magic is a foreign file, not a torn tail:
+        // refuse to touch it.
+        return Err(ServeError::Corrupt(
+            "file magic mismatch: not a CETS WAL (refusing to repair or append)".into(),
+        ));
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    let mut truncated = None;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < FRAME_HEADER {
+            truncated = Some(format!("torn frame header at byte {pos}"));
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_RECORD_LEN as usize {
+            truncated = Some(format!(
+                "frame length {len} at byte {pos} exceeds the record cap"
+            ));
+            break;
+        }
+        if rest.len() < FRAME_HEADER + len {
+            truncated = Some(format!("torn payload at byte {pos}"));
+            break;
+        }
+        let stored = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        if fnv1a(payload) != stored {
+            truncated = Some(format!("checksum mismatch at byte {pos}"));
+            break;
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                truncated = Some(format!("non-UTF-8 payload at byte {pos}"));
+                break;
+            }
+        };
+        let value: Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => {
+                truncated = Some(format!("unparseable payload at byte {pos}: {e}"));
+                break;
+            }
+        };
+        match WalRecord::deserialize(&value) {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                truncated = Some(format!("undecodable record at byte {pos}: {e}"));
+                break;
+            }
+        }
+        pos += FRAME_HEADER + len;
+    }
+    let n = records.len();
+    Ok((
+        records,
+        RecoveryReport {
+            records: n,
+            valid_bytes: pos as u64,
+            truncated,
+        },
+    ))
+}
+
+/// The append-side handle on a service log.
+#[derive(Debug)]
+pub struct Wal {
+    file: std::fs::File,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    /// Valid records currently in the file.
+    total: usize,
+    kill: Option<KillSpec>,
+    kill_tripped: bool,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, repairing any torn tail:
+    /// returns the handle positioned for append, the valid record prefix,
+    /// and the recovery report. Refuses files whose magic is not a CETS
+    /// WAL.
+    pub fn open(path: &Path, fsync: FsyncPolicy) -> Result<(Wal, Vec<WalRecord>, RecoveryReport)> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(ServeError::Io(format!("read {}: {e}", path.display()))),
+        };
+        let (records, mut report) = read_frames(&bytes)?;
+        let io = |e: std::io::Error| ServeError::Io(format!("{}: {e}", path.display()));
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io)?;
+        if report.valid_bytes == 0 {
+            // Fresh (or pre-magic-torn) file: (re)write the magic.
+            file.set_len(0).map_err(io)?;
+            file.write_all(WAL_MAGIC).map_err(io)?;
+            file.sync_all().map_err(io)?;
+            report.valid_bytes = WAL_MAGIC.len() as u64;
+        } else if (bytes.len() as u64) > report.valid_bytes {
+            // Repair: drop the torn/corrupt tail so later appends start
+            // at a record boundary.
+            file.set_len(report.valid_bytes).map_err(io)?;
+            file.sync_all().map_err(io)?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(io)?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            fsync,
+            total: records.len(),
+            kill: None,
+            kill_tripped: false,
+        };
+        Ok((wal, records, report))
+    }
+
+    /// Arm a simulated process kill (see [`KillSpec`]).
+    pub fn with_kill(mut self, kill: Option<KillSpec>) -> Self {
+        self.kill = kill;
+        self
+    }
+
+    /// Has the armed [`KillSpec`] fired?
+    pub fn kill_tripped(&self) -> bool {
+        self.kill_tripped
+    }
+
+    /// Valid records currently in the log.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Append one record durably (per the fsync policy). Returns the
+    /// record's ordinal in the log.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<usize> {
+        if self.kill_tripped {
+            return Err(ServeError::SimulatedCrash {
+                records: self.total,
+            });
+        }
+        let frame = encode_frame(rec)?;
+        let io = |e: std::io::Error| ServeError::Io(format!("{}: {e}", self.path.display()));
+        if let Some(kill) = self.kill {
+            if self.total >= kill.after_records {
+                // Simulated death mid-append: the first `torn_bytes` of
+                // the frame land, the rest never will.
+                let torn = kill.torn_bytes.min(frame.len());
+                self.file.write_all(&frame[..torn]).map_err(io)?;
+                self.file.flush().map_err(io)?;
+                self.kill_tripped = true;
+                return Err(ServeError::SimulatedCrash {
+                    records: self.total,
+                });
+            }
+        }
+        self.file.write_all(&frame).map_err(io)?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data().map_err(io)?;
+        }
+        self.total += 1;
+        Ok(self.total - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cets_wal_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CampaignSubmitted {
+                spec: CampaignSpec::new("c1", "sphere", 7),
+            },
+            WalRecord::EvalCompleted {
+                id: "c1".into(),
+                stage: 0,
+                idx: 0,
+                u: vec![0.125, 0.75, 0.5],
+                y: 2.625,
+            },
+            WalRecord::EvalFailed {
+                id: "c1".into(),
+                stage: 0,
+                idx: 1,
+                u: vec![0.1, 0.2, 0.3],
+                kind: "crashed".into(),
+                message: "boom".into(),
+            },
+            WalRecord::StageAdvanced {
+                id: "c1".into(),
+                stage: 0,
+            },
+            WalRecord::CampaignRestarted {
+                id: "c1".into(),
+                attempt: 1,
+                reason: "stalled".into(),
+            },
+            WalRecord::CampaignFinished {
+                id: "c1".into(),
+                best_value: 2.625,
+                config_hash: "fnv1a:0123456789abcdef".into(),
+            },
+            WalRecord::CampaignFailed {
+                id: "c1".into(),
+                reason: "restart budget exhausted".into(),
+            },
+            WalRecord::SpoolRejected {
+                file: "bad.json".into(),
+                reason: "C001: missing id".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_reopen_roundtrips_every_record_type() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(WAL_FILE_NAME);
+        std::fs::remove_file(&path).ok();
+        let recs = sample_records();
+        {
+            let (mut wal, existing, _) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+            assert!(existing.is_empty());
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+        }
+        let (wal, back, report) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(wal.len(), recs.len());
+        assert!(report.truncated.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_append_continues() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(WAL_FILE_NAME);
+        std::fs::remove_file(&path).ok();
+        let recs = sample_records();
+        {
+            let (mut wal, _, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            for r in &recs[..3] {
+                wal.append(r).unwrap();
+            }
+        }
+        // Tear the file mid-frame, then append after reopening.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut torn = bytes.clone();
+        torn.extend_from_slice(&42u32.to_le_bytes()); // header fragment
+        std::fs::write(&path, &torn).unwrap();
+        {
+            let (mut wal, back, report) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            assert_eq!(back, recs[..3]);
+            assert!(report.truncated.is_some());
+            wal.append(&recs[3]).unwrap();
+        }
+        let (_, finals, report) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(finals, recs[..4]);
+        assert!(report.truncated.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_truncates_from_the_flipped_record() {
+        let dir = tmp_dir("bitflip");
+        let path = dir.join(WAL_FILE_NAME);
+        std::fs::remove_file(&path).ok();
+        let recs = sample_records();
+        {
+            let (mut wal, _, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit inside the third record's payload.
+        let (_, clean) = {
+            let (r, rep) = read_frames(&bytes).unwrap();
+            (r, rep)
+        };
+        assert!(clean.truncated.is_none());
+        let flip_at = bytes.len() / 2;
+        bytes[flip_at] ^= 0x10;
+        let (prefix, report) = read_frames(&bytes).unwrap();
+        assert!(report.truncated.is_some());
+        assert!(prefix.len() < recs.len());
+        assert_eq!(prefix, recs[..prefix.len()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_file_refused_not_clobbered() {
+        let dir = tmp_dir("foreign");
+        let path = dir.join(WAL_FILE_NAME);
+        std::fs::write(&path, b"definitely not a WAL file").unwrap();
+        assert!(matches!(
+            Wal::open(&path, FsyncPolicy::Never),
+            Err(ServeError::Corrupt(_))
+        ));
+        // Untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a WAL file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_spec_tears_the_frame_and_poisons_the_handle() {
+        let dir = tmp_dir("kill");
+        let path = dir.join(WAL_FILE_NAME);
+        std::fs::remove_file(&path).ok();
+        let recs = sample_records();
+        let (wal, _, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let mut wal = wal.with_kill(Some(KillSpec {
+            after_records: 2,
+            torn_bytes: 7,
+        }));
+        wal.append(&recs[0]).unwrap();
+        wal.append(&recs[1]).unwrap();
+        assert!(matches!(
+            wal.append(&recs[2]),
+            Err(ServeError::SimulatedCrash { records: 2 })
+        ));
+        assert!(wal.kill_tripped());
+        // Poisoned: later appends die too.
+        assert!(matches!(
+            wal.append(&recs[3]),
+            Err(ServeError::SimulatedCrash { .. })
+        ));
+        drop(wal);
+        // Recovery sees exactly the 2 durable records and repairs the tear.
+        let (wal2, back, report) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(back, recs[..2]);
+        assert!(report.truncated.is_some());
+        assert_eq!(wal2.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! The crash-recovery acceptance sweep.
+//!
+//! Runs a 3-campaign service (one single-stage, one staged, one staged +
+//! fault-injected) to completion uninterrupted, then replays the same
+//! submission killing the process at **every** record count `k` from 0 to
+//! the final log length — with the torn-write length varied by `k` so
+//! clean kills, torn headers, and torn payloads are all exercised — and
+//! asserts the recovered service converges to the bit-identical summary:
+//! same phases, same best values (IEEE-754 bit-equal via `{:?}`
+//! rendering), same final configuration hashes, same attempt counts.
+//!
+//! This is the whole durability contract in one test: *there is no record
+//! count at which dying loses more than the attempt in flight.*
+
+use cets_serve::sim::{run_service, uninterrupted_baseline};
+use cets_serve::spec::CampaignSpec;
+use cets_serve::wal::KillSpec;
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cets_sweep_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn three_campaigns() -> Vec<CampaignSpec> {
+    vec![
+        // Single stage over every parameter, clean.
+        CampaignSpec {
+            max_evals: 5,
+            n_init: 3,
+            ..CampaignSpec::new("plain", "sphere", 7)
+        },
+        // Two stages, the first stage's best folded into the second.
+        CampaignSpec {
+            max_evals: 4,
+            n_init: 2,
+            stages: vec![vec!["x0".into(), "x1".into()], vec!["x2".into()]],
+            ..CampaignSpec::new("staged", "sphere", 19)
+        },
+        // Staged + deterministic fault injection + retries: the stream
+        // carries EvalFailed records and retry decisions too.
+        CampaignSpec {
+            max_evals: 4,
+            n_init: 2,
+            stages: vec![vec!["x2".into()], vec!["x0".into(), "x1".into()]],
+            flaky_rate: 0.3,
+            max_retries: 1,
+            ..CampaignSpec::new("shaky", "sphere", 42)
+        },
+    ]
+}
+
+#[test]
+fn kill_at_every_record_recovers_bit_identically() {
+    let base_dir = tmp_dir("baseline");
+    let baseline = uninterrupted_baseline(&base_dir, &three_campaigns()).unwrap();
+    let golden = baseline.summary.render();
+    assert!(
+        baseline.records > 20,
+        "baseline too short to be a meaningful sweep: {} records",
+        baseline.records
+    );
+    // Sanity on the golden run itself.
+    assert!(
+        golden.contains("campaign plain phase=completed"),
+        "{golden}"
+    );
+    assert!(golden.contains("campaign shaky phase=degraded"), "{golden}");
+
+    for k in 0..baseline.records {
+        let dir = tmp_dir(&format!("kill_{k}"));
+        // Vary the tear across the sweep: clean kill, torn length field,
+        // torn checksum, torn payload.
+        let kill = KillSpec {
+            after_records: k,
+            torn_bytes: k % 17,
+        };
+        let report = run_service(&dir, &three_campaigns(), &[kill]).unwrap();
+        assert_eq!(report.crashes, 1, "kill at {k} did not fire");
+        assert_eq!(
+            report.summary.render(),
+            golden,
+            "divergence after kill at record {k}"
+        );
+        assert_eq!(
+            report.records, baseline.records,
+            "replayed evaluations after kill at record {k}: log lengths differ"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&base_dir).ok();
+}
+
+#[test]
+fn double_kill_with_recovery_between_still_converges() {
+    let base_dir = tmp_dir("dbl_baseline");
+    let baseline = uninterrupted_baseline(&base_dir, &three_campaigns()).unwrap();
+    let golden = baseline.summary.render();
+    // Crash during recovery-of-a-crash: the second incarnation dies
+    // further into the log than the first.
+    for (k1, k2) in [(3, 9), (10, 25), (5, 6)] {
+        let dir = tmp_dir(&format!("dbl_{k1}_{k2}"));
+        let report = run_service(
+            &dir,
+            &three_campaigns(),
+            &[
+                KillSpec {
+                    after_records: k1,
+                    torn_bytes: 3,
+                },
+                KillSpec {
+                    after_records: k2,
+                    torn_bytes: 0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.crashes, 2);
+        assert_eq!(
+            report.summary.render(),
+            golden,
+            "divergence after kills at {k1} then {k2}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&base_dir).ok();
+}

@@ -157,9 +157,12 @@ impl RandomForest {
                     });
                 }
             })
-            .expect("forest worker panicked");
+            .map_err(|_| StatsError::Worker("forest worker panicked".into()))?;
         }
-        let trees: Vec<Tree> = trees.into_iter().map(|t| t.expect("tree grown")).collect();
+        let trees: Vec<Tree> = trees
+            .into_iter()
+            .map(|t| t.ok_or_else(|| StatsError::Worker("tree slot left unfilled".into())))
+            .collect::<Result<_>>()?;
 
         // Impurity importances: average over trees, normalize to sum 1.
         let mut importances = vec![0.0; d];

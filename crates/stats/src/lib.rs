@@ -41,6 +41,8 @@ pub enum StatsError {
     NotEnoughData { needed: usize, got: usize },
     /// A numeric degenerate case (zero variance, zero baseline...).
     Degenerate(String),
+    /// A parallel worker died (panic in a scoped thread).
+    Worker(String),
 }
 
 impl std::fmt::Display for StatsError {
@@ -51,6 +53,7 @@ impl std::fmt::Display for StatsError {
                 write!(f, "not enough data: needed {needed}, got {got}")
             }
             StatsError::Degenerate(m) => write!(f, "degenerate input: {m}"),
+            StatsError::Worker(m) => write!(f, "worker failure: {m}"),
         }
     }
 }

@@ -5,6 +5,8 @@
 //!                [--gp-tier auto|exact|sparse|auto:N] [--inducing m]
 //! cets tddft --case 1 [--cutoff 0.10] [--evals-per-dim 10] [--seed 0] [--report out.md]
 //!                    [--db out.json] [--gp-tier auto|exact|sparse|auto:N] [--inducing m]
+//! cets serve --data <dir> [--spool <dir>] [--fsync always|never] [--max-restarts n]
+//!            [--sim-kill-at k[:torn]] [--threads n]
 //! cets lint <plan.json> [--format human|json|sarif] [--deny-warnings]
 //! cets analyze <plan.json> [--format human|json|sarif] [--deny-warnings]
 //!                          [--domain interval|octagon|product] [--contract [out.json]]
@@ -33,6 +35,16 @@
 //! file when the flag is given a path — while the report moves to stderr.
 //! `cets analyze --explain <CODE>` prints the reference entry for any
 //! diagnostic code without needing a plan file.
+//!
+//! `cets serve` runs the durable campaign service: it opens (or recovers)
+//! the write-ahead log under `--data`, ingests any JSON campaign specs
+//! from the `--spool` directory, drives every open campaign to a terminal
+//! state, prints the summary, and exits. Killing the process at any
+//! moment — `kill -9` included — loses at most the evaluation in flight:
+//! re-running the same command replays the log and continues every
+//! campaign bit-for-bit. Exit codes: 0 all campaigns succeeded, 1 some
+//! campaign failed terminally, 2 usage or state error, 3 a simulated kill
+//! (`--sim-kill-at`, testing only) fired.
 
 use cets::core::{
     render_markdown, BoConfig, FaultPlan, FaultyObjective, Methodology, MethodologyConfig,
@@ -95,6 +107,7 @@ fn usage() {
     eprintln!("  cets tddft     --case <1|2>  [options]   tune the RT-TDDFT simulator");
     eprintln!("  cets lint      <plan.json>   [options]   statically validate a plan bundle");
     eprintln!("  cets analyze   <plan.json>   [options]   lint + interval feasibility analysis");
+    eprintln!("  cets serve     --data <dir>  [options]   run the durable campaign service");
     eprintln!();
     eprintln!("OPTIONS:");
     eprintln!("  --cutoff <f>         influence cut-off (default: 0.25 synthetic, 0.10 tddft)");
@@ -129,6 +142,18 @@ fn usage() {
     eprintln!("                               categorical options pruned");
     eprintln!("  --explain <CODE>             (analyze) print the reference entry for a");
     eprintln!("                               diagnostic code (S/G/N/A) and exit");
+    eprintln!();
+    eprintln!("SERVE OPTIONS:");
+    eprintln!("  --data <dir>                 service directory (holds the write-ahead log);");
+    eprintln!("                               reopening it recovers every campaign bit-for-bit");
+    eprintln!("  --spool <dir>                ingest campaign specs (*.json) from a spool");
+    eprintln!("                               directory; files are never modified or removed");
+    eprintln!("  --fsync <always|never>       WAL durability (default always: every record is");
+    eprintln!("                               synced before the evaluation result is used)");
+    eprintln!("  --max-restarts <n>           per-campaign restart budget (default 2)");
+    eprintln!("  --sim-kill-at <k[:torn]>     (testing) simulate a process kill once the WAL");
+    eprintln!("                               holds k records, tearing the next write after");
+    eprintln!("                               `torn` bytes; exits with code 3");
 }
 
 fn run_pipeline<O: Objective>(
@@ -484,6 +509,101 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
+            }
+        }
+        "serve" => {
+            let Some(data) = args.get_str("data") else {
+                eprintln!(
+                    "usage: cets serve --data <dir> [--spool <dir>] [--fsync always|never] \
+                     [--max-restarts n] [--sim-kill-at k[:torn]]"
+                );
+                return ExitCode::from(2);
+            };
+            let fsync = match args.get_str("fsync").unwrap_or("always") {
+                "always" => cets::serve::FsyncPolicy::Always,
+                "never" => cets::serve::FsyncPolicy::Never,
+                other => {
+                    eprintln!("--fsync must be `always` or `never`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            };
+            let kill = match args.get_str("sim-kill-at") {
+                None => None,
+                Some(v) => {
+                    let (k, torn) = match v.split_once(':') {
+                        Some((k, t)) => (k.parse::<usize>(), t.parse::<usize>()),
+                        None => (v.parse::<usize>(), Ok(0)),
+                    };
+                    match (k, torn) {
+                        (Ok(after_records), Ok(torn_bytes)) => Some(cets::serve::KillSpec {
+                            after_records,
+                            torn_bytes,
+                        }),
+                        _ => {
+                            eprintln!("--sim-kill-at must be <k> or <k:torn>, got {v:?}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            };
+            let mut config = cets::serve::ServeConfig::new(data);
+            config.spool_dir = args.get_str("spool").map(std::path::PathBuf::from);
+            config.fsync = fsync;
+            config.restart.max_restarts = args.get("max-restarts", 2);
+            config.kill = kill;
+            // Injected faults and contained panics are expected service
+            // traffic; keep the default hook from spamming backtraces.
+            std::panic::set_hook(Box::new(|_| {}));
+            let mut svc = match cets::serve::Service::open(config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error opening service: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Some(reason) = &svc.recovery.truncated {
+                eprintln!("wal: repaired torn tail ({reason})");
+            }
+            eprintln!(
+                "wal: recovered {} records, {} campaigns",
+                svc.recovery.records,
+                svc.state().campaigns.len()
+            );
+            match svc.intake_spool() {
+                Ok((accepted, rejected)) => {
+                    if accepted + rejected > 0 {
+                        eprintln!("spool: accepted {accepted}, rejected {rejected}");
+                    }
+                }
+                // A simulated kill can fire while logging the intake
+                // itself — same exit code as a kill mid-campaign, so the
+                // chaos matrix can sweep every record count uniformly.
+                Err(cets::serve::ServeError::SimulatedCrash { records }) => {
+                    eprintln!("simulated kill fired with {records} records durable");
+                    return ExitCode::from(3);
+                }
+                Err(e) => {
+                    eprintln!("error scanning spool: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            match svc.run_until_drained() {
+                Ok(summary) => {
+                    print!("{}", summary.render());
+                    if summary.any_failed() {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(cets::serve::ServeError::SimulatedCrash { records }) => {
+                    eprintln!("simulated kill fired with {records} records durable");
+                    ExitCode::from(3)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
             }
         }
         "help" | "--help" | "-h" => {

@@ -13,6 +13,7 @@ pub use cets_gp as gp;
 pub use cets_graph as graph;
 pub use cets_linalg as linalg;
 pub use cets_lint as lint;
+pub use cets_serve as serve;
 pub use cets_space as space;
 pub use cets_stats as stats;
 pub use cets_stencil as stencil;

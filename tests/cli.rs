@@ -306,3 +306,117 @@ fn analyze_rejects_unknown_format() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --format"));
 }
+
+// ---------------------------------------------------------------------------
+// cets serve
+// ---------------------------------------------------------------------------
+
+fn serve_dirs(name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+    let root = std::env::temp_dir().join(format!("cets_cli_serve_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let spool = root.join("spool");
+    std::fs::create_dir_all(&spool).unwrap();
+    std::fs::write(
+        spool.join("alpha.json"),
+        r#"{"id":"alpha","objective":"sphere","seed":7,"max_evals":5,"n_init":3}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        spool.join("bad.json"),
+        r#"{"id":"nope","objective":"warp-drive","seed":1,"max_evals":4}"#,
+    )
+    .unwrap();
+    (root.join("data"), spool)
+}
+
+#[test]
+fn serve_without_data_dir_exits_2() {
+    let out = cets().arg("serve").output().expect("run cets");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+}
+
+#[test]
+fn serve_drains_spool_and_reports_campaigns() {
+    let (data, spool) = serve_dirs("drain");
+    let out = cets()
+        .args(["serve", "--data"])
+        .arg(&data)
+        .arg("--spool")
+        .arg(&spool)
+        .args(["--fsync", "never"])
+        .output()
+        .expect("run cets");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        summary.contains("campaign alpha phase=completed"),
+        "{summary}"
+    );
+    assert!(summary.contains("config=fnv1a:"), "{summary}");
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("accepted 1, rejected 1"), "{log}");
+    // The spool is never mutated.
+    assert!(spool.join("alpha.json").exists());
+    assert!(spool.join("bad.json").exists());
+    std::fs::remove_dir_all(data.parent().unwrap()).ok();
+}
+
+#[test]
+fn serve_kill_recover_is_bit_identical() {
+    let (data, spool) = serve_dirs("killrec");
+    let run = |kill: Option<&str>| {
+        let mut c = cets();
+        c.args(["serve", "--data"])
+            .arg(&data)
+            .arg("--spool")
+            .arg(&spool)
+            .args(["--fsync", "never"]);
+        if let Some(k) = kill {
+            c.args(["--sim-kill-at", k]);
+        }
+        c.output().expect("run cets")
+    };
+    // Golden run in a separate directory.
+    let (golden_data, golden_spool) = serve_dirs("killrec_golden");
+    let golden = {
+        let out = cets()
+            .args(["serve", "--data"])
+            .arg(&golden_data)
+            .arg("--spool")
+            .arg(&golden_spool)
+            .args(["--fsync", "never"])
+            .output()
+            .expect("run cets");
+        assert!(out.status.success());
+        out.stdout
+    };
+    // Kill mid-run with a torn write: exit code 3.
+    let killed = run(Some("4:5"));
+    assert_eq!(
+        killed.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    // Recover: repaired tail noted, summary bit-identical to golden.
+    let recovered = run(None);
+    assert!(
+        recovered.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&recovered.stderr)
+    );
+    let log = String::from_utf8_lossy(&recovered.stderr);
+    assert!(log.contains("repaired torn tail"), "{log}");
+    assert_eq!(
+        String::from_utf8_lossy(&recovered.stdout),
+        String::from_utf8_lossy(&golden),
+        "kill+recover diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(data.parent().unwrap()).ok();
+    std::fs::remove_dir_all(golden_data.parent().unwrap()).ok();
+}
